@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchlib Benchmark Char Hashtbl Instance Kvstore List Measure Montage Printf Pstructs Staged String Systems Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/env.ml: List String Sys

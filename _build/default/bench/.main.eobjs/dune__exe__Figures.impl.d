@@ -1,0 +1,1 @@
+bench/figures.ml: Array Baselines Benchlib Char Domain Env Kvstore Lazy List Montage Nvm Printexc Printf Pstructs String Systems Util

@@ -1,0 +1,1 @@
+bench/main.ml: Bechamel_suite Benchlib Env Figures List Printf String Systems

@@ -1,0 +1,1 @@
+bench/systems.ml: Atomic Baselines Domain Hashtbl List Montage Nvm Pstructs Unix

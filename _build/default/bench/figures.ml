@@ -1,0 +1,795 @@
+(* Regeneration of every figure and table in the paper's evaluation
+   (§5.2 and §6).  Each function prints the paper's series for this
+   machine's scale and records shape verdicts for the ordering claims
+   the paper makes.  See EXPERIMENTS.md for the paper-vs-measured
+   discussion. *)
+
+module E = Montage.Epoch_sys
+module Cfg = Montage.Config
+
+let key_of i = Printf.sprintf "%032d" i
+
+(* One benchmark point; a crashing system yields NaN instead of killing
+   the suite, with the culprit named on stderr. *)
+let guarded name f =
+  try f ()
+  with e ->
+    Printf.eprintf "[bench] %s failed: %s\n%s%!" name (Printexc.to_string e)
+      (Printexc.get_backtrace ());
+    nan
+
+let make_value n =
+  (* distinct-ish contents, the size is what matters *)
+  String.init n (fun i -> Char.chr (65 + ((i * 7) mod 26)))
+
+(* ---- generic map workload (get:insert:remove mix) ---- *)
+
+let preload_map (m : Systems.map_inst) ~preload ~value =
+  for i = 0 to preload - 1 do
+    m.mput ~tid:0 (key_of i) value
+  done
+
+let run_map_point ~(sys : Systems.map_inst) ~threads ~get_frac ~ins_frac ~keyspace ~value =
+  let r =
+    Benchlib.Runner.throughput ~threads ~duration_s:Env.duration_s (fun ~tid ~rng ->
+        let x = Util.Xoshiro.float rng in
+        let key = key_of (Util.Xoshiro.int rng keyspace) in
+        if x < get_frac then ignore (sys.mget ~tid key)
+        else if x < get_frac +. ins_frac then sys.mput ~tid key value
+        else sys.mrem ~tid key)
+  in
+  r.Benchlib.Runner.ops_per_sec
+
+(* measure one map system across the thread sweep *)
+let sweep_map_system ~make ~get_frac ~ins_frac ~value =
+  let keyspace = 2 * Env.preload in
+  List.map
+    (fun threads ->
+      guarded "map system" (fun () ->
+          let sys = make () in
+          preload_map sys ~preload:Env.preload ~value;
+          let v = run_map_point ~sys ~threads ~get_frac ~ins_frac ~keyspace ~value in
+          sys.Systems.mstop ();
+          v))
+    Env.threads
+
+(* ---- Figures 4 & 5: design-space exploration ---- *)
+
+let epoch_lengths_ns = [ 100_000; 1_000_000; 10_000_000; 100_000_000 ]
+
+let epoch_label ns =
+  if ns >= 1_000_000_000 then Printf.sprintf "%ds" (ns / 1_000_000_000)
+  else if ns >= 1_000_000 then Printf.sprintf "%dms" (ns / 1_000_000)
+  else Printf.sprintf "%dus" (ns / 1_000)
+
+let design_combos : (string * (Cfg.t -> Cfg.t)) list =
+  [
+    ("Buf=2", fun c -> { c with buffer_size = 2 });
+    ("Buf=16", fun c -> { c with buffer_size = 16 });
+    ("Buf=64", fun c -> { c with buffer_size = 64 });
+    ("Buf=256", fun c -> { c with buffer_size = 256 });
+    ("Buf=64+LocalFree", fun c -> { c with buffer_size = 64; reclaim = Cfg.Workers });
+  ]
+
+let design_references : (string * (Cfg.t -> Cfg.t)) list =
+  [
+    ("DirWB", fun c -> { c with writeback = Cfg.Direct });
+    ("Montage(T)", fun c -> { c with persist = false; auto_advance = false });
+    ("Buf=64+DirFree", fun c -> { c with buffer_size = 64; direct_free = true });
+  ]
+
+let fig4 () =
+  Benchlib.Report.heading "Figure 4: design exploration — hashmap, 0:1:1 g:i:r (1 thread)";
+  (* single worker: multi-domain points on a one-core host measure the
+     scheduler, and long epochs need headroom for delayed reclamation *)
+  let threads = 1 in
+  let value = make_value Env.value_size in
+  let keyspace = 2 * Env.preload in
+  let capacity = 8 * Systems.map_capacity ~preload:Env.preload ~value_size:Env.value_size in
+  let point cfg_mod =
+    guarded "fig4 point" (fun () ->
+        let sys = Systems.montage_map ~cfg_mod ~capacity ~threads ~buckets:(1 lsl 15) () in
+        preload_map sys ~preload:Env.preload ~value;
+        let v = run_map_point ~sys ~threads ~get_frac:0.0 ~ins_frac:0.5 ~keyspace ~value in
+        sys.Systems.mstop ();
+        v)
+  in
+  let rows =
+    List.map
+      (fun (label, base_mod) ->
+        ( label,
+          List.map
+            (fun ns -> point (fun c -> { (base_mod c) with Cfg.epoch_length_ns = ns }))
+            epoch_lengths_ns ))
+      design_combos
+    @ List.map
+        (fun (label, base_mod) -> (label, [ point base_mod; nan; nan; nan ]))
+        design_references
+  in
+  Benchlib.Report.table ~columns:(List.map epoch_label epoch_lengths_ns) ~rows ~unit_label:"ops/s" ();
+  (let find name = List.assoc name rows in
+   let buf64_10ms = List.nth (find "Buf=64") 2 in
+   let dirwb = List.nth (find "DirWB") 0 in
+   Benchlib.Report.check ~figure:"fig4"
+     ~claim:"buffered write-back (Buf=64, 10ms) beats immediate write-back (DirWB)"
+     (buf64_10ms > dirwb))
+
+let fig5 () =
+  Benchlib.Report.heading "Figure 5: design exploration — 1-thread queue, 1:1 enq:deq";
+  let value = make_value Env.value_size in
+  let capacity = Systems.queue_capacity ~value_size:Env.value_size in
+  let point cfg_mod =
+    guarded "fig5 point" (fun () ->
+        let sys = Systems.montage_queue ~cfg_mod ~capacity ~threads:1 () in
+        for i = 0 to 999 do
+          sys.Systems.qenq ~tid:0 (key_of i)
+        done;
+        let r =
+          Benchlib.Runner.throughput ~threads:1 ~duration_s:Env.duration_s (fun ~tid ~rng ->
+              if Util.Xoshiro.bool rng then sys.Systems.qenq ~tid value
+              else ignore (sys.Systems.qdeq ~tid))
+        in
+        sys.Systems.qstop ();
+        r.Benchlib.Runner.ops_per_sec)
+  in
+  let rows =
+    List.map
+      (fun (label, base_mod) ->
+        ( label,
+          List.map
+            (fun ns -> point (fun c -> { (base_mod c) with Cfg.epoch_length_ns = ns }))
+            epoch_lengths_ns ))
+      design_combos
+    @ List.map
+        (fun (label, base_mod) -> (label, [ point base_mod; nan; nan; nan ]))
+        design_references
+  in
+  Benchlib.Report.table ~columns:(List.map epoch_label epoch_lengths_ns) ~rows ~unit_label:"ops/s" ();
+  (let find name = List.assoc name rows in
+   let buffered = List.nth (find "Buf=64") 2 and direct = List.nth (find "DirWB") 0 in
+   Benchlib.Report.check ~figure:"fig5" ~claim:"buffering helps the single-threaded queue too"
+     (buffered > direct))
+
+(* ---- Figure 6: queue throughput vs threads ---- *)
+
+let fig6 () =
+  Benchlib.Report.heading "Figure 6: concurrent queues, 1:1 enqueue:dequeue";
+  let value = make_value Env.value_size in
+  let rows =
+    List.map
+      (fun (name, make) ->
+        ( name,
+          List.map
+            (fun threads ->
+              guarded name (fun () ->
+                  let sys : Systems.queue_inst = make () in
+                  for i = 0 to 999 do
+                    sys.Systems.qenq ~tid:0 (key_of i)
+                  done;
+                  let r =
+                    Benchlib.Runner.throughput ~threads ~duration_s:Env.duration_s
+                      (fun ~tid ~rng ->
+                        if Util.Xoshiro.bool rng then sys.Systems.qenq ~tid value
+                        else ignore (sys.Systems.qdeq ~tid))
+                  in
+                  sys.Systems.qstop ();
+                  r.Benchlib.Runner.ops_per_sec))
+            Env.threads ))
+      (Systems.all_queue_systems ~threads:Env.max_threads ~value_size:Env.value_size)
+  in
+  Benchlib.Report.table ~columns:(List.map string_of_int Env.threads) ~rows ~unit_label:"ops/s" ();
+  (* claims are evaluated at 1 thread: with a single physical core,
+     multi-domain points measure the OS scheduler, not the systems *)
+  let at_one name = List.nth (List.assoc name rows) 0 in
+  Benchlib.Report.check ~figure:"fig6"
+    ~claim:"Montage at least matches Friedman's special-purpose queue (paper's 6x opens at scale)"
+    (at_one "Montage" > 0.85 *. at_one "Friedman");
+  Benchlib.Report.check ~figure:"fig6" ~claim:"Montage >> Pronto-Sync and Mnemosyne queues"
+    (at_one "Montage" > 1.2 *. at_one "Pronto-Sync" && at_one "Montage" > 2.0 *. at_one "Mnemosyne");
+  Benchlib.Report.check ~figure:"fig6" ~claim:"Montage within ~4x of DRAM (T)"
+    (at_one "Montage" > at_one "DRAM (T)" /. 4.0)
+
+(* ---- Figure 7: hashmap throughput vs threads ---- *)
+
+let fig7 ~sub ~get_frac ~ins_frac ~claim_factors () =
+  let mix_label =
+    Printf.sprintf "%d:%d:%d get:insert:remove"
+      (int_of_float (get_frac /. ((1.0 -. get_frac) /. 2.0) +. 0.5))
+      1 1
+  in
+  ignore mix_label;
+  Benchlib.Report.heading
+    (Printf.sprintf "Figure 7%s: concurrent hashmaps (get=%.2f insert=%.2f remove=%.2f)" sub get_frac
+       ins_frac
+       (1.0 -. get_frac -. ins_frac));
+  let value = make_value Env.value_size in
+  let rows =
+    List.map
+      (fun (name, make) -> (name, sweep_map_system ~make ~get_frac ~ins_frac ~value))
+      (Systems.all_map_systems ~threads:Env.max_threads ~preload:Env.preload ~value_size:Env.value_size)
+  in
+  Benchlib.Report.table ~columns:(List.map string_of_int Env.threads) ~rows ~unit_label:"ops/s" ();
+  let at_one name = List.nth (List.assoc name rows) 0 in
+  List.iter
+    (fun (a, b, factor) ->
+      Benchlib.Report.check ~figure:("fig7" ^ sub)
+        ~claim:(Printf.sprintf "%s > %.1fx %s" a factor b)
+        (at_one a > factor *. at_one b))
+    claim_factors
+
+let fig7a () =
+  fig7 ~sub:"a" ~get_frac:0.0 ~ins_frac:0.5
+    ~claim_factors:
+      [
+        ("Montage", "Dali", 1.0);
+        ("Montage", "MOD", 1.0);
+        ("Montage", "Pronto-Sync", 1.5);
+        ("Montage", "Mnemosyne", 1.5);
+      ]
+    ()
+
+let fig7b () =
+  fig7 ~sub:"b" ~get_frac:0.9 ~ins_frac:0.05
+    ~claim_factors:
+      [ ("Montage", "MOD", 1.0); ("Montage", "Dali", 1.0); ("Montage", "Mnemosyne", 1.0) ]
+    ()
+
+(* ---- Figure 8: payload-size sweep, single-threaded ---- *)
+
+let payload_sizes = [ 16; 64; 256; 1024; 4096 ]
+
+let fig8a () =
+  Benchlib.Report.heading "Figure 8a: single-threaded queues vs payload size";
+  let rows_names = Systems.all_queue_systems ~threads:1 ~value_size:Env.value_size |> List.map fst in
+  let rows =
+    List.map
+      (fun name ->
+        ( name,
+          List.map
+            (fun size ->
+              let make = List.assoc name (Systems.all_queue_systems ~threads:1 ~value_size:size) in
+              let sys = make () in
+              let value = make_value size in
+              for i = 0 to 999 do
+                sys.Systems.qenq ~tid:0 (key_of i)
+              done;
+              let r =
+                Benchlib.Runner.throughput ~threads:1 ~duration_s:Env.duration_s (fun ~tid ~rng ->
+                    if Util.Xoshiro.bool rng then sys.Systems.qenq ~tid value
+                    else ignore (sys.Systems.qdeq ~tid))
+              in
+              sys.Systems.qstop ();
+              r.Benchlib.Runner.ops_per_sec)
+            payload_sizes ))
+      rows_names
+  in
+  Benchlib.Report.table ~columns:(List.map string_of_int payload_sizes) ~rows ~unit_label:"ops/s" ();
+  let at name i = List.nth (List.assoc name rows) i in
+  Benchlib.Report.check ~figure:"fig8a" ~claim:"Montage beats strict persistent queues at every size"
+    (List.for_all (fun i -> at "Montage" i > at "Pronto-Sync" i) [ 0; 2; 4 ])
+
+let fig8b () =
+  Benchlib.Report.heading "Figure 8b: single-threaded hashmap, 2:1:1 g:i:r, vs payload size";
+  let keyspace = 2 * Env.preload in
+  let rows_names =
+    Systems.all_map_systems ~threads:1 ~preload:Env.preload ~value_size:Env.value_size |> List.map fst
+  in
+  let rows =
+    List.map
+      (fun name ->
+        ( name,
+          List.map
+            (fun size ->
+              let make =
+                List.assoc name
+                  (Systems.all_map_systems ~threads:1 ~preload:Env.preload ~value_size:size)
+              in
+              let sys = make () in
+              let value = make_value size in
+              preload_map sys ~preload:Env.preload ~value;
+              let v = run_map_point ~sys ~threads:1 ~get_frac:0.5 ~ins_frac:0.25 ~keyspace ~value in
+              sys.Systems.mstop ();
+              v)
+            payload_sizes ))
+      rows_names
+  in
+  Benchlib.Report.table ~columns:(List.map string_of_int payload_sizes) ~rows ~unit_label:"ops/s" ();
+  let at name i = List.nth (List.assoc name rows) i in
+  Benchlib.Report.check ~figure:"fig8b" ~claim:"Montage leads general-purpose systems across sizes"
+    (List.for_all (fun i -> at "Montage" i > at "Pronto-Sync" i && at "Montage" i > at "Mnemosyne" i)
+       [ 0; 2; 4 ])
+
+(* ---- Figure 9: sync frequency ---- *)
+
+let fig9 () =
+  Benchlib.Report.heading "Figure 9: hashmap with a sync every k operations (0:1:1)";
+  let sync_intervals = [ 1; 10; 100; 1000; 10000 ] in
+  let value = make_value Env.value_size in
+  let keyspace = 2 * Env.preload in
+  let threads = Env.max_threads in
+  let capacity = Systems.map_capacity ~preload:Env.preload ~value_size:Env.value_size in
+  let variants =
+    [
+      ("Montage (cb)", fun c -> c);
+      ("Montage (dw)", fun c -> { c with Cfg.drain_on_end_op = true });
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, cfg_mod) ->
+        ( name,
+          List.map
+            (fun k ->
+              let sys = Systems.montage_map ~cfg_mod ~capacity ~threads ~buckets:(1 lsl 15) () in
+              preload_map sys ~preload:Env.preload ~value;
+              let counters = Array.make (threads + 1) 0 in
+              let r =
+                Benchlib.Runner.throughput ~threads ~duration_s:Env.duration_s (fun ~tid ~rng ->
+                    let x = Util.Xoshiro.float rng in
+                    let key = key_of (Util.Xoshiro.int rng keyspace) in
+                    if x < 0.5 then sys.Systems.mput ~tid key value else sys.Systems.mrem ~tid key;
+                    counters.(tid) <- counters.(tid) + 1;
+                    if counters.(tid) mod k = 0 then sys.Systems.msync ~tid)
+              in
+              sys.Systems.mstop ();
+              r.Benchlib.Runner.ops_per_sec)
+            sync_intervals ))
+      variants
+  in
+  (* flat references *)
+  let ref_row name make =
+    let sys : Systems.map_inst = make () in
+    preload_map sys ~preload:Env.preload ~value;
+    let v = run_map_point ~sys ~threads ~get_frac:0.0 ~ins_frac:0.5 ~keyspace ~value in
+    sys.Systems.mstop ();
+    (name, List.map (fun _ -> v) sync_intervals)
+  in
+  let rows =
+    rows
+    @ [
+        ref_row "NVM (T)" (fun () ->
+            Systems.nvm_t_map ~capacity ~threads ~buckets:(1 lsl 15) ());
+        ref_row "Montage (T)" (fun () ->
+            Systems.montage_t_map ~capacity ~threads ~buckets:(1 lsl 15) ());
+      ]
+  in
+  Benchlib.Report.table
+    ~columns:(List.map (fun k -> "1/" ^ string_of_int k) sync_intervals)
+    ~rows ~unit_label:"ops/s" ();
+  let cb = List.assoc "Montage (cb)" rows in
+  Benchlib.Report.check ~figure:"fig9" ~claim:"throughput recovers as syncs become rarer"
+    (List.nth cb 4 > List.nth cb 0)
+
+(* ---- Figure 10: memcached-style store under YCSB-A ---- *)
+
+let fig10 () =
+  Benchlib.Report.heading "Figure 10: memcached-like store, YCSB-A (50r/50u zipfian)";
+  let records = Env.preload in
+  let spec = Kvstore.Ycsb.workload_a ~records ~value_size:Env.value_size () in
+  let capacity = Systems.map_capacity ~preload:records ~value_size:Env.value_size in
+  let backends =
+    [
+      ("DRAM (T)", fun () -> Systems.dram_map ~buckets:(1 lsl 15) ());
+      ("Montage (T)", fun () -> Systems.montage_t_map ~capacity ~threads:Env.max_threads ~buckets:(1 lsl 15) ());
+      ("Montage", fun () -> Systems.montage_map ~capacity ~threads:Env.max_threads ~buckets:(1 lsl 15) ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, make) ->
+        ( name,
+          List.map
+            (fun threads ->
+              let sys : Systems.map_inst = make () in
+              let backend =
+                {
+                  Kvstore.Store.get = (fun ~tid k -> sys.Systems.mget ~tid k);
+                  put =
+                    (fun ~tid k v ->
+                      sys.Systems.mput ~tid k v;
+                      None);
+                  remove =
+                    (fun ~tid k ->
+                      let old = sys.Systems.mget ~tid k in
+                      sys.Systems.mrem ~tid k;
+                      old);
+                }
+              in
+              let store = Kvstore.Store.create backend in
+              let wl = Kvstore.Ycsb.create spec in
+              let load_rng = Util.Xoshiro.create 7 in
+              Kvstore.Ycsb.load wl ~set:(fun k v -> Kvstore.Store.set store ~tid:0 k v) load_rng;
+              let r =
+                Benchlib.Runner.throughput ~threads ~duration_s:Env.duration_s (fun ~tid ~rng ->
+                    Kvstore.Ycsb.execute wl ~tid store (Kvstore.Ycsb.next wl rng))
+              in
+              sys.Systems.mstop ();
+              r.Benchlib.Runner.ops_per_sec)
+            Env.threads ))
+      backends
+  in
+  Benchlib.Report.table ~columns:(List.map string_of_int Env.threads) ~rows ~unit_label:"ops/s" ();
+  let at_one name = List.nth (List.assoc name rows) 0 in
+  Benchlib.Report.check ~figure:"fig10" ~claim:"persistent memcached within a small factor of DRAM (T)"
+    (at_one "Montage" > at_one "DRAM (T)" /. 5.0)
+
+(* ---- Figure 11: graph microbenchmark ---- *)
+
+type graph_inst = {
+  gname : string;
+  g_add_edge : tid:int -> int -> int -> bool;
+  g_remove_edge : tid:int -> int -> int -> bool;
+  g_add_vertex : tid:int -> int -> bool;
+  g_remove_vertex : tid:int -> int -> bool;
+  g_stop : unit -> unit;
+}
+
+let graph_value = lazy (make_value 64) (* vertex/edge attributes *)
+
+let montage_graph_inst ?(name = "Montage") ?(cfg_mod = fun c -> c) ~threads () =
+  let attrs = Lazy.force graph_value in
+  let capacity = max (1 lsl 27) (Env.graph_capacity * Env.graph_degree * 256) in
+  let r = Systems.region ~capacity ~threads in
+  let cfg = cfg_mod { Cfg.default with max_threads = threads + 1 } in
+  let esys = E.create ~config:cfg r in
+  let g = Pstructs.Mgraph.create ~capacity:Env.graph_capacity esys in
+  ( {
+      gname = name;
+      g_add_edge = (fun ~tid u v -> Pstructs.Mgraph.add_edge g ~tid u v attrs);
+      g_remove_edge = (fun ~tid u v -> Pstructs.Mgraph.remove_edge g ~tid u v);
+      g_add_vertex = (fun ~tid i -> Pstructs.Mgraph.add_vertex g ~tid i attrs);
+      g_remove_vertex = (fun ~tid i -> Pstructs.Mgraph.remove_vertex g ~tid i);
+      g_stop = (fun () -> E.stop_background esys);
+    },
+    `Montage (esys, g, r) )
+
+let dram_graph_inst () =
+  let attrs = Lazy.force graph_value in
+  let g = Baselines.Transient_graph.create ~capacity:Env.graph_capacity Baselines.Transient_graph.Dram in
+  {
+    gname = "DRAM (T)";
+    g_add_edge = (fun ~tid u v -> Baselines.Transient_graph.add_edge g ~tid u v attrs);
+    g_remove_edge = (fun ~tid u v -> Baselines.Transient_graph.remove_edge g ~tid u v);
+    g_add_vertex = (fun ~tid i -> Baselines.Transient_graph.add_vertex g ~tid i attrs);
+    g_remove_vertex = (fun ~tid i -> Baselines.Transient_graph.remove_vertex g ~tid i);
+    g_stop = (fun () -> ());
+  }
+
+let preload_graph inst ~rng =
+  let cap = Env.graph_capacity in
+  for i = 0 to (cap / 2) - 1 do
+    ignore (inst.g_add_vertex ~tid:0 i)
+  done;
+  for i = 0 to (cap / 2) - 1 do
+    for _ = 1 to Env.graph_degree do
+      let peer = Util.Xoshiro.int rng (cap / 2) in
+      if peer <> i then ignore (inst.g_add_edge ~tid:0 i peer)
+    done
+  done
+
+let fig11 () =
+  Benchlib.Report.heading "Figure 11: graph microbenchmark (edge ops : vertex ops)";
+  let ratios = [ ("4:1", 0.8); ("499:1", 0.998) ] in
+  let systems =
+    [
+      ("DRAM (T)", fun _threads -> (dram_graph_inst (), `None));
+      ( "Montage (T)",
+        fun threads ->
+          montage_graph_inst ~name:"Montage (T)"
+            ~cfg_mod:(fun c -> { c with Cfg.persist = false; auto_advance = false })
+            ~threads () );
+      ("Montage", fun threads -> montage_graph_inst ~threads ());
+    ]
+  in
+  List.iter
+    (fun (rlabel, edge_frac) ->
+      Printf.printf "-- edge:vertex = %s --\n" rlabel;
+      let rows =
+        List.map
+          (fun (name, make) ->
+            ( name,
+              List.map
+                (fun threads ->
+                  let inst, _ = make threads in
+                  preload_graph inst ~rng:(Util.Xoshiro.create 11);
+                  let cap = Env.graph_capacity in
+                  let r =
+                    Benchlib.Runner.throughput ~threads ~duration_s:Env.duration_s
+                      (fun ~tid ~rng ->
+                        let x = Util.Xoshiro.float rng in
+                        if x < edge_frac then begin
+                          let u = Util.Xoshiro.int rng cap and v = Util.Xoshiro.int rng cap in
+                          if Util.Xoshiro.bool rng then ignore (inst.g_add_edge ~tid u v)
+                          else ignore (inst.g_remove_edge ~tid u v)
+                        end
+                        else begin
+                          let i = Util.Xoshiro.int rng cap in
+                          if Util.Xoshiro.bool rng then begin
+                            if inst.g_add_vertex ~tid i then
+                              for _ = 1 to Env.graph_degree do
+                                ignore (inst.g_add_edge ~tid i (Util.Xoshiro.int rng cap))
+                              done
+                          end
+                          else ignore (inst.g_remove_vertex ~tid i)
+                        end)
+                  in
+                  inst.g_stop ();
+                  r.Benchlib.Runner.ops_per_sec)
+                Env.threads ))
+          systems
+      in
+      Benchlib.Report.table ~columns:(List.map string_of_int Env.threads) ~rows ~unit_label:"ops/s" ();
+      let at_one name = List.nth (List.assoc name rows) 0 in
+      Benchlib.Report.check ~figure:"fig11"
+        ~claim:(Printf.sprintf "persistent graph within a small factor of transient (%s mix)" rlabel)
+        (at_one "Montage" > at_one "DRAM (T)" /. 4.0))
+    ratios
+
+(* ---- Figure 12: graph recovery vs parallel construction ---- *)
+
+let fig12 () =
+  Benchlib.Report.heading "Figure 12: power-law graph — parallel construction vs Montage recovery";
+  let nv = Env.graph_capacity / 2 in
+  let rng = Util.Xoshiro.create 2024 in
+  (* power-law-ish edge list: endpoint = min of two uniforms, squared
+     preference for low ids (RMAT-flavoured skew) *)
+  let ne = nv * Env.graph_degree / 2 in
+  let pick () =
+    let a = Util.Xoshiro.int rng nv and b = Util.Xoshiro.int rng nv in
+    min a b
+  in
+  let edges = Array.init ne (fun _ -> (pick (), Util.Xoshiro.int rng nv)) in
+  let attrs = Lazy.force graph_value in
+  (* construction time on a transient graph, k threads *)
+  let construct_transient threads =
+    let g = Baselines.Transient_graph.create ~capacity:Env.graph_capacity Baselines.Transient_graph.Dram in
+    let _, seconds =
+      Benchlib.Runner.time (fun () ->
+          let dom k =
+            Domain.spawn (fun () ->
+                let lo = k * nv / threads and hi = (k + 1) * nv / threads in
+                for i = lo to hi - 1 do
+                  ignore (Baselines.Transient_graph.add_vertex g ~tid:k i attrs)
+                done)
+          in
+          Array.init threads dom |> Array.iter Domain.join;
+          let dome k =
+            Domain.spawn (fun () ->
+                let lo = k * ne / threads and hi = (k + 1) * ne / threads in
+                for i = lo to hi - 1 do
+                  let u, v = edges.(i) in
+                  if u <> v then ignore (Baselines.Transient_graph.add_edge g ~tid:k u v attrs)
+                done)
+          in
+          Array.init threads dome |> Array.iter Domain.join)
+    in
+    seconds
+  in
+  (* construction on a Montage graph with persistence elided = NVM (T) *)
+  let construct_montage ~persist threads =
+    let capacity = max (1 lsl 27) (Env.graph_capacity * Env.graph_degree * 256) in
+    let r = Systems.region ~capacity ~threads in
+    let cfg =
+      if persist then { Cfg.default with max_threads = threads + 1 }
+      else { Cfg.default with max_threads = threads + 1; persist = false; auto_advance = false }
+    in
+    let esys = E.create ~config:cfg r in
+    let g = Pstructs.Mgraph.create ~capacity:Env.graph_capacity esys in
+    let _, seconds =
+      Benchlib.Runner.time (fun () ->
+          let dom k =
+            Domain.spawn (fun () ->
+                let lo = k * nv / threads and hi = (k + 1) * nv / threads in
+                for i = lo to hi - 1 do
+                  ignore (Pstructs.Mgraph.add_vertex g ~tid:k i attrs)
+                done)
+          in
+          Array.init threads dom |> Array.iter Domain.join;
+          let dome k =
+            Domain.spawn (fun () ->
+                let lo = k * ne / threads and hi = (k + 1) * ne / threads in
+                for i = lo to hi - 1 do
+                  let u, v = edges.(i) in
+                  if u <> v then ignore (Pstructs.Mgraph.add_edge g ~tid:k u v attrs)
+                done)
+          in
+          Array.init threads dome |> Array.iter Domain.join)
+    in
+    (seconds, esys, r)
+  in
+  (* recovery time: build once with persistence, sync, crash, recover *)
+  let recover_time threads =
+    let _, esys, r = construct_montage ~persist:true 1 in
+    E.sync esys ~tid:0;
+    E.stop_background esys;
+    Nvm.Region.crash r;
+    let _, seconds =
+      Benchlib.Runner.time (fun () ->
+          (* small worker count: recovery itself parallelizes via
+             Mgraph.recover's domains, not esys worker slots *)
+          let esys2, payloads =
+            E.recover ~config:{ Cfg.testing with max_threads = 3 } ~threads:(min threads 4) r
+          in
+          let g = Pstructs.Mgraph.recover ~capacity:Env.graph_capacity ~threads esys2 payloads in
+          ignore g)
+    in
+    seconds
+  in
+  let rows =
+    [
+      ("DRAM (T) construct", List.map construct_transient Env.threads);
+      ( "NVM (T) construct",
+        List.map
+          (fun threads ->
+            let s, esys, _ = construct_montage ~persist:false threads in
+            E.stop_background esys;
+            s)
+          Env.threads );
+      ("Montage recover", List.map recover_time Env.threads);
+    ]
+  in
+  Benchlib.Report.table
+    ~fmt:(Printf.sprintf "%.3f")
+    ~columns:(List.map string_of_int Env.threads)
+    ~rows:(List.map (fun (n, vs) -> (n, vs)) rows)
+    ~unit_label:"seconds" ();
+  let recover1 = List.nth (List.assoc "Montage recover" rows) 0 in
+  let construct1 = List.nth (List.assoc "NVM (T) construct" rows) 0 in
+  Benchlib.Report.check ~figure:"fig12"
+    ~claim:"recovery is competitive with parallel reconstruction"
+    (recover1 < 3.0 *. construct1)
+
+(* ---- ablations: design choices DESIGN.md calls out ---- *)
+
+(* Montage supports both lock-based and nonblocking structures (§3.3):
+   measure what the epoch-verified DCSS machinery costs relative to a
+   plain lock at the same buffered-durability guarantee, and what the
+   ordered (skip list) index costs relative to hashing. *)
+let ablations () =
+  Benchlib.Report.heading "Ablation: lock-based vs nonblocking Montage structures";
+  let value = make_value 256 in
+  let capacity = 1 lsl 27 in
+  let point make_ops threads =
+    guarded "ablation" (fun () ->
+        let push, pop, stop = make_ops threads in
+        for i = 0 to 999 do
+          push ~tid:0 (key_of i)
+        done;
+        let r =
+          Benchlib.Runner.throughput ~threads ~duration_s:Env.duration_s (fun ~tid ~rng ->
+              if Util.Xoshiro.bool rng then push ~tid value else ignore (pop ~tid))
+        in
+        stop ();
+        r.Benchlib.Runner.ops_per_sec)
+  in
+  let montage_esys threads =
+    let r = Systems.region ~capacity ~threads in
+    E.create ~config:{ Cfg.default with max_threads = threads + 1 } r
+  in
+  let mk_lock_stack threads =
+    let esys = montage_esys threads in
+    let s = Pstructs.Mstack.create esys in
+    ( (fun ~tid v -> Pstructs.Mstack.push s ~tid v),
+      (fun ~tid -> Pstructs.Mstack.pop s ~tid),
+      fun () -> E.stop_background esys )
+  in
+  let mk_nb_stack threads =
+    let esys = montage_esys threads in
+    let s = Pstructs.Nb_stack.create esys in
+    ( (fun ~tid v -> Pstructs.Nb_stack.push s ~tid v),
+      (fun ~tid -> Pstructs.Nb_stack.pop s ~tid),
+      fun () -> E.stop_background esys )
+  in
+  let mk_lock_queue threads =
+    let esys = montage_esys threads in
+    let q = Pstructs.Mqueue.create esys in
+    ( (fun ~tid v -> Pstructs.Mqueue.enqueue q ~tid v),
+      (fun ~tid -> Pstructs.Mqueue.dequeue q ~tid),
+      fun () -> E.stop_background esys )
+  in
+  let mk_nb_queue threads =
+    let esys = montage_esys threads in
+    let q = Pstructs.Nb_queue.create esys in
+    ( (fun ~tid v -> Pstructs.Nb_queue.enqueue q ~tid v),
+      (fun ~tid -> Pstructs.Nb_queue.dequeue q ~tid),
+      fun () -> E.stop_background esys )
+  in
+  let rows =
+    [
+      ("stack: single lock", List.map (point mk_lock_stack) Env.threads);
+      ("stack: nonblocking DCSS", List.map (point mk_nb_stack) Env.threads);
+      ("queue: single lock", List.map (point mk_lock_queue) Env.threads);
+      ("queue: nonblocking DCSS", List.map (point mk_nb_queue) Env.threads);
+    ]
+  in
+  Benchlib.Report.table ~columns:(List.map string_of_int Env.threads) ~rows ~unit_label:"ops/s" ();
+  Benchlib.Report.heading "Ablation: hash index vs ordered (skip list) index";
+  let map_point make_ops threads =
+    guarded "ablation map" (fun () ->
+        let put, get, remove, stop = make_ops threads in
+        for i = 0 to 4999 do
+          put ~tid:0 (key_of i) value
+        done;
+        let r =
+          Benchlib.Runner.throughput ~threads ~duration_s:Env.duration_s (fun ~tid ~rng ->
+              let key = key_of (Util.Xoshiro.int rng 10_000) in
+              match Util.Xoshiro.int rng 4 with
+              | 0 -> put ~tid key value
+              | 1 -> remove ~tid key
+              | _ -> get ~tid key)
+        in
+        stop ();
+        r.Benchlib.Runner.ops_per_sec)
+  in
+  let mk_hash threads =
+    let esys = montage_esys threads in
+    let m = Pstructs.Mhashmap.create ~buckets:(1 lsl 14) esys in
+    ( (fun ~tid k v -> ignore (Pstructs.Mhashmap.put m ~tid k v)),
+      (fun ~tid k -> ignore (Pstructs.Mhashmap.get m ~tid k)),
+      (fun ~tid k -> ignore (Pstructs.Mhashmap.remove m ~tid k)),
+      fun () -> E.stop_background esys )
+  in
+  let mk_skip threads =
+    let esys = montage_esys threads in
+    let m = Pstructs.Mskiplist.create esys in
+    ( (fun ~tid k v -> ignore (Pstructs.Mskiplist.put m ~tid k v)),
+      (fun ~tid k -> ignore (Pstructs.Mskiplist.get m ~tid k)),
+      (fun ~tid k -> ignore (Pstructs.Mskiplist.remove m ~tid k)),
+      fun () -> E.stop_background esys )
+  in
+  let rows =
+    [
+      ("hashmap", List.map (map_point mk_hash) Env.threads);
+      ("skiplist (ordered)", List.map (map_point mk_skip) Env.threads);
+    ]
+  in
+  Benchlib.Report.table ~columns:(List.map string_of_int Env.threads) ~rows ~unit_label:"ops/s" ()
+
+(* ---- §6.4 recovery-time table ---- *)
+
+let recovery_table () =
+  Benchlib.Report.heading "§6.4: hashmap recovery time vs data-set size";
+  let value_size = 1024 in
+  let value = make_value value_size in
+  let thread_options = [ 1; min 4 Env.max_threads ] in
+  let rows =
+    List.map
+      (fun mb ->
+        let elements = mb * 1024 * 1024 / value_size in
+        let capacity = Systems.map_capacity ~preload:elements ~value_size in
+        let r = Systems.region ~capacity ~threads:4 in
+        let esys = E.create ~config:{ Cfg.testing with max_threads = 6 } r in
+        let m = Pstructs.Mhashmap.create ~buckets:(1 lsl 15) esys in
+        for i = 0 to elements - 1 do
+          ignore (Pstructs.Mhashmap.put m ~tid:0 (key_of i) value)
+        done;
+        E.sync esys ~tid:0;
+        Nvm.Region.crash r;
+        let times =
+          List.map
+            (fun threads ->
+              (* recover the epoch system fresh each time from the same
+                 image: recovery is idempotent on an unmodified image *)
+              let _, seconds =
+                Benchlib.Runner.time (fun () ->
+                    let esys2, payloads =
+                      E.recover ~config:{ Cfg.testing with max_threads = 6 } ~threads r
+                    in
+                    ignore (Pstructs.Mhashmap.recover ~buckets:(1 lsl 15) ~threads esys2 payloads))
+              in
+              seconds)
+            thread_options
+        in
+        (Printf.sprintf "%d MB (%d items)" mb elements, times))
+      Env.recovery_sizes_mb
+  in
+  Benchlib.Report.table
+    ~fmt:(Printf.sprintf "%.3f")
+    ~columns:(List.map (fun t -> Printf.sprintf "%dthr" t) thread_options)
+    ~rows ~unit_label:"seconds" ();
+  match rows with
+  | (_, [ t1; tk ]) :: _ ->
+      Benchlib.Report.check ~figure:"recovery"
+        ~claim:"parallel recovery within 2.5x of sequential (1 core: no speedup possible)"
+        (tk <= t1 *. 2.5)
+  | _ -> ()

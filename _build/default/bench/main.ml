@@ -1,0 +1,38 @@
+(* Benchmark entry point: regenerates every table and figure from the
+   paper's evaluation.  See bench/env.ml for scaling knobs; run a
+   single figure with e.g. BENCH_ONLY=fig7a dune exec bench/main.exe. *)
+
+let () =
+  Printf.printf "Montage benchmark suite — %s scale\n" (if Env.full then "paper" else "scaled");
+  Printf.printf
+    "duration/point=%.1fs threads=[%s] preload=%d value=%dB (override via BENCH_* env vars)\n%!"
+    Env.duration_s
+    (String.concat "; " (List.map string_of_int Env.threads))
+    Env.preload Env.value_size;
+  let figures =
+    [
+      ("fig4", Figures.fig4);
+      ("fig5", Figures.fig5);
+      ("fig6", Figures.fig6);
+      ("fig7a", Figures.fig7a);
+      ("fig7b", Figures.fig7b);
+      ("fig8a", Figures.fig8a);
+      ("fig8b", Figures.fig8b);
+      ("fig9", Figures.fig9);
+      ("fig10", Figures.fig10);
+      ("fig11", Figures.fig11);
+      ("fig12", Figures.fig12);
+      ("recovery", Figures.recovery_table);
+      ("ablation", Figures.ablations);
+      ("bechamel", Bechamel_suite.run);
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      if Env.selected name then begin
+        f ();
+        (* stop any background domain a failed point left behind *)
+        Systems.stop_leaked ()
+      end)
+    figures;
+  Benchlib.Report.summary ()

@@ -1,0 +1,342 @@
+(* Registry of benchmark systems behind uniform map/queue interfaces.
+
+   Every builder creates the system over its own simulated NVM region
+   (with the default latency model, so persistence instrumentation
+   costs real time) and returns closures plus a [stop] that shuts down
+   background machinery.  Thread id conventions: workers use
+   0..threads-1; background helpers use higher slots. *)
+
+module E = Montage.Epoch_sys
+module Cfg = Montage.Config
+
+type map_inst = {
+  mname : string;
+  mget : tid:int -> string -> string option;
+  mput : tid:int -> string -> string -> unit;
+  mrem : tid:int -> string -> unit;
+  msync : tid:int -> unit; (* durability barrier where supported *)
+  mstop : unit -> unit;
+}
+
+type queue_inst = {
+  qname : string;
+  qenq : tid:int -> string -> unit;
+  qdeq : tid:int -> string option;
+  qsync : tid:int -> unit;
+  qstop : unit -> unit;
+}
+
+let region ~capacity ~threads =
+  Nvm.Region.create ~max_threads:(threads + 4) ~capacity ()
+
+(* Spawn a 10 ms ticker domain calling [tick] until stopped — the
+   pacing Dalí's periodic persistence needs. *)
+let ticker ?(period = 0.01) tick =
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Unix.sleepf period;
+          if not (Atomic.get stop) then tick ()
+        done)
+  in
+  fun () ->
+    Atomic.set stop true;
+    Domain.join d
+
+let no_sync ~tid:_ = ()
+let no_stop () = ()
+
+(* Leak registry: every system with a background domain registers its
+   stop function; a figure that dies mid-point (e.g. allocator
+   exhaustion caught by the harness) would otherwise leave an advancer
+   domain ticking forever, polluting every later measurement. *)
+let live_stops : (int, unit -> unit) Hashtbl.t = Hashtbl.create 16
+let stop_ids = Atomic.make 0
+
+let guarded_stop stop =
+  let id = Atomic.fetch_and_add stop_ids 1 in
+  Hashtbl.replace live_stops id stop;
+  fun () ->
+    if Hashtbl.mem live_stops id then begin
+      Hashtbl.remove live_stops id;
+      stop ()
+    end
+
+let stop_leaked () =
+  let pending = Hashtbl.fold (fun id f acc -> (id, f) :: acc) live_stops [] in
+  List.iter
+    (fun (id, f) ->
+      Hashtbl.remove live_stops id;
+      f ())
+    pending
+
+(* ---- map systems ---- *)
+
+let montage_map ?(name = "Montage") ?(cfg_mod = fun c -> c) ~capacity ~threads ~buckets () =
+  let r = region ~capacity ~threads in
+  let cfg = cfg_mod { Cfg.default with max_threads = threads + 1 } in
+  let esys = E.create ~config:cfg r in
+  let m = Pstructs.Mhashmap.create ~buckets esys in
+  {
+    mname = name;
+    mget = (fun ~tid k -> Pstructs.Mhashmap.get m ~tid k);
+    mput = (fun ~tid k v -> ignore (Pstructs.Mhashmap.put m ~tid k v));
+    mrem = (fun ~tid k -> ignore (Pstructs.Mhashmap.remove m ~tid k));
+    msync = (fun ~tid -> E.sync esys ~tid);
+    mstop = guarded_stop (fun () -> E.stop_background esys);
+  }
+
+let montage_t_map ~capacity ~threads ~buckets () =
+  montage_map ~name:"Montage (T)" ~cfg_mod:(fun c -> { c with persist = false; auto_advance = false })
+    ~capacity ~threads ~buckets ()
+
+let dram_map ~buckets () =
+  let m = Baselines.Transient_map.create ~buckets Baselines.Transient_map.Dram in
+  {
+    mname = "DRAM (T)";
+    mget = (fun ~tid k -> Baselines.Transient_map.get m ~tid k);
+    mput = (fun ~tid k v -> ignore (Baselines.Transient_map.put m ~tid k v));
+    mrem = (fun ~tid k -> ignore (Baselines.Transient_map.remove m ~tid k));
+    msync = no_sync;
+    mstop = no_stop;
+  }
+
+let nvm_t_map ~capacity ~threads ~buckets () =
+  let r = region ~capacity ~threads in
+  let pm = Baselines.Pmem.create r in
+  let m = Baselines.Transient_map.create ~buckets (Baselines.Transient_map.Nvm pm) in
+  {
+    mname = "NVM (T)";
+    mget = (fun ~tid k -> Baselines.Transient_map.get m ~tid k);
+    mput = (fun ~tid k v -> ignore (Baselines.Transient_map.put m ~tid k v));
+    mrem = (fun ~tid k -> ignore (Baselines.Transient_map.remove m ~tid k));
+    msync = no_sync;
+    mstop = no_stop;
+  }
+
+let soft_map ~capacity ~threads ~buckets () =
+  let r = region ~capacity ~threads in
+  let pm = Baselines.Pmem.create r in
+  let m = Baselines.Soft_map.create ~buckets pm in
+  {
+    mname = "SOFT";
+    mget = (fun ~tid k -> Baselines.Soft_map.get m ~tid k);
+    (* SOFT has no atomic update: benchmark semantics are insert/remove *)
+    mput = (fun ~tid k v -> ignore (Baselines.Soft_map.put m ~tid k v));
+    mrem = (fun ~tid k -> ignore (Baselines.Soft_map.remove m ~tid k));
+    msync = no_sync;
+    mstop = no_stop;
+  }
+
+let dali_map ~capacity ~threads () =
+  let r = region ~capacity ~threads in
+  ignore threads;
+  let pm = Baselines.Pmem.create r in
+  (* Dalí's bucket heads live in the root area: capped bucket count.
+     No background persister: workers pay for the periodic flushes. *)
+  let m = Baselines.Dali_map.create ~buckets:4096 pm in
+  {
+    mname = "Dali";
+    mget = (fun ~tid k -> Baselines.Dali_map.get m ~tid k);
+    mput = (fun ~tid k v -> ignore (Baselines.Dali_map.put m ~tid k v));
+    mrem = (fun ~tid k -> ignore (Baselines.Dali_map.remove m ~tid k));
+    msync = (fun ~tid -> Baselines.Dali_map.persist_all m ~tid);
+    mstop = no_stop;
+  }
+
+let nvtraverse_map ~capacity ~threads ~buckets () =
+  let r = region ~capacity ~threads in
+  let pm = Baselines.Pmem.create r in
+  let m = Baselines.Nvtraverse_map.create ~buckets pm in
+  {
+    mname = "NVTraverse";
+    mget = (fun ~tid k -> Baselines.Nvtraverse_map.get m ~tid k);
+    mput = (fun ~tid k v -> ignore (Baselines.Nvtraverse_map.put m ~tid k v));
+    mrem = (fun ~tid k -> ignore (Baselines.Nvtraverse_map.remove m ~tid k));
+    msync = no_sync;
+    mstop = no_stop;
+  }
+
+let mod_map ~capacity ~threads () =
+  let r = region ~capacity ~threads in
+  let pm = Baselines.Pmem.create r in
+  let m = Baselines.Mod_structs.Map.create ~buckets:4096 pm in
+  {
+    mname = "MOD";
+    mget = (fun ~tid k -> Baselines.Mod_structs.Map.get m ~tid k);
+    mput = (fun ~tid k v -> ignore (Baselines.Mod_structs.Map.put m ~tid k v));
+    mrem = (fun ~tid k -> ignore (Baselines.Mod_structs.Map.remove m ~tid k));
+    msync = no_sync;
+    mstop = no_stop;
+  }
+
+let pronto_map ~mode ~capacity ~threads ~buckets () =
+  let r = region ~capacity ~threads in
+  let pm = Baselines.Pmem.create r in
+  let name = match mode with Baselines.Pronto.Sync -> "Pronto-Sync" | Full -> "Pronto-Full" in
+  let p = Baselines.Pronto.create ~buckets ~threads:(threads + 2) ~mode pm in
+  {
+    mname = name;
+    mget = (fun ~tid k -> Baselines.Pronto.get p ~tid k);
+    mput = (fun ~tid k v -> ignore (Baselines.Pronto.put p ~tid k v));
+    mrem = (fun ~tid k -> ignore (Baselines.Pronto.remove p ~tid k));
+    msync = no_sync;
+    mstop = no_stop;
+  }
+
+let mnemosyne_map ~capacity ~threads ~preload () =
+  let r = region ~capacity ~threads in
+  let words = max (1 lsl 18) (preload * 8) in
+  let stm = Baselines.Mnemosyne.create ~words ~threads:(threads + 2) r in
+  let m = Baselines.Mnemosyne.Map.create ~buckets:4096 stm in
+  {
+    mname = "Mnemosyne";
+    mget = (fun ~tid k -> Baselines.Mnemosyne.Map.get m ~tid k);
+    mput = (fun ~tid k v -> ignore (Baselines.Mnemosyne.Map.put m ~tid k v));
+    mrem = (fun ~tid k -> ignore (Baselines.Mnemosyne.Map.remove m ~tid k));
+    msync = no_sync;
+    mstop = no_stop;
+  }
+
+(* Region sizing: enough blocks for the live set plus epoch-delayed
+   reclamation churn. *)
+let map_capacity ~preload ~value_size =
+  let block = 64 * ((value_size / 64) + 2) in
+  max (1 lsl 26) (preload * block * 6)
+
+let all_map_systems ~threads ~preload ~value_size : (string * (unit -> map_inst)) list =
+  let capacity = map_capacity ~preload ~value_size in
+  let buckets = 1 lsl 15 in
+  [
+    ("DRAM (T)", fun () -> dram_map ~buckets ());
+    ("NVM (T)", fun () -> nvm_t_map ~capacity ~threads ~buckets ());
+    ("Montage (T)", fun () -> montage_t_map ~capacity ~threads ~buckets ());
+    ("Montage", fun () -> montage_map ~capacity ~threads ~buckets ());
+    ("SOFT", fun () -> soft_map ~capacity ~threads ~buckets ());
+    ("NVTraverse", fun () -> nvtraverse_map ~capacity ~threads ~buckets ());
+    ("Dali", fun () -> dali_map ~capacity ~threads ());
+    ("MOD", fun () -> mod_map ~capacity ~threads ());
+    ("Pronto-Full", fun () -> pronto_map ~mode:Baselines.Pronto.Full ~capacity ~threads ~buckets ());
+    ("Pronto-Sync", fun () -> pronto_map ~mode:Baselines.Pronto.Sync ~capacity ~threads ~buckets ());
+    ("Mnemosyne", fun () -> mnemosyne_map ~capacity ~threads ~preload ());
+  ]
+
+(* ---- queue systems ---- *)
+
+let montage_queue ?(name = "Montage") ?(cfg_mod = fun c -> c) ~capacity ~threads () =
+  let r = region ~capacity ~threads in
+  let cfg = cfg_mod { Cfg.default with max_threads = threads + 1 } in
+  let esys = E.create ~config:cfg r in
+  let q = Pstructs.Mqueue.create esys in
+  {
+    qname = name;
+    qenq = (fun ~tid v -> Pstructs.Mqueue.enqueue q ~tid v);
+    qdeq = (fun ~tid -> Pstructs.Mqueue.dequeue q ~tid);
+    qsync = (fun ~tid -> E.sync esys ~tid);
+    qstop = guarded_stop (fun () -> E.stop_background esys);
+  }
+
+let montage_t_queue ~capacity ~threads () =
+  montage_queue ~name:"Montage (T)"
+    ~cfg_mod:(fun c -> { c with persist = false; auto_advance = false })
+    ~capacity ~threads ()
+
+let dram_queue () =
+  let q = Baselines.Transient_queue.create Baselines.Transient_queue.Dram in
+  {
+    qname = "DRAM (T)";
+    qenq = (fun ~tid v -> Baselines.Transient_queue.enqueue q ~tid v);
+    qdeq = (fun ~tid -> Baselines.Transient_queue.dequeue q ~tid);
+    qsync = no_sync;
+    qstop = no_stop;
+  }
+
+let nvm_t_queue ~capacity ~threads () =
+  let r = region ~capacity ~threads in
+  let pm = Baselines.Pmem.create r in
+  let q = Baselines.Transient_queue.create (Baselines.Transient_queue.Nvm pm) in
+  {
+    qname = "NVM (T)";
+    qenq = (fun ~tid v -> Baselines.Transient_queue.enqueue q ~tid v);
+    qdeq = (fun ~tid -> Baselines.Transient_queue.dequeue q ~tid);
+    qsync = no_sync;
+    qstop = no_stop;
+  }
+
+let friedman_queue ~capacity ~threads () =
+  let r = region ~capacity ~threads in
+  let pm = Baselines.Pmem.create r in
+  let q = Baselines.Friedman_queue.create pm in
+  {
+    qname = "Friedman";
+    qenq = (fun ~tid v -> Baselines.Friedman_queue.enqueue q ~tid v);
+    qdeq = (fun ~tid -> Baselines.Friedman_queue.dequeue q ~tid);
+    qsync = no_sync;
+    qstop = no_stop;
+  }
+
+let mod_queue ~capacity ~threads () =
+  let r = region ~capacity ~threads in
+  let pm = Baselines.Pmem.create r in
+  let q = Baselines.Mod_structs.Queue.create pm in
+  {
+    qname = "MOD";
+    qenq = (fun ~tid v -> Baselines.Mod_structs.Queue.enqueue q ~tid v);
+    qdeq = (fun ~tid -> Baselines.Mod_structs.Queue.dequeue q ~tid);
+    qsync = no_sync;
+    qstop = no_stop;
+  }
+
+(* Pronto queue: a transient queue persisted through the semantic op
+   log — the map hosted by the logger stays empty; only the logging
+   cost (Pronto's entire critical-path overhead) is charged. *)
+let pronto_queue ~mode ~capacity ~threads () =
+  let r = region ~capacity ~threads in
+  let pm = Baselines.Pmem.create r in
+  let name = match mode with Baselines.Pronto.Sync -> "Pronto-Sync" | Full -> "Pronto-Full" in
+  let p = Baselines.Pronto.create ~buckets:64 ~threads:(threads + 2) ~mode pm in
+  let q = Baselines.Transient_queue.create Baselines.Transient_queue.Dram in
+  {
+    qname = name;
+    qenq =
+      (fun ~tid v ->
+        Baselines.Transient_queue.enqueue q ~tid v;
+        Baselines.Pronto.log_op p ~tid ~opcode:Baselines.Pronto.opcode_put ~key:"" ~value:v);
+    qdeq =
+      (fun ~tid ->
+        let r = Baselines.Transient_queue.dequeue q ~tid in
+        if r <> None then
+          Baselines.Pronto.log_op p ~tid ~opcode:Baselines.Pronto.opcode_remove ~key:"" ~value:"";
+        r);
+    qsync = no_sync;
+    qstop = no_stop;
+  }
+
+let mnemosyne_queue ~capacity ~threads () =
+  let r = region ~capacity ~threads in
+  let stm = Baselines.Mnemosyne.create ~words:(1 lsl 20) ~threads:(threads + 2) r in
+  let q = Baselines.Mnemosyne.Queue.create stm in
+  {
+    qname = "Mnemosyne";
+    qenq = (fun ~tid v -> Baselines.Mnemosyne.Queue.enqueue q ~tid v);
+    qdeq = (fun ~tid -> Baselines.Mnemosyne.Queue.dequeue q ~tid);
+    qsync = no_sync;
+    qstop = no_stop;
+  }
+
+let queue_capacity ~value_size = max (1 lsl 26) (value_size * 200_000)
+
+let all_queue_systems ~threads ~value_size : (string * (unit -> queue_inst)) list =
+  let capacity = queue_capacity ~value_size in
+  [
+    ("DRAM (T)", fun () -> dram_queue ());
+    ("NVM (T)", fun () -> nvm_t_queue ~capacity ~threads ());
+    ("Montage (T)", fun () -> montage_t_queue ~capacity ~threads ());
+    ("Montage", fun () -> montage_queue ~capacity ~threads ());
+    ("Friedman", fun () -> friedman_queue ~capacity ~threads ());
+    ("MOD", fun () -> mod_queue ~capacity ~threads ());
+    ("Pronto-Full", fun () -> pronto_queue ~mode:Baselines.Pronto.Full ~capacity ~threads ());
+    ("Pronto-Sync", fun () -> pronto_queue ~mode:Baselines.Pronto.Sync ~capacity ~threads ());
+    ("Mnemosyne", fun () -> mnemosyne_queue ~capacity ~threads ());
+  ]

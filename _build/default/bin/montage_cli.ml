@@ -1,0 +1,179 @@
+(* montage_cli — drive a Montage data structure interactively-ish.
+
+   Subcommands:
+     demo      run a put/crash/recover cycle and print the outcome
+     workload  run a timed workload against a chosen structure
+     torture   randomized crash-consistency check (like the example,
+               with knobs)
+
+   This is a developer tool; the benchmark suite is bench/main.exe. *)
+
+open Cmdliner
+
+module E = Montage.Epoch_sys
+module Cfg = Montage.Config
+
+let mib = 1024 * 1024
+
+(* ---- demo ---- *)
+
+let demo items =
+  let region = Nvm.Region.create ~capacity:(64 * mib) () in
+  let esys = E.create region in
+  let map = Pstructs.Mhashmap.create esys in
+  for i = 1 to items do
+    ignore (Pstructs.Mhashmap.put map ~tid:0 (Printf.sprintf "key%d" i) (Printf.sprintf "val%d" i))
+  done;
+  E.sync esys ~tid:0;
+  ignore (Pstructs.Mhashmap.put map ~tid:0 "unsynced" "doomed");
+  E.stop_background esys;
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover region in
+  let map2 = Pstructs.Mhashmap.recover esys2 payloads in
+  Printf.printf "inserted %d + 1 unsynced, crashed, recovered %d items\n" items
+    (Pstructs.Mhashmap.size map2);
+  Printf.printf "unsynced item present: %b\n"
+    (Pstructs.Mhashmap.get map2 ~tid:0 "unsynced" <> None);
+  E.stop_background esys2;
+  if Pstructs.Mhashmap.size map2 = items then `Ok () else `Error (false, "unexpected recovery size")
+
+(* ---- workload ---- *)
+
+let workload structure threads seconds value_size =
+  if threads < 1 then `Error (false, "threads must be >= 1")
+  else begin
+    let region = Nvm.Region.create ~max_threads:(threads + 4) ~capacity:(256 * mib) () in
+    let esys = E.create ~config:{ Cfg.default with max_threads = threads + 1 } region in
+    let value = String.make value_size 'v' in
+    let body =
+      match structure with
+      | "map" ->
+          let m = Pstructs.Mhashmap.create esys in
+          fun ~tid ~rng ->
+            let key = Printf.sprintf "%024d" (Util.Xoshiro.int rng 100_000) in
+            if Util.Xoshiro.bool rng then ignore (Pstructs.Mhashmap.put m ~tid key value)
+            else ignore (Pstructs.Mhashmap.remove m ~tid key)
+      | "queue" ->
+          let q = Pstructs.Mqueue.create esys in
+          fun ~tid ~rng ->
+            if Util.Xoshiro.bool rng then Pstructs.Mqueue.enqueue q ~tid value
+            else ignore (Pstructs.Mqueue.dequeue q ~tid)
+      | "stack" ->
+          let s = Pstructs.Mstack.create esys in
+          fun ~tid ~rng ->
+            if Util.Xoshiro.bool rng then Pstructs.Mstack.push s ~tid value
+            else ignore (Pstructs.Mstack.pop s ~tid)
+      | "nb-stack" ->
+          let s = Pstructs.Nb_stack.create esys in
+          fun ~tid ~rng ->
+            if Util.Xoshiro.bool rng then Pstructs.Nb_stack.push s ~tid value
+            else ignore (Pstructs.Nb_stack.pop s ~tid)
+      | "nb-queue" ->
+          let q = Pstructs.Nb_queue.create esys in
+          fun ~tid ~rng ->
+            if Util.Xoshiro.bool rng then Pstructs.Nb_queue.enqueue q ~tid value
+            else ignore (Pstructs.Nb_queue.dequeue q ~tid)
+      | other -> failwith ("unknown structure: " ^ other)
+    in
+    match body with
+    | exception Failure msg -> `Error (false, msg)
+    | body ->
+        let r = Benchlib.Runner.throughput ~threads ~duration_s:seconds body in
+        let stats = Nvm.Region.stats region in
+        Printf.printf "%s: %.0f ops/s over %d thread(s) for %.1fs\n" structure
+          r.Benchlib.Runner.ops_per_sec threads seconds;
+        Printf.printf "NVM traffic: %d writebacks, %d fences, %d lines persisted\n"
+          stats.Nvm.Region.writebacks stats.Nvm.Region.fences stats.Nvm.Region.lines_persisted;
+        Printf.printf "epoch advances: %d\n" (E.advance_count esys);
+        E.stop_background esys;
+        `Ok ()
+  end
+
+(* ---- torture ---- *)
+
+let torture rounds seed =
+  let rng = Util.Xoshiro.create seed in
+  let cfg = { Cfg.testing with max_threads = 2 } in
+  let region = Nvm.Region.create ~capacity:(32 * mib) () in
+  let esys = ref (E.create ~config:cfg region) in
+  let map = ref (Pstructs.Mhashmap.create ~buckets:64 !esys) in
+  let model = Hashtbl.create 64 in
+  let snapshots = Hashtbl.create 64 in
+  let snapshot () = Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare in
+  let record ~ended = Hashtbl.replace snapshots ended (snapshot ()) in
+  record ~ended:(E.current_epoch !esys - 1);
+  let ok = ref true in
+  (try
+     for round = 1 to rounds do
+       for _ = 1 to 20 + Util.Xoshiro.int rng 100 do
+         let k = Printf.sprintf "key%03d" (Util.Xoshiro.int rng 200) in
+         (match Util.Xoshiro.int rng 2 with
+         | 0 ->
+             let v = Printf.sprintf "r%d" round in
+             ignore (Pstructs.Mhashmap.put !map ~tid:0 k v);
+             Hashtbl.replace model k v
+         | _ ->
+             ignore (Pstructs.Mhashmap.remove !map ~tid:0 k);
+             Hashtbl.remove model k);
+         if Util.Xoshiro.int rng 20 = 0 then begin
+           let ended = E.current_epoch !esys in
+           E.advance_epoch !esys ~tid:1;
+           record ~ended
+         end
+       done;
+       let crash_epoch = E.current_epoch !esys in
+       Nvm.Region.crash
+         ~persist_unfenced:(Util.Xoshiro.float rng)
+         ~evict_dirty:(Util.Xoshiro.float rng) ~rng region;
+       let esys2, payloads = E.recover ~config:cfg region in
+       let map2 = Pstructs.Mhashmap.recover ~buckets:64 esys2 payloads in
+       let expected = ref [] in
+       for e = 1 to crash_epoch - 2 do
+         match Hashtbl.find_opt snapshots e with Some s -> expected := s | None -> ()
+       done;
+       let recovered = List.sort compare (Pstructs.Mhashmap.to_alist map2 ~tid:0) in
+       if recovered <> !expected then begin
+         Printf.printf "round %d: INCONSISTENT RECOVERY\n" round;
+         ok := false;
+         raise Exit
+       end;
+       esys := esys2;
+       map := map2;
+       Hashtbl.reset model;
+       List.iter (fun (k, v) -> Hashtbl.replace model k v) recovered;
+       Hashtbl.reset snapshots;
+       record ~ended:(E.current_epoch !esys - 1)
+     done
+   with Exit -> ());
+  if !ok then begin
+    Printf.printf "%d crash/recovery rounds: all consistent\n" rounds;
+    `Ok ()
+  end
+  else `Error (false, "inconsistent recovery detected")
+
+(* ---- command wiring ---- *)
+
+let demo_cmd =
+  let items = Arg.(value & opt int 1000 & info [ "items" ] ~doc:"Items to insert before the crash.") in
+  Cmd.v (Cmd.info "demo" ~doc:"Insert, sync, crash, recover; verify the prefix.")
+    Term.(ret (const demo $ items))
+
+let workload_cmd =
+  let structure =
+    Arg.(value & pos 0 string "map" & info [] ~docv:"STRUCTURE" ~doc:"map|queue|stack|nb-stack|nb-queue")
+  in
+  let threads = Arg.(value & opt int 1 & info [ "threads"; "t" ] ~doc:"Worker threads.") in
+  let seconds = Arg.(value & opt float 1.0 & info [ "seconds"; "d" ] ~doc:"Duration.") in
+  let value_size = Arg.(value & opt int 256 & info [ "value-size" ] ~doc:"Value size in bytes.") in
+  Cmd.v (Cmd.info "workload" ~doc:"Timed workload against a Montage structure.")
+    Term.(ret (const workload $ structure $ threads $ seconds $ value_size))
+
+let torture_cmd =
+  let rounds = Arg.(value & opt int 20 & info [ "rounds" ] ~doc:"Crash/recovery rounds.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v (Cmd.info "torture" ~doc:"Randomized crash-consistency check.")
+    Term.(ret (const torture $ rounds $ seed))
+
+let () =
+  let doc = "Montage buffered-persistence playground" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "montage_cli" ~doc) [ demo_cmd; workload_cmd; torture_cmd ]))

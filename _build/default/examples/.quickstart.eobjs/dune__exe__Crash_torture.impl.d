@@ -1,0 +1,1 @@
+examples/crash_torture.ml: Array Hashtbl List Montage Nvm Printf Pstructs Sys Util

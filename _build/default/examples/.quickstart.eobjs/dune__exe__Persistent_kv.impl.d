@@ -1,0 +1,1 @@
+examples/persistent_kv.ml: Kvstore Montage Nvm Option Printf Pstructs Unix

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Montage Nvm Printf Pstructs

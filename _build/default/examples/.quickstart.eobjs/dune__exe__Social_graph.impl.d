@@ -1,0 +1,1 @@
+examples/social_graph.ml: Array List Montage Nvm Printf Pstructs String

@@ -1,0 +1,1 @@
+examples/wire_session.ml: Kvstore List Montage Nvm Printf Pstructs String

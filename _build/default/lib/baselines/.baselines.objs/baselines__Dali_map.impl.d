@@ -1,0 +1,1 @@
+lib/baselines/dali_map.ml: Array Atomic Hashtbl List Nvm Pmem String Unix Util

@@ -1,0 +1,1 @@
+lib/baselines/dali_map.mli: Pmem

@@ -1,0 +1,1 @@
+lib/baselines/friedman_queue.ml: Array Atomic List Nvm Pmem Queue String

@@ -1,0 +1,1 @@
+lib/baselines/friedman_queue.mli: Pmem

@@ -1,0 +1,1 @@
+lib/baselines/mnemosyne.ml: Array Atomic Bytes Hashtbl List Nvm Pmem String Util

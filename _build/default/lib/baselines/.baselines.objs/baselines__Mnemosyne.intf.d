@@ -1,0 +1,1 @@
+lib/baselines/mnemosyne.mli: Nvm

@@ -1,0 +1,1 @@
+lib/baselines/mod_structs.ml: Array Atomic Buffer Bytes Hashtbl Int32 List Nvm Option Pmem String Util

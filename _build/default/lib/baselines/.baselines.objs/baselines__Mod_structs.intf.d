@@ -1,0 +1,1 @@
+lib/baselines/mod_structs.mli: Pmem

@@ -1,0 +1,1 @@
+lib/baselines/nvtraverse_map.ml: Array Atomic Hashtbl Pmem String Util

@@ -1,0 +1,1 @@
+lib/baselines/nvtraverse_map.mli: Pmem

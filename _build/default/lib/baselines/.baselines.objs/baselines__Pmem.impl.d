@@ -1,0 +1,1 @@
+lib/baselines/pmem.ml: Nvm Ralloc String

@@ -1,0 +1,1 @@
+lib/baselines/pronto.ml: Array Atomic Buffer Int32 Nvm Pmem String Transient_map Util

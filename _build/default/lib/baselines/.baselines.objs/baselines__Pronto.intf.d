@@ -1,0 +1,1 @@
+lib/baselines/pronto.mli: Pmem

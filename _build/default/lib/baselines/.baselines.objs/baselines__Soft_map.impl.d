@@ -1,0 +1,1 @@
+lib/baselines/soft_map.ml: Array Atomic Hashtbl Nvm Pmem String Util

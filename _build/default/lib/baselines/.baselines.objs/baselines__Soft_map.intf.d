@@ -1,0 +1,1 @@
+lib/baselines/soft_map.mli: Pmem

@@ -1,0 +1,1 @@
+lib/baselines/transient_graph.ml: Array Atomic Hashtbl Pmem Util

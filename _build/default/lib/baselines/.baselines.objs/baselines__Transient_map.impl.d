@@ -1,0 +1,1 @@
+lib/baselines/transient_map.ml: Array Atomic Bytes Hashtbl Pmem String Util

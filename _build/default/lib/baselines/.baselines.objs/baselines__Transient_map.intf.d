@@ -1,0 +1,1 @@
+lib/baselines/transient_map.mli: Pmem Util

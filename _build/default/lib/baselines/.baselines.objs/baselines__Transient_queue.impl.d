@@ -1,0 +1,1 @@
+lib/baselines/transient_queue.ml: Bytes Pmem Queue Util

@@ -1,0 +1,216 @@
+(* Reimplementation of the Dalí hashmap (Nawab et al., DISC '17) in the
+   software-dirty-tracking form the Montage paper benchmarks against.
+
+   Dalí is buffered durably linearizable and keeps the *entire*
+   structure in NVM.  Each bucket is an append-only list of records:
+   an insert or update prepends a fresh record, a remove prepends a
+   tombstone, and readers take the first (newest) record for a key.
+   Nothing is flushed on the operation path — dirty ranges are tracked
+   in software — but at every epoch boundary an application thread
+   must (a) write back all dirty lines, fence, and advance the
+   persistent epoch, and (b) compact the buckets that accumulated
+   shadowed records or tombstones, rewriting the survivors.  This
+   worker-borne periodic flush/compaction plus the NVM-resident
+   traversals are exactly the costs Montage avoids with its transient
+   index and dedicated background advancer, and they are why Dalí
+   trails Montage in the paper's Figures 7–8.
+
+   Record layout: [8 next+1 | 8 epoch | 4 klen | 4 vlen | key | value],
+   vlen = 0xFFFFFFFF marks a tombstone. *)
+
+let tombstone_vlen = 0xFFFFFFFF
+
+type t = {
+  pm : Pmem.t;
+  nbuckets : int;
+  bucket_base : int; (* region offset of the persistent head array *)
+  locks : Util.Spin_lock.t array;
+  dirty : (int * int) list ref array; (* per-thread dirty ranges *)
+  (* per bucket: epoch in which records became shadowed (0 = clean);
+     the bucket is compacted lazily by the next writer after that
+     epoch has persisted, as Dalí cleans buckets on access *)
+  needs_compaction : int array;
+  epoch : int Atomic.t;
+  epoch_root : int;
+  persist_lock : Util.Spin_lock.t;
+  size : int Atomic.t;
+  epoch_length_s : float;
+  mutable last_persist : float;
+  op_count : int Atomic.t;
+}
+
+let header_size = 24
+
+let create ?(buckets = 1 lsl 10) ?(epoch_length_s = 0.01) pm =
+  let region = Pmem.region pm in
+  let epoch_root = Pmem.root_base in
+  let bucket_base = Pmem.root_base + 64 in
+  if bucket_base + (8 * buckets) > Pmem.heap_base then
+    invalid_arg "Dali_map: bucket array exceeds the root area (use <= 8128 buckets)";
+  Nvm.Region.set_i64 region ~off:epoch_root 3;
+  Nvm.Region.persist region ~tid:0 ~off:epoch_root ~len:8;
+  {
+    pm;
+    nbuckets = buckets;
+    bucket_base;
+    locks = Array.init buckets (fun _ -> Util.Spin_lock.create ());
+    dirty = Array.init (Nvm.Region.max_threads region) (fun _ -> ref []);
+    needs_compaction = Array.make buckets 0;
+    epoch = Atomic.make 3;
+    epoch_root;
+    persist_lock = Util.Spin_lock.create ();
+    size = Atomic.make 0;
+    epoch_length_s;
+    last_persist = Unix.gettimeofday ();
+    op_count = Atomic.make 0;
+  }
+
+let size t = Atomic.get t.size
+let bucket_slot t key = Hashtbl.hash key land (t.nbuckets - 1)
+let bucket_off t idx = t.bucket_base + (8 * idx)
+let mark_dirty t ~tid ~off ~len = t.dirty.(tid) := (off, len) :: !(t.dirty.(tid))
+
+(* record accessors *)
+let next_of region off = Nvm.Region.get_i64 region ~off - 1
+let klen_of region off = Nvm.Region.get_i32 region ~off:(off + 16)
+let vlen_of region off = Nvm.Region.get_i32 region ~off:(off + 20)
+let is_tombstone region off = vlen_of region off = tombstone_vlen
+let key_of region off = Nvm.Region.read_string region ~off:(off + header_size) ~len:(klen_of region off)
+
+let value_of region off =
+  Nvm.Region.read_string region ~off:(off + header_size + klen_of region off) ~len:(vlen_of region off)
+
+let write_record t ~tid ~next ~key ~value ~tomb =
+  let region = Pmem.region t.pm in
+  let klen = String.length key and vlen = String.length value in
+  let total = header_size + klen + vlen in
+  let off = Pmem.alloc t.pm ~tid ~size:total in
+  Nvm.Region.set_i64 region ~off (next + 1);
+  Nvm.Region.set_i64 region ~off:(off + 8) (Atomic.get t.epoch);
+  Nvm.Region.set_i32 region ~off:(off + 16) klen;
+  Nvm.Region.set_i32 region ~off:(off + 20) (if tomb then tombstone_vlen else vlen);
+  Nvm.Region.write_string region ~off:(off + header_size) key;
+  if not tomb then Nvm.Region.write_string region ~off:(off + header_size + klen) value;
+  mark_dirty t ~tid ~off ~len:total;
+  off
+
+(* Rewrite one bucket keeping only visible survivors (newest record per
+   key, tombstones dropped).  Caller holds the bucket lock. *)
+let compact_bucket t ~tid idx =
+  let region = Pmem.region t.pm in
+  let head = Nvm.Region.get_i64 region ~off:(bucket_off t idx) - 1 in
+  let seen = Hashtbl.create 8 in
+  let survivors = ref [] in
+  let rec scan off =
+    if off >= 0 then begin
+      let key = key_of region off in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        if not (is_tombstone region off) then survivors := (key, value_of region off) :: !survivors
+      end;
+      scan (next_of region off)
+    end
+  in
+  scan head;
+  (* rebuild, newest-last ordering is immaterial *)
+  let new_head =
+    List.fold_left (fun next (key, value) -> write_record t ~tid ~next ~key ~value ~tomb:false) (-1)
+      !survivors
+  in
+  Nvm.Region.set_i64 region ~off:(bucket_off t idx) (new_head + 1);
+  mark_dirty t ~tid ~off:(bucket_off t idx) ~len:8;
+  (* free the entire old record list *)
+  let rec free_list off =
+    if off >= 0 then begin
+      let nxt = next_of region off in
+      Pmem.free t.pm ~tid off;
+      free_list nxt
+    end
+  in
+  free_list head;
+  t.needs_compaction.(idx) <- 0
+
+(* Epoch boundary: write back all dirty ranges, fence, bump the
+   persistent epoch, then compact shadowed buckets.  All charged — an
+   application thread performs it. *)
+let persist_all t ~tid =
+  Util.Spin_lock.with_lock t.persist_lock (fun () ->
+      let region = Pmem.region t.pm in
+      Array.iter
+        (fun cell ->
+          let ranges = !cell in
+          cell := [];
+          List.iter (fun (off, len) -> Nvm.Region.writeback region ~tid ~off ~len) ranges)
+        t.dirty;
+      let e = Atomic.get t.epoch in
+      Nvm.Region.set_i64 region ~off:t.epoch_root (e + 1);
+      Nvm.Region.writeback region ~tid ~off:t.epoch_root ~len:8;
+      Nvm.Region.sfence region ~tid;
+      t.last_persist <- Unix.gettimeofday ();
+      Atomic.set t.epoch (e + 1))
+
+(* Every 64th update checks whether the epoch elapsed; the thread that
+   notices pays for the whole flush + compaction pass. *)
+let maybe_persist t ~tid =
+  if Atomic.fetch_and_add t.op_count 1 land 63 = 0 then
+    if Unix.gettimeofday () -. t.last_persist >= t.epoch_length_s then persist_all t ~tid
+
+(* First (newest) record for the key decides visibility. *)
+let find_visible region head key =
+  let rec scan off =
+    if off < 0 then None
+    else if String.equal (key_of region off) key then
+      if is_tombstone region off then Some (off, None) else Some (off, Some (value_of region off))
+    else scan (next_of region off)
+  in
+  scan head
+
+let get t ~tid:_ key =
+  let idx = bucket_slot t key in
+  let region = Pmem.region t.pm in
+  Util.Spin_lock.with_lock t.locks.(idx) (fun () ->
+      let head = Nvm.Region.get_i64 region ~off:(bucket_off t idx) - 1 in
+      match find_visible region head key with Some (_, v) -> v | None -> None)
+
+let put t ~tid key value =
+  maybe_persist t ~tid;
+  let idx = bucket_slot t key in
+  let region = Pmem.region t.pm in
+  Util.Spin_lock.with_lock t.locks.(idx) (fun () ->
+      let flagged = t.needs_compaction.(idx) in
+      if flagged > 0 && Atomic.get t.epoch > flagged then compact_bucket t ~tid idx;
+      let head = Nvm.Region.get_i64 region ~off:(bucket_off t idx) - 1 in
+      let previous = find_visible region head key in
+      let fresh = write_record t ~tid ~next:head ~key ~value ~tomb:false in
+      Nvm.Region.set_i64 region ~off:(bucket_off t idx) (fresh + 1);
+      mark_dirty t ~tid ~off:(bucket_off t idx) ~len:8;
+      match previous with
+      | Some (_, Some old) ->
+          t.needs_compaction.(idx) <- Atomic.get t.epoch;
+          Some old
+      | Some (_, None) ->
+          (* shadowing a tombstone *)
+          t.needs_compaction.(idx) <- Atomic.get t.epoch;
+          Atomic.incr t.size;
+          None
+      | None ->
+          Atomic.incr t.size;
+          None)
+
+let remove t ~tid key =
+  maybe_persist t ~tid;
+  let idx = bucket_slot t key in
+  let region = Pmem.region t.pm in
+  Util.Spin_lock.with_lock t.locks.(idx) (fun () ->
+      let flagged = t.needs_compaction.(idx) in
+      if flagged > 0 && Atomic.get t.epoch > flagged then compact_bucket t ~tid idx;
+      let head = Nvm.Region.get_i64 region ~off:(bucket_off t idx) - 1 in
+      match find_visible region head key with
+      | None | Some (_, None) -> None
+      | Some (_, Some old) ->
+          let fresh = write_record t ~tid ~next:head ~key ~value:"" ~tomb:true in
+          Nvm.Region.set_i64 region ~off:(bucket_off t idx) (fresh + 1);
+          mark_dirty t ~tid ~off:(bucket_off t idx) ~len:8;
+          t.needs_compaction.(idx) <- Atomic.get t.epoch;
+          Atomic.decr t.size;
+          Some old)

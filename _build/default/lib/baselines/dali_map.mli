@@ -1,0 +1,21 @@
+(** Reimplementation of the Dalí hashmap (Nawab et al., DISC '17):
+    buffered durable linearizability via append-only bucket record
+    lists (updates prepend, removes prepend tombstones), software
+    dirty-range tracking, and {e worker-borne} periodic flushes plus
+    lazy bucket compaction — the costs Montage's transient index and
+    dedicated background advancer eliminate. *)
+
+type t
+
+(** Bucket heads are persistent roots: at most 8128 buckets. *)
+val create : ?buckets:int -> ?epoch_length_s:float -> Pmem.t -> t
+
+val size : t -> int
+val get : t -> tid:int -> string -> string option
+val put : t -> tid:int -> string -> string -> string option
+val remove : t -> tid:int -> string -> string option
+
+(** The epoch-boundary pass: write back all dirty ranges, fence, bump
+    the persistent epoch.  Called automatically from update operations
+    when the epoch elapses; exposed for pacing and tests. *)
+val persist_all : t -> tid:int -> unit

@@ -1,0 +1,17 @@
+(** The durably linearizable lock-free queue of Friedman, Herlihy,
+    Marathe & Petrank (PPoPP '18): a Michael–Scott queue with NVM
+    nodes, two write-back+fence pairs per enqueue and one per dequeue —
+    the strict-persistence cost Montage amortizes away.  Retired
+    sentinels are reclaimed with a bounded limbo delay standing in for
+    the original's epoch-based reclamation. *)
+
+type t
+
+val create : Pmem.t -> t
+val enqueue : t -> tid:int -> string -> unit
+val dequeue : t -> tid:int -> string option
+val length : t -> int
+
+(** Walk the persisted list from the head root, skipping
+    dequeue-marked nodes, and rebuild. *)
+val recover : Pmem.t -> t

@@ -1,0 +1,52 @@
+(** Mnemosyne-style persistent STM (Volos, Tack & Swift, ASPLOS '11):
+    TinySTM-flavoured word transactions with encounter-time write
+    locks, commit-time read validation, and a persistent redo log —
+    two fences plus doubled media volume per transaction, and
+    instrumentation on every access.
+
+    [Map] and [Queue] build the benchmark structures on top. *)
+
+exception Abort
+
+type t
+type tx
+
+(** Region layout: roots | word space | per-thread logs | block heap. *)
+val create : ?words:int -> ?log_capacity:int -> ?threads:int -> Nvm.Region.t -> t
+
+val tx_begin : tid:int -> tx
+
+(** Instrumented read of word [addr].
+    @raise Abort on validation conflicts (via {!atomically} retry). *)
+val tx_read : t -> tx -> int -> int
+
+(** Encounter-time locked write. @raise Abort on lock conflict. *)
+val tx_write : t -> tx -> int -> int -> unit
+
+(** Register an out-of-band byte range (key/value block) written by
+    this transaction; persisted with the log via the torn-bit path. *)
+val tx_track_data : tx -> off:int -> len:int -> unit
+
+val tx_commit : t -> tx -> unit
+val tx_abort : tx -> unit
+
+(** Run [f] transactionally with retry-on-abort. *)
+val atomically : t -> tid:int -> (tx -> 'a) -> 'a
+
+module Queue : sig
+  type q
+
+  val create : t -> q
+  val enqueue : q -> tid:int -> string -> unit
+  val dequeue : q -> tid:int -> string option
+end
+
+module Map : sig
+  type m
+
+  val create : ?buckets:int -> t -> m
+  val size : m -> int
+  val get : m -> tid:int -> string -> string option
+  val put : m -> tid:int -> string -> string -> string option
+  val remove : m -> tid:int -> string -> string option
+end

@@ -1,0 +1,233 @@
+(* MOD — Minimally Ordered Durable data structures (Haria, Hill &
+   Swift, ASPLOS '20).
+
+   MOD builds structures from purely functional ("history-preserving")
+   nodes: an update constructs new NVM nodes for the changed path,
+   persists them, and commits with a single pointer swing that is
+   itself persisted — two ordering points (fences) per update and
+   O(path) fresh NVM nodes, which is what makes MOD one of the faster
+   strict systems in the paper yet still well behind Montage.
+
+   - [Queue]: Okasaki's two-list functional queue.  Enqueue conses onto
+     the back list (1 new node); dequeue pops the front, paying a full
+     reversal (O(n) new nodes, all persisted) when the front empties.
+   - [Map]: per-bucket locking over MOD singly-linked lists, as the
+     Montage paper's adaptation does: an update copies the list prefix
+     up to the modified node into fresh persisted nodes, then swings
+     the persisted bucket root.
+
+   Cons-cell layout: [8 next+1 | 4 len | data].  Roots live in the
+   region's root area and are persisted on every commit. *)
+
+let cell_next region off = Nvm.Region.get_i64 region ~off - 1
+
+let cell_data region off =
+  let len = Nvm.Region.get_i32 region ~off:(off + 8) in
+  Nvm.Region.read_string region ~off:(off + 12) ~len
+
+(* Allocate, fill, and write back (unfenced) one cons cell; the commit
+   fence covers all cells created by the operation. *)
+let write_cell pm ~tid ~next ~data =
+  let region = Pmem.region pm in
+  let len = String.length data in
+  let off = Pmem.alloc pm ~tid ~size:(12 + len) in
+  Nvm.Region.set_i64 region ~off (next + 1);
+  Nvm.Region.set_i32 region ~off:(off + 8) len;
+  Nvm.Region.write_string region ~off:(off + 12) data;
+  Pmem.writeback pm ~tid ~off ~len:(12 + len);
+  off
+
+(* Persist a root slot: the commit point. *)
+let commit_root pm ~tid ~root ~value =
+  let region = Pmem.region pm in
+  Nvm.Region.set_i64 region ~off:root (value + 1);
+  Pmem.persist pm ~tid ~off:root ~len:8
+
+module Queue = struct
+  type t = {
+    pm : Pmem.t;
+    lock : Util.Spin_lock.t;
+    front_root : int; (* persisted list roots *)
+    back_root : int;
+    mutable front : int; (* transient mirrors of the roots *)
+    mutable back : int;
+    (* transient cache of freed cells is unnecessary: old versions are
+       garbage but MOD never reclaims mid-epoch; we free eagerly after
+       the commit that obsoletes them *)
+  }
+
+  let create pm =
+    let front_root = Pmem.root_base and back_root = Pmem.root_base + 8 in
+    commit_root pm ~tid:0 ~root:front_root ~value:(-1);
+    commit_root pm ~tid:0 ~root:back_root ~value:(-1);
+    { pm; lock = Util.Spin_lock.create (); front_root; back_root; front = -1; back = -1 }
+
+  let enqueue t ~tid value =
+    Util.Spin_lock.with_lock t.lock (fun () ->
+        (* one fresh cell + fence, then the root commit + fence *)
+        let cell = write_cell t.pm ~tid ~next:t.back ~data:value in
+        Pmem.sfence t.pm ~tid;
+        commit_root t.pm ~tid ~root:t.back_root ~value:cell;
+        t.back <- cell)
+
+  let dequeue t ~tid =
+    Util.Spin_lock.with_lock t.lock (fun () ->
+        let region = Pmem.region t.pm in
+        if t.front < 0 && t.back < 0 then None
+        else begin
+          if t.front < 0 then begin
+            (* reverse the back list into the front list: every node is
+               rewritten and persisted, then both roots commit *)
+            let rec reverse src acc =
+              if src < 0 then acc
+              else
+                let data = cell_data region src in
+                let cell = write_cell t.pm ~tid ~next:acc ~data in
+                reverse (cell_next region src) cell
+            in
+            let new_front = reverse t.back (-1) in
+            Pmem.sfence t.pm ~tid;
+            (* free the obsolete back-list cells *)
+            let rec free_list off =
+              if off >= 0 then begin
+                let nxt = cell_next region off in
+                Pmem.free t.pm ~tid off;
+                free_list nxt
+              end
+            in
+            free_list t.back;
+            commit_root t.pm ~tid ~root:t.front_root ~value:new_front;
+            commit_root t.pm ~tid ~root:t.back_root ~value:(-1);
+            t.front <- new_front;
+            t.back <- -1
+          end;
+          let head = t.front in
+          let value = cell_data region head in
+          let rest = cell_next region head in
+          commit_root t.pm ~tid ~root:t.front_root ~value:rest;
+          Pmem.free t.pm ~tid head;
+          t.front <- rest;
+          Some value
+        end)
+
+  let length t =
+    Util.Spin_lock.with_lock t.lock (fun () ->
+        let region = Pmem.region t.pm in
+        let rec count off acc = if off < 0 then acc else count (cell_next region off) (acc + 1) in
+        count t.front 0 + count t.back 0)
+end
+
+module Map = struct
+  (* kv encoding inside a cell: [4 klen | key | value] *)
+  let encode_kv key value =
+    let b = Buffer.create (4 + String.length key + String.length value) in
+    Buffer.add_int32_le b (Int32.of_int (String.length key));
+    Buffer.add_string b key;
+    Buffer.add_string b value;
+    Buffer.contents b
+
+  let decode_kv data =
+    let klen = Int32.to_int (Bytes.get_int32_le (Bytes.unsafe_of_string data) 0) in
+    (String.sub data 4 klen, String.sub data (4 + klen) (String.length data - 4 - klen))
+
+  type bucket = { lock : Util.Spin_lock.t; root : int; mutable head : int }
+
+  type t = { pm : Pmem.t; buckets : bucket array; size : int Atomic.t }
+
+  let create ?(buckets = 1 lsl 10) pm =
+    if Pmem.root_base + (8 * buckets) > Pmem.heap_base then
+      invalid_arg "Mod_structs.Map: too many persistent bucket roots";
+    let mk i =
+      let root = Pmem.root_base + (8 * i) in
+      commit_root pm ~tid:0 ~root ~value:(-1);
+      { lock = Util.Spin_lock.create (); root; head = -1 }
+    in
+    { pm; buckets = Array.init buckets mk; size = Atomic.make 0 }
+
+  let bucket_of t key = t.buckets.(Hashtbl.hash key land (Array.length t.buckets - 1))
+  let size t = Atomic.get t.size
+
+  let get t ~tid:_ key =
+    let region = Pmem.region t.pm in
+    let b = bucket_of t key in
+    Util.Spin_lock.with_lock b.lock (fun () ->
+        let rec find off =
+          if off < 0 then None
+          else
+            let k, v = decode_kv (cell_data region off) in
+            if String.equal k key then Some v else find (cell_next region off)
+        in
+        find b.head)
+
+  (* Functional path copy: rebuild [prefix] (cells before the modified
+     position) on top of [tail], newest-first. *)
+  let rebuild t ~tid prefix tail =
+    List.fold_left
+      (fun next data -> write_cell t.pm ~tid ~next ~data)
+      tail (List.rev prefix)
+
+  let free_prefix t ~tid ~head ~stop =
+    let region = Pmem.region t.pm in
+    let rec go off =
+      if off >= 0 && off <> stop then begin
+        let nxt = cell_next region off in
+        Pmem.free t.pm ~tid off;
+        go nxt
+      end
+    in
+    go head
+
+  let put t ~tid key value =
+    let region = Pmem.region t.pm in
+    let b = bucket_of t key in
+    Util.Spin_lock.with_lock b.lock (fun () ->
+        let rec split off prefix =
+          if off < 0 then (List.rev prefix, -1, None)
+          else
+            let data = cell_data region off in
+            let k, v = decode_kv data in
+            if String.equal k key then (List.rev prefix, cell_next region off, Some (off, v))
+            else split (cell_next region off) (data :: prefix)
+        in
+        let prefix, tail, found = split b.head [] in
+        let new_head =
+          rebuild t ~tid (encode_kv key value :: prefix) tail
+          (* note: new value goes at the found position's spot; ordering
+             within a bucket is immaterial for a map *)
+        in
+        Pmem.sfence t.pm ~tid;
+        commit_root t.pm ~tid ~root:b.root ~value:new_head;
+        (match found with
+        | Some (off, _) ->
+            free_prefix t ~tid ~head:b.head ~stop:(cell_next region off);
+            ignore off
+        | None ->
+            free_prefix t ~tid ~head:b.head ~stop:tail;
+            Atomic.incr t.size);
+        b.head <- new_head;
+        Option.map snd found)
+
+  let remove t ~tid key =
+    let region = Pmem.region t.pm in
+    let b = bucket_of t key in
+    Util.Spin_lock.with_lock b.lock (fun () ->
+        let rec split off prefix =
+          if off < 0 then (List.rev prefix, -1, None)
+          else
+            let data = cell_data region off in
+            let k, v = decode_kv data in
+            if String.equal k key then (List.rev prefix, cell_next region off, Some v)
+            else split (cell_next region off) (data :: prefix)
+        in
+        let prefix, tail, found = split b.head [] in
+        match found with
+        | None -> None
+        | Some v ->
+            let new_head = rebuild t ~tid prefix tail in
+            Pmem.sfence t.pm ~tid;
+            commit_root t.pm ~tid ~root:b.root ~value:new_head;
+            free_prefix t ~tid ~head:b.head ~stop:tail;
+            b.head <- new_head;
+            Atomic.decr t.size;
+            Some v)
+  end

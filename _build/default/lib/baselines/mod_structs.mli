@@ -1,0 +1,29 @@
+(** MOD — Minimally Ordered Durable structures (Haria, Hill & Swift,
+    ASPLOS '20): purely functional NVM nodes; an update persists the
+    rebuilt path and commits with one persisted pointer swing — two
+    fences and O(path) fresh nodes per update. *)
+
+module Queue : sig
+  (** Okasaki's two-list functional queue; dequeue pays a fully
+      persisted reversal when the front empties. *)
+
+  type t
+
+  val create : Pmem.t -> t
+  val enqueue : t -> tid:int -> string -> unit
+  val dequeue : t -> tid:int -> string option
+  val length : t -> int
+end
+
+module Map : sig
+  (** Per-bucket locking over MOD singly-linked lists, as the Montage
+      paper's adaptation does. *)
+
+  type t
+
+  val create : ?buckets:int -> Pmem.t -> t
+  val size : t -> int
+  val get : t -> tid:int -> string -> string option
+  val put : t -> tid:int -> string -> string -> string option
+  val remove : t -> tid:int -> string -> string option
+end

@@ -1,0 +1,16 @@
+(** NVTraverse-style hashmap (Friedman et al., PLDI '20): the traversal
+    prefix runs uninstrumented, but the critical accesses — including
+    {e reads} — must write back the nodes they depend on and fence,
+    which is why NVTraverse tracks Montage at low thread counts and
+    falls behind under write-combining contention in the paper. *)
+
+type t
+
+val create : ?buckets:int -> Pmem.t -> t
+val size : t -> int
+
+(** Pays a flush + fence on the matched node before depending on it. *)
+val get : t -> tid:int -> string -> string option
+
+val put : t -> tid:int -> string -> string -> string option
+val remove : t -> tid:int -> string -> string option

@@ -1,0 +1,37 @@
+(* Shared plumbing for the baseline persistence systems.
+
+   Every baseline owns a region (they are benchmarked in isolation) and
+   allocates payload/node blocks from a Ralloc instance.  The first
+   64 KB of the region is a root area where a system may keep persistent
+   roots (list heads, log cursors, epoch counters); the allocator heap
+   starts beyond it — the same layout Montage uses. *)
+
+let root_base = 64 (* byte offset of the first root slot *)
+let heap_base = 65536
+
+type t = { region : Nvm.Region.t; alloc : Ralloc.t }
+
+(* [heap_base] can be raised by systems that reserve extra fixed areas
+   (word spaces, logs) between the roots and the block heap. *)
+let create ?(heap_base = heap_base) region = { region; alloc = Ralloc.create region ~heap_base }
+
+let region t = t.region
+let alloc t ~tid ~size = Ralloc.alloc t.alloc ~tid ~size
+let free t ~tid off = Ralloc.free t.alloc ~tid off
+
+(* Store (and optionally persist) a string block: [4-byte length | data].
+   Returns the block offset. *)
+let write_block t ~tid ~data =
+  let len = String.length data in
+  let off = alloc t ~tid ~size:(4 + len) in
+  Nvm.Region.set_i32 t.region ~off len;
+  Nvm.Region.write_string t.region ~off:(off + 4) data;
+  off
+
+let read_block t ~off =
+  let len = Nvm.Region.get_i32 t.region ~off in
+  Nvm.Region.read_string t.region ~off:(off + 4) ~len
+
+let persist t ~tid ~off ~len = Nvm.Region.persist t.region ~tid ~off ~len
+let writeback t ~tid ~off ~len = Nvm.Region.writeback t.region ~tid ~off ~len
+let sfence t ~tid = Nvm.Region.sfence t.region ~tid

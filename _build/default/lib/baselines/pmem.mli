@@ -1,0 +1,24 @@
+(** Shared plumbing for the baseline persistence systems: a region plus
+    a Ralloc instance, with a root area for persistent roots in
+    [root_base, heap_base). *)
+
+val root_base : int
+val heap_base : int
+
+type t
+
+(** [heap_base] can be raised by systems that reserve extra fixed areas
+    (word spaces, logs) between the roots and the block heap. *)
+val create : ?heap_base:int -> Nvm.Region.t -> t
+
+val region : t -> Nvm.Region.t
+val alloc : t -> tid:int -> size:int -> int
+val free : t -> tid:int -> int -> unit
+
+(** Store a [4-byte length | data] block; returns its offset. *)
+val write_block : t -> tid:int -> data:string -> int
+
+val read_block : t -> off:int -> string
+val persist : t -> tid:int -> off:int -> len:int -> unit
+val writeback : t -> tid:int -> off:int -> len:int -> unit
+val sfence : t -> tid:int -> unit

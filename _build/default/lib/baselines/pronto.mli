@@ -1,0 +1,36 @@
+(** Pronto (Memaripour, Izraelevitz & Swanson, ASPLOS '20): persistence
+    for volatile structures by high-level operation logging plus
+    periodic checkpoints.  Every mutating operation persists a semantic
+    log record {e before returning} — the per-operation cost Montage
+    removes — and operations on one object are serialized for
+    deterministic replay.
+
+    [Sync] fences on the caller; [Full] offloads the drain wait to the
+    sister hyperthread (charged as issue + handshake here). *)
+
+type mode = Sync | Full
+
+type t
+
+val opcode_put : int
+val opcode_remove : int
+
+val create :
+  ?buckets:int -> ?log_capacity:int -> ?ckpt_every:int -> ?threads:int -> mode:mode -> Pmem.t -> t
+
+val size : t -> int
+val get : t -> tid:int -> string -> string option
+val put : t -> tid:int -> string -> string -> string option
+val remove : t -> tid:int -> string -> string option
+
+(** Append one semantic record to the caller's log and persist it.
+    Exposed so other structures (e.g. the benchmark's Pronto queue) can
+    be persisted through the same logging runtime. *)
+val log_op : t -> tid:int -> opcode:int -> key:string -> value:string -> unit
+
+(** Serialize the map into the checkpoint area and truncate the logs. *)
+val checkpoint : t -> tid:int -> unit
+
+(** Load the sealed checkpoint and replay the per-thread logs. *)
+val recover :
+  ?buckets:int -> ?log_capacity:int -> ?ckpt_every:int -> ?threads:int -> mode:mode -> Pmem.t -> t

@@ -1,0 +1,19 @@
+(** SOFT-style hashmap (Zuriel et al., OOPSLA '19): persists only the
+    semantic data, keeps a full DRAM copy, and reads exclusively from
+    DRAM — the fastest read path in the paper's Figure 7 at the cost of
+    double memory and no atomic update of an existing key. *)
+
+type t
+
+val create : ?buckets:int -> Pmem.t -> t
+val size : t -> int
+
+(** Pure DRAM read. *)
+val get : t -> tid:int -> string -> string option
+
+(** Insert-if-absent (one persist before linearizing); [false] when the
+    key exists — SOFT does not support atomic update. *)
+val put : t -> tid:int -> string -> string -> bool
+
+(** Persists the invalidation before linearizing. *)
+val remove : t -> tid:int -> string -> string option

@@ -1,0 +1,107 @@
+(* Transient reference graph (DRAM (T) in Figures 11–12): the same
+   shape as the Montage graph — vertex slot array, per-vertex adjacency
+   tables, RW structural lock — with attributes on the OCaml heap or in
+   unflushed NVM blocks, and no persistence anywhere. *)
+
+type placement = Dram | Nvm of Pmem.t
+
+type vertex = { id : int; mutable attrs : string; mutable block : int; adj : (int, int) Hashtbl.t }
+(* adj maps neighbor id -> edge block offset (-1 under Dram placement) *)
+
+type t = {
+  placement : placement;
+  capacity : int;
+  vertices : vertex option array;
+  locks : Util.Spin_lock.t array;
+  structure : Util.Rw_lock.t;
+  vertex_count : int Atomic.t;
+  edge_count : int Atomic.t;
+}
+
+let create ?(capacity = 1 lsl 20) placement =
+  {
+    placement;
+    capacity;
+    vertices = Array.make capacity None;
+    locks = Array.init capacity (fun _ -> Util.Spin_lock.create ());
+    structure = Util.Rw_lock.create ();
+    vertex_count = Atomic.make 0;
+    edge_count = Atomic.make 0;
+  }
+
+let vertex_count t = Atomic.get t.vertex_count
+let edge_count t = Atomic.get t.edge_count
+
+let store t ~tid data =
+  match t.placement with Dram -> -1 | Nvm pm -> Pmem.write_block pm ~tid ~data
+
+let unstore t ~tid block =
+  match t.placement with
+  | Dram -> ()
+  | Nvm pm -> if block >= 0 then Pmem.free pm ~tid block
+
+let lock_pair t u v f =
+  let a = min u v and b = max u v in
+  Util.Spin_lock.with_lock t.locks.(a) (fun () ->
+      if a = b then f () else Util.Spin_lock.with_lock t.locks.(b) f)
+
+let add_vertex t ~tid id attrs =
+  Util.Rw_lock.with_write t.structure (fun () ->
+      match t.vertices.(id) with
+      | Some _ -> false
+      | None ->
+          t.vertices.(id) <- Some { id; attrs; block = store t ~tid attrs; adj = Hashtbl.create 8 };
+          Atomic.incr t.vertex_count;
+          true)
+
+let remove_vertex t ~tid id =
+  Util.Rw_lock.with_write t.structure (fun () ->
+      match t.vertices.(id) with
+      | None -> false
+      | Some v ->
+          Hashtbl.iter
+            (fun peer eblock ->
+              unstore t ~tid eblock;
+              match t.vertices.(peer) with
+              | Some pv -> Hashtbl.remove pv.adj id
+              | None -> ())
+            v.adj;
+          unstore t ~tid v.block;
+          t.vertices.(id) <- None;
+          Atomic.decr t.vertex_count;
+          true)
+
+let add_edge t ~tid src dst attrs =
+  if src = dst then false
+  else
+    Util.Rw_lock.with_read t.structure (fun () ->
+        lock_pair t src dst (fun () ->
+            match (t.vertices.(src), t.vertices.(dst)) with
+            | Some u, Some v when not (Hashtbl.mem u.adj dst) ->
+                let block = store t ~tid attrs in
+                Hashtbl.replace u.adj dst block;
+                Hashtbl.replace v.adj src block;
+                Atomic.incr t.edge_count;
+                true
+            | _ -> false))
+
+let remove_edge t ~tid src dst =
+  if src = dst then false
+  else
+    Util.Rw_lock.with_read t.structure (fun () ->
+        lock_pair t src dst (fun () ->
+            match (t.vertices.(src), t.vertices.(dst)) with
+            | Some u, Some v -> (
+                match Hashtbl.find_opt u.adj dst with
+                | None -> false
+                | Some block ->
+                    unstore t ~tid block;
+                    Hashtbl.remove u.adj dst;
+                    Hashtbl.remove v.adj src;
+                    Atomic.decr t.edge_count;
+                    true)
+            | _ -> false))
+
+let has_edge t src dst =
+  Util.Rw_lock.with_read t.structure (fun () ->
+      match t.vertices.(src) with Some u -> Hashtbl.mem u.adj dst | None -> false)

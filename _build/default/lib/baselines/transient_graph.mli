@@ -1,0 +1,16 @@
+(** Transient reference graph (DRAM (T) in Figures 11–12): the Montage
+    graph's shape — vertex slot array, adjacency tables, structural
+    RW lock — with no persistence anywhere. *)
+
+type placement = Dram | Nvm of Pmem.t
+
+type t
+
+val create : ?capacity:int -> placement -> t
+val vertex_count : t -> int
+val edge_count : t -> int
+val add_vertex : t -> tid:int -> int -> string -> bool
+val remove_vertex : t -> tid:int -> int -> bool
+val add_edge : t -> tid:int -> int -> int -> string -> bool
+val remove_edge : t -> tid:int -> int -> int -> bool
+val has_edge : t -> int -> int -> bool

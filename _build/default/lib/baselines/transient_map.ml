@@ -1,0 +1,108 @@
+(* Transient reference hashmaps (paper's DRAM (T) and NVM (T)).
+
+   Same shape as the Montage hashmap — lock-per-bucket sorted chains,
+   transient index on the OCaml heap — but with no persistence support.
+   DRAM (T) keeps values as OCaml strings; NVM (T) stores each value in
+   a region block (paying the simulated media costs on reads/writes)
+   without any write-back or fencing, which is the paper's performance
+   ceiling for a persistent map. *)
+
+type placement = Dram | Nvm of Pmem.t
+
+type node = {
+  key : string;
+  mutable value : string; (* Dram placement *)
+  mutable block : int; (* Nvm placement: block offset, -1 if unused *)
+  mutable next : node option;
+}
+
+type bucket = { lock : Util.Spin_lock.t; mutable head : node option }
+
+type t = { placement : placement; buckets : bucket array; size : int Atomic.t }
+
+let create ?(buckets = 1 lsl 16) placement =
+  {
+    placement;
+    buckets = Array.init buckets (fun _ -> { lock = Util.Spin_lock.create (); head = None });
+    size = Atomic.make 0;
+  }
+
+let bucket_of t key = t.buckets.(Hashtbl.hash key land (Array.length t.buckets - 1))
+let size t = Atomic.get t.size
+
+(* Expose the bucket array for clients that must iterate the whole map
+   under their own locking discipline (Pronto's checkpointer). *)
+let buckets_of t = t.buckets
+
+let node_value t n =
+  match t.placement with Dram -> n.value | Nvm pm -> Pmem.read_block pm ~off:n.block
+
+(* The DRAM baseline must pay the same per-operation byte copy a C/C++
+   structure pays when it memcpys the value into its own node; handing
+   out the caller's immutable string would make DRAM (T) artificially
+   zero-copy. *)
+let private_copy s = Bytes.unsafe_to_string (Bytes.of_string s)
+
+let make_node t ~tid key value next =
+  match t.placement with
+  | Dram -> { key; value = private_copy value; block = -1; next }
+  | Nvm pm -> { key; value = ""; block = Pmem.write_block pm ~tid ~data:value; next }
+
+let set_node_value t ~tid n value =
+  match t.placement with
+  | Dram -> n.value <- private_copy value
+  | Nvm pm ->
+      Pmem.free pm ~tid n.block;
+      n.block <- Pmem.write_block pm ~tid ~data:value
+
+let free_node t ~tid n = match t.placement with Dram -> () | Nvm pm -> Pmem.free pm ~tid n.block
+
+let get t ~tid:_ key =
+  let b = bucket_of t key in
+  Util.Spin_lock.with_lock b.lock (fun () ->
+      let rec find = function
+        | None -> None
+        | Some n when String.equal n.key key -> Some (node_value t n)
+        | Some n -> find n.next
+      in
+      find b.head)
+
+let put t ~tid key value =
+  let b = bucket_of t key in
+  Util.Spin_lock.with_lock b.lock (fun () ->
+      let rec walk prev curr =
+        match curr with
+        | Some n when String.equal n.key key ->
+            let old = node_value t n in
+            set_node_value t ~tid n value;
+            Some old
+        | Some n when n.key > key ->
+            let fresh = make_node t ~tid key value curr in
+            (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh);
+            Atomic.incr t.size;
+            None
+        | Some n -> walk (Some n) n.next
+        | None ->
+            let fresh = make_node t ~tid key value None in
+            (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh);
+            Atomic.incr t.size;
+            None
+      in
+      walk None b.head)
+
+let remove t ~tid key =
+  let b = bucket_of t key in
+  Util.Spin_lock.with_lock b.lock (fun () ->
+      let rec walk prev curr =
+        match curr with
+        | Some n when String.equal n.key key ->
+            let old = node_value t n in
+            free_node t ~tid n;
+            (match prev with None -> b.head <- n.next | Some p -> p.next <- n.next);
+            Atomic.decr t.size;
+            Some old
+        | Some n when n.key > key -> None
+        | Some n -> walk (Some n) n.next
+        | None -> None
+      in
+      walk None b.head)

@@ -1,0 +1,30 @@
+(** Transient reference hashmaps — the paper's DRAM (T) and NVM (T):
+    the Montage hashmap's shape with no persistence support.  DRAM (T)
+    pays the per-operation value memcpy a C structure pays; NVM (T)
+    stores values in unflushed region blocks.
+
+    The node/bucket representation is exposed because Pronto's
+    checkpointer iterates the whole map under its own locking. *)
+
+type placement = Dram | Nvm of Pmem.t
+
+type node = {
+  key : string;
+  mutable value : string;  (** Dram placement *)
+  mutable block : int;  (** Nvm placement; -1 if unused *)
+  mutable next : node option;
+}
+
+type bucket = { lock : Util.Spin_lock.t; mutable head : node option }
+
+type t
+
+val create : ?buckets:int -> placement -> t
+val size : t -> int
+
+(** For whole-map iteration under the caller's locking discipline. *)
+val buckets_of : t -> bucket array
+
+val get : t -> tid:int -> string -> string option
+val put : t -> tid:int -> string -> string -> string option
+val remove : t -> tid:int -> string -> string option

@@ -1,0 +1,33 @@
+(* Transient reference queues (DRAM (T) and NVM (T)): a single-lock
+   FIFO with values on the OCaml heap or in unflushed region blocks. *)
+
+type placement = Dram | Nvm of Pmem.t
+
+type entry = { value : string; block : int }
+
+type t = { placement : placement; lock : Util.Spin_lock.t; items : entry Queue.t }
+
+let create placement = { placement; lock = Util.Spin_lock.create (); items = Queue.create () }
+
+let length t = Util.Spin_lock.with_lock t.lock (fun () -> Queue.length t.items)
+
+(* see Transient_map.private_copy: DRAM (T) pays the node memcpy too *)
+let private_copy s = Bytes.unsafe_to_string (Bytes.of_string s)
+
+let enqueue t ~tid value =
+  Util.Spin_lock.with_lock t.lock (fun () ->
+      match t.placement with
+      | Dram -> Queue.push { value = private_copy value; block = -1 } t.items
+      | Nvm pm -> Queue.push { value = ""; block = Pmem.write_block pm ~tid ~data:value } t.items)
+
+let dequeue t ~tid =
+  Util.Spin_lock.with_lock t.lock (fun () ->
+      match Queue.take_opt t.items with
+      | None -> None
+      | Some e -> (
+          match t.placement with
+          | Dram -> Some e.value
+          | Nvm pm ->
+              let v = Pmem.read_block pm ~off:e.block in
+              Pmem.free pm ~tid e.block;
+              Some v))

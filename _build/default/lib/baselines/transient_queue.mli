@@ -1,0 +1,11 @@
+(** Transient reference queues (DRAM (T) and NVM (T)): a single-lock
+    FIFO with values on the OCaml heap or in unflushed region blocks. *)
+
+type placement = Dram | Nvm of Pmem.t
+
+type t
+
+val create : placement -> t
+val length : t -> int
+val enqueue : t -> tid:int -> string -> unit
+val dequeue : t -> tid:int -> string option

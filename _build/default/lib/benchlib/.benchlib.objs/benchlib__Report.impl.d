@@ -1,0 +1,1 @@
+lib/benchlib/report.ml: Float List Printf String

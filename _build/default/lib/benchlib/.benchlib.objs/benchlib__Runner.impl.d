@@ -1,0 +1,1 @@
+lib/benchlib/runner.ml: Array Atomic Domain Util

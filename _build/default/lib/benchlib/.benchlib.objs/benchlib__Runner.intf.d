@@ -1,0 +1,1 @@
+lib/benchlib/runner.mli: Util

@@ -1,0 +1,50 @@
+(* Table/series rendering for the benchmark harness.
+
+   Each figure prints as a labeled table of series (system → value per
+   x-point), in the units the paper uses, plus a one-line "shape"
+   verdict where the paper makes an ordering claim.  EXPERIMENTS.md is
+   written from the same data. *)
+
+let heading title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let pretty v =
+  if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fK" (v /. 1e3)
+  else Printf.sprintf "%.1f" v
+
+(* [series]: (name, value per column).  Missing points are [nan].
+   [fmt] overrides the human-size formatting (e.g. seconds tables). *)
+let table ?(fmt = pretty) ~columns ~rows ~unit_label () =
+  let name_width =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 12 rows
+  in
+  Printf.printf "%-*s" (name_width + 2) (Printf.sprintf "(%s)" unit_label);
+  List.iter (fun c -> Printf.printf "%12s" c) columns;
+  print_newline ();
+  List.iter
+    (fun (name, values) ->
+      Printf.printf "%-*s" (name_width + 2) name;
+      List.iter
+        (fun v -> if Float.is_nan v then Printf.printf "%12s" "-" else Printf.printf "%12s" (fmt v))
+        values;
+      print_newline ())
+    rows;
+  flush stdout
+
+(* Shape assertions: report whether the paper's ordering claim holds in
+   this run.  Used for the summary and EXPERIMENTS.md. *)
+let verdicts : (string * bool * string) list ref = ref []
+
+let check ~figure ~claim ok =
+  verdicts := (figure, ok, claim) :: !verdicts;
+  Printf.printf "  [%s] %s: %s\n%!" (if ok then "ok" else "MISS") figure claim
+
+let summary () =
+  let all = List.rev !verdicts in
+  let good = List.length (List.filter (fun (_, ok, _) -> ok) all) in
+  Printf.printf "\n=== shape summary: %d/%d paper claims reproduced ===\n" good (List.length all);
+  List.iter
+    (fun (fig, ok, claim) -> Printf.printf "  [%s] %s: %s\n" (if ok then "ok" else "MISS") fig claim)
+    all;
+  flush stdout

@@ -1,0 +1,22 @@
+(** Fixed-duration throughput measurement: spawn domains, run the body
+    in a loop until the deadline, report aggregate ops/s.  Per-thread
+    RNGs make workloads deterministic modulo scheduling. *)
+
+type result = { ops : int; seconds : float; ops_per_sec : float }
+
+(** One timed window. *)
+val throughput_once :
+  ?seed:int -> threads:int -> duration_s:float -> (tid:int -> rng:Util.Xoshiro.t -> unit) -> result
+
+(** Best of [repeats] windows (default 2): on a shared single-core host
+    the minimum-interference run is the faithful one. *)
+val throughput :
+  ?seed:int ->
+  ?repeats:int ->
+  threads:int ->
+  duration_s:float ->
+  (tid:int -> rng:Util.Xoshiro.t -> unit) ->
+  result
+
+(** Time a thunk; returns (result, seconds). *)
+val time : (unit -> 'a) -> 'a * float

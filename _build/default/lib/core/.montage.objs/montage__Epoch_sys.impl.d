@@ -1,0 +1,1 @@
+lib/core/epoch_sys.ml: Array Atomic Bytes Config Domain Errors Fun Hashtbl List Mindicator Nvm Payload_hdr Persist_buffer Ralloc Tracker Unix Util

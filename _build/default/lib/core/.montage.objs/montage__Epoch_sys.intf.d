@@ -1,0 +1,1 @@
+lib/core/epoch_sys.mli: Config Nvm Ralloc

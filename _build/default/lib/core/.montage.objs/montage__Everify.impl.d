@@ -1,0 +1,1 @@
+lib/core/everify.ml: Atomic Epoch_sys

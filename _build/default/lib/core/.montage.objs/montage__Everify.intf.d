@@ -1,0 +1,1 @@
+lib/core/everify.mli: Epoch_sys

@@ -1,0 +1,1 @@
+lib/core/payload.ml: Bytes Epoch_sys Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/core/tracker.ml: Util

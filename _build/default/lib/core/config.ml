@@ -1,0 +1,45 @@
+(* Montage configuration knobs.
+
+   These correspond to the design-space axes explored in §5.2 and
+   Figures 4–5 of the paper: write-back buffer size, epoch length,
+   where reclamation runs, and the reference configurations (DirWB,
+   Montage(T), DirFree) used for comparison. *)
+
+type reclaim_policy =
+  | Background (* the epoch advancer reclaims (paper's default) *)
+  | Workers (* workers reclaim their own garbage at begin_op (+LocalFree) *)
+
+type writeback_policy =
+  | Buffered (* per-thread circular buffer, drained at epoch advance *)
+  | Direct (* write back + fence immediately on every update (DirWB) *)
+
+type t = {
+  max_threads : int;
+  buffer_size : int; (* entries in each per-thread write-back ring *)
+  epoch_length_ns : int; (* background advance period *)
+  reclaim : reclaim_policy;
+  writeback : writeback_policy;
+  drain_on_end_op : bool; (* Montage (dw) in Fig. 9: flush at END_OP *)
+  direct_free : bool; (* reclaim instantly; breaks persistence (reference) *)
+  persist : bool; (* false = Montage (T): payloads in NVM, no persistence *)
+  auto_advance : bool; (* spawn the background epoch-advancing domain *)
+}
+
+let default =
+  {
+    max_threads = 16;
+    buffer_size = 64;
+    epoch_length_ns = 10_000_000 (* 10 ms, the paper's sweet spot *);
+    reclaim = Background;
+    writeback = Buffered;
+    drain_on_end_op = false;
+    direct_free = false;
+    persist = true;
+    auto_advance = true;
+  }
+
+(* Montage (T): payloads placed in NVM, all persistence elided. *)
+let transient = { default with persist = false; auto_advance = false }
+
+(* Unit-test configuration: manual epoch control, no timing dependence. *)
+let testing = { default with auto_advance = false }

@@ -1,0 +1,39 @@
+(** Montage configuration.
+
+    These knobs correspond to the design-space axes explored in §5.2
+    and Figures 4–5 of the paper: write-back buffer size, epoch length,
+    where reclamation runs, and the reference configurations (DirWB,
+    Montage(T), DirFree) used for comparison. *)
+
+(** Who reclaims payloads whose two-epoch delay has elapsed. *)
+type reclaim_policy =
+  | Background  (** the epoch advancer reclaims (paper's default) *)
+  | Workers  (** workers reclaim their own garbage at [begin_op] (+LocalFree) *)
+
+(** When payload write-backs are issued. *)
+type writeback_policy =
+  | Buffered  (** per-thread circular buffer, drained at epoch advance *)
+  | Direct  (** write back + fence immediately on every update (DirWB) *)
+
+type t = {
+  max_threads : int;  (** worker thread-id space is [0, max_threads) *)
+  buffer_size : int;  (** entries in each per-thread write-back ring *)
+  epoch_length_ns : int;  (** background advance period *)
+  reclaim : reclaim_policy;
+  writeback : writeback_policy;
+  drain_on_end_op : bool;  (** Montage (dw) in Fig. 9: flush at END_OP *)
+  direct_free : bool;  (** reclaim instantly; breaks persistence (reference) *)
+  persist : bool;  (** [false] = Montage (T): payloads in NVM, no persistence *)
+  auto_advance : bool;  (** spawn the background epoch-advancing domain *)
+}
+
+(** The paper's recommended configuration: 10 ms epochs, 64-entry
+    write-back buffers, background reclamation. *)
+val default : t
+
+(** Montage (T): payloads placed in NVM, all persistence elided. *)
+val transient : t
+
+(** Unit-test configuration: no background domain, so tests control the
+    epoch clock deterministically via {!Epoch_sys.advance_epoch}. *)
+val testing : t

@@ -1,0 +1,500 @@
+(* The Montage epoch system (paper §3 and §5, Fig. 3).
+
+   Execution is divided into epochs by a global clock.  Every payload
+   is labeled with the epoch in which it was created or last modified;
+   all payloads of epoch e persist together when the clock ticks from
+   e+1 to e+2, and after a crash in epoch e everything labeled e or
+   e−1 is discarded.  Data-structure operations bracket their updates
+   with [begin_op]/[end_op]; synchronization and lookup structure live
+   entirely in transient memory (the OCaml heap), so the only NVM
+   traffic is payload writes and the deferred write-backs.
+
+   Region layout: line 0 holds the persistent epoch clock; the
+   allocator heap starts at 64 KB. *)
+
+let clock_off = 0
+let heap_base = 65536
+let initial_epoch = 3 (* ≥ 3 so that epoch − 2 never collides with 0 = "idle" *)
+
+type pblk = {
+  mutable off : int; (* block offset in the region *)
+  uid : int;
+  mutable epoch : int; (* mirror of the persistent header *)
+  mutable size : int; (* content bytes *)
+  mutable live : bool; (* debugging aid: detect use-after-free *)
+}
+
+type per_thread = {
+  mutable op_epoch : int; (* 0 = no active operation *)
+  mutable last_epoch : int;
+  buffer : Persist_buffer.t;
+}
+
+type t = {
+  region : Nvm.Region.t;
+  alloc : Ralloc.t;
+  cfg : Config.t;
+  curr_epoch : int Atomic.t; (* transient mirror of the persistent clock *)
+  tracker : Tracker.t;
+  mind : Mindicator.t;
+  threads : per_thread array;
+  (* to_free.(e mod 4).(tid): blocks freed in epoch e by thread tid,
+     reclaimable once the clock reaches e + 2.  Single-owner push; the
+     epoch-advance schedule guarantees drain never races a push. *)
+  to_free : int list ref array array;
+  advance_lock : Util.Spin_lock.t;
+  uid_counter : int Atomic.t;
+  advances : int Atomic.t; (* statistics *)
+  stop_bg : bool Atomic.t;
+  mutable bg : unit Domain.t option;
+}
+
+let region t = t.region
+let allocator t = t.alloc
+let config t = t.cfg
+let current_epoch t = Atomic.get t.curr_epoch
+let op_epoch t ~tid = t.threads.(tid).op_epoch
+let advance_count t = Atomic.get t.advances
+
+(* ---- construction ---- *)
+
+(* Thread-id space: workers use 0 .. max_threads − 1; the background
+   advancer owns the extra slot max_threads (it needs its own region
+   write-pending queue and never runs operations). *)
+let advancer_tid cfg = cfg.Config.max_threads
+
+let make_state region cfg =
+  if cfg.Config.max_threads + 1 > Nvm.Region.max_threads region then
+    invalid_arg "Epoch_sys: region was created with too few thread slots";
+  let slots = cfg.Config.max_threads + 1 in
+  let alloc = Ralloc.create region ~heap_base in
+  {
+    region;
+    alloc;
+    cfg;
+    curr_epoch = Atomic.make initial_epoch;
+    tracker = Tracker.create ~max_threads:slots;
+    mind = Mindicator.create ~max_threads:slots;
+    threads =
+      Array.init slots (fun _ ->
+          { op_epoch = 0; last_epoch = 0; buffer = Persist_buffer.create ~capacity:cfg.Config.buffer_size });
+    to_free = Array.init 4 (fun _ -> Array.init slots (fun _ -> ref []));
+    advance_lock = Util.Spin_lock.create ();
+    uid_counter = Atomic.make 1;
+    advances = Atomic.make 0;
+    stop_bg = Atomic.make false;
+    bg = None;
+  }
+
+(* ---- write-back plumbing ----
+
+   Cost discipline (see DESIGN.md "Substitutions"): an application
+   thread is charged for work it would *wait* on — CLWB issue on its
+   own overflow write-backs, and the full drain when it is inside
+   [sync].  Deferred work executed by the background advancer is
+   semantically identical but uncharged: in the paper's deployment it
+   runs on a dedicated core off every application critical path, and
+   on this one-core simulator charging it would bill the application
+   for exactly the cost Montage exists to hide. *)
+
+(* Synchronous flush: CLWB + committing fence, fully charged.  Used by
+   the DirWB reference configuration and by strict callers. *)
+let flush_now t ~tid ~off ~len =
+  Nvm.Region.writeback t.region ~tid ~off ~len;
+  Nvm.Region.sfence t.region ~tid
+
+(* Incremental overflow write-back on a worker: the CLWB issue is
+   charged (the worker executes it); completion is asynchronous — the
+   worker never waits on a drain. *)
+let flush_incremental t ~tid ~off ~len =
+  Nvm.Region.writeback t.region ~tid ~off ~len;
+  Nvm.Region.sfence_async t.region ~tid
+
+(* Record that [off, off+len) must persist by the end of the current
+   epoch.  Policy-dependent: buffered (default), direct (DirWB), or
+   elided entirely for Montage (T). *)
+let record_persist t ~tid ~off ~len =
+  if t.cfg.Config.persist then
+    match t.cfg.Config.writeback with
+    | Config.Direct -> flush_now t ~tid ~off ~len
+    | Config.Buffered ->
+        let pt = t.threads.(tid) in
+        Mindicator.announce t.mind ~tid ~epoch:pt.op_epoch;
+        Persist_buffer.push pt.buffer
+          ~flush:(fun o l -> flush_incremental t ~tid ~off:o ~len:l)
+          ~off ~len
+
+(* Drain one thread's buffer onto the *caller's* region queue.  When
+   [charged] the caller pays CLWB issue costs (it is a synchronous
+   helper inside sync); otherwise it is the background advancer. *)
+let drain_buffer t ~tid ~owner ~charged =
+  let wb =
+    if charged then Nvm.Region.writeback else Nvm.Region.writeback_uncharged
+  in
+  Persist_buffer.drain t.threads.(owner).buffer (fun off len -> wb t.region ~tid ~off ~len);
+  Mindicator.clear t.mind ~tid:owner
+
+(* ---- reclamation ---- *)
+
+(* Scrub a block's media header, then hand it back to the allocator.
+   Scrubbing closes the block-recycling resurrection window (DESIGN.md);
+   the write-back is batched on the caller's queue and fenced by the
+   caller before the epoch clock moves. *)
+let reclaim_block t ~tid ~charged off =
+  Payload_hdr.scrub t.region ~off;
+  (if charged then Nvm.Region.writeback t.region ~tid ~off ~len:8
+   else Nvm.Region.writeback_uncharged t.region ~tid ~off ~len:8);
+  Ralloc.free t.alloc ~tid off
+
+let drain_free_slot ?(charged = false) t ~tid ~slot ~owner =
+  let cell = t.to_free.(slot).(owner) in
+  let blocks = !cell in
+  cell := [];
+  List.iter (fun off -> reclaim_block t ~tid ~charged off) blocks
+
+(* Worker-local reclamation (+LocalFree in Fig. 4): at begin_op, a
+   thread entering epoch e reclaims its own garbage from the epochs
+   the paper's window formula proves are ripe — between last_epoch − 1
+   and min(last_epoch + 1, e − 2). *)
+let reclaim_local t ~tid =
+  let pt = t.threads.(tid) in
+  if pt.last_epoch > 0 && pt.op_epoch > pt.last_epoch then begin
+    let lo = max 1 (pt.last_epoch - 1) and hi = min (pt.last_epoch + 1) (pt.op_epoch - 2) in
+    for e = lo to hi do
+      (* worker-side reclamation dilates the critical path: charged *)
+      drain_free_slot ~charged:true t ~tid ~slot:(e mod 4) ~owner:tid
+    done;
+    if hi >= lo then Nvm.Region.sfence t.region ~tid
+  end
+
+(* ---- operations ---- *)
+
+let begin_op t ~tid =
+  let pt = t.threads.(tid) in
+  let rec register () =
+    let e = Atomic.get t.curr_epoch in
+    Tracker.register t.tracker ~tid ~epoch:e;
+    if Atomic.get t.curr_epoch <> e then register () else e
+  in
+  let e = register () in
+  pt.op_epoch <- e;
+  if t.cfg.Config.persist && t.cfg.Config.reclaim = Config.Workers then reclaim_local t ~tid;
+  pt.last_epoch <- e
+
+let end_op t ~tid =
+  let pt = t.threads.(tid) in
+  if t.cfg.Config.drain_on_end_op && t.cfg.Config.persist then begin
+    (* Montage (dw): the worker itself writes back everything at the
+       end of each operation — fully charged, it waits for the drain *)
+    drain_buffer t ~tid ~owner:tid ~charged:true;
+    Nvm.Region.sfence t.region ~tid
+  end;
+  pt.op_epoch <- 0;
+  Tracker.unregister t.tracker ~tid
+
+let with_op t ~tid f =
+  begin_op t ~tid;
+  Fun.protect ~finally:(fun () -> end_op t ~tid) f
+
+let check_epoch t ~tid =
+  if Atomic.get t.curr_epoch <> t.threads.(tid).op_epoch then raise Errors.Epoch_changed
+
+let require_op t ~tid =
+  if t.threads.(tid).op_epoch = 0 then
+    invalid_arg "Montage: payload mutation outside BEGIN_OP/END_OP"
+
+let osn_check t ~tid p =
+  let oe = t.threads.(tid).op_epoch in
+  if oe <> 0 && p.epoch > oe then raise Errors.Old_see_new
+
+(* ---- payload lifecycle ---- *)
+
+let fresh_uid t = Atomic.fetch_and_add t.uid_counter 1
+
+let write_payload t ~off ~hdr ~content =
+  Payload_hdr.write t.region ~off hdr;
+  Nvm.Region.write t.region ~off:(Payload_hdr.content_off off) ~src:content ~src_off:0
+    ~len:(Bytes.length content)
+
+let pnew t ~tid content =
+  require_op t ~tid;
+  let pt = t.threads.(tid) in
+  let size = Bytes.length content in
+  let uid = fresh_uid t in
+  let off = Ralloc.alloc t.alloc ~tid ~size:(Payload_hdr.header_size + size) in
+  write_payload t ~off
+    ~hdr:{ Payload_hdr.ptype = Alloc; epoch = pt.op_epoch; uid; size }
+    ~content;
+  record_persist t ~tid ~off ~len:(Payload_hdr.header_size + size);
+  { off; uid; epoch = pt.op_epoch; size; live = true }
+
+let check_live p = if not p.live then raise Errors.Use_after_free
+
+let pget t ~tid p =
+  check_live p;
+  osn_check t ~tid p;
+  let buf = Bytes.create p.size in
+  Nvm.Region.read t.region ~off:(Payload_hdr.content_off p.off) ~dst:buf ~dst_off:0 ~len:p.size;
+  buf
+
+let pget_unsafe t p =
+  check_live p;
+  let buf = Bytes.create p.size in
+  Nvm.Region.read t.region ~off:(Payload_hdr.content_off p.off) ~dst:buf ~dst_off:0 ~len:p.size;
+  buf
+
+(* Free a payload bypassing the epoch protocol — used by Montage (T)
+   and the DirFree reference configuration, which sacrifice crash
+   consistency for a performance ceiling. *)
+let free_immediately t ~tid off =
+  Payload_hdr.scrub t.region ~off;
+  Ralloc.free t.alloc ~tid off
+
+let defer_free t ~tid ~epoch off =
+  let cell = t.to_free.(epoch mod 4).(tid) in
+  cell := off :: !cell
+
+let block_fits t ~off ~content_len =
+  Payload_hdr.header_size + content_len <= Ralloc.block_size t.alloc off
+
+let pset t ~tid p content =
+  require_op t ~tid;
+  check_live p;
+  osn_check t ~tid p;
+  let pt = t.threads.(tid) in
+  let len = Bytes.length content in
+  let in_place_ok =
+    block_fits t ~off:p.off ~content_len:len
+    && ((not t.cfg.Config.persist) || p.epoch = pt.op_epoch)
+  in
+  if in_place_ok then begin
+    Nvm.Region.set_i32 t.region ~off:(p.off + 24) len;
+    Nvm.Region.write t.region ~off:(Payload_hdr.content_off p.off) ~src:content ~src_off:0 ~len;
+    p.size <- len;
+    record_persist t ~tid ~off:p.off ~len:(Payload_hdr.header_size + len);
+    p
+  end
+  else begin
+    (* copying update: new block, same uid, current epoch; the old
+       version is reclaimable two epochs from now *)
+    let off = Ralloc.alloc t.alloc ~tid ~size:(Payload_hdr.header_size + len) in
+    write_payload t ~off
+      ~hdr:{ Payload_hdr.ptype = Update; epoch = pt.op_epoch; uid = p.uid; size = len }
+      ~content;
+    record_persist t ~tid ~off ~len:(Payload_hdr.header_size + len);
+    let old_off = p.off in
+    p.live <- false;
+    if (not t.cfg.Config.persist) || t.cfg.Config.direct_free then free_immediately t ~tid old_off
+    else defer_free t ~tid ~epoch:pt.op_epoch old_off;
+    { off; uid = p.uid; epoch = pt.op_epoch; size = len; live = true }
+  end
+
+let pdelete t ~tid p =
+  require_op t ~tid;
+  check_live p;
+  osn_check t ~tid p;
+  let pt = t.threads.(tid) in
+  p.live <- false;
+  if (not t.cfg.Config.persist) || t.cfg.Config.direct_free then
+    free_immediately t ~tid p.off
+  else if p.epoch = pt.op_epoch then begin
+    match Payload_hdr.read t.region ~off:p.off ~block_size:(Ralloc.block_size t.alloc p.off) with
+    | Some { ptype = Alloc; _ } ->
+        (* Created this epoch: it was never visible to recovery.  Scrub
+           (the scrub line rides the persist buffer in case the create
+           was incrementally written back) and free immediately. *)
+        Payload_hdr.scrub t.region ~off:p.off;
+        record_persist t ~tid ~off:p.off ~len:8;
+        Ralloc.free t.alloc ~tid p.off
+    | Some _ ->
+        (* An UPDATE from this epoch: turn the block into its own
+           anti-payload in place; it is reclaimed at op_epoch + 3 like
+           any anti-payload.  (The superseded older version is already
+           in to_free from the copying update.) *)
+        Payload_hdr.set_type t.region ~off:p.off Delete;
+        record_persist t ~tid ~off:p.off ~len:8;
+        defer_free t ~tid ~epoch:(pt.op_epoch + 1) p.off
+    | None -> assert false
+  end
+  else begin
+    (* Deleting a payload from an earlier epoch: publish an anti-payload
+       labeled with the current epoch; if the crash cut falls between
+       them, recovery sees the original without the anti and keeps it —
+       exactly the buffered-durability contract. *)
+    let anti = Ralloc.alloc t.alloc ~tid ~size:Payload_hdr.header_size in
+    Payload_hdr.write t.region ~off:anti
+      { Payload_hdr.ptype = Delete; epoch = pt.op_epoch; uid = p.uid; size = 0 };
+    record_persist t ~tid ~off:anti ~len:Payload_hdr.header_size;
+    defer_free t ~tid ~epoch:(pt.op_epoch + 1) anti;
+    defer_free t ~tid ~epoch:pt.op_epoch p.off
+  end
+
+(* ---- epoch advance ---- *)
+
+(* Advance the clock by one epoch.  Serialized by [advance_lock]; the
+   caller may be the background domain, a sync helper, or a test.
+   Steps follow §3.2: quiesce e−1, reclaim the ripe to_free slot,
+   write back everything buffered, fence, then bump and persist the
+   clock.  Reclamation scrubs ride the same fence as the payload
+   write-backs, so nothing is reused before its supersession record is
+   durable. *)
+let advance_epoch_charged t ~tid ~charged =
+  Util.Spin_lock.with_lock t.advance_lock (fun () ->
+      let e = Atomic.get t.curr_epoch in
+      Tracker.wait_all t.tracker ~epoch:(e - 1);
+      if t.cfg.Config.persist then begin
+        if t.cfg.Config.reclaim = Config.Background && not t.cfg.Config.direct_free then
+          for owner = 0 to t.cfg.Config.max_threads - 1 do
+            drain_free_slot t ~tid ~slot:((e - 2) mod 4) ~owner
+          done;
+        for owner = 0 to t.cfg.Config.max_threads - 1 do
+          drain_buffer t ~tid ~owner ~charged
+        done;
+        if charged then Nvm.Region.sfence t.region ~tid
+        else Nvm.Region.sfence_async t.region ~tid;
+        Nvm.Region.set_i64 t.region ~off:clock_off (e + 1);
+        Nvm.Region.persist t.region ~tid ~off:clock_off ~len:8
+      end;
+      Atomic.set t.curr_epoch (e + 1);
+      Atomic.incr t.advances)
+
+(* Background/default advance: the advancer's device traffic is not
+   billed to application time (dedicated-core assumption). *)
+let advance_epoch t ~tid = advance_epoch_charged t ~tid ~charged:false
+
+(* Force buffered work durable: everything that completed before this
+   call survives any later crash.  Mirrors fsync: two epoch advances
+   move the persistence frontier past all completed operations.  The
+   caller helps with the writes-back and *waits* for them (paper §5.2),
+   so sync is fully charged. *)
+let sync t ~tid =
+  advance_epoch_charged t ~tid ~charged:true;
+  advance_epoch_charged t ~tid ~charged:true
+
+(* ---- background advancer ---- *)
+
+let start_background t =
+  if t.bg = None && t.cfg.Config.auto_advance then begin
+    Atomic.set t.stop_bg false;
+    let period_s = float_of_int t.cfg.Config.epoch_length_ns /. 1e9 in
+    let tid = advancer_tid t.cfg in
+    t.bg <-
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get t.stop_bg) do
+               Unix.sleepf period_s;
+               if not (Atomic.get t.stop_bg) then advance_epoch t ~tid
+             done))
+  end
+
+let stop_background t =
+  match t.bg with
+  | None -> ()
+  | Some d ->
+      Atomic.set t.stop_bg true;
+      Domain.join d;
+      t.bg <- None
+
+let create ?(config = Config.default) region =
+  let t = make_state region config in
+  if Nvm.Region.get_i64 region ~off:clock_off = 0 then begin
+    Nvm.Region.set_i64 region ~off:clock_off initial_epoch;
+    Nvm.Region.persist region ~tid:0 ~off:clock_off ~len:8
+  end
+  else Atomic.set t.curr_epoch (Nvm.Region.get_i64 region ~off:clock_off);
+  start_background t;
+  t
+
+(* ---- recovery ---- *)
+
+(* Rebuild an epoch system from a crashed region and return handles to
+   every surviving payload.  A payload survives when it is the newest
+   version of its uid with epoch ≤ crash_epoch − 2 and that version is
+   not an anti-payload.  Dead blocks are scrubbed and returned to the
+   allocator.
+
+   [threads] parallelizes both passes over disjoint superblock slices
+   (the paper's §6.4 names recovery scalability as future work; the
+   heap partitioning makes both the header scan and the sweep
+   embarrassingly parallel, with one sequential uid-table merge
+   between them). *)
+let recover ?(config = Config.default) ?(threads = 1) region =
+  let clock = Nvm.Region.get_i64 region ~off:clock_off in
+  let cutoff = clock - 2 in
+  let t = make_state region config in
+  Atomic.set t.curr_epoch (max clock initial_epoch);
+  Ralloc.rescan t.alloc;
+  let threads = max 1 (min threads (Nvm.Region.max_threads region)) in
+  (* pass 1: newest qualifying version per uid, per slice *)
+  let scan_slice slice =
+    let local : (int, Payload_hdr.t * int) Hashtbl.t = Hashtbl.create 4096 in
+    let max_uid = ref 0 in
+    Ralloc.iter_blocks_slice t.alloc ~slice ~slices:threads (fun ~off ~size ->
+        match Payload_hdr.read region ~off ~block_size:size with
+        | Some hdr when hdr.epoch <= cutoff ->
+            if hdr.uid > !max_uid then max_uid := hdr.uid;
+            (match Hashtbl.find_opt local hdr.uid with
+            | Some (prev, _) when prev.epoch >= hdr.epoch -> ()
+            | _ -> Hashtbl.replace local hdr.uid (hdr, off))
+        | Some hdr -> if hdr.uid > !max_uid then max_uid := hdr.uid
+        | None -> ());
+    (local, !max_uid)
+  in
+  let partials =
+    if threads = 1 then [| scan_slice 0 |]
+    else Array.init threads (fun s -> Domain.spawn (fun () -> scan_slice s)) |> Array.map Domain.join
+  in
+  (* sequential merge of the per-slice winners *)
+  let best : (int, Payload_hdr.t * int) Hashtbl.t = Hashtbl.create 4096 in
+  let max_uid = ref 0 in
+  Array.iter
+    (fun (local, local_max) ->
+      if local_max > !max_uid then max_uid := local_max;
+      Hashtbl.iter
+        (fun uid entry ->
+          match Hashtbl.find_opt best uid with
+          | Some (prev, _) when prev.Payload_hdr.epoch >= (fst entry).Payload_hdr.epoch -> ()
+          | _ -> Hashtbl.replace best uid entry)
+        local)
+    partials;
+  Atomic.set t.uid_counter (!max_uid + 1);
+  (* pass 2: sweep; losers and anti-payloads are scrubbed and freed *)
+  let live_off off =
+    match Payload_hdr.read region ~off ~block_size:(Ralloc.block_size t.alloc off) with
+    | Some hdr -> (
+        match Hashtbl.find_opt best hdr.uid with
+        | Some (winner, woff) -> woff = off && winner.ptype <> Payload_hdr.Delete
+        | None -> false)
+    | None -> false
+  in
+  let sweep_slice slice =
+    Ralloc.sweep_slice t.alloc ~slice ~slices:threads ~live:(fun off ->
+        let live = live_off off in
+        if not live then begin
+          Payload_hdr.scrub region ~off;
+          Nvm.Region.writeback region ~tid:slice ~off ~len:8
+        end;
+        live);
+    Nvm.Region.sfence region ~tid:slice
+  in
+  if threads = 1 then sweep_slice 0
+  else Array.init threads (fun s -> Domain.spawn (fun () -> sweep_slice s)) |> Array.iter Domain.join;
+  (* hand surviving payloads back as first-class handles *)
+  let survivors = ref [] in
+  Hashtbl.iter
+    (fun uid (hdr, off) ->
+      if hdr.Payload_hdr.ptype <> Payload_hdr.Delete then
+        survivors := { off; uid; epoch = hdr.epoch; size = hdr.size; live = true } :: !survivors)
+    best;
+  let payloads = Array.of_list !survivors in
+  start_background t;
+  (t, payloads)
+
+(* Split recovered payloads into [k] slices for parallel rebuilding, as
+   the paper's recovery API offers (§5.1). *)
+let slices payloads ~k =
+  let n = Array.length payloads in
+  let k = max 1 (min k n) in
+  Array.init k (fun i ->
+      let lo = i * n / k and hi = (i + 1) * n / k in
+      Array.sub payloads lo (hi - lo))

@@ -1,0 +1,121 @@
+(** The Montage epoch system (paper §3 and §5) — the runtime that makes
+    data structures buffered durably linearizable.
+
+    Execution is divided into epochs by a global clock.  Every payload
+    is labeled with the epoch in which it was created or last modified;
+    all payloads of epoch [e] persist together when the clock ticks
+    from [e+1] to [e+2]; after a crash in epoch [e], recovery restores
+    exactly the payloads of epochs [<= e-2], applying anti-payload and
+    version-supersession rules per uid.
+
+    Thread-id convention: workers pass a [tid] in
+    [0, config.max_threads); the background advancer internally uses
+    the extra slot [config.max_threads], so the region must be created
+    with at least [config.max_threads + 2] thread slots. *)
+
+(** A transient handle to a persistent payload block.  Handles are
+    mutable-by-module only; clients treat them as abstract tokens,
+    except that [uid] and [epoch] are exposed for introspection and
+    tests. *)
+type pblk = {
+  mutable off : int;
+  uid : int;  (** logical identity, stable across versions *)
+  mutable epoch : int;
+  mutable size : int;  (** content bytes *)
+  mutable live : bool;
+}
+
+type t
+
+(** {1 Construction and lifecycle} *)
+
+(** Create an epoch system over a fresh (or idempotently re-opened)
+    region.  Spawns the background advancer when
+    [config.auto_advance]. *)
+val create : ?config:Config.t -> Nvm.Region.t -> t
+
+(** Rebuild from a crashed region.  Returns the new system and handles
+    to every surviving payload (newest qualifying version per uid,
+    anti-payload groups dropped); dead blocks are scrubbed and returned
+    to the allocator.  [threads] parallelizes the header scan and the
+    sweep over disjoint heap slices. *)
+val recover : ?config:Config.t -> ?threads:int -> Nvm.Region.t -> t * pblk array
+
+(** Split recovered payloads into [k] slices for parallel rebuilding
+    (§5.1's k-iterator recovery API). *)
+val slices : pblk array -> k:int -> pblk array array
+
+val start_background : t -> unit
+val stop_background : t -> unit
+
+(** {1 Introspection} *)
+
+val region : t -> Nvm.Region.t
+val allocator : t -> Ralloc.t
+val config : t -> Config.t
+val current_epoch : t -> int
+
+(** Epoch of the thread's active operation; [0] when idle. *)
+val op_epoch : t -> tid:int -> int
+
+(** Number of epoch advances performed so far. *)
+val advance_count : t -> int
+
+(** {1 Operations (paper Fig. 1/3)} *)
+
+(** BEGIN_OP: register in the current epoch (retrying across ticks) so
+    payload mutations below are labeled consistently. *)
+val begin_op : t -> tid:int -> unit
+
+(** END_OP.  Under [drain_on_end_op] also writes back this operation's
+    payloads synchronously (Montage (dw)). *)
+val end_op : t -> tid:int -> unit
+
+(** RAII-style bracket: [begin_op], run, [end_op] (also on raise). *)
+val with_op : t -> tid:int -> (unit -> 'a) -> 'a
+
+(** @raise Errors.Epoch_changed if the clock moved past this
+    operation's epoch.  Nonblocking operations call it before their
+    linearizing CAS. *)
+val check_epoch : t -> tid:int -> unit
+
+(** {1 Payload lifecycle} *)
+
+(** PNEW: allocate and fill a payload labeled with the current
+    operation's epoch.  Must be inside [begin_op]/[end_op]. *)
+val pnew : t -> tid:int -> bytes -> pblk
+
+(** Read a payload's content.  Performs the old-sees-new check when an
+    operation is active.
+    @raise Errors.Old_see_new when the payload is newer than the
+    operation's epoch.
+    @raise Errors.Use_after_free on a dead handle. *)
+val pget : t -> tid:int -> pblk -> bytes
+
+(** Read without the old-sees-new check (paper's [get_unsafe]); also
+    the read path for recovered payloads outside any operation. *)
+val pget_unsafe : t -> pblk -> bytes
+
+(** Replace a payload's content.  In place when the payload belongs to
+    the current epoch; otherwise a copying update returns a {e fresh}
+    handle with the same uid, and the caller must install it everywhere
+    the old handle appeared (well-formedness constraint 4). *)
+val pset : t -> tid:int -> pblk -> bytes -> pblk
+
+(** PDELETE: logically delete.  Same-epoch ALLOCs die instantly;
+    otherwise an anti-payload with the same uid is published and both
+    blocks are reclaimed after the two-epoch delay. *)
+val pdelete : t -> tid:int -> pblk -> unit
+
+(** {1 Persistence control} *)
+
+(** Advance the epoch clock by one: quiesce epoch [e-1], reclaim the
+    ripe to-free slot, write back all buffered payloads, fence, bump
+    and persist the clock.  Normally driven by the background domain;
+    exposed for tests and manual pacing. *)
+val advance_epoch : t -> tid:int -> unit
+
+(** Force everything that completed before this call durable (two
+    charged epoch advances; the caller helps with the writes-back, as
+    in §5.2). *)
+val sync : t -> tid:int -> unit

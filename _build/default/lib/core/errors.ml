@@ -1,0 +1,20 @@
+(* Montage exceptions (paper §3.2–§3.3). *)
+
+(* Raised when an operation running in epoch e reads a payload created
+   in a later epoch — linearizing after such a read would violate the
+   epoch-consistent linearization order.  Callers typically roll back
+   and retry in the newer epoch. *)
+exception Old_see_new
+
+(* Raised by [check_epoch] when the epoch clock has moved past the
+   epoch in which the current operation began.  Nonblocking operations
+   use it to restart so their linearizing CAS lands in the epoch that
+   labeled their payloads. *)
+exception Epoch_changed
+
+(* Raised when a payload handle is used after the payload was deleted
+   or superseded by a copying update — a violation of well-formedness
+   constraint 4 in §4 (every pointer to the old payload must be
+   replaced).  Purely a debugging aid; a real NVM deployment would
+   exhibit silent corruption instead. *)
+exception Use_after_free

@@ -1,0 +1,89 @@
+(* Epoch-verified atomic cells (paper §3.2 and §3.3).
+
+   Nonblocking Montage structures must linearize in the epoch that
+   labeled their payloads.  [cas_verify] is the DCSS of Harris et al.
+   specialized to the epoch clock: it atomically (a) checks the cell
+   holds [expect], (b) checks the clock still equals the caller's
+   operation epoch, and (c) installs [desired].  [load_verify] reads a
+   cell without writing — unless a DCSS is in flight, in which case it
+   helps complete it — so read-mostly workloads induce no cache-line
+   invalidations.
+
+   The descriptor state machine: a cell holding [Desc d] is frozen
+   until d's outcome is decided (by comparing the clock against
+   d.epoch) and the cell is released to either the desired or the
+   original value.  Any thread may decide and release, so the
+   construction is lock-free.  CAS compares *block identity*: helping
+   must always CAS from the physically installed state block, never a
+   reconstructed one. *)
+
+type 'a state = Value of 'a | Desc of 'a descriptor
+
+and 'a descriptor = {
+  expect : 'a;
+  desired : 'a;
+  epoch : int; (* the installing operation's epoch *)
+  outcome : int Atomic.t; (* 0 = undecided, 1 = success, 2 = failure *)
+}
+
+type 'a t = { cell : 'a state Atomic.t }
+
+let make v = { cell = Atomic.make (Value v) }
+
+let decide esys d =
+  let verdict = if Epoch_sys.current_epoch esys = d.epoch then 1 else 2 in
+  ignore (Atomic.compare_and_set d.outcome 0 verdict)
+
+(* Complete an in-flight DCSS.  [state] is the physically installed
+   [Desc d] block previously read from the cell. *)
+let help esys t state d =
+  decide esys d;
+  let final = if Atomic.get d.outcome = 1 then Value d.desired else Value d.expect in
+  ignore (Atomic.compare_and_set t.cell state final)
+
+(* Read the cell, helping any in-flight DCSS first. *)
+let rec load_verify esys t =
+  match Atomic.get t.cell with
+  | Value v -> v
+  | Desc d as state ->
+      help esys t state d;
+      load_verify esys t
+
+(* Plain read that never helps: returns the value the cell will revert
+   to if the in-flight DCSS fails.  For monitoring only. *)
+let peek t = match Atomic.get t.cell with Value v -> v | Desc d -> d.expect
+
+(* Plain CAS with descriptor helping but no epoch verification — for
+   auxiliary pointer swings (e.g. the Michael-Scott tail) that are not
+   linearization points. *)
+let rec cas esys t ~expect ~desired =
+  match Atomic.get t.cell with
+  | Desc d as state ->
+      help esys t state d;
+      cas esys t ~expect ~desired
+  | Value v when v != expect -> false
+  | Value _ as seen -> Atomic.compare_and_set t.cell seen (Value desired) || cas esys t ~expect ~desired
+
+(* DCSS(clock, cell): succeeds iff the cell held [expect] and the epoch
+   clock still equals the calling operation's epoch at the decision
+   point.  On epoch-mismatch failure the caller should restart its
+   operation in the new epoch ([Errors.Epoch_changed] discipline). *)
+let rec cas_verify esys ~tid t ~expect ~desired =
+  let epoch = Epoch_sys.op_epoch esys ~tid in
+  if epoch = 0 then invalid_arg "Everify.cas_verify outside an operation";
+  match Atomic.get t.cell with
+  | Desc d as state ->
+      help esys t state d;
+      cas_verify esys ~tid t ~expect ~desired
+  (* Physical equality, like hardware CAS on a pointer/word.  Montage
+     structures store immutable nodes or small ints here, where it is
+     the right notion; GC reclamation means no ABA. *)
+  | Value v when v != expect -> false
+  | Value _ as seen ->
+      let d = { expect; desired; epoch; outcome = Atomic.make 0 } in
+      let installed = Desc d in
+      if Atomic.compare_and_set t.cell seen installed then begin
+        help esys t installed d;
+        Atomic.get d.outcome = 1
+      end
+      else cas_verify esys ~tid t ~expect ~desired

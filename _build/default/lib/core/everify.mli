@@ -1,0 +1,35 @@
+(** Epoch-verified atomic cells (paper §3.2–§3.3): the DCSS of Harris
+    et al. specialized to the Montage epoch clock.
+
+    Nonblocking Montage structures must linearize in the epoch that
+    labeled their payloads.  {!cas_verify} atomically checks the cell's
+    value {e and} the epoch clock before installing; {!load_verify}
+    reads without writing unless a DCSS is in flight, in which case it
+    helps complete it.  The construction is lock-free; GC-managed
+    values mean no ABA. *)
+
+type 'a t
+
+(** A cell holding [v]. *)
+val make : 'a -> 'a t
+
+(** Read the cell, helping any in-flight DCSS to completion first.
+    Performs no store when none is in progress — read-mostly workloads
+    induce no cache-line invalidations. *)
+val load_verify : Epoch_sys.t -> 'a t -> 'a
+
+(** Non-helping read: the value the cell reverts to if an in-flight
+    DCSS fails.  Monitoring only. *)
+val peek : 'a t -> 'a
+
+(** Plain CAS with descriptor helping but no epoch verification — for
+    auxiliary pointer swings (e.g. the Michael–Scott tail) that are not
+    linearization points.  Physical equality on [expect]. *)
+val cas : Epoch_sys.t -> 'a t -> expect:'a -> desired:'a -> bool
+
+(** DCSS(clock, cell): succeeds iff the cell physically held [expect]
+    {e and} the clock still equals the calling operation's epoch at the
+    decision point.  On epoch-mismatch failure the caller should
+    restart its operation in the new epoch.
+    @raise Invalid_argument outside a [begin_op]/[end_op] bracket. *)
+val cas_verify : Epoch_sys.t -> tid:int -> 'a t -> expect:'a -> desired:'a -> bool

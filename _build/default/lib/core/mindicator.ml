@@ -1,0 +1,39 @@
+(* Mindicator (Liu, Luchangco & Spear, ICDCS '13): a concurrent
+   min-tracking structure.  Montage uses one to know the oldest epoch
+   for which unpersisted payloads might still exist, so [sync] can
+   short-circuit when everything is already durable.
+
+   Each thread owns a leaf; [query] folds a tournament tree of the
+   leaves.  At our thread counts (≤ 64) the tree is two levels: leaves
+   and root recomputed on demand.  The published value is advisory —
+   sync verifies by draining — so relaxed update ordering is fine. *)
+
+let infinity_epoch = max_int
+
+type t = { leaves : Util.Padded.counters; n : int }
+
+let create ~max_threads =
+  let t = { leaves = Util.Padded.make_counters max_threads; n = max_threads } in
+  for tid = 0 to max_threads - 1 do
+    Util.Padded.set t.leaves tid infinity_epoch
+  done;
+  t
+
+(* Thread [tid] may hold unpersisted payloads from [epoch] onward. *)
+let announce t ~tid ~epoch =
+  if Util.Padded.get t.leaves tid > epoch then Util.Padded.set t.leaves tid epoch
+
+(* Thread [tid] has nothing unpersisted before [epoch]. *)
+let retire t ~tid ~epoch =
+  if Util.Padded.get t.leaves tid < epoch then Util.Padded.set t.leaves tid epoch
+
+let clear t ~tid = Util.Padded.set t.leaves tid infinity_epoch
+
+(* Oldest epoch with possibly-unpersisted payloads. *)
+let query t =
+  let m = ref infinity_epoch in
+  for tid = 0 to t.n - 1 do
+    let v = Util.Padded.get t.leaves tid in
+    if v < !m then m := v
+  done;
+  !m

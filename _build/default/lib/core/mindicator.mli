@@ -1,0 +1,26 @@
+(** Mindicator (Liu, Luchangco & Spear, ICDCS '13): a concurrent
+    min-tracking structure.
+
+    Montage uses one to know the oldest epoch for which unpersisted
+    payloads might still exist, so [sync] can short-circuit when
+    everything is already durable.  The published value is advisory —
+    sync verifies by draining. *)
+
+type t
+
+val infinity_epoch : int
+
+val create : max_threads:int -> t
+
+(** Thread [tid] may hold unpersisted payloads from [epoch] onward. *)
+val announce : t -> tid:int -> epoch:int -> unit
+
+(** Thread [tid] has nothing unpersisted before [epoch]. *)
+val retire : t -> tid:int -> epoch:int -> unit
+
+(** Thread [tid] has nothing unpersisted at all. *)
+val clear : t -> tid:int -> unit
+
+(** Oldest epoch with possibly-unpersisted payloads;
+    [infinity_epoch] when none. *)
+val query : t -> int

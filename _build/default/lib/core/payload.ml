@@ -1,0 +1,74 @@
+(* Typed payload wrapper — the OCaml analog of the paper's
+   GENERATE_FIELD macro.  A structure describes its payload content
+   once (encode/decode), and gets type-safe [pnew]/[get]/[set]/
+   [pdelete] whose handles carry the Montage epoch discipline:
+
+   - [get] performs the old-sees-new check; [get_unsafe] skips it;
+   - [set] may return a *different* handle (a copying update across an
+     epoch boundary); the caller must install the returned handle
+     everywhere the old one appeared (well-formedness constraint 4). *)
+
+module type CONTENT = sig
+  type t
+
+  val encode : t -> bytes
+  val decode : bytes -> t
+end
+
+module Make (C : CONTENT) = struct
+  type handle = Epoch_sys.pblk
+
+  let pnew esys ~tid v = Epoch_sys.pnew esys ~tid (C.encode v)
+  let get esys ~tid h = C.decode (Epoch_sys.pget esys ~tid h)
+  let get_unsafe esys h = C.decode (Epoch_sys.pget_unsafe esys h)
+  let set esys ~tid h v = Epoch_sys.pset esys ~tid h (C.encode v)
+  let pdelete esys ~tid h = Epoch_sys.pdelete esys ~tid h
+
+  (* Decode a payload recovered after a crash. *)
+  let of_recovered esys h = (h, get_unsafe esys h)
+end
+
+(* Ready-made codecs for common content shapes. *)
+
+module String_content = struct
+  type t = string
+
+  let encode = Bytes.of_string
+  let decode = Bytes.to_string
+end
+
+(* (key, value) pairs, the shape used by sets and mappings:
+   [4-byte key length | key | value]. *)
+module Kv_content = struct
+  type t = string * string
+
+  let encode (k, v) =
+    let klen = String.length k in
+    let b = Bytes.create (4 + klen + String.length v) in
+    Bytes.set_int32_le b 0 (Int32.of_int klen);
+    Bytes.blit_string k 0 b 4 klen;
+    Bytes.blit_string v 0 b (4 + klen) (String.length v);
+    b
+
+  let decode b =
+    let klen = Int32.to_int (Bytes.get_int32_le b 0) in
+    ( Bytes.sub_string b 4 klen,
+      Bytes.sub_string b (4 + klen) (Bytes.length b - 4 - klen) )
+end
+
+(* Sequence-numbered items, the shape used by queues: a queue's
+   abstract state is its items and their order, so each payload is
+   labeled with a consecutive integer (paper §3). *)
+module Seq_content = struct
+  type t = int * string
+
+  let encode (seq, v) =
+    let b = Bytes.create (8 + String.length v) in
+    Bytes.set_int64_le b 0 (Int64.of_int seq);
+    Bytes.blit_string v 0 b 8 (String.length v);
+    b
+
+  let decode b =
+    ( Int64.to_int (Bytes.get_int64_le b 0),
+      Bytes.sub_string b 8 (Bytes.length b - 8) )
+end

@@ -1,0 +1,38 @@
+(** Typed payload wrapper — the OCaml analog of the paper's
+    GENERATE_FIELD macro.
+
+    A structure describes its payload content once (encode/decode) and
+    gets type-safe [pnew]/[get]/[set]/[pdelete] whose handles carry the
+    Montage epoch discipline.  [set] may return a {e different} handle
+    (a copying update across an epoch boundary); the caller must
+    install the returned handle everywhere the old one appeared. *)
+
+module type CONTENT = sig
+  type t
+
+  val encode : t -> bytes
+  val decode : bytes -> t
+end
+
+module Make (C : CONTENT) : sig
+  type handle = Epoch_sys.pblk
+
+  val pnew : Epoch_sys.t -> tid:int -> C.t -> handle
+  val get : Epoch_sys.t -> tid:int -> handle -> C.t
+  val get_unsafe : Epoch_sys.t -> handle -> C.t
+  val set : Epoch_sys.t -> tid:int -> handle -> C.t -> handle
+  val pdelete : Epoch_sys.t -> tid:int -> handle -> unit
+
+  (** Decode a payload recovered after a crash: [(handle, content)]. *)
+  val of_recovered : Epoch_sys.t -> handle -> handle * C.t
+end
+
+(** Raw string contents. *)
+module String_content : CONTENT with type t = string
+
+(** [(key, value)] pairs — the shape of sets and mappings. *)
+module Kv_content : CONTENT with type t = string * string
+
+(** Sequence-numbered items — the shape of queues and stacks, whose
+    abstract state is items {e and} their order (paper §3). *)
+module Seq_content : CONTENT with type t = int * string

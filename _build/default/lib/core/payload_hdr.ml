@@ -1,0 +1,59 @@
+(* Persistent payload header, the only metadata Montage keeps in NVM.
+
+   Wire layout (little-endian), one per allocator block:
+
+     +0   u32  magic      "MPLD"
+     +4   u8   type       0 = ALLOC, 1 = UPDATE, 2 = DELETE
+     +8   i64  epoch      creation / last-modification epoch
+     +16  i64  uid        logical identity, shared by all versions of a
+                          payload and by its anti-payload
+     +24  i32  size       content length in bytes
+     +32       content
+
+   Recovery groups blocks by uid, keeps the newest version whose epoch
+   is at most (crash epoch − 2), and discards the whole group when that
+   version is a DELETE anti-payload. *)
+
+let magic = 0x4D504C44
+let header_size = 32
+
+type ptype = Alloc | Update | Delete
+
+let ptype_to_int = function Alloc -> 0 | Update -> 1 | Delete -> 2
+
+let ptype_of_int = function
+  | 0 -> Some Alloc
+  | 1 -> Some Update
+  | 2 -> Some Delete
+  | _ -> None
+
+type t = { ptype : ptype; epoch : int; uid : int; size : int }
+
+let write region ~off { ptype; epoch; uid; size } =
+  Nvm.Region.set_i32 region ~off magic;
+  Nvm.Region.set_u8 region ~off:(off + 4) (ptype_to_int ptype);
+  Nvm.Region.set_i64 region ~off:(off + 8) epoch;
+  Nvm.Region.set_i64 region ~off:(off + 16) uid;
+  Nvm.Region.set_i32 region ~off:(off + 24) size
+
+(* Parse the header at [off]; [None] if the block does not hold a
+   payload (never written, scrubbed, or torn). *)
+let read region ~off ~block_size =
+  if Nvm.Region.get_i32 region ~off <> magic then None
+  else
+    match ptype_of_int (Nvm.Region.get_u8 region ~off:(off + 4)) with
+    | None -> None
+    | Some ptype ->
+        let epoch = Nvm.Region.get_i64 region ~off:(off + 8) in
+        let uid = Nvm.Region.get_i64 region ~off:(off + 16) in
+        let size = Nvm.Region.get_i32 region ~off:(off + 24) in
+        if size < 0 || header_size + size > block_size || epoch <= 0 || uid <= 0 then None
+        else Some { ptype; epoch; uid; size }
+
+(* Erase the magic so the recovery sweep cannot resurrect a reclaimed
+   block's stale contents (see "Block-recycling hazard" in DESIGN.md). *)
+let scrub region ~off = Nvm.Region.set_i32 region ~off 0
+
+let set_type region ~off ptype = Nvm.Region.set_u8 region ~off:(off + 4) (ptype_to_int ptype)
+let set_epoch region ~off epoch = Nvm.Region.set_i64 region ~off:(off + 8) epoch
+let content_off off = off + header_size

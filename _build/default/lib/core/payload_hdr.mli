@@ -1,0 +1,30 @@
+(** Persistent payload header — the only metadata Montage keeps in NVM.
+
+    Wire layout (little-endian), one per allocator block:
+    [magic u32 | type u8 | pad | epoch i64 | uid i64 | size i32 | pad |
+    content...].  Recovery groups blocks by uid, keeps the newest
+    version with epoch [<= crash_epoch - 2], and drops the group when
+    that version is a DELETE anti-payload. *)
+
+val magic : int
+val header_size : int
+
+type ptype = Alloc | Update | Delete
+
+type t = { ptype : ptype; epoch : int; uid : int; size : int }
+
+val write : Nvm.Region.t -> off:int -> t -> unit
+
+(** Parse the header at [off]; [None] if the block does not hold a
+    payload (never written, scrubbed, or torn). *)
+val read : Nvm.Region.t -> off:int -> block_size:int -> t option
+
+(** Erase the magic so the recovery sweep cannot resurrect a reclaimed
+    block's stale contents (DESIGN.md, block-recycling hazard). *)
+val scrub : Nvm.Region.t -> off:int -> unit
+
+val set_type : Nvm.Region.t -> off:int -> ptype -> unit
+val set_epoch : Nvm.Region.t -> off:int -> int -> unit
+
+(** Offset of the content area within a block starting at [off]. *)
+val content_off : int -> int

@@ -1,0 +1,72 @@
+(* Per-thread circular write-back buffer (paper §5.2).
+
+   Workers append (offset, length) records of payload ranges that must
+   reach NVM by the end of their epoch.  The owning worker is the only
+   producer; consumers — the background epoch advancer, sync helpers,
+   and the producer itself when the ring overflows — pop entries and
+   issue the write-backs.  Pops race, so the head is advanced by CAS;
+   the tail is owner-written.  A slot is only rewritten once the head
+   has passed it, so a consumer that read a stale slot loses the CAS
+   and discards its read.  The structure is obstruction-free for
+   consumers and wait-free for the producer (overflow pops at most one
+   entry per push), preserving the runtime's lock-freedom claim.
+
+   Entries are packed as (offset << 14 | length); payloads are at most
+   8 KB so 14 bits of length suffice. *)
+
+type t = {
+  slots : int array;
+  capacity : int;
+  head : int Atomic.t; (* next entry to consume *)
+  tail : int Atomic.t; (* next free slot; owner-written *)
+}
+
+let length_bits = 14
+let length_mask = (1 lsl length_bits) - 1
+
+let pack ~off ~len = (off lsl length_bits) lor (len land length_mask)
+let unpack_off e = e lsr length_bits
+let unpack_len e = e land length_mask
+
+let create ~capacity =
+  { slots = Array.make (max 2 capacity) 0; capacity = max 2 capacity; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let is_empty t = Atomic.get t.head >= Atomic.get t.tail
+
+(* Consume one entry; [None] when empty.  Safe to call from any thread. *)
+let pop t =
+  let rec attempt () =
+    let head = Atomic.get t.head in
+    let tail = Atomic.get t.tail in
+    if head >= tail then None
+    else
+      let entry = t.slots.(head mod t.capacity) in
+      if Atomic.compare_and_set t.head head (head + 1) then
+        Some (unpack_off entry, unpack_len entry)
+      else attempt ()
+  in
+  attempt ()
+
+(* Owner-only append.  When the ring is full the *owner* writes back the
+   oldest entry — the paper's incremental write-back on overflow — via
+   [flush], which must issue writeback+fence for the range. *)
+let push t ~flush ~off ~len =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head >= t.capacity then begin
+    match pop t with
+    | Some (o, l) -> flush o l
+    | None -> () (* a concurrent consumer drained it; slot now free *)
+  end;
+  t.slots.(tail mod t.capacity) <- pack ~off ~len;
+  Atomic.set t.tail (tail + 1)
+
+(* Drain everything currently visible, invoking [f] per entry. *)
+let drain t f =
+  let rec loop () =
+    match pop t with
+    | Some (off, len) ->
+        f off len;
+        loop ()
+    | None -> ()
+  in
+  loop ()

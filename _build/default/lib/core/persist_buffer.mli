@@ -1,0 +1,22 @@
+(** Per-thread circular write-back buffer (paper §5.2).
+
+    Workers append (offset, length) records of payload ranges that must
+    reach NVM by the end of their epoch.  The owner is the only
+    producer; consumers (the background advancer, sync helpers, and the
+    producer itself on overflow) pop concurrently via CAS on the head.
+    Wait-free for the producer, obstruction-free for consumers. *)
+
+type t
+
+val create : capacity:int -> t
+val is_empty : t -> bool
+
+(** Owner-only append.  On overflow the oldest entry is consumed and
+    handed to [flush] — the paper's incremental write-back. *)
+val push : t -> flush:(int -> int -> unit) -> off:int -> len:int -> unit
+
+(** Consume one entry; [None] when empty.  Safe from any thread. *)
+val pop : t -> (int * int) option
+
+(** Drain everything currently visible, invoking [f off len] per entry. *)
+val drain : t -> (int -> int -> unit) -> unit

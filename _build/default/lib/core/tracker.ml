@@ -1,0 +1,43 @@
+(* Operation tracker (paper §5, Fig. 3).
+
+   One padded atomic slot per thread holds the epoch of that thread's
+   active operation, or 0 when idle.  The epoch advancer uses
+   [wait_all] to wait until no operation is still active in epochs
+   ≤ e — the paper's quiescence condition for the *previous* epoch
+   (operations in e and e−1 may overlap; e−2 must be quiet). *)
+
+type t = { slots : Util.Padded.counters; n : int }
+
+let create ~max_threads = { slots = Util.Padded.make_counters max_threads; n = max_threads }
+
+let register t ~tid ~epoch = Util.Padded.set t.slots tid epoch
+let unregister t ~tid = Util.Padded.set t.slots tid 0
+let active_epoch t ~tid = Util.Padded.get t.slots tid
+
+(* Block until no operation is active in any epoch ≤ [epoch].  A
+   stalled thread can delay this arbitrarily — the paper accepts that
+   the persistence frontier is blockable even though data-structure
+   operations remain nonblocking. *)
+let wait_all t ~epoch =
+  for tid = 0 to t.n - 1 do
+    let b = Util.Backoff.create () in
+    let rec wait () =
+      let e = Util.Padded.get t.slots tid in
+      if e <> 0 && e <= epoch then begin
+        Util.Backoff.once b;
+        wait ()
+      end
+    in
+    wait ()
+  done
+
+(* True when some operation is currently registered in epoch ≤ [epoch]
+   (non-blocking probe, used by tests and the sync fast path). *)
+let any_active_le t ~epoch =
+  let rec scan tid =
+    if tid >= t.n then false
+    else
+      let e = Util.Padded.get t.slots tid in
+      if e <> 0 && e <= epoch then true else scan (tid + 1)
+  in
+  scan 0

@@ -1,0 +1,20 @@
+(** Operation tracker (paper §5, Fig. 3): one padded atomic slot per
+    thread holding the epoch of that thread's active operation, or [0]
+    when idle.  The epoch advancer uses {!wait_all} for the quiescence
+    condition before persisting an epoch's payloads. *)
+
+type t
+
+val create : max_threads:int -> t
+val register : t -> tid:int -> epoch:int -> unit
+val unregister : t -> tid:int -> unit
+val active_epoch : t -> tid:int -> int
+
+(** Block until no operation is active in any epoch [<= epoch].  A
+    stalled thread delays this arbitrarily — the persistence frontier
+    is blockable even though structure operations stay nonblocking. *)
+val wait_all : t -> epoch:int -> unit
+
+(** Non-blocking probe: is any operation currently registered in an
+    epoch [<= epoch]? *)
+val any_active_le : t -> epoch:int -> bool

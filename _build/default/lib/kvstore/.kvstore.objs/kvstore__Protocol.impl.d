@@ -1,0 +1,1 @@
+lib/kvstore/protocol.ml: Buffer List Printf Store String

@@ -1,0 +1,1 @@
+lib/kvstore/store.ml: Atomic Baselines Bytes Int32 Int64 Option Pstructs String Unix Util

@@ -1,0 +1,1 @@
+lib/kvstore/ycsb.ml: Atomic Char Printf Store String Util

@@ -1,0 +1,1 @@
+lib/kvstore/ycsb.mli: Store Util

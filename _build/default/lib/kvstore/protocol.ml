@@ -1,0 +1,247 @@
+(* memcached text-protocol codec and connection state machine.
+
+   The paper's memcached variant dispenses with sockets (clients link
+   the store directly), but a store that speaks the wire protocol is
+   what makes the library adoptable: [feed] consumes raw bytes from any
+   transport and produces protocol replies, handling pipelining,
+   [noreply], and binary-safe data blocks (which may contain \r\n).
+
+   Supported commands: get/gets, set/add/replace/append/prepend,
+   delete, incr/decr, touch, version, verbosity, stats, quit.
+   cas is parsed but answered with EXISTS/NOT_FOUND semantics against
+   the store's cas ids. *)
+
+type pending = {
+  op : storage_op;
+  key : string;
+  flags : int;
+  exptime : int;
+  bytes : int;
+  noreply : bool;
+}
+
+and storage_op = Set | Add | Replace | Append | Prepend | Cas of int
+
+type state = Idle | Awaiting of pending
+
+type conn = {
+  store : Store.t;
+  tid : int;
+  buf : Buffer.t; (* unconsumed input *)
+  mutable state : state;
+  mutable closed : bool;
+}
+
+let create store ~tid = { store; tid; buf = Buffer.create 256; state = Idle; closed = false }
+let is_closed c = c.closed
+
+let crlf = "\r\n"
+
+(* ---- command execution ---- *)
+
+let exec_storage c op key flags exptime data =
+  let ttl_s =
+    (* memcached: 0 = never; <= 30 days is relative seconds *)
+    if exptime = 0 then 0.0 else float_of_int exptime
+  in
+  match op with
+  | Set ->
+      Store.set c.store ~tid:c.tid ~flags ~ttl_s key data;
+      "STORED"
+  | Add -> if Store.add c.store ~tid:c.tid ~flags ~ttl_s key data then "STORED" else "NOT_STORED"
+  | Replace ->
+      if Store.replace c.store ~tid:c.tid ~flags ~ttl_s key data then "STORED" else "NOT_STORED"
+  | Append -> (
+      match Store.get_full c.store ~tid:c.tid key with
+      | Some (old, old_flags, _) ->
+          Store.set c.store ~tid:c.tid ~flags:old_flags ~ttl_s key (old ^ data);
+          "STORED"
+      | None -> "NOT_STORED")
+  | Prepend -> (
+      match Store.get_full c.store ~tid:c.tid key with
+      | Some (old, old_flags, _) ->
+          Store.set c.store ~tid:c.tid ~flags:old_flags ~ttl_s key (data ^ old);
+          "STORED"
+      | None -> "NOT_STORED")
+  | Cas expected -> (
+      match Store.get_full c.store ~tid:c.tid key with
+      | None -> "NOT_FOUND"
+      | Some (_, _, cas) when cas <> expected -> "EXISTS"
+      | Some _ ->
+          Store.set c.store ~tid:c.tid ~flags ~ttl_s key data;
+          "STORED")
+
+let exec_get c ~with_cas keys =
+  let out = Buffer.create 128 in
+  List.iter
+    (fun key ->
+      match Store.get_full c.store ~tid:c.tid key with
+      | Some (data, flags, cas) ->
+          if with_cas then
+            Buffer.add_string out
+              (Printf.sprintf "VALUE %s %d %d %d%s" key flags (String.length data) cas crlf)
+          else
+            Buffer.add_string out
+              (Printf.sprintf "VALUE %s %d %d%s" key flags (String.length data) crlf);
+          Buffer.add_string out data;
+          Buffer.add_string out crlf
+      | None -> ())
+    keys;
+  Buffer.add_string out "END";
+  Buffer.contents out
+
+let exec_stats c =
+  let hits, misses, sets, deletes, expired = Store.stats c.store in
+  String.concat crlf
+    [
+      Printf.sprintf "STAT get_hits %d" hits;
+      Printf.sprintf "STAT get_misses %d" misses;
+      Printf.sprintf "STAT cmd_set %d" sets;
+      Printf.sprintf "STAT delete_hits %d" deletes;
+      Printf.sprintf "STAT expired_unfetched %d" expired;
+      "END";
+    ]
+
+(* ---- line parsing ---- *)
+
+let split_words line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+(* A storage command consumes a following data block of [bytes] +\r\n. *)
+type step =
+  | Reply of string option (* None = noreply *)
+  | Need_data of pending
+  | Close of string option
+
+let int_arg s = int_of_string_opt s
+
+let parse_storage op args =
+  (* <key> <flags> <exptime> <bytes> [cas] [noreply] *)
+  match args with
+  | key :: flags :: exptime :: bytes :: rest -> (
+      match (int_arg flags, int_arg exptime, int_arg bytes) with
+      | Some flags, Some exptime, Some bytes when bytes >= 0 ->
+          let op, rest =
+            match (op, rest) with
+            | `Cas, cas :: tail -> (
+                match int_arg cas with
+                | Some c -> (Some (Cas c), tail)
+                | None -> (None, rest))
+            | `Cas, [] -> (None, [])
+            | `Set, _ -> (Some Set, rest)
+            | `Add, _ -> (Some Add, rest)
+            | `Replace, _ -> (Some Replace, rest)
+            | `Append, _ -> (Some Append, rest)
+            | `Prepend, _ -> (Some Prepend, rest)
+          in
+          let noreply = rest = [ "noreply" ] in
+          (match op with
+          | Some op when rest = [] || noreply -> Some { op; key; flags; exptime; bytes; noreply }
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let run_command c line =
+  match split_words line with
+  | [] -> Reply (Some "ERROR")
+  | cmd :: args -> (
+      match (String.lowercase_ascii cmd, args) with
+      | "get", (_ :: _ as keys) -> Reply (Some (exec_get c ~with_cas:false keys))
+      | "gets", (_ :: _ as keys) -> Reply (Some (exec_get c ~with_cas:true keys))
+      | "set", _ | "add", _ | "replace", _ | "append", _ | "prepend", _ | "cas", _ -> (
+          let tag =
+            match String.lowercase_ascii cmd with
+            | "set" -> `Set
+            | "add" -> `Add
+            | "replace" -> `Replace
+            | "append" -> `Append
+            | "prepend" -> `Prepend
+            | _ -> `Cas
+          in
+          match parse_storage tag args with
+          | Some pending -> Need_data pending
+          | None -> Reply (Some "CLIENT_ERROR bad command line format"))
+      | "delete", [ key ] ->
+          Reply (Some (if Store.delete c.store ~tid:c.tid key then "DELETED" else "NOT_FOUND"))
+      | "delete", [ key; "noreply" ] ->
+          ignore (Store.delete c.store ~tid:c.tid key);
+          Reply None
+      | "incr", [ key; amount ] | "decr", [ key; amount ] -> (
+          match int_arg amount with
+          | None -> Reply (Some "CLIENT_ERROR invalid numeric delta argument")
+          | Some delta ->
+              let delta = if String.lowercase_ascii cmd = "decr" then -delta else delta in
+              (match Store.incr c.store ~tid:c.tid key delta with
+              | Some v -> Reply (Some (string_of_int v))
+              | None -> Reply (Some "NOT_FOUND")))
+      | "touch", [ key; exptime ] -> (
+          match int_arg exptime with
+          | None -> Reply (Some "CLIENT_ERROR invalid exptime argument")
+          | Some e -> (
+              match Store.get_full c.store ~tid:c.tid key with
+              | Some (data, flags, _) ->
+                  Store.set c.store ~tid:c.tid ~flags ~ttl_s:(float_of_int e) key data;
+                  Reply (Some "TOUCHED")
+              | None -> Reply (Some "NOT_FOUND")))
+      | "stats", [] -> Reply (Some (exec_stats c))
+      | "version", [] -> Reply (Some "VERSION montage-ocaml 1.0")
+      | "verbosity", _ -> Reply (Some "OK")
+      | "quit", [] -> Close None
+      | _ -> Reply (Some "ERROR"))
+
+(* ---- streaming state machine ---- *)
+
+let get_state c = c.state
+let set_state c s = c.state <- s
+
+(* Find "\r\n" in the buffer starting at [from]. *)
+let find_crlf s from =
+  let n = String.length s in
+  let rec scan i = if i + 1 >= n then None else if s.[i] = '\r' && s.[i + 1] = '\n' then Some i else scan (i + 1) in
+  scan from
+
+(* Feed raw bytes; returns the protocol replies generated (in order).
+   Incomplete commands/data blocks stay buffered for the next feed. *)
+let feed c input =
+  if c.closed then []
+  else begin
+    Buffer.add_string c.buf input;
+    let data = Buffer.contents c.buf in
+    let replies = ref [] in
+    let pos = ref 0 in
+    let emit = function Some r -> replies := r :: !replies | None -> () in
+    let progressing = ref true in
+    while !progressing && not c.closed do
+      match get_state c with
+      | Idle -> (
+          match find_crlf data !pos with
+          | None -> progressing := false
+          | Some eol ->
+              let line = String.sub data !pos (eol - !pos) in
+              pos := eol + 2;
+              (match run_command c line with
+              | Reply r -> emit r
+              | Need_data pending -> set_state c (Awaiting pending)
+              | Close r ->
+                  emit r;
+                  c.closed <- true))
+      | Awaiting pending ->
+          if String.length data - !pos >= pending.bytes + 2 then begin
+            let block = String.sub data !pos pending.bytes in
+            let terminated =
+              String.sub data (!pos + pending.bytes) 2 = crlf
+            in
+            pos := !pos + pending.bytes + 2;
+            set_state c Idle;
+            if terminated then begin
+              let r = exec_storage c pending.op pending.key pending.flags pending.exptime block in
+              if not pending.noreply then emit (Some r)
+            end
+            else emit (Some "CLIENT_ERROR bad data chunk")
+          end
+          else progressing := false
+    done;
+    (* retain the unconsumed tail *)
+    Buffer.clear c.buf;
+    Buffer.add_substring c.buf data !pos (String.length data - !pos);
+    List.rev_map (fun r -> r ^ crlf) !replies
+  end

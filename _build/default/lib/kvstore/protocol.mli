@@ -1,0 +1,20 @@
+(** memcached text-protocol codec and connection state machine.
+
+    [feed] consumes raw bytes from any transport and produces protocol
+    replies, handling pipelining, [noreply], and binary-safe data
+    blocks.  Commands: get/gets, set/add/replace/append/prepend/cas,
+    delete, incr/decr, touch, stats, version, verbosity, quit. *)
+
+type conn
+
+(** One connection against a store.  [tid] is the worker thread this
+    connection's operations run as. *)
+val create : Store.t -> tid:int -> conn
+
+(** [true] after the client sent [quit]; further input is ignored. *)
+val is_closed : conn -> bool
+
+(** Feed raw bytes; returns the replies generated, in order, each
+    terminated with [\r\n].  Incomplete commands and data blocks stay
+    buffered for the next feed. *)
+val feed : conn -> string -> string list

@@ -1,0 +1,153 @@
+(* A memcached-like key-value store over a pluggable map backend.
+
+   The paper's §6.2 validates Montage on the Kjellqvist et al. variant
+   of memcached: a protected-library build that client threads call
+   directly, with no socket layer.  This store reproduces that
+   configuration: memcached item semantics (flags, expiry, CAS id,
+   incr/decr, stats) over any of the maps in this repository — the
+   Montage hashmap for the persistent build, the transient map for the
+   DRAM (T) / NVM (T) references.
+
+   Item wire format inside the backend value:
+     [4 flags | 8 expiry_unix_s (0 = never) | 8 cas id | data]. *)
+
+type backend = {
+  get : tid:int -> string -> string option;
+  put : tid:int -> string -> string -> string option;
+  remove : tid:int -> string -> string option;
+}
+
+(* statistic slots in the padded counter block *)
+let stat_hits = 0
+and stat_misses = 1
+and stat_sets = 2
+and stat_deletes = 3
+and stat_expired = 4
+
+type t = {
+  backend : backend;
+  cas_counter : int Atomic.t;
+  stats : Util.Padded.counters; (* lock-free, padded: no hot-path lock *)
+  (* test hook: lets expiry tests travel in time *)
+  mutable now : unit -> float;
+}
+
+let item_header = 20
+
+let encode_item ~flags ~expiry ~cas data =
+  let b = Bytes.create (item_header + String.length data) in
+  Bytes.set_int32_le b 0 (Int32.of_int flags);
+  Bytes.set_int64_le b 4 (Int64.of_float expiry);
+  Bytes.set_int64_le b 12 (Int64.of_int cas);
+  Bytes.blit_string data 0 b item_header (String.length data);
+  Bytes.unsafe_to_string b
+
+let decode_item s =
+  let b = Bytes.unsafe_of_string s in
+  let flags = Int32.to_int (Bytes.get_int32_le b 0) in
+  let expiry = Int64.to_float (Bytes.get_int64_le b 4) in
+  let cas = Int64.to_int (Bytes.get_int64_le b 12) in
+  (flags, expiry, cas, String.sub s item_header (String.length s - item_header))
+
+let create backend =
+  {
+    backend;
+    cas_counter = Atomic.make 1;
+    stats = Util.Padded.make_counters 5;
+    now = Unix.gettimeofday;
+  }
+
+let bump t slot = Util.Padded.incr t.stats slot
+
+(* memcached SET: unconditional store. *)
+let set t ~tid ?(flags = 0) ?(ttl_s = 0.0) key data =
+  let expiry = if ttl_s > 0.0 then t.now () +. ttl_s else 0.0 in
+  let cas = Atomic.fetch_and_add t.cas_counter 1 in
+  ignore (t.backend.put ~tid key (encode_item ~flags ~expiry ~cas data));
+  bump t stat_sets
+
+(* memcached GET: returns (data, flags, cas). *)
+let get_full t ~tid key =
+  match t.backend.get ~tid key with
+  | None ->
+      bump t stat_misses;
+      None
+  | Some item ->
+      let flags, expiry, cas, data = decode_item item in
+      if expiry > 0.0 && expiry < t.now () then begin
+        (* lazy expiry, as memcached does *)
+        ignore (t.backend.remove ~tid key);
+        bump t stat_misses;
+        bump t stat_expired;
+        None
+      end
+      else begin
+        bump t stat_hits;
+        Some (data, flags, cas)
+      end
+
+let get t ~tid key = Option.map (fun (d, _, _) -> d) (get_full t ~tid key)
+
+let delete t ~tid key =
+  match t.backend.remove ~tid key with
+  | None -> false
+  | Some _ ->
+      bump t stat_deletes;
+      true
+
+(* memcached ADD: store only if absent. *)
+let add t ~tid ?(flags = 0) ?(ttl_s = 0.0) key data =
+  match get_full t ~tid key with
+  | Some _ -> false
+  | None ->
+      set t ~tid ~flags ~ttl_s key data;
+      true
+
+(* memcached REPLACE: store only if present. *)
+let replace t ~tid ?(flags = 0) ?(ttl_s = 0.0) key data =
+  match get_full t ~tid key with
+  | None -> false
+  | Some _ ->
+      set t ~tid ~flags ~ttl_s key data;
+      true
+
+(* memcached INCR/DECR on a decimal value; [None] if missing or NaN.
+   DECR saturates at zero, as memcached specifies. *)
+let incr t ~tid key delta =
+  match get_full t ~tid key with
+  | None -> None
+  | Some (data, flags, _) -> (
+      match int_of_string_opt (String.trim data) with
+      | None -> None
+      | Some v ->
+          let v' = max 0 (v + delta) in
+          set t ~tid ~flags key (string_of_int v');
+          Some v')
+
+let decr t ~tid key delta = incr t ~tid key (-delta)
+
+let stats t =
+  ( Util.Padded.get t.stats stat_hits,
+    Util.Padded.get t.stats stat_misses,
+    Util.Padded.get t.stats stat_sets,
+    Util.Padded.get t.stats stat_deletes,
+    Util.Padded.get t.stats stat_expired )
+
+(* test hook *)
+let set_clock t clock = t.now <- clock
+
+(* ---- ready-made backends ---- *)
+
+let of_mhashmap (m : Pstructs.Mhashmap.t) =
+  {
+    get = (fun ~tid k -> Pstructs.Mhashmap.get m ~tid k);
+    put = (fun ~tid k v -> Pstructs.Mhashmap.put m ~tid k v);
+    remove = (fun ~tid k -> Pstructs.Mhashmap.remove m ~tid k);
+  }
+
+let of_transient_map (m : Baselines.Transient_map.t) =
+  {
+    get = (fun ~tid k -> Baselines.Transient_map.get m ~tid k);
+    put = (fun ~tid k v -> Baselines.Transient_map.put m ~tid k v);
+    remove = (fun ~tid k -> Baselines.Transient_map.remove m ~tid k);
+  }

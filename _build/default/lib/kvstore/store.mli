@@ -1,0 +1,54 @@
+(** A memcached-like key-value store over a pluggable map backend —
+    the paper's §6.2 validation vehicle, reproducing the Kjellqvist et
+    al. configuration: a protected-library build that client threads
+    call directly, no socket layer.
+
+    Items carry memcached metadata (flags, expiry, CAS id); expiry is
+    lazy, as in memcached. *)
+
+(** The map the store persists through: the Montage hashmap for the
+    persistent build, a transient map for the DRAM/NVM references. *)
+type backend = {
+  get : tid:int -> string -> string option;
+  put : tid:int -> string -> string -> string option;
+  remove : tid:int -> string -> string option;
+}
+
+type t
+
+val create : backend -> t
+
+(** Unconditional store (memcached SET).  [ttl_s <= 0] means never
+    expires. *)
+val set : t -> tid:int -> ?flags:int -> ?ttl_s:float -> string -> string -> unit
+
+(** Returns (data, flags, cas id); [None] on miss or lazy expiry. *)
+val get_full : t -> tid:int -> string -> (string * int * int) option
+
+val get : t -> tid:int -> string -> string option
+
+(** [true] when the key existed. *)
+val delete : t -> tid:int -> string -> bool
+
+(** Store only if absent (memcached ADD). *)
+val add : t -> tid:int -> ?flags:int -> ?ttl_s:float -> string -> string -> bool
+
+(** Store only if present (memcached REPLACE). *)
+val replace : t -> tid:int -> ?flags:int -> ?ttl_s:float -> string -> string -> bool
+
+(** Arithmetic on a decimal value; [None] if missing or non-numeric.
+    DECR saturates at zero, as memcached specifies. *)
+val incr : t -> tid:int -> string -> int -> int option
+
+val decr : t -> tid:int -> string -> int -> int option
+
+(** (hits, misses, sets, deletes, expired). *)
+val stats : t -> int * int * int * int * int
+
+(** Test hook: replace the wall clock for expiry checks. *)
+val set_clock : t -> (unit -> float) -> unit
+
+(** {1 Ready-made backends} *)
+
+val of_mhashmap : Pstructs.Mhashmap.t -> backend
+val of_transient_map : Baselines.Transient_map.t -> backend

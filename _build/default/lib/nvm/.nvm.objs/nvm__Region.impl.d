@@ -1,0 +1,1 @@
+lib/nvm/region.ml: Array Bytes Char Int32 Int64 Latency Printf String Util

@@ -1,0 +1,279 @@
+(* Simulated byte-addressable persistent memory.
+
+   The region keeps two copies of its contents:
+
+   - [work]  — what loads and stores observe (the union of CPU caches
+               and the device, as running code sees it);
+   - [media] — what survives a crash.
+
+   Stores mutate [work] and mark the covered 64 B lines dirty.  A
+   [writeback] (CLWB analog) enqueues lines on the *issuing thread's*
+   write-pending queue; [sfence] drains that queue into [media].  This
+   mirrors x86 semantics, where SFENCE orders only the issuing CPU's
+   stores.  [crash] discards [work] (reloading it from [media]) so that
+   only fenced data survives; optional injection parameters let tests
+   model lines that persisted despite a missing fence (completed CLWBs)
+   or spontaneous cache evictions of dirty lines, both of which real
+   hardware permits.
+
+   Thread-safety discipline: distinct threads may concurrently access
+   *disjoint* line ranges (the data-structure layer guarantees
+   ownership, exactly as it must on real hardware).  [crash] and
+   [recover_*] require quiescence. *)
+
+let line_size = 64
+let line_shift = 6
+
+type t = {
+  capacity : int;
+  work : Bytes.t;
+  media : Bytes.t;
+  dirty : Bytes.t; (* one byte per line; 0 = clean *)
+  (* per-thread write-pending queues of packed (line_off << 15 | lines)
+     ranges: payload flushes are contiguous, so committing a range with
+     one blit beats per-line bookkeeping *)
+  queues : int array array;
+  queue_len : int array;
+  queue_lines : int array; (* total pending lines, for fence costing *)
+  latency : Latency.t;
+  max_threads : int;
+  (* statistics, per-thread padded to avoid false sharing *)
+  stat_writebacks : Util.Padded.counters;
+  stat_fences : Util.Padded.counters;
+  stat_lines_persisted : Util.Padded.counters;
+}
+
+let queue_capacity = 4096
+
+let create ?(latency = Latency.default) ?(max_threads = 64) ~capacity () =
+  if capacity <= 0 then invalid_arg "Region.create: capacity";
+  let capacity = (capacity + line_size - 1) land lnot (line_size - 1) in
+  {
+    capacity;
+    work = Bytes.make capacity '\000';
+    media = Bytes.make capacity '\000';
+    dirty = Bytes.make (capacity lsr line_shift) '\000';
+    queues = Array.init max_threads (fun _ -> Array.make queue_capacity 0);
+    queue_len = Array.make max_threads 0;
+    queue_lines = Array.make max_threads 0;
+    latency;
+    max_threads;
+    stat_writebacks = Util.Padded.make_counters max_threads;
+    stat_fences = Util.Padded.make_counters max_threads;
+    stat_lines_persisted = Util.Padded.make_counters max_threads;
+  }
+
+let capacity t = t.capacity
+let latency t = t.latency
+let max_threads t = t.max_threads
+
+let check_range t off len =
+  if off < 0 || len < 0 || off + len > t.capacity then
+    invalid_arg
+      (Printf.sprintf "Region: access [%d, %d) outside capacity %d" off (off + len) t.capacity)
+
+let mark_dirty t off len =
+  let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
+  for line = first to last do
+    Bytes.unsafe_set t.dirty line '\001'
+  done
+
+(* ---- data access (stores go to [work]) ---- *)
+
+let write t ~off ~src ~src_off ~len =
+  check_range t off len;
+  Bytes.blit src src_off t.work off len;
+  if len > 0 then mark_dirty t off len
+
+let write_string t ~off s =
+  let len = String.length s in
+  check_range t off len;
+  Bytes.blit_string s 0 t.work off len;
+  if len > 0 then mark_dirty t off len
+
+(* Payload reads pay the device's amortized load latency; scalar
+   accessors below model hot metadata and stay uncharged. *)
+let charge_read t ~off ~len =
+  let lines = ((off + len - 1) lsr line_shift) - (off lsr line_shift) + 1 in
+  Latency.charge_read t.latency ~lines
+
+let read t ~off ~dst ~dst_off ~len =
+  check_range t off len;
+  charge_read t ~off ~len;
+  Bytes.blit t.work off dst dst_off len
+
+let read_string t ~off ~len =
+  check_range t off len;
+  if len > 0 then charge_read t ~off ~len;
+  Bytes.sub_string t.work off len
+
+let set_u8 t ~off v =
+  check_range t off 1;
+  Bytes.unsafe_set t.work off (Char.chr (v land 0xFF));
+  mark_dirty t off 1
+
+let get_u8 t ~off =
+  check_range t off 1;
+  Char.code (Bytes.unsafe_get t.work off)
+
+let set_i64 t ~off v =
+  check_range t off 8;
+  Bytes.set_int64_le t.work off (Int64.of_int v);
+  mark_dirty t off 8
+
+let get_i64 t ~off =
+  check_range t off 8;
+  Int64.to_int (Bytes.get_int64_le t.work off)
+
+let set_i32 t ~off v =
+  check_range t off 4;
+  Bytes.set_int32_le t.work off (Int32.of_int v);
+  mark_dirty t off 4
+
+let get_i32 t ~off =
+  check_range t off 4;
+  (* values are sizes/offsets, always < 2^31: zero-extend *)
+  Int32.to_int (Bytes.get_int32_le t.work off) land 0xFFFFFFFF
+
+(* Transient metadata access: reads and writes that never participate in
+   persistence (no dirty marking).  Allocator free lists thread their
+   next pointers through free blocks this way, exactly as Ralloc keeps
+   its metadata out of NVM write-back traffic. *)
+
+let transient_set_i64 t ~off v =
+  check_range t off 8;
+  Bytes.set_int64_le t.work off (Int64.of_int v)
+
+let transient_get_i64 t ~off =
+  check_range t off 8;
+  Int64.to_int (Bytes.get_int64_le t.work off)
+
+(* ---- persistence primitives ---- *)
+
+(* Entries pack (first_line << 15 | line_count); 15 bits of count covers
+   2 MB per entry, and larger ranges are split by [writeback]. *)
+let count_bits = 15
+let count_mask = (1 lsl count_bits) - 1
+let max_entry_lines = count_mask
+
+let commit_entry t entry =
+  let first = entry lsr count_bits and lines = entry land count_mask in
+  let off = first lsl line_shift in
+  Bytes.blit t.work off t.media off (lines lsl line_shift);
+  Bytes.fill t.dirty first lines '\000'
+
+let drain_queue t ~tid =
+  let q = t.queues.(tid) in
+  let n = t.queue_len.(tid) in
+  for i = 0 to n - 1 do
+    commit_entry t q.(i)
+  done;
+  let lines = t.queue_lines.(tid) in
+  t.queue_len.(tid) <- 0;
+  t.queue_lines.(tid) <- 0;
+  Util.Padded.add t.stat_lines_persisted tid lines;
+  lines
+
+let enqueue_range t ~tid ~first ~lines =
+  let q = t.queues.(tid) in
+  let n = t.queue_len.(tid) in
+  if n >= queue_capacity then
+    (* queue overflow: hardware would stall the store; drain early *)
+    ignore (drain_queue t ~tid);
+  let n = t.queue_len.(tid) in
+  q.(n) <- (first lsl count_bits) lor lines;
+  t.queue_len.(tid) <- n + 1;
+  t.queue_lines.(tid) <- t.queue_lines.(tid) + lines
+
+let enqueue_writeback t ~tid ~off ~len ~charge =
+  check_range t off len;
+  let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
+  let total = last - first + 1 in
+  let rec chunks first remaining =
+    if remaining > 0 then begin
+      let lines = min remaining max_entry_lines in
+      enqueue_range t ~tid ~first ~lines;
+      chunks (first + lines) (remaining - lines)
+    end
+  in
+  chunks first total;
+  (* one batched spin: per-call overhead must not distort small charges *)
+  if charge && total > 0 then Util.Spin_wait.ns (total * t.latency.Latency.writeback_ns);
+  Util.Padded.add t.stat_writebacks tid total
+
+(* CLWB analog: queue every line covering [off, off+len) for write-back. *)
+let writeback t ~tid ~off ~len = if len > 0 then enqueue_writeback t ~tid ~off ~len ~charge:true
+
+(* Uncharged write-back: identical semantics, no latency.  For work
+   performed by a background domain that, in the paper's deployment,
+   runs on its own core — its device traffic does not consume
+   application-thread time.  On this one-core simulator charging it
+   would bill the application for bandwidth the paper explicitly moves
+   off the critical path. *)
+let writeback_uncharged t ~tid ~off ~len =
+  if len > 0 then enqueue_writeback t ~tid ~off ~len ~charge:false
+
+(* SFENCE analog: commit this thread's queued ranges to media. *)
+let sfence t ~tid =
+  let lines = drain_queue t ~tid in
+  Latency.charge_fence t.latency ~lines;
+  Util.Padded.incr t.stat_fences tid
+
+(* Commit the thread's queued ranges without charging the drain latency:
+   models a fence whose wait is overlapped on another hardware thread
+   (e.g. Pronto-Full's sister-hyperthread write-back).  Semantics are
+   identical to [sfence]; only the cost model differs. *)
+let sfence_async t ~tid =
+  ignore (drain_queue t ~tid);
+  Util.Padded.incr t.stat_fences tid
+
+let persist t ~tid ~off ~len =
+  writeback t ~tid ~off ~len;
+  sfence t ~tid
+
+(* ---- crash and recovery ---- *)
+
+(* Simulate power failure.  Requires quiescence.  With probability
+   [persist_unfenced], each queued-but-unfenced line reaches media (its
+   CLWB had completed); with probability [evict_dirty], a dirty line is
+   spontaneously evicted and persists despite never being flushed. *)
+let crash ?(persist_unfenced = 0.0) ?(evict_dirty = 0.0) ?rng t =
+  let rng = match rng with Some r -> r | None -> Util.Xoshiro.create 42 in
+  if persist_unfenced > 0.0 then
+    for tid = 0 to t.max_threads - 1 do
+      let q = t.queues.(tid) in
+      for i = 0 to t.queue_len.(tid) - 1 do
+        (* each queued line may have completed its write-back *)
+        let first = q.(i) lsr count_bits and lines = q.(i) land count_mask in
+        for line = first to first + lines - 1 do
+          if Util.Xoshiro.float rng < persist_unfenced then begin
+            let off = line lsl line_shift in
+            Bytes.blit t.work off t.media off line_size
+          end
+        done
+      done
+    done;
+  if evict_dirty > 0.0 then
+    for line = 0 to (t.capacity lsr line_shift) - 1 do
+      if Bytes.unsafe_get t.dirty line <> '\000' && Util.Xoshiro.float rng < evict_dirty
+      then begin
+        let off = line lsl line_shift in
+        Bytes.blit t.work off t.media off line_size
+      end
+    done;
+  (* Power is lost: caches vanish.  The post-restart view is media. *)
+  Bytes.blit t.media 0 t.work 0 t.capacity;
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  Array.fill t.queue_len 0 t.max_threads 0;
+  Array.fill t.queue_lines 0 t.max_threads 0
+
+(* ---- statistics ---- *)
+
+type stats = { writebacks : int; fences : int; lines_persisted : int }
+
+let stats t =
+  {
+    writebacks = Util.Padded.sum t.stat_writebacks;
+    fences = Util.Padded.sum t.stat_fences;
+    lines_persisted = Util.Padded.sum t.stat_lines_persisted;
+  }

@@ -1,0 +1,85 @@
+(** Simulated byte-addressable persistent memory.
+
+    The region keeps two copies of its contents: [work] — what loads
+    and stores observe — and [media] — what survives a crash.  Stores
+    mutate work and mark the covered 64 B lines dirty; {!writeback}
+    (CLWB analog) queues ranges on the issuing thread's write-pending
+    queue; {!sfence} drains that queue into media.  {!crash} discards
+    work, so only fenced data survives; injection parameters model
+    lines that persisted despite a missing fence or via spontaneous
+    eviction, both of which real hardware permits.
+
+    Thread-safety discipline: distinct threads may concurrently access
+    disjoint line ranges (the data-structure layer guarantees
+    ownership, exactly as on real hardware).  [crash] requires
+    quiescence. *)
+
+val line_size : int
+
+type t
+
+(** [create ~capacity ()] — capacity is rounded up to a line multiple.
+    [max_threads] sizes the per-thread write-pending queues. *)
+val create : ?latency:Latency.t -> ?max_threads:int -> capacity:int -> unit -> t
+
+val capacity : t -> int
+val latency : t -> Latency.t
+val max_threads : t -> int
+
+(** {1 Data access (stores go to work; loads pay read latency)} *)
+
+val write : t -> off:int -> src:bytes -> src_off:int -> len:int -> unit
+val write_string : t -> off:int -> string -> unit
+val read : t -> off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+val read_string : t -> off:int -> len:int -> string
+
+(** Scalar accessors for headers and roots (uncharged: hot metadata). *)
+
+val set_u8 : t -> off:int -> int -> unit
+val get_u8 : t -> off:int -> int
+val set_i32 : t -> off:int -> int -> unit
+val get_i32 : t -> off:int -> int
+val set_i64 : t -> off:int -> int -> unit
+val get_i64 : t -> off:int -> int
+
+(** Transient metadata access: never participates in persistence (no
+    dirty marking, no latency).  Allocator free lists use it. *)
+
+val transient_set_i64 : t -> off:int -> int -> unit
+val transient_get_i64 : t -> off:int -> int
+
+(** {1 Persistence primitives} *)
+
+(** CLWB analog: queue the lines covering [off, off+len) for
+    write-back, charging issue cost. *)
+val writeback : t -> tid:int -> off:int -> len:int -> unit
+
+(** Identical semantics, zero charge: work performed by a background
+    domain that runs on a dedicated core in the paper's deployment. *)
+val writeback_uncharged : t -> tid:int -> off:int -> len:int -> unit
+
+(** SFENCE analog: commit this thread's queued ranges to media,
+    charging the drain wait. *)
+val sfence : t -> tid:int -> unit
+
+(** Commit without the drain charge: a fence whose wait is overlapped
+    elsewhere (background advancer, sister hyperthread). *)
+val sfence_async : t -> tid:int -> unit
+
+(** [writeback] then [sfence]. *)
+val persist : t -> tid:int -> off:int -> len:int -> unit
+
+(** {1 Crash} *)
+
+(** Simulate power failure (requires quiescence): work is reloaded from
+    media, queues and dirty state cleared.  With probability
+    [persist_unfenced], each queued-but-unfenced line reaches media;
+    with probability [evict_dirty], a dirty line persists despite never
+    being flushed. *)
+val crash : ?persist_unfenced:float -> ?evict_dirty:float -> ?rng:Util.Xoshiro.t -> t -> unit
+
+(** {1 Statistics} *)
+
+type stats = { writebacks : int; fences : int; lines_persisted : int }
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/pstructs/mgraph.ml: Array Atomic Bytes Domain Hashtbl Int64 Montage Printf String Util

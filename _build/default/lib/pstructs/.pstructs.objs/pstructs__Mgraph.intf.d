@@ -1,0 +1,1 @@
+lib/pstructs/mgraph.mli: Montage

@@ -1,0 +1,1 @@
+lib/pstructs/mhashmap.ml: Array Atomic Domain Hashtbl Montage String Util

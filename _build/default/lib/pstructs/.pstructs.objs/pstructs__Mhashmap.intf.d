@@ -1,0 +1,1 @@
+lib/pstructs/mhashmap.mli: Montage

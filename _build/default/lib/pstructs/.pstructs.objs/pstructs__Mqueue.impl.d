@@ -1,0 +1,1 @@
+lib/pstructs/mqueue.ml: Array Montage Queue Util

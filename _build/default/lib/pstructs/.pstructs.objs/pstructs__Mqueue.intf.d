@@ -1,0 +1,1 @@
+lib/pstructs/mqueue.mli: Montage

@@ -1,0 +1,1 @@
+lib/pstructs/mskiplist.ml: Array Atomic Domain List Montage Option String Util

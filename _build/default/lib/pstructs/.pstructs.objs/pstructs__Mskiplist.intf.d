@@ -1,0 +1,1 @@
+lib/pstructs/mskiplist.mli: Montage

@@ -1,0 +1,1 @@
+lib/pstructs/mstack.ml: Array List Montage Util

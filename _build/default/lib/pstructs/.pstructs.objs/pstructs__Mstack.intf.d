@@ -1,0 +1,1 @@
+lib/pstructs/mstack.mli: Montage

@@ -1,0 +1,1 @@
+lib/pstructs/mvector.ml: Array List Montage Option Util

@@ -1,0 +1,1 @@
+lib/pstructs/mvector.mli: Montage

@@ -1,0 +1,1 @@
+lib/pstructs/nb_hashmap.ml: Array Hashtbl List Montage

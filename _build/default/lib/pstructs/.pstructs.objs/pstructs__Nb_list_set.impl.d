@@ -1,0 +1,1 @@
+lib/pstructs/nb_list_set.ml: Array List Montage

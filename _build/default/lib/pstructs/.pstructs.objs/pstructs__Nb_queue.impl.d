@@ -1,0 +1,1 @@
+lib/pstructs/nb_queue.ml: Array Montage

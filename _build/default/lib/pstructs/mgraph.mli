@@ -1,0 +1,45 @@
+(** Montage general graph (paper §6.3) — the generality demonstration:
+    anything representable as items and relationships fits Montage.
+
+    Abstract state in NVM: one payload per vertex (id + attributes) and
+    one per undirected edge (endpoint ids + attributes).  Edge payloads
+    name their endpoints but vertex payloads know nothing of their
+    edges — the paper's rule against long persistent pointer chains.
+    Connectivity lives in a transient adjacency index rebuilt (possibly
+    in parallel) on recovery.
+
+    Concurrency: edge operations take a shared pass on a structural
+    reader-writer lock plus the two endpoint locks in id order; vertex
+    operations take the writer side. *)
+
+type t
+
+(** Vertex ids range over [0, capacity). *)
+val create : ?capacity:int -> Montage.Epoch_sys.t -> t
+
+val esys : t -> Montage.Epoch_sys.t
+val vertex_count : t -> int
+val edge_count : t -> int
+
+(** [false] when the vertex already exists. *)
+val add_vertex : t -> tid:int -> int -> string -> bool
+
+(** Remove a vertex and all incident edges (their payloads too). *)
+val remove_vertex : t -> tid:int -> int -> bool
+
+val has_vertex : t -> int -> bool
+val vertex_attrs : t -> tid:int -> int -> string option
+
+(** [false] for self-edges, missing endpoints, or existing edges. *)
+val add_edge : t -> tid:int -> int -> int -> string -> bool
+
+val remove_edge : t -> tid:int -> int -> int -> bool
+val has_edge : t -> int -> int -> bool
+val edge_attrs : t -> tid:int -> int -> int -> string option
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+
+(** Rebuild from recovered payloads: vertices first, then edges, each
+    phase parallelized over [threads] domains (Fig. 12's recovery). *)
+val recover :
+  ?capacity:int -> ?threads:int -> Montage.Epoch_sys.t -> Montage.Epoch_sys.pblk array -> t

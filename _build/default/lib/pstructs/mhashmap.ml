@@ -1,0 +1,173 @@
+(* Montage hashmap (paper Fig. 2): a lock-per-bucket chained map whose
+   *abstract* state — the bag of key/value pairs — lives in NVM
+   payloads, while the entire lookup structure (bucket array, chain
+   nodes, cached keys) is transient OCaml-heap data rebuilt on
+   recovery.
+
+   Each chain node caches its key in DRAM so traversal touches NVM only
+   to read values.  Updates follow the Montage discipline: [pset] may
+   return a fresh handle (a copying update across an epoch boundary),
+   which the node — the single transient object indirecting to the
+   payload, per well-formedness constraint 4 — reinstalls. *)
+
+module E = Montage.Epoch_sys
+module Kv = Montage.Payload.Kv_content
+
+type node = { key : string; mutable payload : E.pblk; mutable next : node option }
+
+type bucket = { lock : Util.Spin_lock.t; mutable head : node option }
+
+type t = { esys : E.t; buckets : bucket array; size : int Atomic.t }
+
+let create ?(buckets = 1 lsl 16) esys =
+  {
+    esys;
+    buckets = Array.init buckets (fun _ -> { lock = Util.Spin_lock.create (); head = None });
+    size = Atomic.make 0;
+  }
+
+let bucket_of t key = t.buckets.(Hashtbl.hash key land (Array.length t.buckets - 1))
+
+let size t = Atomic.get t.size
+let esys t = t.esys
+
+(* Read-only: no BEGIN_OP needed (paper §3.1); the bucket lock is the
+   transient synchronization. *)
+let get t ~tid key =
+  let b = bucket_of t key in
+  Util.Spin_lock.with_lock b.lock (fun () ->
+      let rec find = function
+        | None -> None
+        | Some n when String.equal n.key key ->
+            let _, v = Kv.decode (E.pget t.esys ~tid n.payload) in
+            Some v
+        | Some n -> find n.next
+      in
+      find b.head)
+
+let contains t ~tid:_ key =
+  let b = bucket_of t key in
+  Util.Spin_lock.with_lock b.lock (fun () ->
+      let rec find = function
+        | None -> false
+        | Some n when String.equal n.key key -> true
+        | Some n -> find n.next
+      in
+      find b.head)
+
+(* Insert, or update if the key exists; returns the previous value. *)
+let put t ~tid key value =
+  let b = bucket_of t key in
+  Util.Spin_lock.with_lock b.lock (fun () ->
+      E.with_op t.esys ~tid (fun () ->
+          let rec walk prev curr =
+            match curr with
+            | Some n when String.equal n.key key ->
+                let _, old = Kv.decode (E.pget t.esys ~tid n.payload) in
+                n.payload <- E.pset t.esys ~tid n.payload (Kv.encode (key, value));
+                Some old
+            | Some n when n.key > key ->
+                let payload = E.pnew t.esys ~tid (Kv.encode (key, value)) in
+                let fresh = { key; payload; next = curr } in
+                (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh);
+                Atomic.incr t.size;
+                None
+            | Some n -> walk (Some n) n.next
+            | None ->
+                let payload = E.pnew t.esys ~tid (Kv.encode (key, value)) in
+                let fresh = { key; payload; next = None } in
+                (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh);
+                Atomic.incr t.size;
+                None
+          in
+          walk None b.head))
+
+(* Insert only if absent; true on success. *)
+let put_if_absent t ~tid key value =
+  let b = bucket_of t key in
+  Util.Spin_lock.with_lock b.lock (fun () ->
+      let rec present = function
+        | None -> false
+        | Some n when String.equal n.key key -> true
+        | Some n when n.key > key -> false
+        | Some n -> present n.next
+      in
+      if present b.head then false
+      else
+        E.with_op t.esys ~tid (fun () ->
+            let payload = E.pnew t.esys ~tid (Kv.encode (key, value)) in
+            let rec splice prev curr =
+              match curr with
+              | Some n when n.key < key -> splice (Some n) n.next
+              | _ ->
+                  let fresh = { key; payload; next = curr } in
+                  (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh)
+            in
+            splice None b.head;
+            Atomic.incr t.size;
+            true))
+
+(* Remove; returns the removed value. *)
+let remove t ~tid key =
+  let b = bucket_of t key in
+  Util.Spin_lock.with_lock b.lock (fun () ->
+      let rec walk prev curr =
+        match curr with
+        | Some n when String.equal n.key key ->
+            E.with_op t.esys ~tid (fun () ->
+                let _, old = Kv.decode (E.pget t.esys ~tid n.payload) in
+                E.pdelete t.esys ~tid n.payload;
+                (match prev with None -> b.head <- n.next | Some p -> p.next <- n.next);
+                Atomic.decr t.size;
+                Some old)
+        | Some n when n.key > key -> None
+        | Some n -> walk (Some n) n.next
+        | None -> None
+      in
+      walk None b.head)
+
+(* Snapshot of all pairs (quiescent use only: tests, recovery checks). *)
+let to_alist t ~tid =
+  Array.fold_left
+    (fun acc b ->
+      Util.Spin_lock.with_lock b.lock (fun () ->
+          let rec collect acc = function
+            | None -> acc
+            | Some n ->
+                let k, v = Kv.decode (E.pget t.esys ~tid n.payload) in
+                collect ((k, v) :: acc) n.next
+          in
+          collect acc b.head))
+    [] t.buckets
+
+(* ---- recovery ---- *)
+
+(* Rebuild the transient index from recovered payloads.  Single slice:
+   the whole map; multiple slices can be inserted by parallel domains
+   via [recover_slice] (bucket locks make it safe). *)
+let recover_slice t payloads =
+  Array.iter
+    (fun p ->
+      let key, _ = Kv.decode (E.pget_unsafe t.esys p) in
+      let b = bucket_of t key in
+      Util.Spin_lock.with_lock b.lock (fun () ->
+          let rec splice prev curr =
+            match curr with
+            | Some n when n.key < key -> splice (Some n) n.next
+            | _ ->
+                let fresh = { key; payload = p; next = curr } in
+                (match prev with None -> b.head <- Some fresh | Some pr -> pr.next <- Some fresh)
+          in
+          splice None b.head;
+          Atomic.incr t.size))
+    payloads
+
+let recover ?(buckets = 1 lsl 16) ?(threads = 1) esys payloads =
+  let t = create ~buckets esys in
+  if threads <= 1 then recover_slice t payloads
+  else begin
+    let slices = E.slices payloads ~k:threads in
+    let domains = Array.map (fun s -> Domain.spawn (fun () -> recover_slice t s)) slices in
+    Array.iter Domain.join domains
+  end;
+  t

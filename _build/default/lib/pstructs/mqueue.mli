@@ -1,0 +1,18 @@
+(** Montage queue (paper §3.1): single-lock FIFO whose abstract state —
+    items and their order — is captured by sequence-numbered payloads;
+    the transient index is an ordinary OCaml queue.  Recovery sorts
+    surviving payloads by sequence number. *)
+
+type t
+
+val create : Montage.Epoch_sys.t -> t
+val esys : t -> Montage.Epoch_sys.t
+val length : t -> int
+val is_empty : t -> bool
+val enqueue : t -> tid:int -> string -> unit
+val dequeue : t -> tid:int -> string option
+
+(** Front element without removing it (read-only). *)
+val peek : t -> tid:int -> string option
+
+val recover : Montage.Epoch_sys.t -> Montage.Epoch_sys.pblk array -> t

@@ -1,0 +1,14 @@
+(** Montage stack: LIFO analog of {!Mqueue} — single lock,
+    sequence-numbered payloads, transient list index.  Recovery puts
+    the newest surviving push on top. *)
+
+type t
+
+val create : Montage.Epoch_sys.t -> t
+val esys : t -> Montage.Epoch_sys.t
+val length : t -> int
+val is_empty : t -> bool
+val push : t -> tid:int -> string -> unit
+val pop : t -> tid:int -> string option
+val top : t -> tid:int -> string option
+val recover : Montage.Epoch_sys.t -> Montage.Epoch_sys.pblk array -> t

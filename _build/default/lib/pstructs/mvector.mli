@@ -1,0 +1,26 @@
+(** Montage persistent vector: a dynamic array whose elements are NVM
+    payloads carrying their index, so recovery places each payload
+    directly — no order reconstruction.  Push/pop/set take a structural
+    lock; indexed reads are lock-free through the transient slot
+    array. *)
+
+type t
+
+val create : ?capacity:int -> Montage.Epoch_sys.t -> t
+val esys : t -> Montage.Epoch_sys.t
+val length : t -> int
+
+(** Append; returns the element's index. *)
+val push : t -> tid:int -> string -> int
+
+(** Remove and return the last element. *)
+val pop : t -> tid:int -> string option
+
+val get : t -> tid:int -> int -> string option
+
+(** [false] when the index is out of bounds. *)
+val set : t -> tid:int -> int -> string -> bool
+
+val to_list : t -> tid:int -> string list
+val iteri : t -> tid:int -> (int -> string -> unit) -> unit
+val recover : Montage.Epoch_sys.t -> Montage.Epoch_sys.pblk array -> t

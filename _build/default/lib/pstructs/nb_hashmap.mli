@@ -1,0 +1,25 @@
+(** Nonblocking Montage hashmap: a fixed bucket array of Harris-style
+    sorted kv lists whose linearization points are epoch-verified DCSS.
+    Like SOFT, no atomic in-place update — [add] is insert-if-absent.
+    One NVM payload per pair; recovery rebuilds every bucket chain. *)
+
+type t
+
+val create : ?buckets:int -> Montage.Epoch_sys.t -> t
+val esys : t -> Montage.Epoch_sys.t
+
+(** Wait-free read. *)
+val get : t -> tid:int -> string -> string option
+
+val mem : t -> string -> bool
+
+(** Insert-if-absent; [false] when present. *)
+val add : t -> tid:int -> string -> string -> bool
+
+val remove : t -> tid:int -> string -> bool
+
+(** All pairs (quiescent use). *)
+val to_alist : t -> tid:int -> (string * string) list
+
+val size : t -> int
+val recover : ?buckets:int -> Montage.Epoch_sys.t -> Montage.Epoch_sys.pblk array -> t

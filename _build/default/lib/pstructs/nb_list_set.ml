@@ -1,0 +1,159 @@
+(* Nonblocking Montage sorted-list set: a Harris-style linked list with
+   logical deletion marks, whose linearizing CASes are epoch-verified
+   ([Everify.cas_verify]) so insertions and removals linearize in the
+   epoch that labeled their payloads — the paper's §3.3 recipe applied
+   to the classic lock-free list.
+
+   Each next-link cell holds an immutable {succ; marked} record; CAS
+   compares the physically-read record, and GC prevents ABA.  The
+   linearization points are:
+   - insert:  pred.next swing to the new node (epoch-verified);
+   - remove:  setting the victim's mark (epoch-verified); the physical
+     unlink is plain helping.
+   Contains is read-only and wait-free over the transient list.
+
+   Abstract state in NVM: one payload per member key.  Recovery is a
+   sorted rebuild. *)
+
+module E = Montage.Epoch_sys
+module V = Montage.Everify
+module Str = Montage.Payload.String_content
+
+type node = { key : string; payload : E.pblk option; next : link V.t }
+and link = { succ : node option; marked : bool }
+
+type t = { esys : E.t; head : node }
+
+let create esys =
+  { esys; head = { key = ""; payload = None; next = V.make { succ = None; marked = false } } }
+
+let esys t = t.esys
+
+(* Find the (pred, pred_link, curr) window for [key], physically
+   unlinking marked nodes along the way (plain helping CAS). *)
+let rec search t key =
+  let rec advance pred pred_link =
+    match pred_link.succ with
+    | None -> (pred, pred_link, None)
+    | Some curr ->
+        let curr_link = V.load_verify t.esys curr.next in
+        if curr_link.marked then begin
+          (* help unlink; restart from pred on contention *)
+          let unlinked = { succ = curr_link.succ; marked = false } in
+          if V.cas t.esys pred.next ~expect:pred_link ~desired:unlinked then
+            advance pred unlinked
+          else search t key
+        end
+        else if curr.key < key then advance curr curr_link
+        else (pred, pred_link, Some curr)
+  in
+  advance t.head (V.load_verify t.esys t.head.next)
+
+(* Wait-free read-only membership: traverses without helping writes. *)
+let contains t key =
+  let rec walk cursor =
+    match cursor with
+    | None -> false
+    | Some node ->
+        if node.key < key then walk (V.peek node.next).succ
+        else node.key = key && not (V.peek node.next).marked
+  in
+  walk (V.peek t.head.next).succ
+
+let add t ~tid key =
+  let rec restart () =
+    E.begin_op t.esys ~tid;
+    match attempt None with
+    | outcome ->
+        E.end_op t.esys ~tid;
+        outcome
+    | exception Montage.Errors.Epoch_changed ->
+        E.end_op t.esys ~tid;
+        restart ()
+  and attempt payload_opt =
+    let pred, pred_link, curr = search t key in
+    match curr with
+    | Some node when node.key = key ->
+        (* already present: discard any payload from a prior attempt *)
+        (match payload_opt with Some p -> E.pdelete t.esys ~tid p | None -> ());
+        false
+    | _ ->
+        let payload =
+          match payload_opt with
+          | Some p -> p
+          | None -> E.pnew t.esys ~tid (Str.encode key)
+        in
+        let fresh = { key; payload = Some payload; next = V.make { succ = curr; marked = false } } in
+        if V.cas_verify t.esys ~tid pred.next ~expect:pred_link ~desired:{ succ = Some fresh; marked = false }
+        then true
+        else begin
+          (try E.check_epoch t.esys ~tid
+           with Montage.Errors.Epoch_changed ->
+             E.pdelete t.esys ~tid payload;
+             raise Montage.Errors.Epoch_changed);
+          attempt (Some payload)
+        end
+  in
+  restart ()
+
+let remove t ~tid key =
+  let rec restart () =
+    E.begin_op t.esys ~tid;
+    match attempt () with
+    | outcome ->
+        E.end_op t.esys ~tid;
+        outcome
+    | exception Montage.Errors.Epoch_changed ->
+        E.end_op t.esys ~tid;
+        restart ()
+  and attempt () =
+    let pred, pred_link, curr = search t key in
+    match curr with
+    | Some node when node.key = key ->
+        let node_link = V.load_verify t.esys node.next in
+        if node_link.marked then false
+        else if
+          (* linearization: epoch-verified marking *)
+          V.cas_verify t.esys ~tid node.next ~expect:node_link
+            ~desired:{ succ = node_link.succ; marked = true }
+        then begin
+          (match node.payload with Some p -> E.pdelete t.esys ~tid p | None -> ());
+          (* best-effort physical unlink *)
+          ignore
+            (V.cas t.esys pred.next ~expect:pred_link ~desired:{ succ = node_link.succ; marked = false });
+          true
+        end
+        else begin
+          E.check_epoch t.esys ~tid;
+          attempt ()
+        end
+    | _ -> false
+  in
+  restart ()
+
+(* Quiescent enumeration (tests, verification). *)
+let to_list t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node ->
+        let link = V.peek node.next in
+        walk (if link.marked then acc else node.key :: acc) link.succ
+  in
+  walk [] (V.peek t.head.next).succ
+
+let length t = List.length (to_list t)
+
+(* ---- recovery ---- *)
+
+let recover esys payloads =
+  let t = create esys in
+  let keys = Array.map (fun p -> (Str.decode (E.pget_unsafe esys p), p)) payloads in
+  Array.sort (fun (a, _) (b, _) -> compare b a) keys;
+  (* insert descending so each prepend at the head yields sorted order *)
+  Array.iter
+    (fun (key, p) ->
+      let first = V.peek t.head.next in
+      let fresh = { key; payload = Some p; next = V.make first } in
+      ignore (V.cas esys t.head.next ~expect:first ~desired:{ succ = Some fresh; marked = false }))
+    keys;
+  t

@@ -1,0 +1,25 @@
+(** Nonblocking Montage sorted-list set: Harris-style lock-free list
+    with logical deletion marks, whose linearizing CASes are
+    epoch-verified so operations linearize in the epoch that labeled
+    their payloads (§3.3).  One NVM payload per member key; recovery is
+    a sorted rebuild. *)
+
+type t
+
+val create : Montage.Epoch_sys.t -> t
+val esys : t -> Montage.Epoch_sys.t
+
+(** [true] iff the key was absent and is now a member. *)
+val add : t -> tid:int -> string -> bool
+
+(** [true] iff the key was a member and is now removed. *)
+val remove : t -> tid:int -> string -> bool
+
+(** Wait-free read-only membership. *)
+val contains : t -> string -> bool
+
+(** Members in sorted order (quiescent use). *)
+val to_list : t -> string list
+
+val length : t -> int
+val recover : Montage.Epoch_sys.t -> Montage.Epoch_sys.pblk array -> t

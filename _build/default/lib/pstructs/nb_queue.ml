@@ -1,0 +1,137 @@
+(* Nonblocking Montage queue: Michael–Scott with epoch-verified
+   linearizing CASes.
+
+   The linearization points — appending to tail.next (enqueue) and
+   swinging head (dequeue) — use [Everify.cas_verify] so each
+   operation linearizes in the epoch that labeled its payload; the
+   auxiliary tail swing uses the unverified [Everify.cas], since it is
+   mere helping and never decides the abstract state.
+
+   Each payload's sequence number is the predecessor's + 1, rewritten
+   in place on retry within an epoch; an epoch change mid-attempt
+   rolls the operation back (destroying its same-epoch payload) and
+   restarts, as §3.3 prescribes. *)
+
+module E = Montage.Epoch_sys
+module V = Montage.Everify
+module Seq = Montage.Payload.Seq_content
+
+type node = {
+  seq : int;
+  payload : E.pblk option; (* None only for the sentinel *)
+  value : string;
+  next : node option V.t;
+}
+
+type t = { esys : E.t; head : node V.t; tail : node V.t }
+
+let sentinel () = { seq = 0; payload = None; value = ""; next = V.make None }
+
+let create esys =
+  let s = sentinel () in
+  { esys; head = V.make s; tail = V.make s }
+
+let esys t = t.esys
+
+let enqueue t ~tid value =
+  let rec restart () =
+    E.begin_op t.esys ~tid;
+    match attempt None with
+    | () -> E.end_op t.esys ~tid
+    | exception Montage.Errors.Epoch_changed ->
+        E.end_op t.esys ~tid;
+        restart ()
+  and attempt payload_opt =
+    let tail = V.load_verify t.esys t.tail in
+    match V.load_verify t.esys tail.next with
+    | Some successor ->
+        (* stale tail: help swing it, then retry *)
+        ignore (V.cas t.esys t.tail ~expect:tail ~desired:successor);
+        attempt payload_opt
+    | None ->
+        let seq = tail.seq + 1 in
+        let payload =
+          match payload_opt with
+          | None -> E.pnew t.esys ~tid (Seq.encode (seq, value))
+          | Some p -> E.pset t.esys ~tid p (Seq.encode (seq, value))
+        in
+        let node = { seq; payload = Some payload; value; next = V.make None } in
+        if V.cas_verify t.esys ~tid tail.next ~expect:None ~desired:(Some node) then
+          ignore (V.cas t.esys t.tail ~expect:tail ~desired:node)
+        else begin
+          (try E.check_epoch t.esys ~tid
+           with Montage.Errors.Epoch_changed ->
+             E.pdelete t.esys ~tid payload;
+             raise Montage.Errors.Epoch_changed);
+          attempt (Some payload)
+        end
+  in
+  restart ()
+
+let dequeue t ~tid =
+  let rec restart () =
+    E.begin_op t.esys ~tid;
+    match attempt () with
+    | result -> result
+    | exception Montage.Errors.Epoch_changed ->
+        E.end_op t.esys ~tid;
+        restart ()
+  and attempt () =
+    let head = V.load_verify t.esys t.head in
+    let tail = V.load_verify t.esys t.tail in
+    match V.load_verify t.esys head.next with
+    | None ->
+        E.end_op t.esys ~tid;
+        None
+    | Some node ->
+        if head == tail then begin
+          (* tail lags: help *)
+          ignore (V.cas t.esys t.tail ~expect:tail ~desired:node);
+          attempt ()
+        end
+        else if V.cas_verify t.esys ~tid t.head ~expect:head ~desired:node then begin
+          (match node.payload with
+          | Some p -> E.pdelete t.esys ~tid p
+          | None -> assert false);
+          E.end_op t.esys ~tid;
+          Some node.value
+        end
+        else begin
+          E.check_epoch t.esys ~tid;
+          attempt ()
+        end
+  in
+  restart ()
+
+(* Read-only probes. *)
+let peek t =
+  let head = V.peek t.head in
+  match V.peek head.next with None -> None | Some n -> Some n.value
+
+let is_empty t =
+  let head = V.peek t.head in
+  V.peek head.next = None
+
+let length t =
+  let head = V.peek t.head in
+  let rec count acc cell =
+    match V.peek cell with None -> acc | Some n -> count (acc + 1) n.next
+  in
+  count 0 head.next
+
+let recover esys payloads =
+  let t = create esys in
+  let entries = Array.map (fun p -> (fst (Seq.decode (E.pget_unsafe esys p)), p)) payloads in
+  Array.sort (fun (a, _) (b, _) -> compare a b) entries;
+  let head_node = V.peek t.head in
+  let last =
+    Array.fold_left
+      (fun prev (seq, p) ->
+        let _, value = Seq.decode (E.pget_unsafe esys p) in
+        let node = { seq; payload = Some p; value; next = V.make None } in
+        ignore (V.cas esys prev.next ~expect:None ~desired:(Some node));
+        node)
+      head_node entries
+  in
+  ignore (V.cas esys t.tail ~expect:(V.peek t.tail) ~desired:last);
+  t

@@ -1,0 +1,20 @@
+(** Nonblocking Montage queue: Michael–Scott whose linearization points
+    (tail.next append, head swing) are epoch-verified DCSS; the
+    auxiliary tail swing uses plain helping CAS.  Sequence numbers are
+    rewritten in place on same-epoch retries, so crash recovery yields
+    the surviving prefix in FIFO order. *)
+
+type t
+
+val create : Montage.Epoch_sys.t -> t
+val esys : t -> Montage.Epoch_sys.t
+val enqueue : t -> tid:int -> string -> unit
+val dequeue : t -> tid:int -> string option
+
+(** Read-only probes (non-linearizing snapshots). *)
+
+val peek : t -> string option
+val is_empty : t -> bool
+val length : t -> int
+
+val recover : Montage.Epoch_sys.t -> Montage.Epoch_sys.pblk array -> t

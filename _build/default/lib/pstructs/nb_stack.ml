@@ -1,0 +1,100 @@
+(* Nonblocking Montage stack (paper §3.3): a Treiber stack whose
+   linearizing CAS is [Everify.cas_verify], so every push/pop
+   linearizes in the epoch that labeled its payloads.  When the clock
+   advances mid-attempt the operation rolls back (deleting any payload
+   it created — a same-epoch ALLOC, reclaimed instantly) and restarts
+   in the new epoch, making the structure lock-free rather than
+   wait-free, exactly as §3.3 describes.
+
+   Payloads carry sequence numbers assigned from the predecessor, so a
+   crash recovers the surviving prefix in LIFO order.  GC-managed nodes
+   make ABA impossible. *)
+
+module E = Montage.Epoch_sys
+module V = Montage.Everify
+module Seq = Montage.Payload.Seq_content
+
+type node = { seq : int; payload : E.pblk; value : string; next : node option }
+
+type t = { esys : E.t; top : node option V.t }
+
+let create esys = { esys; top = V.make None }
+
+let esys t = t.esys
+
+let push t ~tid value =
+  let rec restart () =
+    E.begin_op t.esys ~tid;
+    match attempt None with
+    | () -> E.end_op t.esys ~tid
+    | exception Montage.Errors.Epoch_changed ->
+        E.end_op t.esys ~tid;
+        restart ()
+  and attempt payload_opt =
+    let cur = V.load_verify t.esys t.top in
+    let seq = match cur with None -> 1 | Some n -> n.seq + 1 in
+    let payload =
+      match payload_opt with
+      | None -> E.pnew t.esys ~tid (Seq.encode (seq, value))
+      | Some p -> E.pset t.esys ~tid p (Seq.encode (seq, value)) (* in place: same epoch *)
+    in
+    let node = { seq; payload; value; next = cur } in
+    if V.cas_verify t.esys ~tid t.top ~expect:cur ~desired:(Some node) then ()
+    else begin
+      (* Either the top moved or the epoch advanced.  The latter makes
+         our payload stale-labeled: destroy it and restart the op. *)
+      (try E.check_epoch t.esys ~tid
+       with Montage.Errors.Epoch_changed ->
+         E.pdelete t.esys ~tid payload;
+         raise Montage.Errors.Epoch_changed);
+      attempt (Some payload)
+    end
+  in
+  restart ()
+
+let pop t ~tid =
+  let rec restart () =
+    E.begin_op t.esys ~tid;
+    match attempt () with
+    | result -> result
+    | exception Montage.Errors.Epoch_changed ->
+        E.end_op t.esys ~tid;
+        restart ()
+  and attempt () =
+    match V.load_verify t.esys t.top with
+    | None ->
+        E.end_op t.esys ~tid;
+        None
+    | Some node as cur ->
+        if V.cas_verify t.esys ~tid t.top ~expect:cur ~desired:node.next then begin
+          E.pdelete t.esys ~tid node.payload;
+          E.end_op t.esys ~tid;
+          Some node.value
+        end
+        else begin
+          E.check_epoch t.esys ~tid;
+          attempt ()
+        end
+  in
+  restart ()
+
+(* Read-only; no epoch bracketing needed. *)
+let top_value t = match V.peek t.top with None -> None | Some n -> Some n.value
+
+let length t =
+  let rec count acc = function None -> acc | Some n -> count (acc + 1) n.next in
+  count 0 (V.peek t.top)
+
+let recover esys payloads =
+  let t = create esys in
+  let entries = Array.map (fun p -> (fst (Seq.decode (E.pget_unsafe esys p)), p)) payloads in
+  Array.sort (fun (a, _) (b, _) -> compare a b) entries;
+  let chain =
+    Array.fold_left
+      (fun below (seq, p) ->
+        let _, value = Seq.decode (E.pget_unsafe esys p) in
+        Some { seq; payload = p; value; next = below })
+      None entries
+  in
+  ignore (V.cas esys t.top ~expect:(V.peek t.top) ~desired:chain);
+  t

@@ -1,0 +1,19 @@
+(** Nonblocking Montage stack (paper §3.3): a Treiber stack whose
+    linearizing CAS is the epoch-verified {!Montage.Everify.cas_verify},
+    so every operation linearizes in the epoch that labeled its
+    payloads.  Epoch changes mid-attempt roll the operation back and
+    restart it — lock-free, not wait-free, exactly as §3.3 describes. *)
+
+type t
+
+val create : Montage.Epoch_sys.t -> t
+val esys : t -> Montage.Epoch_sys.t
+val push : t -> tid:int -> string -> unit
+val pop : t -> tid:int -> string option
+
+(** Read-only probes (non-linearizing snapshots). *)
+
+val top_value : t -> string option
+val length : t -> int
+
+val recover : Montage.Epoch_sys.t -> Montage.Epoch_sys.pblk array -> t

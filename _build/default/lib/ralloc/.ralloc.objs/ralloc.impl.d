@@ -1,0 +1,1 @@
+lib/ralloc/ralloc.ml: Array Atomic Free_list Nvm Size_class Util

@@ -1,0 +1,1 @@
+lib/ralloc/ralloc.mli: Atomic Nvm

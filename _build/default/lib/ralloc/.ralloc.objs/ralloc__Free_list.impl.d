@@ -1,0 +1,1 @@
+lib/ralloc/free_list.ml: Atomic Nvm

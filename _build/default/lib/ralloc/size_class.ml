@@ -1,0 +1,19 @@
+(* Segregated size classes, 64 B to 8 KB in powers of two.
+
+   Montage payloads in the paper's experiments range from 16 B values to
+   4 KB values plus a small header, so eight classes suffice.  Each
+   class is a multiple of the 64 B line size, which keeps every block
+   line-aligned — a property the write-back machinery relies on. *)
+
+let classes = [| 64; 128; 256; 512; 1024; 2048; 4096; 8192 |]
+let count = Array.length classes
+let max_size = classes.(count - 1)
+
+(* Smallest class index whose blocks fit [size] bytes. *)
+let index_of size =
+  if size <= 0 || size > max_size then
+    invalid_arg (Printf.sprintf "Size_class.index_of: size %d out of range" size);
+  let rec find i = if classes.(i) >= size then i else find (i + 1) in
+  find 0
+
+let size_of idx = classes.(idx)

@@ -1,0 +1,1 @@
+lib/util/padded.ml: Array Atomic

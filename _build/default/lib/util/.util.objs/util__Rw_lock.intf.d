@@ -1,0 +1,1 @@
+lib/util/rw_lock.mli:

@@ -1,0 +1,1 @@
+lib/util/spin_wait.ml: Int64 Unix

@@ -1,0 +1,23 @@
+(* Spin-then-yield backoff.
+
+   [Domain.cpu_relax] lowers pipeline pressure but never yields the OS
+   thread, so on a machine with fewer cores than domains a pure spin
+   loop starves the domain it is waiting on for a full scheduler
+   timeslice.  After a short spinning phase we therefore sleep for a
+   microsecond, which yields the core.  All spin loops in this
+   repository go through here. *)
+
+type t = { mutable spins : int }
+
+let spin_limit = 64
+
+let create () = { spins = 0 }
+
+let once b =
+  if b.spins < spin_limit then begin
+    b.spins <- b.spins + 1;
+    Domain.cpu_relax ()
+  end
+  else Unix.sleepf 1e-6
+
+let reset b = b.spins <- 0

@@ -1,0 +1,12 @@
+(** Spin-then-yield backoff for wait loops: a short [Domain.cpu_relax]
+    phase, then microsecond sleeps that actually yield the core —
+    essential when domains outnumber cores. *)
+
+type t
+
+val create : unit -> t
+
+(** One wait step; escalates from pipeline-relax to an OS yield. *)
+val once : t -> unit
+
+val reset : t -> unit

@@ -1,0 +1,43 @@
+(* Log-scale latency histogram: 64 power-of-two buckets of nanoseconds.
+   Single-writer; benchmark threads keep one each and merge at the end. *)
+
+type t = { buckets : int array; mutable count : int; mutable sum : int }
+
+let create () = { buckets = Array.make 64 0; count = 0; sum = 0 }
+
+let bucket_of ns =
+  if ns <= 0 then 0
+  else
+    let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
+    min 63 (log2 ns 0)
+
+let record t ns =
+  t.buckets.(bucket_of ns) <- t.buckets.(bucket_of ns) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + ns
+
+let merge_into ~dst src =
+  Array.iteri (fun i v -> dst.buckets.(i) <- dst.buckets.(i) + v) src.buckets;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum
+
+let count t = t.count
+let mean_ns t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+(* Upper bound of the bucket containing the q-quantile (q in [0,1]). *)
+let quantile_ns t q =
+  if t.count = 0 then 0
+  else begin
+    let target = int_of_float (q *. float_of_int t.count) in
+    let seen = ref 0 and result = ref 0 in
+    (try
+       for i = 0 to 63 do
+         seen := !seen + t.buckets.(i);
+         if !seen > target then begin
+           result := 1 lsl i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end

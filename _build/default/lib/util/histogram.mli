@@ -1,0 +1,14 @@
+(** Log-scale latency histogram: 64 power-of-two nanosecond buckets.
+    Single-writer; merge per-thread instances at the end of a run. *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+val merge_into : dst:t -> t -> unit
+val count : t -> int
+val mean_ns : t -> float
+
+(** Upper bound of the bucket containing the [q]-quantile, [q] in
+    [0, 1]. *)
+val quantile_ns : t -> float -> int

@@ -1,0 +1,26 @@
+(* False-sharing avoidance for arrays of per-thread counters.
+
+   OCaml boxes each [int Atomic.t] separately, but consecutive
+   allocations still land on the same cache lines.  [Padded.int_array]
+   spaces logical slots [stride] words apart inside one atomic-int
+   array, so two threads' hot counters never share a line. *)
+
+let stride = 16 (* 16 words = 128 B: a line pair, covering prefetchers *)
+
+type counters = { cells : int Atomic.t array }
+
+let make_counters n =
+  { cells = Array.init (n * stride) (fun _ -> Atomic.make 0) }
+
+let get c i = Atomic.get c.cells.(i * stride)
+let set c i v = Atomic.set c.cells.(i * stride) v
+let incr c i = ignore (Atomic.fetch_and_add c.cells.(i * stride) 1)
+let add c i v = ignore (Atomic.fetch_and_add c.cells.(i * stride) v)
+
+let sum c =
+  let n = Array.length c.cells / stride in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    total := !total + get c i
+  done;
+  !total

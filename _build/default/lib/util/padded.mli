@@ -1,0 +1,11 @@
+(** False-sharing avoidance: logical atomic-int slots spaced far enough
+    apart that two threads' hot counters never share a cache line. *)
+
+type counters
+
+val make_counters : int -> counters
+val get : counters -> int -> int
+val set : counters -> int -> int -> unit
+val incr : counters -> int -> unit
+val add : counters -> int -> int -> unit
+val sum : counters -> int

@@ -1,0 +1,62 @@
+(* Reader-writer lock built on a mutex and condition variable.
+
+   Like Spin_lock, this blocks rather than spins: with more domains
+   than cores, a spinning writer starves the readers it is waiting out.
+   Writer preference is not enforced — at benchmark read/write ratios
+   this is immaterial. *)
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable readers : int; (* -1 = writer holds it *)
+}
+
+let create () = { mutex = Mutex.create (); cond = Condition.create (); readers = 0 }
+
+let read_acquire t =
+  Mutex.lock t.mutex;
+  while t.readers < 0 do
+    Condition.wait t.cond t.mutex
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mutex
+
+let read_release t =
+  Mutex.lock t.mutex;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let write_acquire t =
+  Mutex.lock t.mutex;
+  while t.readers <> 0 do
+    Condition.wait t.cond t.mutex
+  done;
+  t.readers <- -1;
+  Mutex.unlock t.mutex
+
+let write_release t =
+  Mutex.lock t.mutex;
+  t.readers <- 0;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let with_read t f =
+  read_acquire t;
+  match f () with
+  | v ->
+      read_release t;
+      v
+  | exception e ->
+      read_release t;
+      raise e
+
+let with_write t f =
+  write_acquire t;
+  match f () with
+  | v ->
+      write_release t;
+      v
+  | exception e ->
+      write_release t;
+      raise e

@@ -1,0 +1,12 @@
+(** Reader-writer lock (mutex + condition variable; blocking, not
+    spinning).  No writer preference. *)
+
+type t
+
+val create : unit -> t
+val read_acquire : t -> unit
+val read_release : t -> unit
+val write_acquire : t -> unit
+val write_release : t -> unit
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a

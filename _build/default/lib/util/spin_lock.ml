@@ -1,0 +1,28 @@
+(* Mutual-exclusion lock for short critical sections.
+
+   Implemented over an OS mutex rather than a pure TTAS spin: with more
+   domains than cores (this container has one core), a spinning waiter
+   burns the very timeslice the lock holder needs, stalling every
+   structure for milliseconds per preemption.  Blocking in the kernel
+   hands the core straight back to the holder.  [try_acquire] keeps the
+   one-CAS-equivalent fast path for callers that poll.
+
+   The module keeps its historical name; call sites are agnostic. *)
+
+type t = { mutex : Mutex.t }
+
+let create () = { mutex = Mutex.create () }
+
+let acquire t = Mutex.lock t.mutex
+let try_acquire t = Mutex.try_lock t.mutex
+let release t = Mutex.unlock t.mutex
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | v ->
+      Mutex.unlock t.mutex;
+      v
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e

@@ -1,0 +1,15 @@
+(** Mutual-exclusion lock for short critical sections.
+
+    Backed by an OS mutex rather than a pure spin: with more domains
+    than cores a spinning waiter burns the timeslice the holder needs.
+    The module keeps its historical name; call sites are agnostic. *)
+
+type t
+
+val create : unit -> t
+val acquire : t -> unit
+val try_acquire : t -> bool
+val release : t -> unit
+
+(** Run [f] holding the lock; released on return or raise. *)
+val with_lock : t -> (unit -> 'a) -> 'a

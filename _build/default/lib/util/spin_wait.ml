@@ -1,0 +1,45 @@
+(* Calibrated busy-wait with nanosecond resolution.
+
+   The NVM latency model charges ~100 ns per write-back; a clock-reading
+   loop at that scale would measure mostly its own overhead, so we
+   calibrate how many arithmetic iterations one nanosecond costs at
+   startup and spin for the requested count.  Calibration uses
+   [Unix.gettimeofday] over a long-enough window to be accurate. *)
+
+let clock_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* A side-effecting loop the compiler cannot remove. *)
+let sink = ref 0
+
+let burn iterations =
+  let acc = ref !sink in
+  for i = 1 to iterations do
+    acc := (!acc * 0x9E3779B1) + i
+  done;
+  sink := !acc
+
+let iters_per_ns = ref 0.0
+
+let calibrate () =
+  let trial iterations =
+    let t0 = clock_ns () in
+    burn iterations;
+    let t1 = clock_ns () in
+    Int64.to_int (Int64.sub t1 t0)
+  in
+  (* warm up, then average three calibration runs of ~5 ms each *)
+  ignore (trial 100_000);
+  let iterations = 5_000_000 in
+  let total = trial iterations + trial iterations + trial iterations in
+  let ns = max 1 (total / 3) in
+  iters_per_ns := float_of_int iterations /. float_of_int ns
+
+let () = calibrate ()
+
+let ns n =
+  if n > 0 then burn (int_of_float (float_of_int n *. !iters_per_ns))
+
+(* Monotonic-ish wall clock for throughput measurement (microsecond
+   resolution is ample for multi-second benchmark windows). *)
+let now_ns = clock_ns
+let now_s () = Unix.gettimeofday ()

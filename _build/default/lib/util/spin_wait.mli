@@ -1,0 +1,12 @@
+(** Calibrated busy-wait with nanosecond resolution, used to realize
+    the NVM latency model as real elapsed time.  Calibrated once at
+    startup. *)
+
+(** Burn approximately [n] nanoseconds of CPU. *)
+val ns : int -> unit
+
+(** Wall clock in nanoseconds (microsecond resolution). *)
+val now_ns : unit -> int64
+
+(** Wall clock in seconds. *)
+val now_s : unit -> float

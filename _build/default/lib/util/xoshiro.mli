@@ -1,0 +1,22 @@
+(** Xoshiro256** pseudo-random generator (Blackman & Vigna):
+    deterministic, fast, and splittable, so each benchmark thread gets
+    an independent reproducible stream.  Not cryptographic. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Non-negative int in [0, 2^62). *)
+val next_int : t -> int
+
+(** Uniform in [0, bound).  @raise Invalid_argument when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Derive an independent stream. *)
+val split : t -> t

@@ -1,0 +1,62 @@
+(* Zipfian sampler following the YCSB core-workload generator
+   (Gray et al.'s algorithm).  Sampling is O(1) after an O(n) zeta
+   precomputation, and the distribution can optionally be scrambled with
+   an FNV hash so that hot keys are scattered across the key space, as
+   YCSB does. *)
+
+type t = {
+  items : int;
+  theta : float;
+  zetan : float;
+  zeta2 : float;
+  alpha : float;
+  eta : float;
+  scrambled : bool;
+}
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !sum
+
+let create ?(theta = 0.99) ?(scrambled = true) items =
+  if items <= 0 then invalid_arg "Zipf.create: items must be positive";
+  let zetan = zeta items theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int items) (1.0 -. theta))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { items; theta; zetan; zeta2; alpha; eta; scrambled }
+
+let fnv_hash64 v =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  let v = ref (Int64.of_int v) in
+  for _ = 0 to 7 do
+    let octet = Int64.logand !v 0xFFL in
+    h := Int64.mul (Int64.logxor !h octet) prime;
+    v := Int64.shift_right_logical !v 8
+  done;
+  (* shift by 2 so the result fits OCaml's 63-bit int non-negatively *)
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+let sample t rng =
+  let u = Xoshiro.float rng in
+  let uz = u *. t.zetan in
+  let rank =
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+    else
+      int_of_float
+        (float_of_int t.items
+        *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)
+  in
+  let rank = if rank >= t.items then t.items - 1 else rank in
+  if t.scrambled then fnv_hash64 rank mod t.items else rank
+
+(* Uniform sampler with the same interface, for mixed workloads. *)
+let uniform items rng = Xoshiro.int rng items

@@ -1,0 +1,15 @@
+(** Zipfian sampler following the YCSB core-workload generator:
+    O(1) sampling after an O(n) zeta precomputation, optionally
+    scrambled so hot keys scatter across the key space. *)
+
+type t
+
+(** [create ?theta ?scrambled items].  [theta] defaults to YCSB's
+    0.99; [scrambled] (default true) FNV-hashes ranks. *)
+val create : ?theta:float -> ?scrambled:bool -> int -> t
+
+(** A sample in [0, items). *)
+val sample : t -> Xoshiro.t -> int
+
+(** Uniform sampler with the same interface. *)
+val uniform : int -> Xoshiro.t -> int

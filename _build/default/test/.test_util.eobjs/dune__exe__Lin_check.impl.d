@@ -1,0 +1,1 @@
+test/lin_check.ml: Array Atomic Bytes Hashtbl List

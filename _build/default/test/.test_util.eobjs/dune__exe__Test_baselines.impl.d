@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Domain List Nvm Option Printf

@@ -1,0 +1,1 @@
+test/test_everify.ml: Alcotest Array Atomic Domain Montage Nvm QCheck QCheck_alcotest Unix

@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Array Baselines Domain Kvstore Montage Nvm Printf Pstructs String Util

@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Alcotest Array Atomic Domain Lin_check List Montage Nvm Printf Pstructs Unix Util

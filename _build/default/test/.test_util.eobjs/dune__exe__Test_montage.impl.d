@@ -1,0 +1,1 @@
+test/test_montage.ml: Alcotest Array Bytes Domain Hashtbl List Montage Nvm Printf QCheck QCheck_alcotest Ralloc Util

@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Hashtbl List Nvm QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_ordered.ml: Alcotest Array Atomic Domain Hashtbl List Montage Nvm Printf Pstructs QCheck QCheck_alcotest String Unix Util

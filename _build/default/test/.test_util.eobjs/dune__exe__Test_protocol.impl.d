@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Baselines Kvstore Montage Nvm Printf Pstructs Scanf String

@@ -1,0 +1,1 @@
+test/test_pstructs.ml: Alcotest Array Atomic Domain Hashtbl List Montage Nvm Option Printf Pstructs QCheck QCheck_alcotest Scanf String Unix Util

@@ -1,0 +1,1 @@
+test/test_ralloc.ml: Alcotest Array Domain Hashtbl List Nvm QCheck QCheck_alcotest Ralloc Util

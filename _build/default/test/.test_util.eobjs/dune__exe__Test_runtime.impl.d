@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Atomic Domain List Montage Nvm QCheck QCheck_alcotest String Unix

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Domain Hashtbl Int64 List QCheck QCheck_alcotest Util

@@ -1,0 +1,128 @@
+(* A small Wing–Gong linearizability checker.
+
+   Concurrent test drivers record each operation's invocation and
+   response instants (global atomic stamps); the checker then searches
+   for a linearization: a total order of operations that (a) respects
+   real-time precedence (op A's response before op B's invocation
+   forces A before B) and (b) is legal for a sequential model of the
+   abstraction.
+
+   Exponential in the worst case, fine for the small windows the tests
+   generate (dozens of overlapping ops).  This is the same criterion
+   the paper's §4 proofs target, checked mechanically on real
+   executions of the nonblocking structures. *)
+
+type ('op, 'res) event = {
+  op : 'op;
+  result : 'res;
+  invoked : int;
+  responded : int;
+}
+
+(* Global stamp source for drivers. *)
+let clock = Atomic.make 0
+let stamp () = Atomic.fetch_and_add clock 1
+let reset_clock () = Atomic.set clock 0
+
+(* Record one operation: stamps around the call. *)
+let record op f =
+  let invoked = stamp () in
+  let result = f () in
+  let responded = stamp () in
+  { op; result; invoked; responded }
+
+(* A sequential specification: apply an op to a model state, returning
+   the expected result and the new state.  States must be comparable
+   for the memoization cut. *)
+type ('st, 'op, 'res) spec = { initial : 'st; apply : 'st -> 'op -> 'res * 'st }
+
+(* Is there a linearization of [events] legal for [spec]?  Classic
+   backtracking: at each step, try every minimal (by real-time order)
+   pending event whose result matches the model. *)
+let check spec events =
+  let events = Array.of_list events in
+  let n = Array.length events in
+  let taken = Array.make n false in
+  (* memoize failed (taken-set, state) configurations *)
+  let failed = Hashtbl.create 1024 in
+  let key state =
+    let b = Bytes.create n in
+    for i = 0 to n - 1 do
+      Bytes.set b i (if taken.(i) then '1' else '0')
+    done;
+    (Bytes.to_string b, state)
+  in
+  (* event i is minimal if no un-taken event responded before i's
+     invocation *)
+  let minimal i =
+    let ok = ref true in
+    for j = 0 to n - 1 do
+      if (not taken.(j)) && j <> i && events.(j).responded < events.(i).invoked then ok := false
+    done;
+    !ok
+  in
+  let rec search state depth =
+    if depth = n then true
+    else if Hashtbl.mem failed (key state) then false
+    else begin
+      let found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i < n do
+        let e = events.(!i) in
+        if (not taken.(!i)) && minimal !i then begin
+          let expected, state' = spec.apply state e.op in
+          if expected = e.result then begin
+            taken.(!i) <- true;
+            if search state' (depth + 1) then found := true;
+            taken.(!i) <- false
+          end
+        end;
+        incr i
+      done;
+      if not !found then Hashtbl.replace failed (key state) ();
+      !found
+    end
+  in
+  search spec.initial 0
+
+(* ---- ready-made specs ---- *)
+
+type stack_op = Push of string | Pop
+type queue_op = Enq of string | Deq
+type set_op = Add of string | Remove of string | Contains of string
+
+(* Results are encoded as [string option] for pop/deq, [bool] for set
+   ops; pushes return [None]/[true] markers chosen by the drivers. *)
+
+let stack_spec : (string list, stack_op, string option) spec =
+  {
+    initial = [];
+    apply =
+      (fun st op ->
+        match (op, st) with
+        | Push v, _ -> (None, v :: st)
+        | Pop, [] -> (None, [])
+        | Pop, x :: rest -> (Some x, rest));
+  }
+
+let queue_spec : (string list, queue_op, string option) spec =
+  {
+    initial = [];
+    apply =
+      (fun st op ->
+        match (op, st) with
+        | Enq v, _ -> (None, st @ [ v ])
+        | Deq, [] -> (None, [])
+        | Deq, x :: rest -> (Some x, rest));
+  }
+
+let set_spec : (string list, set_op, bool) spec =
+  {
+    initial = [];
+    apply =
+      (fun st op ->
+        match op with
+        | Add v -> if List.mem v st then (false, st) else (true, v :: st)
+        | Remove v -> if List.mem v st then (true, List.filter (( <> ) v) st) else (false, st)
+        | Contains v -> (List.mem v st, st));
+  }

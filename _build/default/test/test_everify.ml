@@ -1,0 +1,135 @@
+(* Tests for the epoch-verified CAS (DCSS) primitives that Montage's
+   nonblocking structures build on (§3.2–3.3). *)
+
+module E = Montage.Epoch_sys
+module V = Montage.Everify
+module Cfg = Montage.Config
+
+let testing_cfg = { Cfg.testing with max_threads = 4 }
+
+let make () =
+  let region = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:8 ~capacity:(1 lsl 20) () in
+  E.create ~config:testing_cfg region
+
+let test_cas_verify_same_epoch_succeeds () =
+  let esys = make () in
+  let cell = V.make 1 in
+  E.begin_op esys ~tid:0;
+  Alcotest.(check bool) "succeeds" true (V.cas_verify esys ~tid:0 cell ~expect:1 ~desired:2);
+  Alcotest.(check int) "value installed" 2 (V.load_verify esys cell);
+  E.end_op esys ~tid:0
+
+let test_cas_verify_wrong_expect_fails () =
+  let esys = make () in
+  let cell = V.make 1 in
+  E.begin_op esys ~tid:0;
+  Alcotest.(check bool) "fails" false (V.cas_verify esys ~tid:0 cell ~expect:9 ~desired:2);
+  Alcotest.(check int) "unchanged" 1 (V.load_verify esys cell);
+  E.end_op esys ~tid:0
+
+let test_cas_verify_fails_after_epoch_advance () =
+  let esys = make () in
+  let cell = V.make 1 in
+  E.begin_op esys ~tid:0;
+  (* the clock moves while the op is pending: the DCSS must fail even
+     though the cell value still matches *)
+  E.advance_epoch esys ~tid:1;
+  Alcotest.(check bool) "fails on stale epoch" false
+    (V.cas_verify esys ~tid:0 cell ~expect:1 ~desired:2);
+  Alcotest.(check int) "value untouched" 1 (V.load_verify esys cell);
+  E.end_op esys ~tid:0
+
+let test_cas_verify_outside_op_rejected () =
+  let esys = make () in
+  let cell = V.make 1 in
+  Alcotest.check_raises "requires an operation"
+    (Invalid_argument "Everify.cas_verify outside an operation") (fun () ->
+      ignore (V.cas_verify esys ~tid:0 cell ~expect:1 ~desired:2))
+
+let test_load_verify_helps_descriptor () =
+  (* install a descriptor whose epoch is stale; a load must resolve it
+     (to failure) and return the original value without hanging *)
+  let esys = make () in
+  let cell = V.make 10 in
+  E.begin_op esys ~tid:0;
+  E.advance_epoch esys ~tid:1;
+  ignore (V.cas_verify esys ~tid:0 cell ~expect:10 ~desired:99);
+  E.end_op esys ~tid:0;
+  Alcotest.(check int) "reverted by helpers" 10 (V.load_verify esys cell)
+
+let test_plain_cas () =
+  let esys = make () in
+  let cell = V.make 5 in
+  Alcotest.(check bool) "cas ok" true (V.cas esys cell ~expect:5 ~desired:6);
+  Alcotest.(check bool) "cas stale" false (V.cas esys cell ~expect:5 ~desired:7);
+  Alcotest.(check int) "final" 6 (V.load_verify esys cell)
+
+let test_peek_never_blocks () =
+  let cell = V.make "x" in
+  Alcotest.(check string) "peek" "x" (V.peek cell)
+
+let test_concurrent_counter_linearizes () =
+  (* N domains increment an epoch-verified counter; with a concurrent
+     epoch ticker forcing retries, the final count must still be exact *)
+  let esys = make () in
+  let cell = V.make 0 in
+  let per = 300 in
+  let stop = Atomic.make false in
+  let ticker =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          E.advance_epoch esys ~tid:3;
+          Unix.sleepf 2e-4
+        done)
+  in
+  let incr_worker tid () =
+    for _ = 1 to per do
+      let rec attempt () =
+        E.begin_op esys ~tid;
+        let v = V.load_verify esys cell in
+        let ok = V.cas_verify esys ~tid cell ~expect:v ~desired:(v + 1) in
+        E.end_op esys ~tid;
+        if not ok then attempt ()
+      in
+      attempt ()
+    done
+  in
+  let ds = Array.init 2 (fun tid -> Domain.spawn (incr_worker tid)) in
+  Array.iter Domain.join ds;
+  Atomic.set stop true;
+  Domain.join ticker;
+  Alcotest.(check int) "exact count under epoch churn" (2 * per) (V.load_verify esys cell)
+
+let qcheck_dcss_respects_epoch =
+  QCheck.Test.make ~name:"cas_verify succeeds iff value matches and epoch unchanged" ~count:200
+    QCheck.(triple bool bool small_int)
+    (fun (advance, wrong_expect, seed) ->
+      ignore seed;
+      let esys = make () in
+      let cell = V.make 7 in
+      E.begin_op esys ~tid:0;
+      if advance then E.advance_epoch esys ~tid:1;
+      let expect = if wrong_expect then 8 else 7 in
+      let result = V.cas_verify esys ~tid:0 cell ~expect ~desired:42 in
+      E.end_op esys ~tid:0;
+      let should_succeed = (not advance) && not wrong_expect in
+      result = should_succeed
+      && V.load_verify esys cell = (if should_succeed then 42 else 7))
+
+let () =
+  Alcotest.run "everify"
+    [
+      ( "dcss",
+        [
+          Alcotest.test_case "same epoch succeeds" `Quick test_cas_verify_same_epoch_succeeds;
+          Alcotest.test_case "wrong expect fails" `Quick test_cas_verify_wrong_expect_fails;
+          Alcotest.test_case "stale epoch fails" `Quick test_cas_verify_fails_after_epoch_advance;
+          Alcotest.test_case "outside op rejected" `Quick test_cas_verify_outside_op_rejected;
+          Alcotest.test_case "load helps descriptor" `Quick test_load_verify_helps_descriptor;
+          Alcotest.test_case "plain cas" `Quick test_plain_cas;
+          Alcotest.test_case "peek" `Quick test_peek_never_blocks;
+          QCheck_alcotest.to_alcotest qcheck_dcss_respects_epoch;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "counter under epoch churn" `Quick test_concurrent_counter_linearizes ] );
+    ]

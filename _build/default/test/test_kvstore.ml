@@ -1,0 +1,199 @@
+(* Tests for the memcached-like store and the YCSB workload generator. *)
+
+module E = Montage.Epoch_sys
+module Cfg = Montage.Config
+module Store = Kvstore.Store
+module Ycsb = Kvstore.Ycsb
+
+let testing_cfg = { Cfg.testing with max_threads = 4 }
+
+let make_montage_store () =
+  let region = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:8 ~capacity:(1 lsl 24) () in
+  let esys = E.create ~config:testing_cfg region in
+  let map = Pstructs.Mhashmap.create ~buckets:256 esys in
+  let store = Store.create (Store.of_mhashmap map) in
+  (region, esys, map, store)
+
+let make_dram_store () =
+  let map = Baselines.Transient_map.create ~buckets:256 Baselines.Transient_map.Dram in
+  Store.create (Store.of_transient_map map)
+
+(* ---- memcached semantics ---- *)
+
+let test_set_get_delete () =
+  let store = make_dram_store () in
+  Alcotest.(check (option string)) "miss" None (Store.get store ~tid:0 "k");
+  Store.set store ~tid:0 "k" "v";
+  Alcotest.(check (option string)) "hit" (Some "v") (Store.get store ~tid:0 "k");
+  Alcotest.(check bool) "delete" true (Store.delete store ~tid:0 "k");
+  Alcotest.(check bool) "delete again" false (Store.delete store ~tid:0 "k");
+  Alcotest.(check (option string)) "gone" None (Store.get store ~tid:0 "k")
+
+let test_flags_and_cas_ids () =
+  let store = make_dram_store () in
+  Store.set store ~tid:0 ~flags:42 "k" "v";
+  (match Store.get_full store ~tid:0 "k" with
+  | Some (data, flags, cas1) ->
+      Alcotest.(check string) "data" "v" data;
+      Alcotest.(check int) "flags" 42 flags;
+      Store.set store ~tid:0 "k" "v2";
+      (match Store.get_full store ~tid:0 "k" with
+      | Some (_, _, cas2) -> Alcotest.(check bool) "cas id advances" true (cas2 > cas1)
+      | None -> Alcotest.fail "expected hit")
+  | None -> Alcotest.fail "expected hit")
+
+let test_add_replace () =
+  let store = make_dram_store () in
+  Alcotest.(check bool) "add new" true (Store.add store ~tid:0 "k" "v1");
+  Alcotest.(check bool) "add existing" false (Store.add store ~tid:0 "k" "v2");
+  Alcotest.(check (option string)) "still v1" (Some "v1") (Store.get store ~tid:0 "k");
+  Alcotest.(check bool) "replace existing" true (Store.replace store ~tid:0 "k" "v3");
+  Alcotest.(check bool) "replace missing" false (Store.replace store ~tid:0 "nope" "x");
+  Alcotest.(check (option string)) "now v3" (Some "v3") (Store.get store ~tid:0 "k")
+
+let test_incr_decr () =
+  let store = make_dram_store () in
+  Store.set store ~tid:0 "n" "10";
+  Alcotest.(check (option int)) "incr" (Some 15) (Store.incr store ~tid:0 "n" 5);
+  Alcotest.(check (option int)) "decr" (Some 3) (Store.decr store ~tid:0 "n" 12);
+  Alcotest.(check (option int)) "decr saturates at 0" (Some 0) (Store.decr store ~tid:0 "n" 100);
+  Alcotest.(check (option int)) "missing" None (Store.incr store ~tid:0 "missing" 1);
+  Store.set store ~tid:0 "s" "not-a-number";
+  Alcotest.(check (option int)) "non-numeric" None (Store.incr store ~tid:0 "s" 1)
+
+let test_ttl_expiry () =
+  let store = make_dram_store () in
+  let now = ref 1000.0 in
+  Store.set_clock store (fun () -> !now);
+  Store.set store ~tid:0 ~ttl_s:5.0 "session" "data";
+  Alcotest.(check (option string)) "alive" (Some "data") (Store.get store ~tid:0 "session");
+  now := 1006.0;
+  Alcotest.(check (option string)) "expired" None (Store.get store ~tid:0 "session");
+  let _, _, _, _, expired = Store.stats store in
+  Alcotest.(check int) "expiry counted" 1 expired
+
+let test_stats_counting () =
+  let store = make_dram_store () in
+  Store.set store ~tid:0 "a" "1";
+  ignore (Store.get store ~tid:0 "a");
+  ignore (Store.get store ~tid:0 "zzz");
+  ignore (Store.delete store ~tid:0 "a");
+  let hits, misses, sets, deletes, _ = Store.stats store in
+  Alcotest.(check int) "hits" 1 hits;
+  Alcotest.(check int) "misses" 1 misses;
+  Alcotest.(check int) "sets" 1 sets;
+  Alcotest.(check int) "deletes" 1 deletes
+
+let test_store_crash_recovery () =
+  let region, esys, _map, store = make_montage_store () in
+  for i = 1 to 50 do
+    Store.set store ~tid:0 (Printf.sprintf "key%d" i) (Printf.sprintf "val%d" i)
+  done;
+  E.sync esys ~tid:0;
+  Store.set store ~tid:0 "late" "lost";
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let map2 = Pstructs.Mhashmap.recover ~buckets:256 esys2 payloads in
+  let store2 = Store.create (Store.of_mhashmap map2) in
+  Alcotest.(check (option string)) "synced item survives with metadata" (Some "val33")
+    (Store.get store2 ~tid:0 "key33");
+  Alcotest.(check (option string)) "unsynced item lost" None (Store.get store2 ~tid:0 "late")
+
+let test_store_concurrent () =
+  let _, _, _, store = make_montage_store () in
+  let per = 200 in
+  let domains =
+    Array.init 3 (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Store.set store ~tid (Printf.sprintf "t%d-%d" tid i) "x"
+            done))
+  in
+  Array.iter Domain.join domains;
+  let _, _, sets, _, _ = Store.stats store in
+  Alcotest.(check int) "all sets counted" (3 * per) sets
+
+(* ---- YCSB ---- *)
+
+let test_ycsb_mix_a () =
+  let wl = Ycsb.create (Ycsb.workload_a ~records:100 ~value_size:16 ()) in
+  let rng = Util.Xoshiro.create 1 in
+  let reads = ref 0 and updates = ref 0 and others = ref 0 in
+  for _ = 1 to 10_000 do
+    match Ycsb.next wl rng with
+    | Ycsb.Read _ -> incr reads
+    | Ycsb.Update _ -> incr updates
+    | Ycsb.Insert _ | Ycsb.Rmw _ -> incr others
+  done;
+  Alcotest.(check bool) "~50% reads" true (!reads > 4500 && !reads < 5500);
+  Alcotest.(check bool) "~50% updates" true (!updates > 4500 && !updates < 5500);
+  Alcotest.(check int) "no other ops in A" 0 !others
+
+let test_ycsb_mix_c_read_only () =
+  let wl = Ycsb.create (Ycsb.workload_c ~records:100 ~value_size:16 ()) in
+  let rng = Util.Xoshiro.create 2 in
+  for _ = 1 to 1000 do
+    match Ycsb.next wl rng with
+    | Ycsb.Read _ -> ()
+    | _ -> Alcotest.fail "workload C must be read-only"
+  done
+
+let test_ycsb_keys_in_range () =
+  let records = 500 in
+  let wl = Ycsb.create (Ycsb.workload_b ~records ~value_size:16 ()) in
+  let rng = Util.Xoshiro.create 3 in
+  for _ = 1 to 2000 do
+    match Ycsb.next wl rng with
+    | Ycsb.Read key | Ycsb.Update (key, _) ->
+        Alcotest.(check bool) "user-prefixed" true (String.length key = 23);
+        let id = int_of_string (String.sub key 4 19) in
+        Alcotest.(check bool) "record id in range" true (id >= 0 && id < records)
+    | _ -> ()
+  done
+
+let test_ycsb_values_sized () =
+  let wl = Ycsb.create (Ycsb.workload_a ~records:10 ~value_size:77 ()) in
+  let rng = Util.Xoshiro.create 4 in
+  let rec find_update n =
+    if n = 0 then Alcotest.fail "no update drawn"
+    else
+      match Ycsb.next wl rng with
+      | Ycsb.Update (_, v) -> Alcotest.(check int) "value size" 77 (String.length v)
+      | _ -> find_update (n - 1)
+  in
+  find_update 1000
+
+let test_ycsb_load_and_execute () =
+  let _, _, _, store = make_montage_store () in
+  let wl = Ycsb.create (Ycsb.workload_a ~records:200 ~value_size:32 ()) in
+  let rng = Util.Xoshiro.create 5 in
+  Ycsb.load wl ~set:(fun k v -> Store.set store ~tid:0 k v) rng;
+  for _ = 1 to 1000 do
+    Ycsb.execute wl ~tid:0 store (Ycsb.next wl rng)
+  done;
+  let hits, misses, _, _, _ = Store.stats store in
+  Alcotest.(check bool) "reads hit the preloaded records" true (hits > 0 && misses = 0)
+
+let () =
+  Alcotest.run "kvstore"
+    [
+      ( "memcached semantics",
+        [
+          Alcotest.test_case "set/get/delete" `Quick test_set_get_delete;
+          Alcotest.test_case "flags and cas" `Quick test_flags_and_cas_ids;
+          Alcotest.test_case "add/replace" `Quick test_add_replace;
+          Alcotest.test_case "incr/decr" `Quick test_incr_decr;
+          Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
+          Alcotest.test_case "stats" `Quick test_stats_counting;
+          Alcotest.test_case "crash recovery" `Quick test_store_crash_recovery;
+          Alcotest.test_case "concurrent" `Quick test_store_concurrent;
+        ] );
+      ( "ycsb",
+        [
+          Alcotest.test_case "workload A mix" `Quick test_ycsb_mix_a;
+          Alcotest.test_case "workload C read-only" `Quick test_ycsb_mix_c_read_only;
+          Alcotest.test_case "keys in range" `Quick test_ycsb_keys_in_range;
+          Alcotest.test_case "value sizes" `Quick test_ycsb_values_sized;
+          Alcotest.test_case "load and execute" `Quick test_ycsb_load_and_execute;
+        ] );
+    ]

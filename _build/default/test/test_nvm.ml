@@ -1,0 +1,183 @@
+(* Tests for the simulated NVM region: store/load, write-back + fence
+   semantics, crash behaviour, and injection modes. *)
+
+let make_region ?(capacity = 1 lsl 16) () =
+  Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:4 ~capacity ()
+
+let test_write_read_roundtrip () =
+  let r = make_region () in
+  Nvm.Region.write_string r ~off:100 "hello, montage";
+  Alcotest.(check string) "roundtrip" "hello, montage" (Nvm.Region.read_string r ~off:100 ~len:14)
+
+let test_scalar_accessors () =
+  let r = make_region () in
+  Nvm.Region.set_i64 r ~off:0 123456789;
+  Nvm.Region.set_i32 r ~off:8 4242;
+  Nvm.Region.set_u8 r ~off:12 77;
+  Alcotest.(check int) "i64" 123456789 (Nvm.Region.get_i64 r ~off:0);
+  Alcotest.(check int) "i32" 4242 (Nvm.Region.get_i32 r ~off:8);
+  Alcotest.(check int) "u8" 77 (Nvm.Region.get_u8 r ~off:12)
+
+let test_out_of_bounds_rejected () =
+  let r = make_region ~capacity:1024 () in
+  Alcotest.check_raises "write past end" (Invalid_argument "Region: access [1020, 1028) outside capacity 1024")
+    (fun () -> Nvm.Region.set_i64 r ~off:1020 1)
+
+let test_unflushed_lost_on_crash () =
+  let r = make_region () in
+  Nvm.Region.write_string r ~off:0 "will vanish";
+  Nvm.Region.crash r;
+  Alcotest.(check string) "zeroed after crash" (String.make 11 '\000')
+    (Nvm.Region.read_string r ~off:0 ~len:11)
+
+let test_flushed_unfenced_lost_by_default () =
+  let r = make_region () in
+  Nvm.Region.write_string r ~off:0 "no fence";
+  Nvm.Region.writeback r ~tid:0 ~off:0 ~len:8;
+  Nvm.Region.crash r;
+  Alcotest.(check string) "lost without fence" (String.make 8 '\000')
+    (Nvm.Region.read_string r ~off:0 ~len:8)
+
+let test_persisted_survives_crash () =
+  let r = make_region () in
+  Nvm.Region.write_string r ~off:64 "durable!";
+  Nvm.Region.persist r ~tid:0 ~off:64 ~len:8;
+  Nvm.Region.write_string r ~off:256 "ephemeral";
+  Nvm.Region.crash r;
+  Alcotest.(check string) "fenced line survives" "durable!" (Nvm.Region.read_string r ~off:64 ~len:8);
+  Alcotest.(check string) "unfenced line lost" (String.make 9 '\000')
+    (Nvm.Region.read_string r ~off:256 ~len:9)
+
+let test_fence_is_per_thread () =
+  let r = make_region () in
+  Nvm.Region.write_string r ~off:0 "thread0!";
+  Nvm.Region.writeback r ~tid:0 ~off:0 ~len:8;
+  (* thread 1 fences; thread 0's queue must remain pending *)
+  Nvm.Region.sfence r ~tid:1;
+  Nvm.Region.crash r;
+  Alcotest.(check string) "other thread's fence does not commit" (String.make 8 '\000')
+    (Nvm.Region.read_string r ~off:0 ~len:8)
+
+let test_line_granular_persistence () =
+  let r = make_region () in
+  (* two values on the same 64 B line: persisting one persists both *)
+  Nvm.Region.set_i64 r ~off:0 11;
+  Nvm.Region.set_i64 r ~off:8 22;
+  Nvm.Region.persist r ~tid:0 ~off:0 ~len:8;
+  Nvm.Region.crash r;
+  Alcotest.(check int) "same line rides along" 22 (Nvm.Region.get_i64 r ~off:8)
+
+let test_crash_resets_queues () =
+  let r = make_region () in
+  Nvm.Region.write_string r ~off:0 "aaaa";
+  Nvm.Region.writeback r ~tid:0 ~off:0 ~len:4;
+  Nvm.Region.crash r;
+  (* queue cleared: a fence now must not commit the pre-crash line *)
+  Nvm.Region.write_string r ~off:128 "bbbb";
+  Nvm.Region.sfence r ~tid:0;
+  Nvm.Region.crash r;
+  Alcotest.(check string) "pre-crash queue dropped" (String.make 4 '\000')
+    (Nvm.Region.read_string r ~off:0 ~len:4)
+
+let test_persist_unfenced_injection () =
+  (* with persist_unfenced = 1.0, flushed-but-unfenced lines survive *)
+  let r = make_region () in
+  Nvm.Region.write_string r ~off:0 "clwbdone";
+  Nvm.Region.writeback r ~tid:0 ~off:0 ~len:8;
+  Nvm.Region.crash ~persist_unfenced:1.0 r;
+  Alcotest.(check string) "completed clwb persisted" "clwbdone"
+    (Nvm.Region.read_string r ~off:0 ~len:8)
+
+let test_evict_dirty_injection () =
+  (* with evict_dirty = 1.0, even never-flushed lines survive *)
+  let r = make_region () in
+  Nvm.Region.write_string r ~off:0 "evicted!";
+  Nvm.Region.crash ~evict_dirty:1.0 r;
+  Alcotest.(check string) "evicted line persisted" "evicted!"
+    (Nvm.Region.read_string r ~off:0 ~len:8)
+
+let test_transient_access_not_persisted () =
+  let r = make_region () in
+  Nvm.Region.transient_set_i64 r ~off:0 999;
+  Alcotest.(check int) "visible in work" 999 (Nvm.Region.transient_get_i64 r ~off:0);
+  (* even a full-line persist elsewhere must not commit it implicitly *)
+  Nvm.Region.crash ~evict_dirty:1.0 r;
+  Alcotest.(check int) "not dirty, so not evicted" 0 (Nvm.Region.transient_get_i64 r ~off:0)
+
+let test_stats_counting () =
+  let r = make_region () in
+  Nvm.Region.write_string r ~off:0 "x";
+  Nvm.Region.writeback r ~tid:0 ~off:0 ~len:1;
+  Nvm.Region.writeback r ~tid:0 ~off:128 ~len:70 (* spans 2 lines *);
+  Nvm.Region.sfence r ~tid:0;
+  let s = Nvm.Region.stats r in
+  Alcotest.(check int) "writebacks" 3 s.Nvm.Region.writebacks;
+  Alcotest.(check int) "fences" 1 s.Nvm.Region.fences;
+  Alcotest.(check int) "lines persisted" 3 s.Nvm.Region.lines_persisted
+
+let test_queue_overflow_drains () =
+  (* pushing more lines than the queue capacity must not lose data *)
+  let r = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:2 ~capacity:(1 lsl 20) () in
+  for i = 0 to 5000 do
+    Nvm.Region.set_i64 r ~off:(i * 64) i;
+    Nvm.Region.writeback r ~tid:0 ~off:(i * 64) ~len:8
+  done;
+  Nvm.Region.sfence r ~tid:0;
+  Nvm.Region.crash r;
+  let ok = ref true in
+  for i = 0 to 5000 do
+    if Nvm.Region.get_i64 r ~off:(i * 64) <> i then ok := false
+  done;
+  Alcotest.(check bool) "all 5001 lines durable" true !ok
+
+let qcheck_crash_keeps_persisted_prefix =
+  QCheck.Test.make ~name:"every fenced write survives any crash" ~count:100
+    QCheck.(pair small_int (list (pair (int_range 0 200) (int_range 0 255))))
+    (fun (seed, writes) ->
+      let r = make_region () in
+      let rng = Util.Xoshiro.create seed in
+      (* a slot's fenced value is only guaranteed if no later unfenced
+         write dirtied the line again (eviction may persist the newer
+         value, as on real hardware) *)
+      let fenced = Hashtbl.create 16 in
+      List.iter
+        (fun (slot, v) ->
+          let off = slot * 64 in
+          Nvm.Region.set_u8 r ~off v;
+          if Util.Xoshiro.bool rng then begin
+            Nvm.Region.persist r ~tid:0 ~off ~len:1;
+            Hashtbl.replace fenced slot v
+          end
+          else Hashtbl.remove fenced slot)
+        writes;
+      Nvm.Region.crash ~persist_unfenced:0.5 ~evict_dirty:0.3 ~rng r;
+      Hashtbl.fold (fun slot v acc -> acc && Nvm.Region.get_u8 r ~off:(slot * 64) = v) fenced true)
+
+let () =
+  Alcotest.run "nvm"
+    [
+      ( "data",
+        [
+          Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+          Alcotest.test_case "scalar accessors" `Quick test_scalar_accessors;
+          Alcotest.test_case "bounds checked" `Quick test_out_of_bounds_rejected;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "unflushed lost" `Quick test_unflushed_lost_on_crash;
+          Alcotest.test_case "flushed-unfenced lost" `Quick test_flushed_unfenced_lost_by_default;
+          Alcotest.test_case "persisted survives" `Quick test_persisted_survives_crash;
+          Alcotest.test_case "fence is per-thread" `Quick test_fence_is_per_thread;
+          Alcotest.test_case "line granularity" `Quick test_line_granular_persistence;
+          Alcotest.test_case "crash resets queues" `Quick test_crash_resets_queues;
+          Alcotest.test_case "queue overflow drains" `Quick test_queue_overflow_drains;
+          QCheck_alcotest.to_alcotest qcheck_crash_keeps_persisted_prefix;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "persist unfenced" `Quick test_persist_unfenced_injection;
+          Alcotest.test_case "evict dirty" `Quick test_evict_dirty_injection;
+          Alcotest.test_case "transient bypass" `Quick test_transient_access_not_persisted;
+        ] );
+      ("stats", [ Alcotest.test_case "counting" `Quick test_stats_counting ]);
+    ]

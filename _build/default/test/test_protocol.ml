@@ -1,0 +1,187 @@
+(* Tests for the memcached text-protocol codec: command parsing, data
+   blocks, pipelining, noreply, binary safety, and a full crash/recover
+   session through the wire format. *)
+
+module E = Montage.Epoch_sys
+module Cfg = Montage.Config
+module Store = Kvstore.Store
+module P = Kvstore.Protocol
+
+let testing_cfg = { Cfg.testing with max_threads = 4 }
+
+let make_conn () =
+  let map = Baselines.Transient_map.create ~buckets:64 Baselines.Transient_map.Dram in
+  let store = Store.create (Store.of_transient_map map) in
+  P.create store ~tid:0
+
+let feed_all c s = String.concat "" (P.feed c s)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+let test_set_get_roundtrip () =
+  let c = make_conn () in
+  Alcotest.(check string) "set stored" "STORED\r\n" (feed_all c "set greeting 7 0 5\r\nhello\r\n");
+  Alcotest.(check string) "get value" "VALUE greeting 7 5\r\nhello\r\nEND\r\n"
+    (feed_all c "get greeting\r\n");
+  Alcotest.(check string) "get miss" "END\r\n" (feed_all c "get nothing\r\n")
+
+let test_multi_key_get () =
+  let c = make_conn () in
+  ignore (feed_all c "set a 0 0 1\r\nA\r\n");
+  ignore (feed_all c "set b 0 0 1\r\nB\r\n");
+  Alcotest.(check string) "both values, misses skipped"
+    "VALUE a 0 1\r\nA\r\nVALUE b 0 1\r\nB\r\nEND\r\n"
+    (feed_all c "get a missing b\r\n")
+
+let test_add_replace_semantics () =
+  let c = make_conn () in
+  Alcotest.(check string) "add new" "STORED\r\n" (feed_all c "add k 0 0 2\r\nv1\r\n");
+  Alcotest.(check string) "add existing" "NOT_STORED\r\n" (feed_all c "add k 0 0 2\r\nv2\r\n");
+  Alcotest.(check string) "replace existing" "STORED\r\n" (feed_all c "replace k 0 0 2\r\nv3\r\n");
+  Alcotest.(check string) "replace missing" "NOT_STORED\r\n" (feed_all c "replace nope 0 0 1\r\nx\r\n")
+
+let test_append_prepend () =
+  let c = make_conn () in
+  ignore (feed_all c "set k 0 0 3\r\nmid\r\n");
+  Alcotest.(check string) "append" "STORED\r\n" (feed_all c "append k 0 0 4\r\n-end\r\n");
+  Alcotest.(check string) "prepend" "STORED\r\n" (feed_all c "prepend k 0 0 4\r\npre-\r\n");
+  Alcotest.(check string) "combined" "VALUE k 0 11\r\npre-mid-end\r\nEND\r\n" (feed_all c "get k\r\n");
+  Alcotest.(check string) "append missing" "NOT_STORED\r\n" (feed_all c "append nope 0 0 1\r\nx\r\n")
+
+let test_delete () =
+  let c = make_conn () in
+  ignore (feed_all c "set k 0 0 1\r\nv\r\n");
+  Alcotest.(check string) "delete" "DELETED\r\n" (feed_all c "delete k\r\n");
+  Alcotest.(check string) "delete again" "NOT_FOUND\r\n" (feed_all c "delete k\r\n")
+
+let test_incr_decr () =
+  let c = make_conn () in
+  ignore (feed_all c "set n 0 0 2\r\n10\r\n");
+  Alcotest.(check string) "incr" "15\r\n" (feed_all c "incr n 5\r\n");
+  Alcotest.(check string) "decr" "0\r\n" (feed_all c "decr n 100\r\n");
+  Alcotest.(check string) "incr missing" "NOT_FOUND\r\n" (feed_all c "incr nope 1\r\n");
+  Alcotest.(check string) "bad delta" "CLIENT_ERROR invalid numeric delta argument\r\n"
+    (feed_all c "incr n abc\r\n")
+
+let test_cas () =
+  let c = make_conn () in
+  ignore (feed_all c "set k 0 0 2\r\nv1\r\n");
+  let reply = feed_all c "gets k\r\n" in
+  (* extract the cas id from "VALUE k 0 2 <cas>" *)
+  let cas = Scanf.sscanf reply "VALUE k 0 2 %d" (fun c -> c) in
+  Alcotest.(check string) "cas match" "STORED\r\n"
+    (feed_all c (Printf.sprintf "cas k 0 0 2 %d\r\nv2\r\n" cas));
+  Alcotest.(check string) "cas stale" "EXISTS\r\n"
+    (feed_all c (Printf.sprintf "cas k 0 0 2 %d\r\nv3\r\n" cas));
+  Alcotest.(check string) "cas missing" "NOT_FOUND\r\n" (feed_all c "cas nope 0 0 1 7\r\nx\r\n")
+
+let test_binary_safe_data () =
+  let c = make_conn () in
+  (* the value contains \r\n: length-delimited framing must handle it *)
+  let payload = "a\r\nb\r\nc" in
+  Alcotest.(check string) "stored" "STORED\r\n"
+    (feed_all c (Printf.sprintf "set bin 0 0 %d\r\n%s\r\n" (String.length payload) payload));
+  Alcotest.(check string) "read back"
+    (Printf.sprintf "VALUE bin 0 %d\r\n%s\r\nEND\r\n" (String.length payload) payload)
+    (feed_all c "get bin\r\n")
+
+let test_chunked_arrival () =
+  (* one command delivered byte-by-byte across many feeds *)
+  let c = make_conn () in
+  let input = "set slow 0 0 4\r\ndata\r\nget slow\r\n" in
+  let replies = ref [] in
+  String.iter (fun ch -> replies := !replies @ P.feed c (String.make 1 ch)) input;
+  Alcotest.(check string) "both replies, correct order" "STORED\r\nVALUE slow 0 4\r\ndata\r\nEND\r\n"
+    (String.concat "" !replies)
+
+let test_pipelining () =
+  let c = make_conn () in
+  let replies =
+    P.feed c "set a 0 0 1\r\nX\r\nset b 0 0 1\r\nY\r\nget a b\r\ndelete a\r\n"
+  in
+  Alcotest.(check (list string)) "four replies in order"
+    [ "STORED\r\n"; "STORED\r\n"; "VALUE a 0 1\r\nX\r\nVALUE b 0 1\r\nY\r\nEND\r\n"; "DELETED\r\n" ]
+    replies
+
+let test_noreply () =
+  let c = make_conn () in
+  Alcotest.(check (list string)) "silent set" [] (P.feed c "set k 0 0 1 noreply\r\nv\r\n");
+  Alcotest.(check string) "it landed" "VALUE k 0 1\r\nv\r\nEND\r\n" (feed_all c "get k\r\n");
+  Alcotest.(check (list string)) "silent delete" [] (P.feed c "delete k noreply\r\n")
+
+let test_errors () =
+  let c = make_conn () in
+  Alcotest.(check string) "unknown command" "ERROR\r\n" (feed_all c "frobnicate\r\n");
+  Alcotest.(check string) "bad storage args" "CLIENT_ERROR bad command line format\r\n"
+    (feed_all c "set onlykey\r\n");
+  Alcotest.(check string) "bad data terminator" "CLIENT_ERROR bad data chunk\r\n"
+    (feed_all c "set k 0 0 2\r\nvvX\r")
+
+let test_quit_closes () =
+  let c = make_conn () in
+  Alcotest.(check (list string)) "no reply to quit" [] (P.feed c "quit\r\n");
+  Alcotest.(check bool) "closed" true (P.is_closed c);
+  Alcotest.(check (list string)) "ignores further input" [] (P.feed c "get k\r\n")
+
+let test_stats_and_version () =
+  let c = make_conn () in
+  ignore (feed_all c "set k 0 0 1\r\nv\r\n");
+  ignore (feed_all c "get k\r\n");
+  ignore (feed_all c "get miss\r\n");
+  let stats = feed_all c "stats\r\n" in
+  Alcotest.(check bool) "hit counted" true (contains stats "STAT get_hits 1");
+  Alcotest.(check bool) "miss counted" true (contains stats "STAT get_misses 1");
+  Alcotest.(check bool) "version" true (contains (feed_all c "version\r\n") "VERSION")
+
+let test_protocol_over_montage_with_crash () =
+  (* a full wire-protocol session against the persistent store, across
+     a crash: acknowledged (synced) data must answer identically *)
+  let region = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:8 ~capacity:(1 lsl 24) () in
+  let esys = E.create ~config:testing_cfg region in
+  let map = Pstructs.Mhashmap.create ~buckets:256 esys in
+  let store = Store.create (Store.of_mhashmap map) in
+  let c = P.create store ~tid:0 in
+  ignore (feed_all c "set user:1 0 0 5\r\nalice\r\n");
+  ignore (feed_all c "set hits 0 0 1\r\n0\r\n");
+  ignore (feed_all c "incr hits 41\r\n");
+  E.sync esys ~tid:0;
+  ignore (feed_all c "set user:2 0 0 3\r\nbob\r\n");
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let map2 = Pstructs.Mhashmap.recover ~buckets:256 esys2 payloads in
+  let store2 = Store.create (Store.of_mhashmap map2) in
+  let c2 = P.create store2 ~tid:0 in
+  Alcotest.(check string) "synced value over the wire" "VALUE user:1 0 5\r\nalice\r\nEND\r\n"
+    (feed_all c2 "get user:1\r\n");
+  Alcotest.(check string) "counter durable" "41\r\n" (feed_all c2 "incr hits 0\r\n");
+  Alcotest.(check string) "unsynced lost" "END\r\n" (feed_all c2 "get user:2\r\n")
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "commands",
+        [
+          Alcotest.test_case "set/get" `Quick test_set_get_roundtrip;
+          Alcotest.test_case "multi-key get" `Quick test_multi_key_get;
+          Alcotest.test_case "add/replace" `Quick test_add_replace_semantics;
+          Alcotest.test_case "append/prepend" `Quick test_append_prepend;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "incr/decr" `Quick test_incr_decr;
+          Alcotest.test_case "cas" `Quick test_cas;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "binary-safe data" `Quick test_binary_safe_data;
+          Alcotest.test_case "chunked arrival" `Quick test_chunked_arrival;
+          Alcotest.test_case "pipelining" `Quick test_pipelining;
+          Alcotest.test_case "noreply" `Quick test_noreply;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "quit closes" `Quick test_quit_closes;
+          Alcotest.test_case "stats/version" `Quick test_stats_and_version;
+        ] );
+      ( "persistence",
+        [ Alcotest.test_case "session across crash" `Quick test_protocol_over_montage_with_crash ] );
+    ]

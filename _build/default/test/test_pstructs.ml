@@ -1,0 +1,627 @@
+(* Tests for the Montage data structures: hashmap, queue, stack,
+   nonblocking stack/queue, and graph — functional behaviour,
+   concurrency, and crash recovery. *)
+
+module E = Montage.Epoch_sys
+module Cfg = Montage.Config
+
+let testing_cfg = { Cfg.testing with max_threads = 6 }
+
+let make_esys ?(capacity = 1 lsl 24) () =
+  let region = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:8 ~capacity () in
+  (region, E.create ~config:testing_cfg region)
+
+(* ---- hashmap ---- *)
+
+let test_map_put_get_remove () =
+  let _, esys = make_esys () in
+  let m = Pstructs.Mhashmap.create ~buckets:64 esys in
+  Alcotest.(check (option string)) "empty get" None (Pstructs.Mhashmap.get m ~tid:0 "k1");
+  Alcotest.(check (option string)) "fresh put" None (Pstructs.Mhashmap.put m ~tid:0 "k1" "v1");
+  Alcotest.(check (option string)) "get back" (Some "v1") (Pstructs.Mhashmap.get m ~tid:0 "k1");
+  Alcotest.(check (option string)) "update returns old" (Some "v1") (Pstructs.Mhashmap.put m ~tid:0 "k1" "v2");
+  Alcotest.(check (option string)) "updated" (Some "v2") (Pstructs.Mhashmap.get m ~tid:0 "k1");
+  Alcotest.(check (option string)) "remove returns value" (Some "v2") (Pstructs.Mhashmap.remove m ~tid:0 "k1");
+  Alcotest.(check (option string)) "gone" None (Pstructs.Mhashmap.get m ~tid:0 "k1");
+  Alcotest.(check (option string)) "remove missing" None (Pstructs.Mhashmap.remove m ~tid:0 "k1")
+
+let test_map_put_if_absent () =
+  let _, esys = make_esys () in
+  let m = Pstructs.Mhashmap.create ~buckets:64 esys in
+  Alcotest.(check bool) "first wins" true (Pstructs.Mhashmap.put_if_absent m ~tid:0 "k" "a");
+  Alcotest.(check bool) "second loses" false (Pstructs.Mhashmap.put_if_absent m ~tid:0 "k" "b");
+  Alcotest.(check (option string)) "value is first" (Some "a") (Pstructs.Mhashmap.get m ~tid:0 "k")
+
+let test_map_size_and_collisions () =
+  let _, esys = make_esys () in
+  (* 4 buckets: guaranteed collisions exercise chain order *)
+  let m = Pstructs.Mhashmap.create ~buckets:4 esys in
+  for i = 0 to 99 do
+    ignore (Pstructs.Mhashmap.put m ~tid:0 (Printf.sprintf "key%03d" i) (string_of_int i))
+  done;
+  Alcotest.(check int) "size" 100 (Pstructs.Mhashmap.size m);
+  let ok = ref true in
+  for i = 0 to 99 do
+    if Pstructs.Mhashmap.get m ~tid:0 (Printf.sprintf "key%03d" i) <> Some (string_of_int i) then
+      ok := false
+  done;
+  Alcotest.(check bool) "all retrievable" true !ok
+
+let test_map_concurrent_disjoint_keys () =
+  let _, esys = make_esys () in
+  let m = Pstructs.Mhashmap.create ~buckets:256 esys in
+  let per = 300 in
+  let domains =
+    Array.init 4 (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore (Pstructs.Mhashmap.put m ~tid (Printf.sprintf "t%d-%d" tid i) "x")
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "all inserted" (4 * per) (Pstructs.Mhashmap.size m)
+
+let test_map_concurrent_same_key_last_writer () =
+  let _, esys = make_esys () in
+  let m = Pstructs.Mhashmap.create ~buckets:16 esys in
+  let domains =
+    Array.init 4 (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to 200 do
+              ignore (Pstructs.Mhashmap.put m ~tid "hot" (Printf.sprintf "%d:%d" tid i))
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "single key" 1 (Pstructs.Mhashmap.size m);
+  Alcotest.(check bool) "some value present" true (Pstructs.Mhashmap.get m ~tid:0 "hot" <> None)
+
+let test_map_crash_recovery_preserves_synced () =
+  let region, esys = make_esys () in
+  let m = Pstructs.Mhashmap.create ~buckets:64 esys in
+  for i = 0 to 49 do
+    ignore (Pstructs.Mhashmap.put m ~tid:0 (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i))
+  done;
+  E.sync esys ~tid:0;
+  (* post-sync writes are lost by the crash *)
+  ignore (Pstructs.Mhashmap.put m ~tid:0 "late" "update");
+  ignore (Pstructs.Mhashmap.remove m ~tid:0 "k0");
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let m2 = Pstructs.Mhashmap.recover ~buckets:64 esys2 payloads in
+  Alcotest.(check int) "synced contents recovered" 50 (Pstructs.Mhashmap.size m2);
+  Alcotest.(check (option string)) "k0 still there (remove rolled back)" (Some "v0")
+    (Pstructs.Mhashmap.get m2 ~tid:0 "k0");
+  Alcotest.(check (option string)) "late insert lost" None (Pstructs.Mhashmap.get m2 ~tid:0 "late")
+
+let test_map_parallel_recovery_matches () =
+  let region, esys = make_esys () in
+  let m = Pstructs.Mhashmap.create ~buckets:64 esys in
+  for i = 0 to 199 do
+    ignore (Pstructs.Mhashmap.put m ~tid:0 (Printf.sprintf "k%03d" i) (string_of_int (i * i)))
+  done;
+  E.sync esys ~tid:0;
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let m2 = Pstructs.Mhashmap.recover ~buckets:64 ~threads:4 esys2 payloads in
+  Alcotest.(check int) "all pairs" 200 (Pstructs.Mhashmap.size m2);
+  let sorted = List.sort compare (Pstructs.Mhashmap.to_alist m2 ~tid:0) in
+  let expected = List.init 200 (fun i -> (Printf.sprintf "k%03d" i, string_of_int (i * i))) in
+  Alcotest.(check bool) "contents identical" true (sorted = expected)
+
+(* model-based property: the map behaves like a sequential assoc map *)
+let qcheck_map_vs_model =
+  QCheck.Test.make ~name:"hashmap matches model under random ops" ~count:30
+    QCheck.(list (pair (int_range 0 20) small_string))
+    (fun script ->
+      let _, esys = make_esys ~capacity:(1 lsl 22) () in
+      let m = Pstructs.Mhashmap.create ~buckets:8 esys in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (k, v) ->
+          let key = "key" ^ string_of_int k in
+          if String.length v mod 3 = 0 then begin
+            (* remove *)
+            let expected = Hashtbl.find_opt model key in
+            Hashtbl.remove model key;
+            Pstructs.Mhashmap.remove m ~tid:0 key = expected
+          end
+          else begin
+            let expected = Hashtbl.find_opt model key in
+            Hashtbl.replace model key v;
+            Pstructs.Mhashmap.put m ~tid:0 key v = expected
+          end)
+        script
+      && Hashtbl.fold
+           (fun k v acc -> acc && Pstructs.Mhashmap.get m ~tid:0 k = Some v)
+           model true)
+
+(* ---- queue ---- *)
+
+let test_queue_fifo () =
+  let _, esys = make_esys () in
+  let q = Pstructs.Mqueue.create esys in
+  List.iter (Pstructs.Mqueue.enqueue q ~tid:0) [ "a"; "b"; "c" ];
+  Alcotest.(check (option string)) "peek" (Some "a") (Pstructs.Mqueue.peek q ~tid:0);
+  Alcotest.(check (option string)) "a" (Some "a") (Pstructs.Mqueue.dequeue q ~tid:0);
+  Alcotest.(check (option string)) "b" (Some "b") (Pstructs.Mqueue.dequeue q ~tid:0);
+  Pstructs.Mqueue.enqueue q ~tid:0 "d";
+  Alcotest.(check (option string)) "c" (Some "c") (Pstructs.Mqueue.dequeue q ~tid:0);
+  Alcotest.(check (option string)) "d" (Some "d") (Pstructs.Mqueue.dequeue q ~tid:0);
+  Alcotest.(check (option string)) "empty" None (Pstructs.Mqueue.dequeue q ~tid:0)
+
+let test_queue_crash_recovery_order () =
+  let region, esys = make_esys () in
+  let q = Pstructs.Mqueue.create esys in
+  for i = 1 to 10 do
+    Pstructs.Mqueue.enqueue q ~tid:0 (Printf.sprintf "item%02d" i)
+  done;
+  (* consume three, then sync: recovered queue = items 4..10 *)
+  for _ = 1 to 3 do
+    ignore (Pstructs.Mqueue.dequeue q ~tid:0)
+  done;
+  E.sync esys ~tid:0;
+  Pstructs.Mqueue.enqueue q ~tid:0 "lost";
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let q2 = Pstructs.Mqueue.recover esys2 payloads in
+  Alcotest.(check int) "seven left" 7 (Pstructs.Mqueue.length q2);
+  let order = List.init 7 (fun _ -> Option.get (Pstructs.Mqueue.dequeue q2 ~tid:0)) in
+  Alcotest.(check (list string)) "FIFO order preserved"
+    [ "item04"; "item05"; "item06"; "item07"; "item08"; "item09"; "item10" ]
+    order
+
+let test_queue_concurrent_producers_consumers () =
+  let _, esys = make_esys () in
+  let q = Pstructs.Mqueue.create esys in
+  let produced = 400 and consumers_got = Atomic.make 0 in
+  let producers =
+    Array.init 2 (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to (produced / 2) - 1 do
+              Pstructs.Mqueue.enqueue q ~tid (Printf.sprintf "p%d-%d" tid i)
+            done))
+  in
+  let consumers =
+    Array.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            let tid = i + 2 in
+            let got = ref 0 in
+            while Atomic.get consumers_got + 50 < produced do
+              match Pstructs.Mqueue.dequeue q ~tid with
+              | Some _ ->
+                  incr got;
+                  ignore (Atomic.fetch_and_add consumers_got 1)
+              | None -> Unix.sleepf 1e-6 (* yield: more cores than domains here *)
+            done;
+            !got))
+  in
+  Array.iter Domain.join producers;
+  let from_consumers = Array.fold_left (fun acc d -> acc + Domain.join d) 0 consumers in
+  let leftover = Pstructs.Mqueue.length q in
+  Alcotest.(check int) "nothing lost or duplicated" produced (from_consumers + leftover)
+
+(* ---- stack ---- *)
+
+let test_stack_lifo () =
+  let _, esys = make_esys () in
+  let s = Pstructs.Mstack.create esys in
+  List.iter (Pstructs.Mstack.push s ~tid:0) [ "x"; "y"; "z" ];
+  Alcotest.(check (option string)) "top" (Some "z") (Pstructs.Mstack.top s ~tid:0);
+  Alcotest.(check (option string)) "z" (Some "z") (Pstructs.Mstack.pop s ~tid:0);
+  Alcotest.(check (option string)) "y" (Some "y") (Pstructs.Mstack.pop s ~tid:0);
+  Alcotest.(check (option string)) "x" (Some "x") (Pstructs.Mstack.pop s ~tid:0);
+  Alcotest.(check (option string)) "empty" None (Pstructs.Mstack.pop s ~tid:0)
+
+let test_stack_crash_recovery () =
+  let region, esys = make_esys () in
+  let s = Pstructs.Mstack.create esys in
+  List.iter (Pstructs.Mstack.push s ~tid:0) [ "bottom"; "middle"; "top" ];
+  E.sync esys ~tid:0;
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let s2 = Pstructs.Mstack.recover esys2 payloads in
+  Alcotest.(check (option string)) "top first" (Some "top") (Pstructs.Mstack.pop s2 ~tid:0);
+  Alcotest.(check (option string)) "then middle" (Some "middle") (Pstructs.Mstack.pop s2 ~tid:0);
+  Alcotest.(check (option string)) "then bottom" (Some "bottom") (Pstructs.Mstack.pop s2 ~tid:0)
+
+(* ---- nonblocking stack ---- *)
+
+let test_nb_stack_sequential () =
+  let _, esys = make_esys () in
+  let s = Pstructs.Nb_stack.create esys in
+  Pstructs.Nb_stack.push s ~tid:0 "1";
+  Pstructs.Nb_stack.push s ~tid:0 "2";
+  Alcotest.(check (option string)) "peek" (Some "2") (Pstructs.Nb_stack.top_value s);
+  Alcotest.(check (option string)) "pop 2" (Some "2") (Pstructs.Nb_stack.pop s ~tid:0);
+  Alcotest.(check (option string)) "pop 1" (Some "1") (Pstructs.Nb_stack.pop s ~tid:0);
+  Alcotest.(check (option string)) "empty" None (Pstructs.Nb_stack.pop s ~tid:0)
+
+let test_nb_stack_concurrent_balance () =
+  let _, esys = make_esys () in
+  let s = Pstructs.Nb_stack.create esys in
+  let per = 300 in
+  let pushers =
+    Array.init 2 (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Pstructs.Nb_stack.push s ~tid (Printf.sprintf "%d-%d" tid i)
+            done))
+  in
+  Array.iter Domain.join pushers;
+  let popped = Atomic.make 0 in
+  let poppers =
+    Array.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            let tid = i + 2 in
+            let continue = ref true in
+            while !continue do
+              match Pstructs.Nb_stack.pop s ~tid with
+              | Some _ -> ignore (Atomic.fetch_and_add popped 1)
+              | None -> continue := false
+            done))
+  in
+  Array.iter Domain.join poppers;
+  Alcotest.(check int) "all pushes popped" (2 * per) (Atomic.get popped)
+
+let test_nb_stack_survives_epoch_advances () =
+  let _, esys = make_esys () in
+  let s = Pstructs.Nb_stack.create esys in
+  let stop = Atomic.make false in
+  let ticker =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          E.advance_epoch esys ~tid:5;
+          Unix.sleepf 2e-4 (* a fast epoch clock, but not a livelock *)
+        done)
+  in
+  for i = 0 to 500 do
+    Pstructs.Nb_stack.push s ~tid:0 (string_of_int i)
+  done;
+  let count = ref 0 in
+  while Pstructs.Nb_stack.pop s ~tid:0 <> None do
+    incr count
+  done;
+  Atomic.set stop true;
+  Domain.join ticker;
+  Alcotest.(check int) "all pushed under epoch churn" 501 !count
+
+let test_nb_stack_crash_recovery () =
+  let region, esys = make_esys () in
+  let s = Pstructs.Nb_stack.create esys in
+  List.iter (Pstructs.Nb_stack.push s ~tid:0) [ "a"; "b"; "c" ];
+  E.sync esys ~tid:0;
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let s2 = Pstructs.Nb_stack.recover esys2 payloads in
+  Alcotest.(check (option string)) "LIFO after crash" (Some "c") (Pstructs.Nb_stack.pop s2 ~tid:0);
+  Alcotest.(check (option string)) "then b" (Some "b") (Pstructs.Nb_stack.pop s2 ~tid:0);
+  Alcotest.(check (option string)) "then a" (Some "a") (Pstructs.Nb_stack.pop s2 ~tid:0)
+
+(* ---- nonblocking queue ---- *)
+
+let test_nb_queue_sequential () =
+  let _, esys = make_esys () in
+  let q = Pstructs.Nb_queue.create esys in
+  Alcotest.(check bool) "starts empty" true (Pstructs.Nb_queue.is_empty q);
+  Pstructs.Nb_queue.enqueue q ~tid:0 "a";
+  Pstructs.Nb_queue.enqueue q ~tid:0 "b";
+  Alcotest.(check (option string)) "peek" (Some "a") (Pstructs.Nb_queue.peek q);
+  Alcotest.(check (option string)) "a" (Some "a") (Pstructs.Nb_queue.dequeue q ~tid:0);
+  Alcotest.(check (option string)) "b" (Some "b") (Pstructs.Nb_queue.dequeue q ~tid:0);
+  Alcotest.(check (option string)) "empty" None (Pstructs.Nb_queue.dequeue q ~tid:0)
+
+let test_nb_queue_concurrent_no_loss () =
+  let _, esys = make_esys () in
+  let q = Pstructs.Nb_queue.create esys in
+  let per = 250 in
+  let producers =
+    Array.init 2 (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Pstructs.Nb_queue.enqueue q ~tid (Printf.sprintf "%d-%d" tid i)
+            done))
+  in
+  Array.iter Domain.join producers;
+  let seen = Hashtbl.create 64 in
+  let rec drain () =
+    match Pstructs.Nb_queue.dequeue q ~tid:2 with
+    | Some v ->
+        Alcotest.(check bool) "no duplicates" false (Hashtbl.mem seen v);
+        Hashtbl.replace seen v ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all delivered" (2 * per) (Hashtbl.length seen)
+
+let test_nb_queue_per_producer_order () =
+  let _, esys = make_esys () in
+  let q = Pstructs.Nb_queue.create esys in
+  let per = 200 in
+  let producers =
+    Array.init 2 (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Pstructs.Nb_queue.enqueue q ~tid (Printf.sprintf "%d:%d" tid i)
+            done))
+  in
+  Array.iter Domain.join producers;
+  (* FIFO implies each producer's items come out in order *)
+  let last = Array.make 2 (-1) in
+  let ok = ref true in
+  let rec drain () =
+    match Pstructs.Nb_queue.dequeue q ~tid:2 with
+    | Some v ->
+        Scanf.sscanf v "%d:%d" (fun tid i ->
+            if i <= last.(tid) then ok := false;
+            last.(tid) <- i);
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check bool) "per-producer order" true !ok
+
+let test_nb_queue_crash_recovery () =
+  let region, esys = make_esys () in
+  let q = Pstructs.Nb_queue.create esys in
+  for i = 1 to 5 do
+    Pstructs.Nb_queue.enqueue q ~tid:0 (string_of_int i)
+  done;
+  ignore (Pstructs.Nb_queue.dequeue q ~tid:0);
+  E.sync esys ~tid:0;
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let q2 = Pstructs.Nb_queue.recover esys2 payloads in
+  let order = List.init 4 (fun _ -> Option.get (Pstructs.Nb_queue.dequeue q2 ~tid:0)) in
+  Alcotest.(check (list string)) "order after crash" [ "2"; "3"; "4"; "5" ] order
+
+(* ---- vector ---- *)
+
+let test_vector_push_pop_get_set () =
+  let _, esys = make_esys () in
+  let v = Pstructs.Mvector.create esys in
+  Alcotest.(check int) "first index" 0 (Pstructs.Mvector.push v ~tid:0 "a");
+  Alcotest.(check int) "second index" 1 (Pstructs.Mvector.push v ~tid:0 "b");
+  Alcotest.(check (option string)) "get 0" (Some "a") (Pstructs.Mvector.get v ~tid:0 0);
+  Alcotest.(check (option string)) "get out of range" None (Pstructs.Mvector.get v ~tid:0 5);
+  Alcotest.(check bool) "set" true (Pstructs.Mvector.set v ~tid:0 0 "A");
+  Alcotest.(check bool) "set out of range" false (Pstructs.Mvector.set v ~tid:0 9 "x");
+  Alcotest.(check (option string)) "pop" (Some "b") (Pstructs.Mvector.pop v ~tid:0);
+  Alcotest.(check (list string)) "contents" [ "A" ] (Pstructs.Mvector.to_list v ~tid:0);
+  Alcotest.(check (option string)) "pop last" (Some "A") (Pstructs.Mvector.pop v ~tid:0);
+  Alcotest.(check (option string)) "pop empty" None (Pstructs.Mvector.pop v ~tid:0)
+
+let test_vector_growth () =
+  let _, esys = make_esys () in
+  let v = Pstructs.Mvector.create ~capacity:2 esys in
+  for i = 0 to 499 do
+    ignore (Pstructs.Mvector.push v ~tid:0 (string_of_int i))
+  done;
+  Alcotest.(check int) "length" 500 (Pstructs.Mvector.length v);
+  Alcotest.(check (option string)) "spot check" (Some "123") (Pstructs.Mvector.get v ~tid:0 123)
+
+let test_vector_crash_recovery () =
+  let region, esys = make_esys () in
+  let v = Pstructs.Mvector.create esys in
+  for i = 0 to 9 do
+    ignore (Pstructs.Mvector.push v ~tid:0 (Printf.sprintf "e%d" i))
+  done;
+  ignore (Pstructs.Mvector.pop v ~tid:0);
+  ignore (Pstructs.Mvector.set v ~tid:0 3 "updated");
+  E.sync esys ~tid:0;
+  ignore (Pstructs.Mvector.push v ~tid:0 "lost");
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let v2 = Pstructs.Mvector.recover esys2 payloads in
+  Alcotest.(check int) "nine elements" 9 (Pstructs.Mvector.length v2);
+  Alcotest.(check (option string)) "update durable" (Some "updated") (Pstructs.Mvector.get v2 ~tid:0 3);
+  Alcotest.(check (option string)) "order intact" (Some "e8") (Pstructs.Mvector.get v2 ~tid:0 8)
+
+(* ---- adversarial crash injection on a structure ---- *)
+
+(* The map must recover to the exact synced state even when the crash
+   randomly persists unfenced write-backs and evicts dirty lines —
+   real hardware's full nondeterminism. *)
+let qcheck_map_recovery_under_injection =
+  QCheck.Test.make ~name:"map recovery exact under write-back nondeterminism" ~count:25
+    QCheck.(pair small_int (int_range 1 60))
+    (fun (seed, ops) ->
+      let region = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:8 ~capacity:(1 lsl 22) () in
+      let esys = E.create ~config:testing_cfg region in
+      let m = Pstructs.Mhashmap.create ~buckets:32 esys in
+      let rng = Util.Xoshiro.create seed in
+      let model = Hashtbl.create 16 in
+      for i = 1 to ops do
+        let k = Printf.sprintf "k%02d" (Util.Xoshiro.int rng 30) in
+        if Util.Xoshiro.bool rng then begin
+          let v = Printf.sprintf "v%d" i in
+          ignore (Pstructs.Mhashmap.put m ~tid:0 k v);
+          Hashtbl.replace model k v
+        end
+        else begin
+          ignore (Pstructs.Mhashmap.remove m ~tid:0 k);
+          Hashtbl.remove model k
+        end
+      done;
+      E.sync esys ~tid:0;
+      (* noise after the sync, then an adversarial crash *)
+      ignore (Pstructs.Mhashmap.put m ~tid:0 "noise" "x");
+      ignore (Pstructs.Mhashmap.remove m ~tid:0 "k00");
+      Nvm.Region.crash
+        ~persist_unfenced:(Util.Xoshiro.float rng)
+        ~evict_dirty:(Util.Xoshiro.float rng) ~rng region;
+      let esys2, payloads = E.recover ~config:testing_cfg region in
+      let m2 = Pstructs.Mhashmap.recover ~buckets:32 esys2 payloads in
+      let expected = Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare in
+      List.sort compare (Pstructs.Mhashmap.to_alist m2 ~tid:0) = expected)
+
+(* ---- graph ---- *)
+
+let test_graph_vertices_and_edges () =
+  let _, esys = make_esys () in
+  let g = Pstructs.Mgraph.create ~capacity:128 esys in
+  Alcotest.(check bool) "add v1" true (Pstructs.Mgraph.add_vertex g ~tid:0 1 "alice");
+  Alcotest.(check bool) "add v2" true (Pstructs.Mgraph.add_vertex g ~tid:0 2 "bob");
+  Alcotest.(check bool) "duplicate vertex" false (Pstructs.Mgraph.add_vertex g ~tid:0 1 "dup");
+  Alcotest.(check bool) "add edge" true (Pstructs.Mgraph.add_edge g ~tid:0 1 2 "friends");
+  Alcotest.(check bool) "duplicate edge" false (Pstructs.Mgraph.add_edge g ~tid:0 2 1 "again");
+  Alcotest.(check bool) "has edge both ways" true
+    (Pstructs.Mgraph.has_edge g 1 2 && Pstructs.Mgraph.has_edge g 2 1);
+  Alcotest.(check (option string)) "vertex attrs" (Some "alice") (Pstructs.Mgraph.vertex_attrs g ~tid:0 1);
+  Alcotest.(check (option string)) "edge attrs" (Some "friends") (Pstructs.Mgraph.edge_attrs g ~tid:0 1 2);
+  Alcotest.(check bool) "edge to missing vertex" false (Pstructs.Mgraph.add_edge g ~tid:0 1 99 "no");
+  Alcotest.(check bool) "self edge rejected" false (Pstructs.Mgraph.add_edge g ~tid:0 1 1 "self");
+  Alcotest.(check int) "counts" 2 (Pstructs.Mgraph.vertex_count g);
+  Alcotest.(check int) "edges" 1 (Pstructs.Mgraph.edge_count g)
+
+let test_graph_remove_vertex_clears_edges () =
+  let _, esys = make_esys () in
+  let g = Pstructs.Mgraph.create ~capacity:128 esys in
+  for i = 0 to 4 do
+    ignore (Pstructs.Mgraph.add_vertex g ~tid:0 i (string_of_int i))
+  done;
+  for i = 1 to 4 do
+    ignore (Pstructs.Mgraph.add_edge g ~tid:0 0 i "spoke")
+  done;
+  Alcotest.(check int) "hub degree" 4 (Pstructs.Mgraph.degree g 0);
+  Alcotest.(check bool) "remove hub" true (Pstructs.Mgraph.remove_vertex g ~tid:0 0);
+  Alcotest.(check int) "no edges left" 0 (Pstructs.Mgraph.edge_count g);
+  Alcotest.(check bool) "peer adjacency cleaned" false (Pstructs.Mgraph.has_edge g 1 0);
+  Alcotest.(check int) "four vertices left" 4 (Pstructs.Mgraph.vertex_count g)
+
+let test_graph_remove_edge () =
+  let _, esys = make_esys () in
+  let g = Pstructs.Mgraph.create ~capacity:16 esys in
+  ignore (Pstructs.Mgraph.add_vertex g ~tid:0 1 "");
+  ignore (Pstructs.Mgraph.add_vertex g ~tid:0 2 "");
+  ignore (Pstructs.Mgraph.add_edge g ~tid:0 1 2 "e");
+  Alcotest.(check bool) "remove" true (Pstructs.Mgraph.remove_edge g ~tid:0 2 1);
+  Alcotest.(check bool) "gone" false (Pstructs.Mgraph.has_edge g 1 2);
+  Alcotest.(check bool) "double remove" false (Pstructs.Mgraph.remove_edge g ~tid:0 1 2)
+
+let test_graph_crash_recovery () =
+  let region, esys = make_esys () in
+  let g = Pstructs.Mgraph.create ~capacity:64 esys in
+  for i = 0 to 9 do
+    ignore (Pstructs.Mgraph.add_vertex g ~tid:0 i ("v" ^ string_of_int i))
+  done;
+  for i = 1 to 9 do
+    ignore (Pstructs.Mgraph.add_edge g ~tid:0 0 i ("e" ^ string_of_int i))
+  done;
+  ignore (Pstructs.Mgraph.remove_edge g ~tid:0 0 5);
+  E.sync esys ~tid:0;
+  (* unsynced tail: must vanish *)
+  ignore (Pstructs.Mgraph.remove_vertex g ~tid:0 0);
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let g2 = Pstructs.Mgraph.recover ~capacity:64 esys2 payloads in
+  Alcotest.(check int) "vertices recovered" 10 (Pstructs.Mgraph.vertex_count g2);
+  Alcotest.(check int) "edges recovered" 8 (Pstructs.Mgraph.edge_count g2);
+  Alcotest.(check bool) "removed edge stays removed" false (Pstructs.Mgraph.has_edge g2 0 5);
+  Alcotest.(check (option string)) "edge attrs intact" (Some "e3") (Pstructs.Mgraph.edge_attrs g2 ~tid:0 0 3);
+  Alcotest.(check (option string)) "vertex attrs intact" (Some "v7")
+    (Pstructs.Mgraph.vertex_attrs g2 ~tid:0 7)
+
+let test_graph_parallel_recovery_matches_serial () =
+  let region, esys = make_esys () in
+  let g = Pstructs.Mgraph.create ~capacity:256 esys in
+  let rng = Util.Xoshiro.create 99 in
+  for i = 0 to 99 do
+    ignore (Pstructs.Mgraph.add_vertex g ~tid:0 i "")
+  done;
+  for _ = 0 to 400 do
+    let u = Util.Xoshiro.int rng 100 and v = Util.Xoshiro.int rng 100 in
+    if u <> v then ignore (Pstructs.Mgraph.add_edge g ~tid:0 u v "")
+  done;
+  let edges_before = Pstructs.Mgraph.edge_count g in
+  E.sync esys ~tid:0;
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:testing_cfg region in
+  let g2 = Pstructs.Mgraph.recover ~capacity:256 ~threads:4 esys2 payloads in
+  Alcotest.(check int) "vertices" 100 (Pstructs.Mgraph.vertex_count g2);
+  Alcotest.(check int) "edges" edges_before (Pstructs.Mgraph.edge_count g2)
+
+let test_graph_concurrent_edge_ops () =
+  let _, esys = make_esys () in
+  let g = Pstructs.Mgraph.create ~capacity:64 esys in
+  for i = 0 to 31 do
+    ignore (Pstructs.Mgraph.add_vertex g ~tid:0 i "")
+  done;
+  let domains =
+    Array.init 4 (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Util.Xoshiro.create (tid * 7 + 1) in
+            for _ = 0 to 500 do
+              let u = Util.Xoshiro.int rng 32 and v = Util.Xoshiro.int rng 32 in
+              if u <> v then
+                if Util.Xoshiro.bool rng then ignore (Pstructs.Mgraph.add_edge g ~tid u v "")
+                else ignore (Pstructs.Mgraph.remove_edge g ~tid u v)
+            done))
+  in
+  Array.iter Domain.join domains;
+  (* invariant: adjacency is symmetric *)
+  let symmetric = ref true in
+  for u = 0 to 31 do
+    List.iter
+      (fun v -> if not (Pstructs.Mgraph.has_edge g v u) then symmetric := false)
+      (Pstructs.Mgraph.neighbors g u)
+  done;
+  Alcotest.(check bool) "adjacency symmetric" true !symmetric
+
+let () =
+  Alcotest.run "pstructs"
+    [
+      ( "hashmap",
+        [
+          Alcotest.test_case "put/get/remove" `Quick test_map_put_get_remove;
+          Alcotest.test_case "put_if_absent" `Quick test_map_put_if_absent;
+          Alcotest.test_case "collisions" `Quick test_map_size_and_collisions;
+          Alcotest.test_case "concurrent disjoint" `Quick test_map_concurrent_disjoint_keys;
+          Alcotest.test_case "concurrent same key" `Quick test_map_concurrent_same_key_last_writer;
+          Alcotest.test_case "crash recovery" `Quick test_map_crash_recovery_preserves_synced;
+          Alcotest.test_case "parallel recovery" `Quick test_map_parallel_recovery_matches;
+          QCheck_alcotest.to_alcotest qcheck_map_vs_model;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "FIFO" `Quick test_queue_fifo;
+          Alcotest.test_case "crash recovery order" `Quick test_queue_crash_recovery_order;
+          Alcotest.test_case "concurrent produce/consume" `Quick test_queue_concurrent_producers_consumers;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "LIFO" `Quick test_stack_lifo;
+          Alcotest.test_case "crash recovery" `Quick test_stack_crash_recovery;
+        ] );
+      ( "nb_stack",
+        [
+          Alcotest.test_case "sequential" `Quick test_nb_stack_sequential;
+          Alcotest.test_case "concurrent balance" `Quick test_nb_stack_concurrent_balance;
+          Alcotest.test_case "epoch churn" `Quick test_nb_stack_survives_epoch_advances;
+          Alcotest.test_case "crash recovery" `Quick test_nb_stack_crash_recovery;
+        ] );
+      ( "nb_queue",
+        [
+          Alcotest.test_case "sequential" `Quick test_nb_queue_sequential;
+          Alcotest.test_case "concurrent no loss" `Quick test_nb_queue_concurrent_no_loss;
+          Alcotest.test_case "per-producer order" `Quick test_nb_queue_per_producer_order;
+          Alcotest.test_case "crash recovery" `Quick test_nb_queue_crash_recovery;
+        ] );
+      ( "vector",
+        [
+          Alcotest.test_case "push/pop/get/set" `Quick test_vector_push_pop_get_set;
+          Alcotest.test_case "growth" `Quick test_vector_growth;
+          Alcotest.test_case "crash recovery" `Quick test_vector_crash_recovery;
+        ] );
+      ( "injection",
+        [ QCheck_alcotest.to_alcotest qcheck_map_recovery_under_injection ] );
+      ( "graph",
+        [
+          Alcotest.test_case "vertices and edges" `Quick test_graph_vertices_and_edges;
+          Alcotest.test_case "remove vertex clears edges" `Quick test_graph_remove_vertex_clears_edges;
+          Alcotest.test_case "remove edge" `Quick test_graph_remove_edge;
+          Alcotest.test_case "crash recovery" `Quick test_graph_crash_recovery;
+          Alcotest.test_case "parallel recovery" `Quick test_graph_parallel_recovery_matches_serial;
+          Alcotest.test_case "concurrent edge ops" `Quick test_graph_concurrent_edge_ops;
+        ] );
+    ]

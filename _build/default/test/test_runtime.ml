@@ -1,0 +1,208 @@
+(* Unit tests for the Montage runtime internals: the per-thread
+   write-back ring, the operation tracker, the mindicator, the payload
+   header codec, and the typed payload codecs. *)
+
+module PB = Montage.Persist_buffer
+module T = Montage.Tracker
+module M = Montage.Mindicator
+module H = Montage.Payload_hdr
+module P = Montage.Payload
+
+(* ---- persist buffer ---- *)
+
+let test_pb_fifo () =
+  let b = PB.create ~capacity:8 in
+  Alcotest.(check bool) "empty" true (PB.is_empty b);
+  PB.push b ~flush:(fun _ _ -> Alcotest.fail "no overflow expected") ~off:64 ~len:10;
+  PB.push b ~flush:(fun _ _ -> Alcotest.fail "no overflow expected") ~off:128 ~len:20;
+  Alcotest.(check (option (pair int int))) "first" (Some (64, 10)) (PB.pop b);
+  Alcotest.(check (option (pair int int))) "second" (Some (128, 20)) (PB.pop b);
+  Alcotest.(check (option (pair int int))) "drained" None (PB.pop b)
+
+let test_pb_overflow_flushes_oldest () =
+  let b = PB.create ~capacity:4 in
+  let flushed = ref [] in
+  let flush off len = flushed := (off, len) :: !flushed in
+  for i = 1 to 4 do
+    PB.push b ~flush ~off:(i * 64) ~len:i
+  done;
+  Alcotest.(check (list (pair int int))) "no overflow yet" [] !flushed;
+  PB.push b ~flush ~off:320 ~len:5;
+  Alcotest.(check (list (pair int int))) "oldest written back" [ (64, 1) ] !flushed;
+  (* remaining entries still pop in order *)
+  Alcotest.(check (option (pair int int))) "next oldest" (Some (128, 2)) (PB.pop b)
+
+let test_pb_drain () =
+  let b = PB.create ~capacity:16 in
+  for i = 1 to 10 do
+    PB.push b ~flush:(fun _ _ -> ()) ~off:(i * 64) ~len:i
+  done;
+  let seen = ref 0 in
+  PB.drain b (fun _ _ -> incr seen);
+  Alcotest.(check int) "all entries" 10 !seen;
+  Alcotest.(check bool) "empty after drain" true (PB.is_empty b)
+
+let test_pb_concurrent_consumer () =
+  (* producer pushes while a consumer drains: every entry is seen
+     exactly once across consumer pops and overflow flushes *)
+  let b = PB.create ~capacity:8 in
+  let total = 20_000 in
+  let consumed = Atomic.make 0 in
+  let flushed = Atomic.make 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let running = ref true in
+        while !running do
+          match PB.pop b with
+          | Some _ -> ignore (Atomic.fetch_and_add consumed 1)
+          | None -> if Atomic.get consumed + Atomic.get flushed >= total then running := false
+        done)
+  in
+  for i = 1 to total do
+    PB.push b ~flush:(fun _ _ -> ignore (Atomic.fetch_and_add flushed 1)) ~off:(i * 64) ~len:1
+  done;
+  (* drain the tail ourselves so the consumer can terminate *)
+  PB.drain b (fun _ _ -> ignore (Atomic.fetch_and_add consumed 1));
+  Domain.join consumer;
+  Alcotest.(check int) "exactly once" total (Atomic.get consumed + Atomic.get flushed)
+
+(* ---- tracker ---- *)
+
+let test_tracker_register () =
+  let t = T.create ~max_threads:4 in
+  Alcotest.(check int) "idle" 0 (T.active_epoch t ~tid:1);
+  T.register t ~tid:1 ~epoch:7;
+  Alcotest.(check int) "active" 7 (T.active_epoch t ~tid:1);
+  Alcotest.(check bool) "probe finds it" true (T.any_active_le t ~epoch:7);
+  Alcotest.(check bool) "probe bounded" false (T.any_active_le t ~epoch:6);
+  T.unregister t ~tid:1;
+  Alcotest.(check bool) "gone" false (T.any_active_le t ~epoch:100)
+
+let test_tracker_wait_all_blocks_then_releases () =
+  let t = T.create ~max_threads:4 in
+  T.register t ~tid:2 ~epoch:5;
+  let released = Atomic.make false in
+  let waiter =
+    Domain.spawn (fun () ->
+        T.wait_all t ~epoch:5;
+        Atomic.set released true)
+  in
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "still blocked" false (Atomic.get released);
+  T.unregister t ~tid:2;
+  Domain.join waiter;
+  Alcotest.(check bool) "released" true (Atomic.get released)
+
+let test_tracker_wait_ignores_newer_epochs () =
+  let t = T.create ~max_threads:4 in
+  T.register t ~tid:0 ~epoch:9;
+  (* an op in epoch 9 must not block waiting on epoch 8 *)
+  T.wait_all t ~epoch:8;
+  T.unregister t ~tid:0;
+  Alcotest.(check bool) "returned immediately" true true
+
+(* ---- mindicator ---- *)
+
+let test_mindicator_min_tracking () =
+  let m = M.create ~max_threads:4 in
+  Alcotest.(check int) "initially infinite" M.infinity_epoch (M.query m);
+  M.announce m ~tid:0 ~epoch:10;
+  M.announce m ~tid:1 ~epoch:7;
+  Alcotest.(check int) "min" 7 (M.query m);
+  M.announce m ~tid:1 ~epoch:12 (* announce never raises a leaf *);
+  Alcotest.(check int) "min unchanged" 7 (M.query m);
+  M.retire m ~tid:1 ~epoch:20;
+  Alcotest.(check int) "min moves to other thread" 10 (M.query m);
+  M.clear m ~tid:0;
+  Alcotest.(check int) "only retired leaf left" 20 (M.query m)
+
+(* ---- payload header codec ---- *)
+
+let make_region () = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:2 ~capacity:4096 ()
+
+let test_hdr_roundtrip () =
+  let r = make_region () in
+  let hdr = { H.ptype = H.Update; epoch = 42; uid = 1234; size = 100 } in
+  H.write r ~off:64 hdr;
+  (match H.read r ~off:64 ~block_size:256 with
+  | Some h ->
+      Alcotest.(check bool) "type" true (h.H.ptype = H.Update);
+      Alcotest.(check int) "epoch" 42 h.H.epoch;
+      Alcotest.(check int) "uid" 1234 h.H.uid;
+      Alcotest.(check int) "size" 100 h.H.size
+  | None -> Alcotest.fail "expected header");
+  Alcotest.(check int) "content offset" (64 + H.header_size) (H.content_off 64)
+
+let test_hdr_rejects_garbage () =
+  let r = make_region () in
+  Alcotest.(check bool) "zeroed block" true (H.read r ~off:0 ~block_size:256 = None);
+  (* oversize content relative to the block *)
+  H.write r ~off:64 { H.ptype = H.Alloc; epoch = 1; uid = 1; size = 10_000 };
+  Alcotest.(check bool) "size beyond block rejected" true (H.read r ~off:64 ~block_size:256 = None);
+  (* scrub invalidates *)
+  H.write r ~off:128 { H.ptype = H.Alloc; epoch = 1; uid = 1; size = 10 };
+  H.scrub r ~off:128;
+  Alcotest.(check bool) "scrubbed" true (H.read r ~off:128 ~block_size:256 = None)
+
+let test_hdr_type_mutation () =
+  let r = make_region () in
+  H.write r ~off:64 { H.ptype = H.Update; epoch = 5; uid = 9; size = 0 };
+  H.set_type r ~off:64 H.Delete;
+  match H.read r ~off:64 ~block_size:256 with
+  | Some h -> Alcotest.(check bool) "now an anti-payload" true (h.H.ptype = H.Delete)
+  | None -> Alcotest.fail "expected header"
+
+(* ---- typed payload codecs ---- *)
+
+let test_kv_codec () =
+  let cases = [ ("", ""); ("k", "v"); ("key-with-:", String.make 1000 'x'); ("a", "") ] in
+  List.iter
+    (fun (k, v) ->
+      let k', v' = P.Kv_content.decode (P.Kv_content.encode (k, v)) in
+      Alcotest.(check string) "key" k k';
+      Alcotest.(check string) "value" v v')
+    cases
+
+let test_seq_codec () =
+  List.iter
+    (fun (n, s) ->
+      let n', s' = P.Seq_content.decode (P.Seq_content.encode (n, s)) in
+      Alcotest.(check int) "seq" n n';
+      Alcotest.(check string) "payload" s s')
+    [ (0, ""); (1, "x"); (max_int / 2, String.make 100 'q') ]
+
+let qcheck_kv_codec_roundtrip =
+  QCheck.Test.make ~name:"kv codec roundtrips arbitrary strings" ~count:200
+    QCheck.(pair string string)
+    (fun (k, v) -> P.Kv_content.decode (P.Kv_content.encode (k, v)) = (k, v))
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "persist_buffer",
+        [
+          Alcotest.test_case "FIFO" `Quick test_pb_fifo;
+          Alcotest.test_case "overflow flushes oldest" `Quick test_pb_overflow_flushes_oldest;
+          Alcotest.test_case "drain" `Quick test_pb_drain;
+          Alcotest.test_case "concurrent consumer" `Quick test_pb_concurrent_consumer;
+        ] );
+      ( "tracker",
+        [
+          Alcotest.test_case "register/probe" `Quick test_tracker_register;
+          Alcotest.test_case "wait_all blocks" `Quick test_tracker_wait_all_blocks_then_releases;
+          Alcotest.test_case "wait ignores newer" `Quick test_tracker_wait_ignores_newer_epochs;
+        ] );
+      ("mindicator", [ Alcotest.test_case "min tracking" `Quick test_mindicator_min_tracking ]);
+      ( "payload_hdr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hdr_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_hdr_rejects_garbage;
+          Alcotest.test_case "type mutation" `Quick test_hdr_type_mutation;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "kv" `Quick test_kv_codec;
+          Alcotest.test_case "seq" `Quick test_seq_codec;
+          QCheck_alcotest.to_alcotest qcheck_kv_codec_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Unit and property tests for the utility layer. *)
+
+let test_xoshiro_deterministic () =
+  let a = Util.Xoshiro.create 7 and b = Util.Xoshiro.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Xoshiro.next_int64 a) (Util.Xoshiro.next_int64 b)
+  done
+
+let test_xoshiro_split_independent () =
+  let a = Util.Xoshiro.create 7 in
+  let b = Util.Xoshiro.split a in
+  let distinct = ref 0 in
+  for _ = 1 to 64 do
+    if Util.Xoshiro.next_int64 a <> Util.Xoshiro.next_int64 b then incr distinct
+  done;
+  Alcotest.(check bool) "streams diverge" true (!distinct > 60)
+
+let test_xoshiro_bounds () =
+  let rng = Util.Xoshiro.create 3 in
+  for _ = 1 to 1000 do
+    let v = Util.Xoshiro.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_xoshiro_float_range () =
+  let rng = Util.Xoshiro.create 11 in
+  for _ = 1 to 1000 do
+    let f = Util.Xoshiro.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_zipf_range () =
+  let rng = Util.Xoshiro.create 5 in
+  let z = Util.Zipf.create 1000 in
+  for _ = 1 to 10_000 do
+    let v = Util.Zipf.sample z rng in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 1000)
+  done
+
+let test_zipf_skew () =
+  (* With theta = 0.99 and no scrambling, rank 0 should dominate. *)
+  let rng = Util.Xoshiro.create 5 in
+  let z = Util.Zipf.create ~scrambled:false 1000 in
+  let counts = Array.make 1000 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Util.Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "head is hot" true (counts.(0) > n / 20);
+  let tail = Array.fold_left ( + ) 0 (Array.sub counts 500 500) in
+  Alcotest.(check bool) "tail is cold" true (tail < n / 4)
+
+let test_zipf_scrambled_spreads () =
+  let rng = Util.Xoshiro.create 5 in
+  let z = Util.Zipf.create ~scrambled:true 1000 in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 10_000 do
+    Hashtbl.replace seen (Util.Zipf.sample z rng) ()
+  done;
+  Alcotest.(check bool) "many distinct keys" true (Hashtbl.length seen > 100)
+
+let test_spin_lock_mutual_exclusion () =
+  let lock = Util.Spin_lock.create () in
+  let counter = ref 0 in
+  let iters = 10_000 in
+  let worker () =
+    for _ = 1 to iters do
+      Util.Spin_lock.with_lock lock (fun () -> incr counter)
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no lost updates" (4 * iters) !counter
+
+let test_spin_lock_exception_release () =
+  let lock = Util.Spin_lock.create () in
+  (try Util.Spin_lock.with_lock lock (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "released after exception" true (Util.Spin_lock.try_acquire lock);
+  Util.Spin_lock.release lock
+
+let test_padded_counters () =
+  let c = Util.Padded.make_counters 8 in
+  for i = 0 to 7 do
+    Util.Padded.set c i i
+  done;
+  Util.Padded.incr c 3;
+  Util.Padded.add c 5 10;
+  Alcotest.(check int) "get 3" 4 (Util.Padded.get c 3);
+  Alcotest.(check int) "get 5" 15 (Util.Padded.get c 5);
+  Alcotest.(check int) "sum" (0 + 1 + 2 + 4 + 4 + 15 + 6 + 7) (Util.Padded.sum c)
+
+let test_spin_wait_burns_time () =
+  let t0 = Util.Spin_wait.now_ns () in
+  Util.Spin_wait.ns 2_000_000;
+  let elapsed = Int64.to_int (Int64.sub (Util.Spin_wait.now_ns ()) t0) in
+  (* within a generous factor: calibration is approximate *)
+  Alcotest.(check bool) "roughly 2ms burned" true (elapsed > 400_000 && elapsed < 40_000_000)
+
+let test_histogram () =
+  let h = Util.Histogram.create () in
+  List.iter (Util.Histogram.record h) [ 1; 2; 4; 8; 1024; 1024 ];
+  Alcotest.(check int) "count" 6 (Util.Histogram.count h);
+  Alcotest.(check bool) "mean sane" true (Util.Histogram.mean_ns h > 300.0);
+  Alcotest.(check bool) "p99 covers max bucket" true (Util.Histogram.quantile_ns h 0.99 >= 1024)
+
+let test_histogram_merge () =
+  let a = Util.Histogram.create () and b = Util.Histogram.create () in
+  Util.Histogram.record a 10;
+  Util.Histogram.record b 20;
+  Util.Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "merged count" 2 (Util.Histogram.count a)
+
+let qcheck_zipf_always_in_range =
+  QCheck.Test.make ~name:"zipf sample within [0, n)" ~count:200
+    QCheck.(pair (int_range 1 5000) small_int)
+    (fun (n, seed) ->
+      let rng = Util.Xoshiro.create seed in
+      let z = Util.Zipf.create n in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Util.Zipf.sample z rng in
+        if v < 0 || v >= n then ok := false
+      done;
+      !ok)
+
+let qcheck_xoshiro_int_bound =
+  QCheck.Test.make ~name:"xoshiro int within bound" ~count:500
+    QCheck.(pair (int_range 1 1_000_000) small_int)
+    (fun (bound, seed) ->
+      let rng = Util.Xoshiro.create seed in
+      let v = Util.Xoshiro.int rng bound in
+      v >= 0 && v < bound)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "xoshiro",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xoshiro_deterministic;
+          Alcotest.test_case "split independence" `Quick test_xoshiro_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_xoshiro_bounds;
+          Alcotest.test_case "float range" `Quick test_xoshiro_float_range;
+          QCheck_alcotest.to_alcotest qcheck_xoshiro_int_bound;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "range" `Quick test_zipf_range;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "scrambled spreads" `Quick test_zipf_scrambled_spreads;
+          QCheck_alcotest.to_alcotest qcheck_zipf_always_in_range;
+        ] );
+      ( "spin_lock",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_spin_lock_mutual_exclusion;
+          Alcotest.test_case "exception releases" `Quick test_spin_lock_exception_release;
+        ] );
+      ("padded", [ Alcotest.test_case "counters" `Quick test_padded_counters ]);
+      ("spin_wait", [ Alcotest.test_case "burns time" `Quick test_spin_wait_burns_time ]);
+      ( "histogram",
+        [
+          Alcotest.test_case "basic" `Quick test_histogram;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+    ]
