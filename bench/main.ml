@@ -35,4 +35,5 @@ let () =
         Systems.stop_leaked ()
       end)
     figures;
+  Systems.report_pcheck ();
   Benchlib.Report.summary ()

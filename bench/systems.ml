@@ -26,8 +26,43 @@ type queue_inst = {
   qstop : unit -> unit;
 }
 
+(* Regions carrying a persistency checker (MONTAGE_PCHECK=1/strict in
+   the environment), collected so the end of the run can print one
+   lint/violation report per benchmarked system. *)
+let checked_regions : (string option * Nvm.Region.t) list ref = ref []
+
 let region ~capacity ~threads =
-  Nvm.Region.create ~max_threads:(threads + 4) ~capacity ()
+  let r = Nvm.Region.create ~max_threads:(threads + 4) ~capacity () in
+  (match Cfg.default.Cfg.pcheck with
+  | Cfg.Pcheck_off -> ()
+  | Cfg.Pcheck_record | Cfg.Pcheck_enforce ->
+      let mode =
+        if Cfg.default.Cfg.pcheck = Cfg.Pcheck_enforce then Nvm.Pcheck.Enforce else Nvm.Pcheck.Record
+      in
+      ignore (Nvm.Region.enable_pcheck ~mode r);
+      checked_regions := (None, r) :: !checked_regions);
+  r
+
+(* Print the persistency report of every checked region that actually
+   found something, plus an aggregate line.  Quiet when the checker is
+   off (the default fast path). *)
+let report_pcheck () =
+  let checked = List.rev !checked_regions in
+  if checked <> [] then begin
+    let viols = ref 0 and lints = ref 0 in
+    List.iter
+      (fun (label, r) ->
+        match Nvm.Region.checker r with
+        | None -> ()
+        | Some c ->
+            viols := !viols + List.length (Nvm.Pcheck.violations c);
+            lints := !lints + Nvm.Pcheck.lint_total c;
+            if Nvm.Pcheck.violations c <> [] || Nvm.Pcheck.lint_total c > 0 then
+              Benchlib.Report.pcheck_summary ?label r)
+      checked;
+    Printf.printf "\n=== pcheck: %d regions checked, %d violations, %d lints ===\n%!"
+      (List.length checked) !viols !lints
+  end
 
 (* Spawn a 10 ms ticker domain calling [tick] until stopped — the
    pacing Dalí's periodic persistence needs. *)

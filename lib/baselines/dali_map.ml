@@ -146,6 +146,8 @@ let persist_all t ~tid =
       Nvm.Region.set_i64 region ~off:t.epoch_root (e + 1);
       Nvm.Region.writeback region ~tid ~off:t.epoch_root ~len:8;
       Nvm.Region.sfence region ~tid;
+      Pmem.expect_fenced t.pm ~what:"dali_map.persist_all: epoch root durable at boundary"
+        ~off:t.epoch_root ~len:8;
       t.last_persist <- Unix.gettimeofday ();
       Atomic.set t.epoch (e + 1))
 

@@ -82,6 +82,8 @@ let enqueue t ~tid value =
   let off = write_node t.pm ~tid ~value in
   (* persist the node before it becomes reachable *)
   Pmem.persist t.pm ~tid ~off ~len:(node_size value);
+  Pmem.expect_fenced t.pm ~what:"friedman_queue.enqueue: node durable before link CAS" ~off
+    ~len:(node_size value);
   let node = { off; value; next = Atomic.make None } in
   let rec attempt () =
     let tail = Atomic.get t.tail in
@@ -94,6 +96,8 @@ let enqueue t ~tid value =
           (* persist the link that made the enqueue durable *)
           Nvm.Region.set_i64 region ~off:(next_field tail.off (String.length tail.value)) (off + 1);
           Pmem.persist t.pm ~tid ~off:(next_field tail.off (String.length tail.value)) ~len:8;
+          Pmem.expect_fenced t.pm ~what:"friedman_queue.enqueue: link durable before return"
+            ~off:(next_field tail.off (String.length tail.value)) ~len:8;
           ignore (Atomic.compare_and_set t.tail tail node)
         end
         else attempt ()
@@ -111,6 +115,8 @@ let dequeue t ~tid =
           (* persist the dequeue mark so recovery skips this node *)
           Nvm.Region.set_u8 region ~off:(mark_field node.off (String.length node.value)) 1;
           Pmem.persist t.pm ~tid ~off:(mark_field node.off (String.length node.value)) ~len:1;
+          Pmem.expect_fenced t.pm ~what:"friedman_queue.dequeue: mark durable before return"
+            ~off:(mark_field node.off (String.length node.value)) ~len:1;
           (* lazily advance the persisted head root (not fenced: recovery
              tolerates a stale root by skipping marked nodes) *)
           Nvm.Region.set_i64 region ~off:t.head_root node.off;
@@ -142,18 +148,21 @@ let recover pm =
     let marked = Nvm.Region.get_u8 region ~off:(mark_field off len) = 1 in
     (value, next, marked)
   in
-  let start = Nvm.Region.get_i64 region ~off:head_root in
-  (* the start node is the sentinel or the last dequeued node: skip it,
-     then collect surviving (unmarked) values in order — all before any
-     fresh allocation can overwrite the old image *)
-  let rec walk off acc =
-    if off < 0 then List.rev acc
-    else
-      let value, next, marked = read_node off in
-      walk next (if marked then acc else value :: acc)
+  let values =
+    Pmem.with_recovery_scan pm (fun () ->
+        let start = Nvm.Region.get_i64 region ~off:head_root in
+        (* the start node is the sentinel or the last dequeued node: skip
+           it, then collect surviving (unmarked) values in order — all
+           before any fresh allocation can overwrite the old image *)
+        let rec walk off acc =
+          if off < 0 then List.rev acc
+          else
+            let value, next, marked = read_node off in
+            walk next (if marked then acc else value :: acc)
+        in
+        let _, first_next, _ = read_node start in
+        walk first_next [])
   in
-  let _, first_next, _ = read_node start in
-  let values = walk first_next [] in
   let t = create pm in
   List.iter (fun v -> enqueue t ~tid:0 v) values;
   t

@@ -45,6 +45,8 @@ let get t ~tid key =
             (* ensure-persisted before depending on the node (the
                transformation's read-path flush + fence) *)
             Pmem.persist t.pm ~tid ~off:n.block ~len:(node_block_len n);
+            Pmem.expect_fenced t.pm ~what:"nvtraverse_map.get: node durable before dependent read"
+              ~off:n.block ~len:(node_block_len n);
             Some (Pmem.read_block t.pm ~off:n.block)
         | Some n -> find n.next
       in
@@ -62,6 +64,8 @@ let put t ~tid key value =
             Pmem.free t.pm ~tid n.block;
             let block = Pmem.write_block t.pm ~tid ~data:value in
             Pmem.persist t.pm ~tid ~off:block ~len:(4 + String.length value) |> ignore;
+            Pmem.expect_fenced t.pm ~what:"nvtraverse_map.put: updated value durable before link"
+              ~off:block ~len:(4 + String.length value);
             let fresh = { key; block; vlen = String.length value; next = n.next } in
             (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh);
             Some old
@@ -75,6 +79,8 @@ let put t ~tid key value =
         | None -> ());
         let block = Pmem.write_block t.pm ~tid ~data:value in
         Pmem.persist t.pm ~tid ~off:block ~len:(4 + String.length value);
+        Pmem.expect_fenced t.pm ~what:"nvtraverse_map.put: new node durable before link"
+          ~off:block ~len:(4 + String.length value);
         let fresh = { key; block; vlen = String.length value; next = curr } in
         (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh);
         Atomic.incr t.size;
@@ -93,6 +99,8 @@ let remove t ~tid key =
             | Some p -> Pmem.persist t.pm ~tid ~off:p.block ~len:(node_block_len p)
             | None -> ());
             Pmem.persist t.pm ~tid ~off:n.block ~len:(node_block_len n);
+            Pmem.expect_fenced t.pm ~what:"nvtraverse_map.remove: victim durable before unlink"
+              ~off:n.block ~len:(node_block_len n);
             Pmem.free t.pm ~tid n.block;
             (match prev with None -> b.head <- n.next | Some p -> p.next <- n.next);
             Atomic.decr t.size;

@@ -35,3 +35,22 @@ let read_block t ~off =
 let persist t ~tid ~off ~len = Nvm.Region.persist t.region ~tid ~off ~len
 let writeback t ~tid ~off ~len = Nvm.Region.writeback t.region ~tid ~off ~len
 let sfence t ~tid = Nvm.Region.sfence t.region ~tid
+
+(* ---- flush-contract declarations (Pcheck) ---- *)
+
+(* Baselines place [expect_fenced] at the points their per-operation
+   flush contract requires durability, so a checker violation names the
+   broken contract.  Both are no-ops without an attached checker. *)
+let expect_fenced t ~what ~off ~len = Nvm.Region.expect_fenced t.region ~what ~off ~len
+
+(* Bracket a recovery scan: reads inside [f] may touch lines whose
+   content persisted without a fence (crash injection); each system's
+   recovery contract (epoch cuts, dequeue marks, log headers) makes
+   those reads sound, so the checker's read-after-crash rule is
+   suspended for the scan. *)
+let with_recovery_scan t f =
+  match Nvm.Region.checker t.region with
+  | None -> f ()
+  | Some c ->
+      Nvm.Pcheck.set_recovery_scan c true;
+      Fun.protect ~finally:(fun () -> Nvm.Pcheck.set_recovery_scan c false) f

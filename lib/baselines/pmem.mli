@@ -22,3 +22,13 @@ val read_block : t -> off:int -> string
 val persist : t -> tid:int -> off:int -> len:int -> unit
 val writeback : t -> tid:int -> off:int -> len:int -> unit
 val sfence : t -> tid:int -> unit
+
+(** Declare a flush contract to the persistency checker: the range must
+    have reached media since its last store.  No-op without an attached
+    checker (see {!Nvm.Region.enable_pcheck}). *)
+val expect_fenced : t -> what:string -> off:int -> len:int -> unit
+
+(** Run a recovery scan with the checker's read-after-crash rule
+    suspended — the system's recovery contract makes reading
+    unfenced-persisted lines sound there. *)
+val with_recovery_scan : t -> (unit -> 'a) -> 'a

@@ -40,6 +40,27 @@ let check ~figure ~claim ok =
   verdicts := (figure, ok, claim) :: !verdicts;
   Printf.printf "  [%s] %s: %s\n%!" (if ok then "ok" else "MISS") figure claim
 
+(* Persistency-checker digest for a benchmarked region: violation count
+   plus the per-site performance-lint table ([Pcheck.lint_counts]), so a
+   run under MONTAGE_PCHECK=1 ends with an attributable flush-hygiene
+   report.  No-op when the region runs checker-off (the default). *)
+let pcheck_summary ?(label = "pcheck") region =
+  match Nvm.Region.checker region with
+  | None -> ()
+  | Some c ->
+      heading (Printf.sprintf "%s: persistency report" label);
+      let violations = Nvm.Pcheck.violations c in
+      Printf.printf "  violations: %d\n" (List.length violations);
+      List.iter (fun v -> Printf.printf "    %s\n" (Nvm.Pcheck.violation_to_string v)) violations;
+      let lints = Nvm.Pcheck.lint_counts c in
+      Printf.printf "  lints: %d total across %d sites\n" (Nvm.Pcheck.lint_total c)
+        (List.length lints);
+      List.iter
+        (fun (lint, site, count) ->
+          Printf.printf "    %8d  %-16s %s\n" count (Nvm.Pcheck.lint_name lint) site)
+        lints;
+      flush stdout
+
 let summary () =
   let all = List.rev !verdicts in
   let good = List.length (List.filter (fun (_, ok, _) -> ok) all) in

@@ -13,6 +13,11 @@ type writeback_policy =
   | Buffered (* per-thread circular buffer, drained at epoch advance *)
   | Direct (* write back + fence immediately on every update (DirWB) *)
 
+type pcheck_policy =
+  | Pcheck_off (* fast path: no checker attached *)
+  | Pcheck_record (* record violations and lints for inspection *)
+  | Pcheck_enforce (* additionally raise Nvm.Pcheck.Violation at the detection point *)
+
 type t = {
   max_threads : int;
   buffer_size : int; (* entries in each per-thread write-back ring *)
@@ -23,7 +28,17 @@ type t = {
   direct_free : bool; (* reclaim instantly; breaks persistence (reference) *)
   persist : bool; (* false = Montage (T): payloads in NVM, no persistence *)
   auto_advance : bool; (* spawn the background epoch-advancing domain *)
+  pcheck : pcheck_policy; (* persistency-ordering checker (Pcheck) *)
 }
+
+(* MONTAGE_PCHECK=1|record  → record; MONTAGE_PCHECK=strict|enforce →
+   enforce; anything else (or unset) → off.  Lets any benchmark or CLI
+   run double as a flush-redundancy profile without a rebuild. *)
+let pcheck_from_env () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "MONTAGE_PCHECK") with
+  | Some ("1" | "record" | "on") -> Pcheck_record
+  | Some ("strict" | "enforce") -> Pcheck_enforce
+  | _ -> Pcheck_off
 
 let default =
   {
@@ -36,10 +51,13 @@ let default =
     direct_free = false;
     persist = true;
     auto_advance = true;
+    pcheck = pcheck_from_env ();
   }
 
 (* Montage (T): payloads placed in NVM, all persistence elided. *)
 let transient = { default with persist = false; auto_advance = false }
 
-(* Unit-test configuration: manual epoch control, no timing dependence. *)
-let testing = { default with auto_advance = false }
+(* Unit-test configuration: manual epoch control, no timing dependence.
+   The persistency checker runs in enforce mode so every unit test
+   doubles as a crash-consistency proof obligation. *)
+let testing = { default with auto_advance = false; pcheck = Pcheck_enforce }

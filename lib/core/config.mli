@@ -15,6 +15,13 @@ type writeback_policy =
   | Buffered  (** per-thread circular buffer, drained at epoch advance *)
   | Direct  (** write back + fence immediately on every update (DirWB) *)
 
+(** Whether {!Epoch_sys.create} attaches a persistency-ordering checker
+    ({!Nvm.Pcheck}) to the region. *)
+type pcheck_policy =
+  | Pcheck_off  (** fast path: no checker attached *)
+  | Pcheck_record  (** record violations and lints for inspection *)
+  | Pcheck_enforce  (** additionally raise [Nvm.Pcheck.Violation] at the detection point *)
+
 type t = {
   max_threads : int;  (** worker thread-id space is [0, max_threads) *)
   buffer_size : int;  (** entries in each per-thread write-back ring *)
@@ -25,15 +32,24 @@ type t = {
   direct_free : bool;  (** reclaim instantly; breaks persistence (reference) *)
   persist : bool;  (** [false] = Montage (T): payloads in NVM, no persistence *)
   auto_advance : bool;  (** spawn the background epoch-advancing domain *)
+  pcheck : pcheck_policy;  (** persistency-ordering checker (Pcheck) *)
 }
 
+(** The [MONTAGE_PCHECK] environment variable, decoded:
+    ["1"]/["record"]/["on"] → [Pcheck_record],
+    ["strict"]/["enforce"] → [Pcheck_enforce], otherwise [Pcheck_off]. *)
+val pcheck_from_env : unit -> pcheck_policy
+
 (** The paper's recommended configuration: 10 ms epochs, 64-entry
-    write-back buffers, background reclamation. *)
+    write-back buffers, background reclamation.  [pcheck] follows
+    [MONTAGE_PCHECK] (see {!pcheck_from_env}). *)
 val default : t
 
 (** Montage (T): payloads placed in NVM, all persistence elided. *)
 val transient : t
 
 (** Unit-test configuration: no background domain, so tests control the
-    epoch clock deterministically via {!Epoch_sys.advance_epoch}. *)
+    epoch clock deterministically via {!Epoch_sys.advance_epoch}; the
+    persistency checker runs in enforce mode so every test doubles as a
+    crash-consistency proof obligation. *)
 val testing : t

@@ -47,6 +47,7 @@ type t = {
   advances : int Atomic.t; (* statistics *)
   stop_bg : bool Atomic.t;
   mutable bg : unit Domain.t option;
+  chk : Nvm.Pcheck.t option; (* persistency-ordering checker, per cfg.pcheck *)
 }
 
 let region t = t.region
@@ -68,6 +69,12 @@ let make_state region cfg =
     invalid_arg "Epoch_sys: region was created with too few thread slots";
   let slots = cfg.Config.max_threads + 1 in
   let alloc = Ralloc.create region ~heap_base in
+  let chk =
+    match cfg.Config.pcheck with
+    | Config.Pcheck_off -> Nvm.Region.checker region (* reuse one enabled out-of-band *)
+    | Config.Pcheck_record -> Some (Nvm.Region.enable_pcheck ~mode:Nvm.Pcheck.Record region)
+    | Config.Pcheck_enforce -> Some (Nvm.Region.enable_pcheck ~mode:Nvm.Pcheck.Enforce region)
+  in
   {
     region;
     alloc;
@@ -84,7 +91,10 @@ let make_state region cfg =
     advances = Atomic.make 0;
     stop_bg = Atomic.make false;
     bg = None;
+    chk;
   }
+
+let checker t = t.chk
 
 (* ---- write-back plumbing ----
 
@@ -120,6 +130,11 @@ let record_persist t ~tid ~off ~len =
     | Config.Buffered ->
         let pt = t.threads.(tid) in
         Mindicator.announce t.mind ~tid ~epoch:pt.op_epoch;
+        (* checker obligation: this range must reach media before
+           epoch op_epoch + 2 (the buffered-durability contract) *)
+        (match t.chk with
+        | None -> ()
+        | Some c -> Nvm.Pcheck.on_buffer_push c ~tid ~epoch:pt.op_epoch ~off ~len);
         Persist_buffer.push pt.buffer
           ~flush:(fun o l -> flush_incremental t ~tid ~off:o ~len:l)
           ~off ~len
@@ -356,11 +371,23 @@ let advance_epoch_charged t ~tid ~charged =
         Nvm.Region.persist t.region ~tid ~off:clock_off ~len:8
       end;
       Atomic.set t.curr_epoch (e + 1);
+      (* epoch e - 1 just retired: the checker audits that every
+         persist-buffer range of epochs <= e - 1 reached media *)
+      (match t.chk with
+      | None -> ()
+      | Some c -> Nvm.Pcheck.on_epoch_advance c ~epoch:(e + 1));
       Atomic.incr t.advances)
 
 (* Background/default advance: the advancer's device traffic is not
    billed to application time (dedicated-core assumption). *)
 let advance_epoch t ~tid = advance_epoch_charged t ~tid ~charged:false
+
+(* Report a DCSS decision to the checker (called by Everify with the
+   clock value the decision was computed from). *)
+let note_linearize t ~epoch ~clock ~success =
+  match t.chk with
+  | None -> ()
+  | Some c -> Nvm.Pcheck.on_linearize c ~epoch ~clock ~success
 
 (* Force buffered work durable: everything that completed before this
    call survives any later crash.  Mirrors fsync: two epoch advances
@@ -395,6 +422,11 @@ let stop_background t =
       Domain.join d;
       t.bg <- None
 
+let sync_checker_clock t =
+  match t.chk with
+  | None -> ()
+  | Some c -> Nvm.Pcheck.on_epoch_advance c ~epoch:(Atomic.get t.curr_epoch)
+
 let create ?(config = Config.default) region =
   let t = make_state region config in
   if Nvm.Region.get_i64 region ~off:clock_off = 0 then begin
@@ -402,6 +434,7 @@ let create ?(config = Config.default) region =
     Nvm.Region.persist region ~tid:0 ~off:clock_off ~len:8
   end
   else Atomic.set t.curr_epoch (Nvm.Region.get_i64 region ~off:clock_off);
+  sync_checker_clock t;
   start_background t;
   t
 
@@ -423,6 +456,12 @@ let recover ?(config = Config.default) ?(threads = 1) region =
   let cutoff = clock - 2 in
   let t = make_state region config in
   Atomic.set t.curr_epoch (max clock initial_epoch);
+  sync_checker_clock t;
+  (* The header scan and sweep below read every block, including ones
+     whose lines persisted without a fence (injection); the epoch
+     cutoff filters those out, so the reads are sound — tell the
+     checker this is a declared recovery scan. *)
+  (match t.chk with Some c -> Nvm.Pcheck.set_recovery_scan c true | None -> ());
   Ralloc.rescan t.alloc;
   let threads = max 1 (min threads (Nvm.Region.max_threads region)) in
   (* pass 1: newest qualifying version per uid, per slice *)
@@ -479,6 +518,7 @@ let recover ?(config = Config.default) ?(threads = 1) region =
   in
   if threads = 1 then sweep_slice 0
   else Array.init threads (fun s -> Domain.spawn (fun () -> sweep_slice s)) |> Array.iter Domain.join;
+  (match t.chk with Some c -> Nvm.Pcheck.set_recovery_scan c false | None -> ());
   (* hand surviving payloads back as first-class handles *)
   let survivors = ref [] in
   Hashtbl.iter

@@ -61,6 +61,16 @@ val op_epoch : t -> tid:int -> int
 (** Number of epoch advances performed so far. *)
 val advance_count : t -> int
 
+(** The persistency-ordering checker attached per [config.pcheck] (or
+    enabled on the region out-of-band); [None] on the fast path. *)
+val checker : t -> Nvm.Pcheck.t option
+
+(** Report a DCSS decision to the checker: [clock] is the epoch-clock
+    value the decision was computed from.  Called by {!Everify};
+    exposed so deliberately-buggy test structures can declare
+    linearizations too.  No-op without a checker. *)
+val note_linearize : t -> epoch:int -> clock:int -> success:bool -> unit
+
 (** {1 Operations (paper Fig. 1/3)} *)
 
 (** BEGIN_OP: register in the current epoch (retrying across ticks) so

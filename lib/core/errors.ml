@@ -18,3 +18,12 @@ exception Epoch_changed
    replaced).  Purely a debugging aid; a real NVM deployment would
    exhibit silent corruption instead. *)
 exception Use_after_free
+
+(* Raised when a structure's internal invariants produce a state the
+   code declares unreachable — a corruption witness, not a user error.
+   [corrupt] centralizes the raise so checker/CI logs carry a message
+   naming the structure and invariant instead of a bare [assert false]
+   backtrace. *)
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt

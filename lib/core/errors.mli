@@ -18,3 +18,12 @@ exception Epoch_changed
     replaced).  A debugging aid; a real NVM deployment would exhibit
     silent corruption instead. *)
 exception Use_after_free
+
+(** Raised when a structure's internal invariants produce a state the
+    code declares unreachable — a corruption witness, not a user
+    error. *)
+exception Corrupt of string
+
+(** [corrupt fmt ...] raises {!Corrupt} with a formatted message naming
+    the structure and the violated invariant. *)
+val corrupt : ('a, unit, string, 'b) format4 -> 'a

@@ -31,8 +31,12 @@ type 'a t = { cell : 'a state Atomic.t }
 let make v = { cell = Atomic.make (Value v) }
 
 let decide esys d =
-  let verdict = if Epoch_sys.current_epoch esys = d.epoch then 1 else 2 in
-  ignore (Atomic.compare_and_set d.outcome 0 verdict)
+  let clock = Epoch_sys.current_epoch esys in
+  let verdict = if clock = d.epoch then 1 else 2 in
+  if Atomic.compare_and_set d.outcome 0 verdict then
+    (* report the deciding observation to the persistency checker: a
+       success verdict against clock <> epoch is a DCSS invariant break *)
+    Epoch_sys.note_linearize esys ~epoch:d.epoch ~clock ~success:(verdict = 1)
 
 (* Complete an in-flight DCSS.  [state] is the physically installed
    [Desc d] block previously read from the cell. *)
@@ -87,3 +91,10 @@ let rec cas_verify esys ~tid t ~expect ~desired =
         Atomic.get d.outcome = 1
       end
       else cas_verify esys ~tid t ~expect ~desired
+
+(* Test support: install an undecided descriptor without helping it, so
+   unit tests can exercise the helping paths ([peek], [cas],
+   [load_verify] with a descriptor in flight) deterministically.  Never
+   use outside tests: it freezes the cell until somebody helps. *)
+let install_pending_for_testing t ~expect ~desired ~epoch =
+  Atomic.set t.cell (Desc { expect; desired; epoch; outcome = Atomic.make 0 })

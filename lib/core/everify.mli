@@ -33,3 +33,10 @@ val cas : Epoch_sys.t -> 'a t -> expect:'a -> desired:'a -> bool
     restart its operation in the new epoch.
     @raise Invalid_argument outside a [begin_op]/[end_op] bracket. *)
 val cas_verify : Epoch_sys.t -> tid:int -> 'a t -> expect:'a -> desired:'a -> bool
+
+(**/**)
+
+(** Test support only: install an undecided descriptor without helping
+    it, freezing the cell until some reader helps — lets unit tests
+    drive the helping paths deterministically. *)
+val install_pending_for_testing : 'a t -> expect:'a -> desired:'a -> epoch:int -> unit

@@ -23,8 +23,15 @@ type t = {
 
 let length_bits = 14
 let length_mask = (1 lsl length_bits) - 1
+let max_len = length_mask
 
-let pack ~off ~len = (off lsl length_bits) lor (len land length_mask)
+let pack ~off ~len =
+  (* a silent [land length_mask] here would corrupt the packed offset
+     and flush the wrong range — reject out-of-range records loudly *)
+  if len < 0 || len > max_len then
+    invalid_arg (Printf.sprintf "Persist_buffer.pack: length %d outside [0, %d]" len max_len);
+  if off < 0 then invalid_arg (Printf.sprintf "Persist_buffer.pack: negative offset %d" off);
+  (off lsl length_bits) lor len
 let unpack_off e = e lsr length_bits
 let unpack_len e = e land length_mask
 

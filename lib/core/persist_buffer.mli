@@ -8,11 +8,17 @@
 
 type t
 
+(** Largest representable record length (payloads are at most 8 KB, so
+    the 14-bit packed length field is ample). *)
+val max_len : int
+
 val create : capacity:int -> t
 val is_empty : t -> bool
 
 (** Owner-only append.  On overflow the oldest entry is consumed and
-    handed to [flush] — the paper's incremental write-back. *)
+    handed to [flush] — the paper's incremental write-back.
+    @raise Invalid_argument when [len] exceeds {!max_len} (or is
+    negative, or [off] is negative): packing would corrupt the record. *)
 val push : t -> flush:(int -> int -> unit) -> off:int -> len:int -> unit
 
 (** Consume one entry; [None] when empty.  Safe from any thread. *)

@@ -41,6 +41,9 @@ type t = {
   stat_writebacks : Util.Padded.counters;
   stat_fences : Util.Padded.counters;
   stat_lines_persisted : Util.Padded.counters;
+  (* opt-in persistency-ordering checker; [None] is the fast path (one
+     branch per primitive, no allocation) *)
+  mutable checker : Pcheck.t option;
 }
 
 let queue_capacity = 4096
@@ -61,11 +64,31 @@ let create ?(latency = Latency.default) ?(max_threads = 64) ~capacity () =
     stat_writebacks = Util.Padded.make_counters max_threads;
     stat_fences = Util.Padded.make_counters max_threads;
     stat_lines_persisted = Util.Padded.make_counters max_threads;
+    checker = None;
   }
 
 let capacity t = t.capacity
 let latency t = t.latency
 let max_threads t = t.max_threads
+
+(* ---- checker attachment ---- *)
+
+let checker t = t.checker
+
+let enable_pcheck ?(mode = Pcheck.Record) ?(log_events = false) ?max_log t =
+  match t.checker with
+  | Some c -> c
+  | None ->
+      let c =
+        Pcheck.create ~mode ~log_events ?max_log ~capacity:t.capacity ~max_threads:t.max_threads ()
+      in
+      t.checker <- Some c;
+      c
+
+(* No-op without a checker, so structures can assert their flush
+   contracts unconditionally. *)
+let expect_fenced t ~what ~off ~len =
+  match t.checker with None -> () | Some c -> Pcheck.expect_fenced c ~what ~off ~len
 
 let check_range t off len =
   if off < 0 || len < 0 || off + len > t.capacity then
@@ -80,16 +103,28 @@ let mark_dirty t off len =
 
 (* ---- data access (stores go to [work]) ---- *)
 
+let note_store t ~off ~len =
+  match t.checker with None -> () | Some c -> Pcheck.on_store c ~off ~len ~work:t.work
+
+let note_read t ~off ~len =
+  match t.checker with None -> () | Some c -> Pcheck.on_read c ~off ~len
+
 let write t ~off ~src ~src_off ~len =
   check_range t off len;
   Bytes.blit src src_off t.work off len;
-  if len > 0 then mark_dirty t off len
+  if len > 0 then begin
+    mark_dirty t off len;
+    note_store t ~off ~len
+  end
 
 let write_string t ~off s =
   let len = String.length s in
   check_range t off len;
   Bytes.blit_string s 0 t.work off len;
-  if len > 0 then mark_dirty t off len
+  if len > 0 then begin
+    mark_dirty t off len;
+    note_store t ~off ~len
+  end
 
 (* Payload reads pay the device's amortized load latency; scalar
    accessors below model hot metadata and stay uncharged. *)
@@ -100,38 +135,48 @@ let charge_read t ~off ~len =
 let read t ~off ~dst ~dst_off ~len =
   check_range t off len;
   charge_read t ~off ~len;
+  note_read t ~off ~len;
   Bytes.blit t.work off dst dst_off len
 
 let read_string t ~off ~len =
   check_range t off len;
-  if len > 0 then charge_read t ~off ~len;
+  if len > 0 then begin
+    charge_read t ~off ~len;
+    note_read t ~off ~len
+  end;
   Bytes.sub_string t.work off len
 
 let set_u8 t ~off v =
   check_range t off 1;
   Bytes.unsafe_set t.work off (Char.chr (v land 0xFF));
-  mark_dirty t off 1
+  mark_dirty t off 1;
+  note_store t ~off ~len:1
 
 let get_u8 t ~off =
   check_range t off 1;
+  note_read t ~off ~len:1;
   Char.code (Bytes.unsafe_get t.work off)
 
 let set_i64 t ~off v =
   check_range t off 8;
   Bytes.set_int64_le t.work off (Int64.of_int v);
-  mark_dirty t off 8
+  mark_dirty t off 8;
+  note_store t ~off ~len:8
 
 let get_i64 t ~off =
   check_range t off 8;
+  note_read t ~off ~len:8;
   Int64.to_int (Bytes.get_int64_le t.work off)
 
 let set_i32 t ~off v =
   check_range t off 4;
   Bytes.set_int32_le t.work off (Int32.of_int v);
-  mark_dirty t off 4
+  mark_dirty t off 4;
+  note_store t ~off ~len:4
 
 let get_i32 t ~off =
   check_range t off 4;
+  note_read t ~off ~len:4;
   (* values are sizes/offsets, always < 2^31: zero-extend *)
   Int32.to_int (Bytes.get_int32_le t.work off) land 0xFFFFFFFF
 
@@ -172,6 +217,7 @@ let drain_queue t ~tid =
   t.queue_len.(tid) <- 0;
   t.queue_lines.(tid) <- 0;
   Util.Padded.add t.stat_lines_persisted tid lines;
+  (match t.checker with None -> () | Some c -> Pcheck.on_drain c ~tid);
   lines
 
 let enqueue_range t ~tid ~first ~lines =
@@ -187,6 +233,7 @@ let enqueue_range t ~tid ~first ~lines =
 
 let enqueue_writeback t ~tid ~off ~len ~charge =
   check_range t off len;
+  (match t.checker with None -> () | Some c -> Pcheck.on_writeback c ~tid ~off ~len);
   let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
   let total = last - first + 1 in
   let rec chunks first remaining =
@@ -213,8 +260,14 @@ let writeback t ~tid ~off ~len = if len > 0 then enqueue_writeback t ~tid ~off ~
 let writeback_uncharged t ~tid ~off ~len =
   if len > 0 then enqueue_writeback t ~tid ~off ~len ~charge:false
 
+let note_fence t ~tid =
+  match t.checker with
+  | None -> ()
+  | Some c -> Pcheck.on_fence c ~tid ~pending:t.queue_len.(tid)
+
 (* SFENCE analog: commit this thread's queued ranges to media. *)
 let sfence t ~tid =
+  note_fence t ~tid;
   let lines = drain_queue t ~tid in
   Latency.charge_fence t.latency ~lines;
   Util.Padded.incr t.stat_fences tid
@@ -224,6 +277,7 @@ let sfence t ~tid =
    (e.g. Pronto-Full's sister-hyperthread write-back).  Semantics are
    identical to [sfence]; only the cost model differs. *)
 let sfence_async t ~tid =
+  note_fence t ~tid;
   ignore (drain_queue t ~tid);
   Util.Padded.incr t.stat_fences tid
 
@@ -239,6 +293,10 @@ let persist t ~tid ~off ~len =
    spontaneously evicted and persists despite never being flushed. *)
 let crash ?(persist_unfenced = 0.0) ?(evict_dirty = 0.0) ?rng t =
   let rng = match rng with Some r -> r | None -> Util.Xoshiro.create 42 in
+  (* lines whose media content comes from unfenced persistence, for the
+     checker's read-after-crash rule (collected only when attached) *)
+  let injected = ref [] in
+  let note_injected line = if t.checker <> None then injected := line :: !injected in
   if persist_unfenced > 0.0 then
     for tid = 0 to t.max_threads - 1 do
       let q = t.queues.(tid) in
@@ -248,7 +306,8 @@ let crash ?(persist_unfenced = 0.0) ?(evict_dirty = 0.0) ?rng t =
         for line = first to first + lines - 1 do
           if Util.Xoshiro.float rng < persist_unfenced then begin
             let off = line lsl line_shift in
-            Bytes.blit t.work off t.media off line_size
+            Bytes.blit t.work off t.media off line_size;
+            note_injected line
           end
         done
       done
@@ -258,14 +317,16 @@ let crash ?(persist_unfenced = 0.0) ?(evict_dirty = 0.0) ?rng t =
       if Bytes.unsafe_get t.dirty line <> '\000' && Util.Xoshiro.float rng < evict_dirty
       then begin
         let off = line lsl line_shift in
-        Bytes.blit t.work off t.media off line_size
+        Bytes.blit t.work off t.media off line_size;
+        note_injected line
       end
     done;
   (* Power is lost: caches vanish.  The post-restart view is media. *)
   Bytes.blit t.media 0 t.work 0 t.capacity;
   Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
   Array.fill t.queue_len 0 t.max_threads 0;
-  Array.fill t.queue_lines 0 t.max_threads 0
+  Array.fill t.queue_lines 0 t.max_threads 0;
+  match t.checker with None -> () | Some c -> Pcheck.on_crash c ~injected:!injected
 
 (* ---- statistics ---- *)
 

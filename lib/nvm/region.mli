@@ -83,3 +83,20 @@ val crash : ?persist_unfenced:float -> ?evict_dirty:float -> ?rng:Util.Xoshiro.t
 type stats = { writebacks : int; fences : int; lines_persisted : int }
 
 val stats : t -> stats
+
+(** {1 Persistency-ordering checker (Pcheck)} *)
+
+(** Attach a {!Pcheck} checker to this region (idempotent: returns the
+    existing checker if one is attached).  Every store, read,
+    write-back, fence, drain, and crash is reported to it from then on.
+    Without a checker the substrate pays one branch per primitive and
+    allocates nothing. *)
+val enable_pcheck :
+  ?mode:Pcheck.mode -> ?log_events:bool -> ?max_log:int -> t -> Pcheck.t
+
+val checker : t -> Pcheck.t option
+
+(** Assert a flush contract: every line of [off, off+len) has reached
+    media since its last store.  No-op when no checker is attached, so
+    structures declare their contracts unconditionally. *)
+val expect_fenced : t -> what:string -> off:int -> len:int -> unit

@@ -148,7 +148,10 @@ let vertex_attrs t ~tid:_ id =
       | Some v -> (
           match Codec.decode (E.pget_unsafe t.esys v.payload) with
           | Codec.Vertex { attrs; _ } -> Some attrs
-          | Codec.Edge _ -> assert false))
+          | Codec.Edge _ ->
+              Montage.Errors.corrupt
+                "Mgraph.vertex_attrs: payload uid %d for vertex %d decoded as an edge" v.payload.E.uid
+                id))
 
 (* ---- edge operations (shared structural access + endpoint locks) ---- *)
 
@@ -207,7 +210,10 @@ let edge_attrs t ~tid:_ src dst =
           | Some box -> (
               match Codec.decode (E.pget_unsafe t.esys !box) with
               | Codec.Edge { attrs; _ } -> Some attrs
-              | Codec.Vertex _ -> assert false)))
+              | Codec.Vertex _ ->
+                  Montage.Errors.corrupt
+                    "Mgraph.edge_attrs: payload uid %d for edge (%d, %d) decoded as a vertex"
+                    !box.E.uid src dst)))
 
 let neighbors t id =
   check_id t id;

@@ -92,7 +92,10 @@ let dequeue t ~tid =
         else if V.cas_verify t.esys ~tid t.head ~expect:head ~desired:node then begin
           (match node.payload with
           | Some p -> E.pdelete t.esys ~tid p
-          | None -> assert false);
+          | None ->
+              Montage.Errors.corrupt
+                "Nb_queue.dequeue: non-sentinel node seq %d has no payload (only the sentinel may)"
+                node.seq);
           E.end_op t.esys ~tid;
           Some node.value
         end

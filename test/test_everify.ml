@@ -68,6 +68,38 @@ let test_peek_never_blocks () =
   let cell = V.make "x" in
   Alcotest.(check string) "peek" "x" (V.peek cell)
 
+(* ---- helper paths with a descriptor deterministically in flight ---- *)
+
+let test_peek_with_descriptor_in_flight () =
+  let esys = make () in
+  let cell = V.make 10 in
+  V.install_pending_for_testing cell ~expect:10 ~desired:99 ~epoch:(E.current_epoch esys);
+  (* peek never helps: it reports the value the cell reverts to *)
+  Alcotest.(check int) "peek sees expect" 10 (V.peek cell);
+  (* the descriptor was left in flight; load_verify completes it, and
+     the epoch is still current so it completes to success *)
+  Alcotest.(check int) "helped to desired" 99 (V.load_verify esys cell);
+  Alcotest.(check int) "peek after release" 99 (V.peek cell)
+
+let test_cas_helps_pending_to_success () =
+  let esys = make () in
+  let cell = V.make 10 in
+  V.install_pending_for_testing cell ~expect:10 ~desired:99 ~epoch:(E.current_epoch esys);
+  (* cas must first complete the in-flight DCSS (to success: the clock
+     still matches), so a cas expecting the old value loses *)
+  Alcotest.(check bool) "expect superseded by helping" false (V.cas esys cell ~expect:10 ~desired:0);
+  Alcotest.(check int) "descriptor completed first" 99 (V.peek cell);
+  Alcotest.(check bool) "cas on released value" true (V.cas esys cell ~expect:99 ~desired:1)
+
+let test_cas_helps_pending_to_failure () =
+  let esys = make () in
+  let cell = V.make 10 in
+  (* stale descriptor epoch: any helper must decide failure and revert *)
+  V.install_pending_for_testing cell ~expect:10 ~desired:99 ~epoch:(E.current_epoch esys - 1);
+  Alcotest.(check bool) "helped to failure, then cas applies" true
+    (V.cas esys cell ~expect:10 ~desired:5);
+  Alcotest.(check int) "reverted then updated" 5 (V.load_verify esys cell)
+
 let test_concurrent_counter_linearizes () =
   (* N domains increment an epoch-verified counter; with a concurrent
      epoch ticker forcing retries, the final count must still be exact *)
@@ -128,6 +160,10 @@ let () =
           Alcotest.test_case "load helps descriptor" `Quick test_load_verify_helps_descriptor;
           Alcotest.test_case "plain cas" `Quick test_plain_cas;
           Alcotest.test_case "peek" `Quick test_peek_never_blocks;
+          Alcotest.test_case "peek with descriptor in flight" `Quick
+            test_peek_with_descriptor_in_flight;
+          Alcotest.test_case "cas helps to success" `Quick test_cas_helps_pending_to_success;
+          Alcotest.test_case "cas helps to failure" `Quick test_cas_helps_pending_to_failure;
           QCheck_alcotest.to_alcotest qcheck_dcss_respects_epoch;
         ] );
       ( "concurrency",

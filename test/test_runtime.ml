@@ -32,6 +32,22 @@ let test_pb_overflow_flushes_oldest () =
   (* remaining entries still pop in order *)
   Alcotest.(check (option (pair int int))) "next oldest" (Some (128, 2)) (PB.pop b)
 
+let test_pb_oversized_range_rejected () =
+  (* lengths beyond the 14-bit packed field must raise, not silently
+     truncate into a corrupt entry *)
+  let b = PB.create ~capacity:8 in
+  PB.push b ~flush:(fun _ _ -> ()) ~off:64 ~len:PB.max_len;
+  Alcotest.(check (option (pair int int))) "max length packs exactly" (Some (64, PB.max_len))
+    (PB.pop b);
+  let check_raises len =
+    match PB.push b ~flush:(fun _ _ -> ()) ~off:64 ~len with
+    | () -> Alcotest.failf "push accepted len %d" len
+    | exception Invalid_argument _ -> ()
+  in
+  check_raises (PB.max_len + 1);
+  check_raises (-1);
+  Alcotest.(check bool) "rejected pushes left no entry" true (PB.is_empty b)
+
 let test_pb_drain () =
   let b = PB.create ~capacity:16 in
   for i = 1 to 10 do
@@ -183,6 +199,7 @@ let () =
         [
           Alcotest.test_case "FIFO" `Quick test_pb_fifo;
           Alcotest.test_case "overflow flushes oldest" `Quick test_pb_overflow_flushes_oldest;
+          Alcotest.test_case "oversized range rejected" `Quick test_pb_oversized_range_rejected;
           Alcotest.test_case "drain" `Quick test_pb_drain;
           Alcotest.test_case "concurrent consumer" `Quick test_pb_concurrent_consumer;
         ] );
