@@ -793,3 +793,100 @@ let recovery_table () =
         ~claim:"parallel recovery within 2.5x of sequential (1 core: no speedup possible)"
         (tk <= t1 *. 2.5)
   | _ -> ()
+
+(* ---- write-back coalescing accounting ---- *)
+
+(* Fixed-op-count, single-worker, manually ticked runs: the identical
+   op sequence with the coalescer on vs off, compared by exact
+   write-back and fence counts rather than a timed race.  The hashmap
+   side leans on bursts of same-key rewrites (same-epoch in-place pset
+   updates keep dirtying the same payload lines); the queue side on the
+   enqueue-persist / dequeue-scrub overlap of a 1:1 mix.  Both must
+   issue strictly fewer lines and fences with coalescing on. *)
+let coalesce () =
+  Benchlib.Report.heading "Write-back coalescing: lines and fences per op (fixed workload)";
+  let ops = 20_000 in
+  let fops = float_of_int ops in
+  let value = make_value 64 in
+  let mk_cfg on =
+    {
+      Cfg.default with
+      max_threads = 1;
+      auto_advance = false;
+      coalesce_writebacks = on;
+      drain_domains = 1;
+    }
+  in
+  let finish r esys =
+    E.sync esys ~tid:0;
+    E.stop_background esys;
+    Nvm.Region.stats r
+  in
+  let map_run on () =
+    let r = Systems.region ~capacity:(1 lsl 26) ~threads:1 in
+    let esys = E.create ~config:(mk_cfg on) r in
+    let m = Pstructs.Mhashmap.create ~buckets:(1 lsl 10) esys in
+    for i = 0 to ops - 1 do
+      ignore (Pstructs.Mhashmap.put m ~tid:0 (key_of (i / 16 mod 512)) value);
+      if i mod 1024 = 1023 then E.advance_epoch esys ~tid:0
+    done;
+    finish r esys
+  in
+  let queue_run on () =
+    let r = Systems.region ~capacity:(1 lsl 26) ~threads:1 in
+    let esys = E.create ~config:(mk_cfg on) r in
+    let q = Pstructs.Mqueue.create esys in
+    for i = 0 to ops - 1 do
+      if i land 1 = 0 then Pstructs.Mqueue.enqueue q ~tid:0 value
+      else ignore (Pstructs.Mqueue.dequeue q ~tid:0);
+      if i mod 1024 = 1023 then E.advance_epoch esys ~tid:0
+    done;
+    finish r esys
+  in
+  let safe name f =
+    try Some (f ())
+    with e ->
+      Printf.eprintf "[bench] coalesce %s failed: %s\n%!" name (Printexc.to_string e);
+      None
+  in
+  let m_on = safe "hashmap on" (map_run true) in
+  let m_off = safe "hashmap off" (map_run false) in
+  let q_on = safe "queue on" (queue_run true) in
+  let q_off = safe "queue off" (queue_run false) in
+  let row name = function
+    | None -> (name, [ nan; nan; nan ])
+    | Some { Nvm.Region.writebacks; fences; coalesce_lines_in; coalesce_lines_out; _ } ->
+        let dedup =
+          if coalesce_lines_out = 0 then nan
+          else float_of_int coalesce_lines_in /. float_of_int coalesce_lines_out
+        in
+        (name, [ float_of_int writebacks /. fops; float_of_int fences /. fops; dedup ])
+  in
+  Benchlib.Report.table
+    ~fmt:(Printf.sprintf "%.3f")
+    ~columns:[ "wb-lines/op"; "fences/op"; "dedup" ]
+    ~rows:
+      [
+        row "hashmap: coalesce=on" m_on;
+        row "hashmap: coalesce=off" m_off;
+        row "queue: coalesce=on" q_on;
+        row "queue: coalesce=off" q_off;
+      ]
+    ~unit_label:"per op" ();
+  let strictly_lower what on off =
+    match (on, off) with
+    | ( Some { Nvm.Region.writebacks = wa; fences = fa; _ },
+        Some { Nvm.Region.writebacks = wb; fences = fb; _ } ) ->
+        Benchlib.Report.check ~figure:"coalesce"
+          ~claim:(what ^ ": coalescing strictly reduces write-back lines and fences")
+          (wa < wb && fa < fb)
+    | _ ->
+        Benchlib.Report.check ~figure:"coalesce" ~claim:(what ^ ": both runs completed") false
+  in
+  strictly_lower "hashmap" m_on m_off;
+  strictly_lower "queue" q_on q_off;
+  match m_on with
+  | Some { Nvm.Region.coalesce_lines_in = li; coalesce_lines_out = lo; _ } ->
+      Benchlib.Report.check ~figure:"coalesce"
+        ~claim:"hashmap rewrite bursts dedup at least 2x at the coalescer" (lo > 0 && li >= 2 * lo)
+  | None -> ()

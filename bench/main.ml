@@ -24,6 +24,7 @@ let () =
       ("fig12", Figures.fig12);
       ("recovery", Figures.recovery_table);
       ("ablation", Figures.ablations);
+      ("coalesce", Figures.coalesce);
       ("bechamel", Bechamel_suite.run);
     ]
   in
@@ -35,5 +36,6 @@ let () =
         Systems.stop_leaked ()
       end)
     figures;
+  Systems.report_coalescing ();
   Systems.report_pcheck ();
   Benchlib.Report.summary ()

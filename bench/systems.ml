@@ -64,6 +64,40 @@ let report_pcheck () =
       (List.length checked) !viols !lints
   end
 
+(* Write-back accounting, aggregated across every Montage system the
+   run builds.  Stats are harvested into these totals when a system
+   stops (after its final drain) rather than by retaining regions — a
+   full sweep builds hundreds of multi-GB regions that must stay
+   collectible. *)
+type wb_totals = {
+  mutable systems : int;
+  mutable writebacks : int;
+  mutable fences : int;
+  mutable ranges : int;
+  mutable lines_in : int;
+  mutable lines_out : int;
+}
+
+let wb_totals = { systems = 0; writebacks = 0; fences = 0; ranges = 0; lines_in = 0; lines_out = 0 }
+
+let note_region_stats r =
+  let s = Nvm.Region.stats r in
+  wb_totals.systems <- wb_totals.systems + 1;
+  wb_totals.writebacks <- wb_totals.writebacks + s.Nvm.Region.writebacks;
+  wb_totals.fences <- wb_totals.fences + s.Nvm.Region.fences;
+  wb_totals.ranges <- wb_totals.ranges + s.Nvm.Region.coalesce_ranges;
+  wb_totals.lines_in <- wb_totals.lines_in + s.Nvm.Region.coalesce_lines_in;
+  wb_totals.lines_out <- wb_totals.lines_out + s.Nvm.Region.coalesce_lines_out
+
+let report_coalescing () =
+  if wb_totals.systems > 0 then begin
+    Benchlib.Report.heading
+      (Printf.sprintf "write-back totals across %d Montage system instances" wb_totals.systems);
+    Benchlib.Report.writeback_line ~label:"aggregate" ~writebacks:wb_totals.writebacks
+      ~fences:wb_totals.fences ~ranges:wb_totals.ranges ~lines_in:wb_totals.lines_in
+      ~lines_out:wb_totals.lines_out
+  end
+
 (* Spawn a 10 ms ticker domain calling [tick] until stopped — the
    pacing Dalí's periodic persistence needs. *)
 let ticker ?(period = 0.01) tick =
@@ -119,7 +153,10 @@ let montage_map ?(name = "Montage") ?(cfg_mod = fun c -> c) ~capacity ~threads ~
     mput = (fun ~tid k v -> ignore (Pstructs.Mhashmap.put m ~tid k v));
     mrem = (fun ~tid k -> ignore (Pstructs.Mhashmap.remove m ~tid k));
     msync = (fun ~tid -> E.sync esys ~tid);
-    mstop = guarded_stop (fun () -> E.stop_background esys);
+    mstop =
+      guarded_stop (fun () ->
+          E.stop_background esys;
+          note_region_stats r);
   }
 
 let montage_t_map ~capacity ~threads ~buckets () =
@@ -269,7 +306,10 @@ let montage_queue ?(name = "Montage") ?(cfg_mod = fun c -> c) ~capacity ~threads
     qenq = (fun ~tid v -> Pstructs.Mqueue.enqueue q ~tid v);
     qdeq = (fun ~tid -> Pstructs.Mqueue.dequeue q ~tid);
     qsync = (fun ~tid -> E.sync esys ~tid);
-    qstop = guarded_stop (fun () -> E.stop_background esys);
+    qstop =
+      guarded_stop (fun () ->
+          E.stop_background esys;
+          note_region_stats r);
   }
 
 let montage_t_queue ~capacity ~threads () =

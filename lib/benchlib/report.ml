@@ -40,6 +40,19 @@ let check ~figure ~claim ok =
   verdicts := (figure, ok, claim) :: !verdicts;
   Printf.printf "  [%s] %s: %s\n%!" (if ok then "ok" else "MISS") figure claim
 
+(* One line of write-back accounting — for a single region or an
+   aggregate the caller assembled across systems.  [writebacks] counts
+   queued cache lines, [fences] ordering points; the coalescer fields
+   are zero when it never ran, in which case the dedup tail is
+   omitted. *)
+let writeback_line ~label ~writebacks ~fences ~ranges ~lines_in ~lines_out =
+  Printf.printf "  %-28s %12d wb-lines %10d fences" label writebacks fences;
+  if ranges > 0 then
+    Printf.printf "   %d ranges, %d->%d lines (dedup %.2fx)" ranges lines_in lines_out
+      (float_of_int lines_in /. float_of_int (max 1 lines_out));
+  print_newline ();
+  flush stdout
+
 (* Persistency-checker digest for a benchmarked region: violation count
    plus the per-site performance-lint table ([Pcheck.lint_counts]), so a
    run under MONTAGE_PCHECK=1 ends with an attributable flush-hygiene

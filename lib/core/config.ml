@@ -29,6 +29,8 @@ type t = {
   persist : bool; (* false = Montage (T): payloads in NVM, no persistence *)
   auto_advance : bool; (* spawn the background epoch-advancing domain *)
   pcheck : pcheck_policy; (* persistency-ordering checker (Pcheck) *)
+  coalesce_writebacks : bool; (* line-granular dedup of drained ranges *)
+  drain_domains : int; (* worker domains for the background parallel drain *)
 }
 
 (* MONTAGE_PCHECK=1|record  → record; MONTAGE_PCHECK=strict|enforce →
@@ -39,6 +41,21 @@ let pcheck_from_env () =
   | Some ("1" | "record" | "on") -> Pcheck_record
   | Some ("strict" | "enforce") -> Pcheck_enforce
   | _ -> Pcheck_off
+
+(* MONTAGE_COALESCE=0|off|false|no disables write-back coalescing;
+   anything else (or unset) leaves it on.  The CI matrix uses this to
+   run the whole suite down the uncoalesced per-record path. *)
+let coalesce_from_env () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "MONTAGE_COALESCE") with
+  | Some ("0" | "off" | "false" | "no") -> false
+  | _ -> true
+
+(* MONTAGE_DRAIN_DOMAINS=<n> caps the domains the background advancer
+   may fan a drain out over (clamped to >= 1; 1 = serial drain). *)
+let drain_domains_from_env () =
+  match Option.bind (Sys.getenv_opt "MONTAGE_DRAIN_DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 2
 
 let default =
   {
@@ -52,6 +69,8 @@ let default =
     persist = true;
     auto_advance = true;
     pcheck = pcheck_from_env ();
+    coalesce_writebacks = coalesce_from_env ();
+    drain_domains = drain_domains_from_env ();
   }
 
 (* Montage (T): payloads placed in NVM, all persistence elided. *)

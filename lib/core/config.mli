@@ -33,6 +33,14 @@ type t = {
   persist : bool;  (** [false] = Montage (T): payloads in NVM, no persistence *)
   auto_advance : bool;  (** spawn the background epoch-advancing domain *)
   pcheck : pcheck_policy;  (** persistency-ordering checker (Pcheck) *)
+  coalesce_writebacks : bool;
+      (** drain buffered persist records through a line-granular dedup
+          layer: sorted-merge overlapping 64 B line runs, issue batched
+          write-backs, one trailing fence per drain *)
+  drain_domains : int;
+      (** max worker domains the background advancer fans an epoch
+          drain out over (1 = serial); bounded at run time by the
+          region's spare thread slots *)
 }
 
 (** The [MONTAGE_PCHECK] environment variable, decoded:
@@ -40,9 +48,18 @@ type t = {
     ["strict"]/["enforce"] → [Pcheck_enforce], otherwise [Pcheck_off]. *)
 val pcheck_from_env : unit -> pcheck_policy
 
+(** The [MONTAGE_COALESCE] environment variable, decoded:
+    ["0"]/["off"]/["false"]/["no"] → [false], otherwise [true]. *)
+val coalesce_from_env : unit -> bool
+
+(** The [MONTAGE_DRAIN_DOMAINS] environment variable: a positive
+    integer, defaulting to [2]. *)
+val drain_domains_from_env : unit -> int
+
 (** The paper's recommended configuration: 10 ms epochs, 64-entry
-    write-back buffers, background reclamation.  [pcheck] follows
-    [MONTAGE_PCHECK] (see {!pcheck_from_env}). *)
+    write-back buffers, background reclamation.  [pcheck],
+    [coalesce_writebacks] and [drain_domains] follow their environment
+    variables (see the [_from_env] decoders above). *)
 val default : t
 
 (** Montage (T): payloads placed in NVM, all persistence elided. *)

@@ -28,6 +28,11 @@ type per_thread = {
   mutable op_epoch : int; (* 0 = no active operation *)
   mutable last_epoch : int;
   buffer : Persist_buffer.t;
+  coal : Wb_coalescer.t; (* this thread's line-dedup scratch for drains *)
+  draining : bool Atomic.t;
+      (* raised while this thread holds records it popped from [buffer]
+         whose write-backs are not yet fenced; the epoch advance waits
+         for it before persisting the clock (see [advance_epoch_charged]) *)
 }
 
 type t = {
@@ -84,7 +89,13 @@ let make_state region cfg =
     mind = Mindicator.create ~max_threads:slots;
     threads =
       Array.init slots (fun _ ->
-          { op_epoch = 0; last_epoch = 0; buffer = Persist_buffer.create ~capacity:cfg.Config.buffer_size });
+          {
+            op_epoch = 0;
+            last_epoch = 0;
+            buffer = Persist_buffer.create ~capacity:cfg.Config.buffer_size;
+            coal = Wb_coalescer.create ();
+            draining = Atomic.make false;
+          });
     to_free = Array.init 4 (fun _ -> Array.init slots (fun _ -> ref []));
     advance_lock = Util.Spin_lock.create ();
     uid_counter = Atomic.make 1;
@@ -120,6 +131,41 @@ let flush_incremental t ~tid ~off ~len =
   Nvm.Region.writeback t.region ~tid ~off ~len;
   Nvm.Region.sfence_async t.region ~tid
 
+(* Issue everything collected in [coal] as batched line write-backs on
+   the caller's queue, then fence once.  The fence is skipped when the
+   coalescer is empty (nothing to order — an empty fence is exactly the
+   lint the coalesced path exists to remove). *)
+let flush_coalesced t ~tid ~charged ~fence coal =
+  if not (Wb_coalescer.is_empty coal) then begin
+    let wb =
+      if charged then Nvm.Region.writeback_lines else Nvm.Region.writeback_lines_uncharged
+    in
+    let ranges, lines_in, lines_out =
+      Wb_coalescer.flush coal ~emit:(fun ~first ~lines -> wb t.region ~tid ~first ~lines)
+    in
+    Nvm.Region.note_coalesced t.region ~tid ~ranges ~lines_in ~lines_out;
+    match fence with
+    | `Sync -> Nvm.Region.sfence t.region ~tid
+    | `Async -> Nvm.Region.sfence_async t.region ~tid
+    | `None -> ()
+  end
+
+(* Bracket [f] with [pt.draining]: between popping a record from the
+   ring and fencing its write-back the record's range is durable
+   nowhere — the ring no longer holds it and media does not yet.  An
+   epoch advance that observes the ring empty in that window must not
+   persist the clock past the record (its epoch may be the one the tick
+   retires), so the advance spins on this flag before the clock store.
+   Cleared on exception too: under Pcheck Enforce a violation raised
+   mid-flush must not leave the advancer spinning forever. *)
+let with_draining pt f =
+  Atomic.set pt.draining true;
+  match f () with
+  | () -> Atomic.set pt.draining false
+  | exception e ->
+      Atomic.set pt.draining false;
+      raise e
+
 (* Record that [off, off+len) must persist by the end of the current
    epoch.  Policy-dependent: buffered (default), direct (DirWB), or
    elided entirely for Montage (T). *)
@@ -135,18 +181,42 @@ let record_persist t ~tid ~off ~len =
         (match t.chk with
         | None -> ()
         | Some c -> Nvm.Pcheck.on_buffer_push c ~tid ~epoch:pt.op_epoch ~off ~len);
-        Persist_buffer.push pt.buffer
-          ~flush:(fun o l -> flush_incremental t ~tid ~off:o ~len:l)
-          ~off ~len
+        with_draining pt (fun () ->
+            if t.cfg.Config.coalesce_writebacks && Persist_buffer.is_full pt.buffer then begin
+              (* ring full: instead of evicting one record per push with a
+                 writeback+fence each (the per-record incremental path),
+                 snapshot-drain the whole ring through the coalescer — one
+                 batched issue, one fence, each line at most once *)
+              Persist_buffer.drain pt.buffer (fun o l -> Wb_coalescer.add pt.coal ~off:o ~len:l);
+              flush_coalesced t ~tid ~charged:true ~fence:`Async pt.coal
+            end;
+            Persist_buffer.push pt.buffer
+              ~flush:(fun o l -> flush_incremental t ~tid ~off:o ~len:l)
+              ~off ~len)
 
-(* Drain one thread's buffer onto the *caller's* region queue.  When
-   [charged] the caller pays CLWB issue costs (it is a synchronous
-   helper inside sync); otherwise it is the background advancer. *)
-let drain_buffer t ~tid ~owner ~charged =
-  let wb =
-    if charged then Nvm.Region.writeback else Nvm.Region.writeback_uncharged
-  in
-  Persist_buffer.drain t.threads.(owner).buffer (fun off len -> wb t.region ~tid ~off ~len);
+(* Drain one thread's buffer.  With [coal] the records are collected
+   for a later batched flush; otherwise each goes straight onto the
+   caller's region queue.  When [charged] the caller pays CLWB issue
+   costs (it is a synchronous helper inside sync); otherwise it is the
+   background advancer.
+
+   This must chase the tail ([drain_all], not the snapshot [drain]): a
+   record the owner pushes mid-drain may cover a line whose write-back
+   is already queued here, and re-flushing it before our fence is what
+   keeps that fence ahead of the owner's store (the Pcheck soundness
+   invariant: an epoch advance drains buffers to empty before the
+   clock moves).  The snapshot drain is for the owner's own overflow
+   batches, where no concurrent producer exists. *)
+let drain_buffer ?coal t ~tid ~owner ~charged =
+  (match coal with
+  | Some coal ->
+      Persist_buffer.drain_all t.threads.(owner).buffer (fun off len ->
+          Wb_coalescer.add coal ~off ~len)
+  | None ->
+      let wb =
+        if charged then Nvm.Region.writeback else Nvm.Region.writeback_uncharged
+      in
+      Persist_buffer.drain_all t.threads.(owner).buffer (fun off len -> wb t.region ~tid ~off ~len));
   Mindicator.clear t.mind ~tid:owner
 
 (* ---- reclamation ---- *)
@@ -155,17 +225,20 @@ let drain_buffer t ~tid ~owner ~charged =
    Scrubbing closes the block-recycling resurrection window (DESIGN.md);
    the write-back is batched on the caller's queue and fenced by the
    caller before the epoch clock moves. *)
-let reclaim_block t ~tid ~charged off =
+let reclaim_block ?coal t ~tid ~charged off =
   Payload_hdr.scrub t.region ~off;
-  (if charged then Nvm.Region.writeback t.region ~tid ~off ~len:8
-   else Nvm.Region.writeback_uncharged t.region ~tid ~off ~len:8);
+  (match coal with
+  | Some coal -> Wb_coalescer.add coal ~off ~len:8
+  | None ->
+      if charged then Nvm.Region.writeback t.region ~tid ~off ~len:8
+      else Nvm.Region.writeback_uncharged t.region ~tid ~off ~len:8);
   Ralloc.free t.alloc ~tid off
 
-let drain_free_slot ?(charged = false) t ~tid ~slot ~owner =
+let drain_free_slot ?coal ?(charged = false) t ~tid ~slot ~owner =
   let cell = t.to_free.(slot).(owner) in
   let blocks = !cell in
   cell := [];
-  List.iter (fun off -> reclaim_block t ~tid ~charged off) blocks
+  List.iter (fun off -> reclaim_block ?coal t ~tid ~charged off) blocks
 
 (* Worker-local reclamation (+LocalFree in Fig. 4): at begin_op, a
    thread entering epoch e reclaims its own garbage from the epochs
@@ -175,11 +248,19 @@ let reclaim_local t ~tid =
   let pt = t.threads.(tid) in
   if pt.last_epoch > 0 && pt.op_epoch > pt.last_epoch then begin
     let lo = max 1 (pt.last_epoch - 1) and hi = min (pt.last_epoch + 1) (pt.op_epoch - 2) in
-    for e = lo to hi do
-      (* worker-side reclamation dilates the critical path: charged *)
-      drain_free_slot ~charged:true t ~tid ~slot:(e mod 4) ~owner:tid
-    done;
-    if hi >= lo then Nvm.Region.sfence t.region ~tid
+    (* worker-side reclamation dilates the critical path: charged *)
+    if t.cfg.Config.coalesce_writebacks then begin
+      for e = lo to hi do
+        drain_free_slot ~coal:pt.coal ~charged:true t ~tid ~slot:(e mod 4) ~owner:tid
+      done;
+      flush_coalesced t ~tid ~charged:true ~fence:`Sync pt.coal
+    end
+    else begin
+      for e = lo to hi do
+        drain_free_slot ~charged:true t ~tid ~slot:(e mod 4) ~owner:tid
+      done;
+      if hi >= lo then Nvm.Region.sfence t.region ~tid
+    end
   end
 
 (* ---- operations ---- *)
@@ -198,12 +279,19 @@ let begin_op t ~tid =
 
 let end_op t ~tid =
   let pt = t.threads.(tid) in
-  if t.cfg.Config.drain_on_end_op && t.cfg.Config.persist then begin
+  if t.cfg.Config.drain_on_end_op && t.cfg.Config.persist then
     (* Montage (dw): the worker itself writes back everything at the
        end of each operation — fully charged, it waits for the drain *)
-    drain_buffer t ~tid ~owner:tid ~charged:true;
-    Nvm.Region.sfence t.region ~tid
-  end;
+    with_draining pt (fun () ->
+        if t.cfg.Config.coalesce_writebacks then begin
+          Persist_buffer.drain_all pt.buffer (fun off len -> Wb_coalescer.add pt.coal ~off ~len);
+          Mindicator.clear t.mind ~tid;
+          flush_coalesced t ~tid ~charged:true ~fence:`Sync pt.coal
+        end
+        else begin
+          drain_buffer t ~tid ~owner:tid ~charged:true;
+          Nvm.Region.sfence t.region ~tid
+        end);
   pt.op_epoch <- 0;
   Tracker.unregister t.tracker ~tid
 
@@ -353,20 +441,103 @@ let pdelete t ~tid p =
    clock.  Reclamation scrubs ride the same fence as the payload
    write-backs, so nothing is reused before its supersession record is
    durable. *)
+(* Drain the free slot (when background reclamation is on) and the
+   persist buffer of each owner in [owners] through [coal] on thread
+   [tid], then flush the batch and fence.  One shard of an epoch
+   drain. *)
+let drain_shard t ~tid ~slot ~charged ~fence coal owners =
+  List.iter
+    (fun owner ->
+      (match slot with
+      | Some slot -> drain_free_slot ~coal ~charged t ~tid ~slot ~owner
+      | None -> ());
+      drain_buffer ~coal t ~tid ~owner ~charged)
+    owners;
+  flush_coalesced t ~tid ~charged ~fence coal
+
+(* The coalesced epoch drain.  Serial by default; the background
+   advancer (and only it — worker tids must not be borrowed from under
+   running threads) fans the per-owner drains out over up to
+   [cfg.drain_domains] worker domains, each with its own coalescer,
+   region queue (one of the region's spare thread slots) and trailing
+   fence, so the write-back of a large epoch completes before the
+   clock ticks rather than serializing on one domain. *)
+let drain_all_coalesced t ~tid ~slot ~charged =
+  let nw = t.cfg.Config.max_threads in
+  let owners = ref [] in
+  for owner = nw - 1 downto 0 do
+    let ripe =
+      match slot with Some slot -> !(t.to_free.(slot).(owner)) <> [] | None -> false
+    in
+    if ripe || not (Persist_buffer.is_empty t.threads.(owner).buffer) then
+      owners := owner :: !owners
+  done;
+  let owners = !owners in
+  (* owners with nothing to drain still get their mindicator slot
+     cleared, as the unconditional per-owner drain did *)
+  for owner = 0 to nw - 1 do
+    if not (List.mem owner owners) then Mindicator.clear t.mind ~tid:owner
+  done;
+  let n = List.length owners in
+  (* spare region thread slots beyond the workers and the advancer *)
+  let spare = Nvm.Region.max_threads t.region - (nw + 1) in
+  let k =
+    if charged || tid <> advancer_tid t.cfg then 1
+    else min t.cfg.Config.drain_domains (min (1 + spare) (max 1 n))
+  in
+  if k <= 1 then drain_shard t ~tid ~slot ~charged ~fence:(if charged then `Sync else `Async)
+      t.threads.(tid).coal owners
+  else begin
+    let shards = Array.make k [] in
+    List.iteri (fun i owner -> shards.(i mod k) <- owner :: shards.(i mod k)) owners;
+    let run j =
+      (* shard 0 reuses the advancer's tid and coalescer; helpers get
+         the region's spare slots above the advancer *)
+      let stid = if j = 0 then tid else nw + 1 + (j - 1) in
+      let coal = if j = 0 then t.threads.(tid).coal else Wb_coalescer.create () in
+      drain_shard t ~tid:stid ~slot ~charged:false ~fence:`Async coal shards.(j)
+    in
+    let helpers = Array.init (k - 1) (fun j -> Domain.spawn (fun () -> run (j + 1))) in
+    run 0;
+    Array.iter Domain.join helpers
+  end
+
 let advance_epoch_charged t ~tid ~charged =
   Util.Spin_lock.with_lock t.advance_lock (fun () ->
       let e = Atomic.get t.curr_epoch in
       Tracker.wait_all t.tracker ~epoch:(e - 1);
       if t.cfg.Config.persist then begin
-        if t.cfg.Config.reclaim = Config.Background && not t.cfg.Config.direct_free then
-          for owner = 0 to t.cfg.Config.max_threads - 1 do
-            drain_free_slot t ~tid ~slot:((e - 2) mod 4) ~owner
-          done;
-        for owner = 0 to t.cfg.Config.max_threads - 1 do
-          drain_buffer t ~tid ~owner ~charged
+        let slot =
+          if t.cfg.Config.reclaim = Config.Background && not t.cfg.Config.direct_free then
+            Some ((e - 2) mod 4)
+          else None
+        in
+        (if t.cfg.Config.coalesce_writebacks then drain_all_coalesced t ~tid ~slot ~charged
+         else begin
+           (match slot with
+           | Some slot ->
+               for owner = 0 to t.cfg.Config.max_threads - 1 do
+                 drain_free_slot t ~tid ~slot ~owner
+               done
+           | None -> ());
+           for owner = 0 to t.cfg.Config.max_threads - 1 do
+             drain_buffer t ~tid ~owner ~charged
+           done;
+           if charged then Nvm.Region.sfence t.region ~tid
+           else Nvm.Region.sfence_async t.region ~tid
+         end);
+        (* A worker may at this instant hold records it popped from its
+           own ring (overflow batch, end-of-op drain) whose write-backs
+           are not yet fenced: the drains above saw its ring empty, but
+           the data is durable nowhere, and it can belong to the epoch
+           this tick retires.  Wait for every such in-flight flush to
+           land before the clock moves — an empty ring is not "drained"
+           while its owner is mid-flush. *)
+        for w = 0 to t.cfg.Config.max_threads - 1 do
+          while Atomic.get t.threads.(w).draining do
+            Domain.cpu_relax ()
+          done
         done;
-        if charged then Nvm.Region.sfence t.region ~tid
-        else Nvm.Region.sfence_async t.region ~tid;
         Nvm.Region.set_i64 t.region ~off:clock_off (e + 1);
         Nvm.Region.persist t.region ~tid ~off:clock_off ~len:8
       end;

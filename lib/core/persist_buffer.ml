@@ -40,6 +40,9 @@ let create ~capacity =
 
 let is_empty t = Atomic.get t.head >= Atomic.get t.tail
 
+(* Owner-called: the next push would evict the oldest entry. *)
+let is_full t = Atomic.get t.tail - Atomic.get t.head >= t.capacity
+
 (* Consume one entry; [None] when empty.  Safe to call from any thread. *)
 let pop t =
   let rec attempt () =
@@ -67,8 +70,27 @@ let push t ~flush ~off ~len =
   t.slots.(tail mod t.capacity) <- pack ~off ~len;
   Atomic.set t.tail (tail + 1)
 
-(* Drain everything currently visible, invoking [f] per entry. *)
+(* Snapshot drain: consume only entries that were already appended when
+   the drain began.  A consumer racing a fast producer must not chase
+   the tail — the producer's later records belong to a later epoch and
+   will be picked up by that epoch's drain — so the bound is the tail
+   observed at entry.  [f] may push new entries (the owner's overflow
+   path does); they are left for the next drain. *)
 let drain t f =
+  let stop = Atomic.get t.tail in
+  let rec loop () =
+    if Atomic.get t.head < stop then
+      match pop t with
+      | Some (off, len) ->
+          f off len;
+          loop ()
+      | None -> ()
+  in
+  loop ()
+
+(* Drain until empty — the owner's quiescent full flush (END_OP drain,
+   shutdown), where chasing the tail is the point. *)
+let drain_all t f =
   let rec loop () =
     match pop t with
     | Some (off, len) ->

@@ -15,6 +15,9 @@ val max_len : int
 val create : capacity:int -> t
 val is_empty : t -> bool
 
+(** Owner-called: the next {!push} would evict the oldest entry. *)
+val is_full : t -> bool
+
 (** Owner-only append.  On overflow the oldest entry is consumed and
     handed to [flush] — the paper's incremental write-back.
     @raise Invalid_argument when [len] exceeds {!max_len} (or is
@@ -24,5 +27,12 @@ val push : t -> flush:(int -> int -> unit) -> off:int -> len:int -> unit
 (** Consume one entry; [None] when empty.  Safe from any thread. *)
 val pop : t -> (int * int) option
 
-(** Drain everything currently visible, invoking [f off len] per entry. *)
+(** Snapshot drain: consume entries up to the tail observed at entry,
+    invoking [f off len] per entry.  Bounded work even against a fast
+    producer — records appended during the drain belong to a later
+    epoch and are left for that epoch's drain.  [f] may push. *)
 val drain : t -> (int -> int -> unit) -> unit
+
+(** Drain until empty: the owner's quiescent full flush (END_OP drain,
+    shutdown). *)
+val drain_all : t -> (int -> int -> unit) -> unit

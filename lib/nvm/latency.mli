@@ -8,6 +8,10 @@
 
 type t = {
   writeback_ns : int;  (** CLWB issue cost *)
+  writeback_batch_ns : int;
+      (** per-line CLWB issue inside a coalesced batch: back-to-back
+          CLWBs pipeline in the store buffer, so the marginal cost is
+          below an isolated issue *)
   fence_base_ns : int;  (** SFENCE with pending write-backs *)
   fence_empty_ns : int;  (** SFENCE with nothing pending *)
   fence_per_line_ns : int;  (** drain wait per pending 64 B line *)
@@ -21,5 +25,9 @@ val default : t
 val zero : t
 
 val charge_writeback : t -> unit
+
+(** Issue cost of [lines] pipelined CLWBs in one coalesced batch. *)
+val charge_writeback_batch : t -> lines:int -> unit
+
 val charge_fence : t -> lines:int -> unit
 val charge_read : t -> lines:int -> unit

@@ -23,7 +23,15 @@
      line is torn at the fence.  A store to a queued line is therefore
      only *provisionally* racy: re-issuing the write-back before the
      fence (as Mnemosyne's word-granular logging does constantly)
-     restores coverage and is clean.  The check fires at drain time.
+     restores coverage and is clean, and so does re-registering the
+     line with a persist buffer ({!on_buffer_push}) — the new data's
+     flush contract is then open again and enforced by the
+     epoch-retired-unflushed rule, which is exactly Montage's buffered
+     answer to the same race (a same-epoch in-place rewrite racing the
+     background drain's fence is benign: until the epoch retires,
+     recovery discards the payload either way).  Only a store that
+     reaches the fence with neither a fresh CLWB nor a fresh buffer
+     registration is flagged.  The check fires at drain time.
    - {b epoch-retired-unflushed}: a payload range registered with the
      persist buffer in epoch [e] must reach media before the clock
      reaches [e + 2] — the buffered-durability contract of paper §3.
@@ -136,6 +144,12 @@ type t = {
   mutable violations : violation list;
   lints : (lint * string, int ref) Hashtbl.t;
   mutable lint_total : int;
+  (* write-back coalescing effectiveness, reported by the runtime's
+     dedup layer: persist-buffer records fed in, lines they covered
+     before the sorted-range merge, and lines actually flushed *)
+  mutable coalesce_ranges : int;
+  mutable coalesce_lines_in : int;
+  mutable coalesce_lines_out : int;
   (* event log *)
   log_events : bool;
   max_log : int;
@@ -167,6 +181,9 @@ let create ?(mode = Record) ?(log_events = false) ?(max_log = 1 lsl 16) ~capacit
     violations = [];
     lints = Hashtbl.create 64;
     lint_total = 0;
+    coalesce_ranges = 0;
+    coalesce_lines_in = 0;
+    coalesce_lines_out = 0;
     log_events;
     max_log;
     log = ref (Array.make (if log_events then 1024 else 0) Crash);
@@ -324,6 +341,13 @@ let on_crash t ~injected =
 let on_buffer_push t ~tid ~epoch ~off ~len =
   if len > 0 then begin
     let first, last = lines_of ~off ~len in
+    (* the push re-opens the flush contract for the line's current
+       content (checked at retirement), so a CLWB of the older content
+       still in flight on some other thread's queue is no longer racy
+       — mirrors on_writeback's clearing for the re-CLWB case *)
+    for line = first to last do
+      Bytes.unsafe_set t.stored_after_wb line '\000'
+    done;
     let ob =
       { ob_tid = tid; ob_epoch = epoch; ob_first = first; ob_lines = last - first + 1;
         ob_stamp = Atomic.get t.stamp }
@@ -361,6 +385,21 @@ let on_epoch_advance t ~epoch =
 (* A DCSS decided [success] for [epoch] having observed [clock]. *)
 let on_linearize t ~epoch ~clock ~success =
   if success && clock <> epoch then violate t (Linearize_epoch_mismatch { epoch; clock })
+
+(* The runtime's coalescing layer merged [ranges] buffered records
+   covering [lines_in] lines into [lines_out] flushed lines. *)
+let on_coalesce t ~ranges ~lines_in ~lines_out =
+  Mutex.lock t.lock;
+  t.coalesce_ranges <- t.coalesce_ranges + ranges;
+  t.coalesce_lines_in <- t.coalesce_lines_in + lines_in;
+  t.coalesce_lines_out <- t.coalesce_lines_out + lines_out;
+  Mutex.unlock t.lock
+
+let coalesce_totals t =
+  Mutex.lock t.lock;
+  let r = (t.coalesce_ranges, t.coalesce_lines_in, t.coalesce_lines_out) in
+  Mutex.unlock t.lock;
+  r
 
 (* ---- declared contracts (PMTest-style isPersist assertion) ---- *)
 
@@ -407,6 +446,12 @@ let summary t =
   let vs = violations t in
   Buffer.add_string buf
     (Printf.sprintf "pcheck: %d violation(s), %d lint event(s)\n" (List.length vs) t.lint_total);
+  (let ranges, lines_in, lines_out = coalesce_totals t in
+   if ranges > 0 then
+     Buffer.add_string buf
+       (Printf.sprintf "  coalescing: %d ranges, %d lines -> %d flushed (dedup %.2fx)\n" ranges
+          lines_in lines_out
+          (if lines_out > 0 then float_of_int lines_in /. float_of_int lines_out else 1.0)));
   List.iter (fun v -> Buffer.add_string buf ("  VIOLATION " ^ violation_to_string v ^ "\n")) vs;
   List.iter
     (fun (kind, site, n) ->

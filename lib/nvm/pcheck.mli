@@ -21,7 +21,10 @@ type violation =
       (** a line reached its fence with a store newer than its last
           write-back: the queued CLWB may have completed without that
           data.  Detected at drain time; a re-issued write-back before
-          the fence restores coverage and is clean. *)
+          the fence restores coverage and is clean, as does
+          re-registering the line with a persist buffer
+          ({!on_buffer_push}) — that re-opens the flush contract for
+          the new content, enforced by {!Epoch_retired_unflushed}. *)
   | Epoch_retired_unflushed of { tid : int; epoch : int; off : int; len : int; clock : int }
       (** a persist-buffer range missed its two-epoch durability
           deadline *)
@@ -65,6 +68,14 @@ val on_crash : t -> injected:int list -> unit
 val on_buffer_push : t -> tid:int -> epoch:int -> off:int -> len:int -> unit
 val on_epoch_advance : t -> epoch:int -> unit
 val on_linearize : t -> epoch:int -> clock:int -> success:bool -> unit
+
+(** The runtime's coalescing layer merged [ranges] buffered records
+    covering [lines_in] 64 B lines into [lines_out] flushed lines. *)
+val on_coalesce : t -> ranges:int -> lines_in:int -> lines_out:int -> unit
+
+(** Cumulative [(ranges, lines_in, lines_out)] reported via
+    {!on_coalesce}; the dedup ratio is [lines_in / lines_out]. *)
+val coalesce_totals : t -> int * int * int
 
 (** {1 Declared contracts} *)
 

@@ -41,6 +41,11 @@ type t = {
   stat_writebacks : Util.Padded.counters;
   stat_fences : Util.Padded.counters;
   stat_lines_persisted : Util.Padded.counters;
+  (* write-back coalescing: records fed to the dedup layer, lines they
+     covered before merging, lines actually flushed after merging *)
+  stat_coalesce_ranges : Util.Padded.counters;
+  stat_coalesce_lines_in : Util.Padded.counters;
+  stat_coalesce_lines_out : Util.Padded.counters;
   (* opt-in persistency-ordering checker; [None] is the fast path (one
      branch per primitive, no allocation) *)
   mutable checker : Pcheck.t option;
@@ -64,8 +69,22 @@ let create ?(latency = Latency.default) ?(max_threads = 64) ~capacity () =
     stat_writebacks = Util.Padded.make_counters max_threads;
     stat_fences = Util.Padded.make_counters max_threads;
     stat_lines_persisted = Util.Padded.make_counters max_threads;
+    stat_coalesce_ranges = Util.Padded.make_counters max_threads;
+    stat_coalesce_lines_in = Util.Padded.make_counters max_threads;
+    stat_coalesce_lines_out = Util.Padded.make_counters max_threads;
     checker = None;
   }
+
+(* Reconstruct a region from a raw media image (e.g. one of the crash
+   states materialized by [Pcheck.explore]): both [work] and [media]
+   start as the image — exactly the post-restart view after the crash
+   that produced it. *)
+let of_image ?(latency = Latency.default) ?(max_threads = 64) image =
+  let t = create ~latency ~max_threads ~capacity:(Bytes.length image) () in
+  let len = min (Bytes.length image) t.capacity in
+  Bytes.blit image 0 t.work 0 len;
+  Bytes.blit image 0 t.media 0 len;
+  t
 
 let capacity t = t.capacity
 let latency t = t.latency
@@ -231,11 +250,10 @@ let enqueue_range t ~tid ~first ~lines =
   t.queue_len.(tid) <- n + 1;
   t.queue_lines.(tid) <- t.queue_lines.(tid) + lines
 
-let enqueue_writeback t ~tid ~off ~len ~charge =
-  check_range t off len;
-  (match t.checker with None -> () | Some c -> Pcheck.on_writeback c ~tid ~off ~len);
-  let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
-  let total = last - first + 1 in
+(* Shared core: queue [total] lines from [first] on tid's write-pending
+   queue, charging [charge_ns] per line.  Callers pick the per-line
+   rate: isolated CLWB issue, pipelined batch issue, or zero. *)
+let enqueue_line_run t ~tid ~first ~total ~charge_ns =
   let rec chunks first remaining =
     if remaining > 0 then begin
       let lines = min remaining max_entry_lines in
@@ -245,8 +263,16 @@ let enqueue_writeback t ~tid ~off ~len ~charge =
   in
   chunks first total;
   (* one batched spin: per-call overhead must not distort small charges *)
-  if charge && total > 0 then Util.Spin_wait.ns (total * t.latency.Latency.writeback_ns);
+  if charge_ns > 0 && total > 0 then Util.Spin_wait.ns (total * charge_ns);
   Util.Padded.add t.stat_writebacks tid total
+
+let enqueue_writeback t ~tid ~off ~len ~charge =
+  check_range t off len;
+  (match t.checker with None -> () | Some c -> Pcheck.on_writeback c ~tid ~off ~len);
+  let first = off lsr line_shift and last = (off + len - 1) lsr line_shift in
+  let total = last - first + 1 in
+  enqueue_line_run t ~tid ~first ~total
+    ~charge_ns:(if charge then t.latency.Latency.writeback_ns else 0)
 
 (* CLWB analog: queue every line covering [off, off+len) for write-back. *)
 let writeback t ~tid ~off ~len = if len > 0 then enqueue_writeback t ~tid ~off ~len ~charge:true
@@ -259,6 +285,37 @@ let writeback t ~tid ~off ~len = if len > 0 then enqueue_writeback t ~tid ~off ~
    off the critical path. *)
 let writeback_uncharged t ~tid ~off ~len =
   if len > 0 then enqueue_writeback t ~tid ~off ~len ~charge:false
+
+(* Batched line-granular write-back (the coalesced drain path): queue
+   [lines] 64 B lines starting at line [first], charging the pipelined
+   per-line batch rate — consecutive CLWBs issued back to back overlap
+   in the store buffer. *)
+let writeback_lines t ~tid ~first ~lines =
+  if lines > 0 then begin
+    let off = first lsl line_shift and len = lines lsl line_shift in
+    check_range t off len;
+    (match t.checker with None -> () | Some c -> Pcheck.on_writeback c ~tid ~off ~len);
+    enqueue_line_run t ~tid ~first ~total:lines ~charge_ns:t.latency.Latency.writeback_batch_ns
+  end
+
+let writeback_lines_uncharged t ~tid ~first ~lines =
+  if lines > 0 then begin
+    let off = first lsl line_shift and len = lines lsl line_shift in
+    check_range t off len;
+    (match t.checker with None -> () | Some c -> Pcheck.on_writeback c ~tid ~off ~len);
+    enqueue_line_run t ~tid ~first ~total:lines ~charge_ns:0
+  end
+
+(* Record one coalescing round's effectiveness: [ranges] buffered
+   records covering [lines_in] lines were merged into [lines_out]
+   flushed lines. *)
+let note_coalesced t ~tid ~ranges ~lines_in ~lines_out =
+  Util.Padded.add t.stat_coalesce_ranges tid ranges;
+  Util.Padded.add t.stat_coalesce_lines_in tid lines_in;
+  Util.Padded.add t.stat_coalesce_lines_out tid lines_out;
+  match t.checker with
+  | None -> ()
+  | Some c -> Pcheck.on_coalesce c ~ranges ~lines_in ~lines_out
 
 let note_fence t ~tid =
   match t.checker with
@@ -330,11 +387,21 @@ let crash ?(persist_unfenced = 0.0) ?(evict_dirty = 0.0) ?rng t =
 
 (* ---- statistics ---- *)
 
-type stats = { writebacks : int; fences : int; lines_persisted : int }
+type stats = {
+  writebacks : int;
+  fences : int;
+  lines_persisted : int;
+  coalesce_ranges : int;
+  coalesce_lines_in : int;
+  coalesce_lines_out : int;
+}
 
 let stats t =
   {
     writebacks = Util.Padded.sum t.stat_writebacks;
     fences = Util.Padded.sum t.stat_fences;
     lines_persisted = Util.Padded.sum t.stat_lines_persisted;
+    coalesce_ranges = Util.Padded.sum t.stat_coalesce_ranges;
+    coalesce_lines_in = Util.Padded.sum t.stat_coalesce_lines_in;
+    coalesce_lines_out = Util.Padded.sum t.stat_coalesce_lines_out;
   }

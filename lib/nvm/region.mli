@@ -22,6 +22,11 @@ type t
     [max_threads] sizes the per-thread write-pending queues. *)
 val create : ?latency:Latency.t -> ?max_threads:int -> capacity:int -> unit -> t
 
+(** Reconstruct a region from a raw media image (e.g. a crash state
+    materialized by {!Pcheck.explore}): both work and media start as
+    the image, exactly the post-restart view after that crash. *)
+val of_image : ?latency:Latency.t -> ?max_threads:int -> Bytes.t -> t
+
 val capacity : t -> int
 val latency : t -> Latency.t
 val max_threads : t -> int
@@ -58,6 +63,19 @@ val writeback : t -> tid:int -> off:int -> len:int -> unit
     domain that runs on a dedicated core in the paper's deployment. *)
 val writeback_uncharged : t -> tid:int -> off:int -> len:int -> unit
 
+(** Batched line-granular write-back (the coalesced drain path): queue
+    [lines] 64 B lines starting at line index [first], charging the
+    pipelined per-line batch rate ({!Latency.t.writeback_batch_ns}) —
+    back-to-back CLWBs overlap in the store buffer. *)
+val writeback_lines : t -> tid:int -> first:int -> lines:int -> unit
+
+val writeback_lines_uncharged : t -> tid:int -> first:int -> lines:int -> unit
+
+(** Record one coalescing round's effectiveness: [ranges] buffered
+    records covering [lines_in] lines were merged into [lines_out]
+    flushed lines.  Feeds {!stats} and the attached checker. *)
+val note_coalesced : t -> tid:int -> ranges:int -> lines_in:int -> lines_out:int -> unit
+
 (** SFENCE analog: commit this thread's queued ranges to media,
     charging the drain wait. *)
 val sfence : t -> tid:int -> unit
@@ -80,7 +98,17 @@ val crash : ?persist_unfenced:float -> ?evict_dirty:float -> ?rng:Util.Xoshiro.t
 
 (** {1 Statistics} *)
 
-type stats = { writebacks : int; fences : int; lines_persisted : int }
+(** [writebacks] counts queued lines; [fences] counts fence calls;
+    [coalesce_*] aggregate {!note_coalesced} reports (the dedup ratio
+    is [coalesce_lines_in / coalesce_lines_out]). *)
+type stats = {
+  writebacks : int;
+  fences : int;
+  lines_persisted : int;
+  coalesce_ranges : int;
+  coalesce_lines_in : int;
+  coalesce_lines_out : int;
+}
 
 val stats : t -> stats
 

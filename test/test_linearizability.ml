@@ -84,6 +84,70 @@ let test_nb_set_linearizable () =
   let events = run_history ~threads:3 ~per_thread:7 ~driver esys in
   Alcotest.(check bool) "history linearizes as a set" true (L.check L.set_spec events)
 
+(* Background-advancer variants: the histories are recorded while the
+   auto-spawned advancer ticks asynchronously — with coalescing on and
+   a spare region slot, its epoch drain runs sharded across domains —
+   so linearizability is checked against the deployment-shaped
+   write-back path, not just the manual-tick one. *)
+
+let bg_cfg =
+  {
+    Cfg.testing with
+    max_threads = 8;
+    auto_advance = true;
+    epoch_length_ns = 300_000;
+    coalesce_writebacks = true;
+    drain_domains = 2;
+  }
+
+let make_bg_esys () =
+  let region = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:10 ~capacity:(1 lsl 22) () in
+  E.create ~config:bg_cfg region
+
+let run_history_bg ~threads ~per_thread ~driver esys =
+  L.reset_clock ();
+  let all = Array.make threads [] in
+  let ds =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Util.Xoshiro.create ((tid * 31) + 5) in
+            let events = ref [] in
+            for i = 1 to per_thread do
+              events := driver ~tid ~rng ~i :: !events
+            done;
+            all.(tid) <- !events))
+  in
+  Array.iter Domain.join ds;
+  E.stop_background esys;
+  Array.to_list all |> List.concat
+
+let test_mstack_linearizable_bg () =
+  let esys = make_bg_esys () in
+  let s = Pstructs.Mstack.create esys in
+  let driver ~tid ~rng ~i =
+    if Util.Xoshiro.int rng 3 = 0 then L.record L.Pop (fun () -> Pstructs.Mstack.pop s ~tid)
+    else
+      let v = Printf.sprintf "%d-%d" tid i in
+      L.record (L.Push v) (fun () ->
+          Pstructs.Mstack.push s ~tid v;
+          None)
+  in
+  let events = run_history_bg ~threads:3 ~per_thread:7 ~driver esys in
+  Alcotest.(check bool) "history linearizes as a stack" true (L.check L.stack_spec events)
+
+let test_nb_set_linearizable_bg () =
+  let esys = make_bg_esys () in
+  let s = Pstructs.Nb_list_set.create esys in
+  let driver ~tid ~rng ~i:_ =
+    let key = Printf.sprintf "k%d" (Util.Xoshiro.int rng 4) in
+    match Util.Xoshiro.int rng 3 with
+    | 0 -> L.record (L.Add key) (fun () -> Pstructs.Nb_list_set.add s ~tid key)
+    | 1 -> L.record (L.Remove key) (fun () -> Pstructs.Nb_list_set.remove s ~tid key)
+    | _ -> L.record (L.Contains key) (fun () -> Pstructs.Nb_list_set.contains s key)
+  in
+  let events = run_history_bg ~threads:3 ~per_thread:7 ~driver esys in
+  Alcotest.(check bool) "history linearizes as a set" true (L.check L.set_spec events)
+
 (* The checker itself must reject garbage: a dequeue that returns a
    value nobody enqueued, and a FIFO violation between non-overlapping
    operations. *)
@@ -144,5 +208,10 @@ let () =
           Alcotest.test_case "nb_stack" `Quick test_nb_stack_linearizable;
           Alcotest.test_case "nb_queue" `Quick test_nb_queue_linearizable;
           Alcotest.test_case "nb_list_set" `Quick test_nb_set_linearizable;
+        ] );
+      ( "background-advancer",
+        [
+          Alcotest.test_case "mstack" `Quick test_mstack_linearizable_bg;
+          Alcotest.test_case "nb_list_set" `Quick test_nb_set_linearizable_bg;
         ] );
     ]

@@ -78,6 +78,34 @@ let test_rewriteback_before_fence_is_clean () =
   Alcotest.(check int) "re-covered line is clean" 0 (List.length (P.violations c));
   Alcotest.(check int) "but the duplicate flush is linted" 1 (lint_count c P.Duplicate_flush)
 
+(* Montage's buffered answer to the race: a store over a queued line
+   that is re-registered with a persist buffer before the fence is
+   clean — the new content's flush contract is open again. *)
+let test_buffer_push_restores_coverage () =
+  let r, c = checked () in
+  R.write_string r ~off:0 "v1";
+  R.writeback r ~tid:0 ~off:0 ~len:2;
+  (* a same-epoch in-place rewrite racing the drain's fence *)
+  R.write_string r ~off:0 "v2";
+  P.on_buffer_push c ~tid:1 ~epoch:5 ~off:0 ~len:2;
+  R.sfence r ~tid:0;
+  Alcotest.(check int) "push-covered store is clean" 0 (List.length (P.violations c))
+
+(* ...and the responsibility really transfers: the push-clear does not
+   weaken the retirement rule — a re-registered range that then never
+   reaches media misses its two-epoch deadline.  The race is forgiven,
+   not forgotten. *)
+let test_buffer_push_transfers_to_retirement_rule () =
+  let r, c = checked () in
+  R.write_string r ~off:0 "v1";
+  R.writeback r ~tid:0 ~off:0 ~len:2;
+  R.write_string r ~off:0 "v2";
+  P.on_buffer_push c ~tid:1 ~epoch:5 ~off:0 ~len:2;
+  P.on_epoch_advance c ~epoch:6;
+  P.on_epoch_advance c ~epoch:7;
+  Alcotest.(check bool) "unflushed re-registration caught at retirement" true
+    (count_violations c (function P.Epoch_retired_unflushed _ -> true | _ -> false) > 0)
+
 let test_store_after_fence_is_clean () =
   let r, c = checked () in
   R.write_string r ~off:0 "v1";
@@ -273,6 +301,10 @@ let () =
         [
           Alcotest.test_case "race detected" `Quick test_flush_store_race_detected;
           Alcotest.test_case "re-writeback is clean" `Quick test_rewriteback_before_fence_is_clean;
+          Alcotest.test_case "buffer push restores coverage" `Quick
+            test_buffer_push_restores_coverage;
+          Alcotest.test_case "push transfers to retirement rule" `Quick
+            test_buffer_push_transfers_to_retirement_rule;
           Alcotest.test_case "fenced store clean" `Quick test_store_after_fence_is_clean;
           Alcotest.test_case "enforce raises" `Quick test_enforce_mode_raises;
         ] );
