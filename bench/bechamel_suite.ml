@@ -66,17 +66,15 @@ let tests () =
     (* Fig. 10: memcached-style set through the store layer *)
     (let inner = Systems.montage_map ~cfg_mod:(fun c -> { c with Cfg.auto_advance = false }) ~capacity ~threads:1 ~buckets:4096 () in
      let backend =
-       {
-         Kvstore.Store.get = (fun ~tid k -> inner.Systems.mget ~tid k);
-         put =
-           (fun ~tid k v ->
-             inner.Systems.mput ~tid k v;
-             None);
-         remove =
-           (fun ~tid k ->
-             inner.Systems.mrem ~tid k;
-             None);
-       }
+       Kvstore.Store.backend
+         ~get:(fun ~tid k -> inner.Systems.mget ~tid k)
+         ~put:(fun ~tid k v ->
+           inner.Systems.mput ~tid k v;
+           None)
+         ~remove:(fun ~tid k ->
+           inner.Systems.mrem ~tid k;
+           None)
+         ()
      in
      let store = Kvstore.Store.create backend in
      let counter = ref 0 in

@@ -25,6 +25,7 @@ let () =
       ("recovery", Figures.recovery_table);
       ("ablation", Figures.ablations);
       ("coalesce", Figures.coalesce);
+      ("readpath", Figures.readpath);
       ("bechamel", Bechamel_suite.run);
     ]
   in
@@ -37,5 +38,6 @@ let () =
       end)
     figures;
   Systems.report_coalescing ();
+  Systems.report_mirror ();
   Systems.report_pcheck ();
   Benchlib.Report.summary ()

@@ -89,6 +89,41 @@ let note_region_stats r =
   wb_totals.lines_in <- wb_totals.lines_in + s.Nvm.Region.coalesce_lines_in;
   wb_totals.lines_out <- wb_totals.lines_out + s.Nvm.Region.coalesce_lines_out
 
+(* Payload-mirror accounting, same lifecycle as [wb_totals]: DRAM-hit /
+   NVM-miss counters and charged media read lines are harvested when a
+   Montage system stops. *)
+type mirror_totals = {
+  mutable m_systems : int;
+  mutable m_hits : int;
+  mutable m_misses : int;
+  mutable m_evictions : int;
+  mutable m_lines_read : int;
+}
+
+let mirror_totals = { m_systems = 0; m_hits = 0; m_misses = 0; m_evictions = 0; m_lines_read = 0 }
+
+let note_mirror_stats esys r =
+  let s = E.mirror_stats esys in
+  let rs = Nvm.Region.stats r in
+  mirror_totals.m_systems <- mirror_totals.m_systems + 1;
+  mirror_totals.m_hits <- mirror_totals.m_hits + s.E.hits;
+  mirror_totals.m_misses <- mirror_totals.m_misses + s.E.misses;
+  mirror_totals.m_evictions <- mirror_totals.m_evictions + s.E.evictions;
+  mirror_totals.m_lines_read <- mirror_totals.m_lines_read + rs.Nvm.Region.lines_read
+
+let report_mirror () =
+  let t = mirror_totals in
+  if t.m_systems > 0 then begin
+    let reads = t.m_hits + t.m_misses in
+    let rate = if reads = 0 then 0.0 else 100.0 *. float_of_int t.m_hits /. float_of_int reads in
+    Printf.printf
+      "\n\
+       === payload mirrors: %d Montage systems, %d DRAM hits / %d NVM misses (%.1f%% hit rate), \
+       %d evictions, %d media lines read ===\n\
+       %!"
+      t.m_systems t.m_hits t.m_misses rate t.m_evictions t.m_lines_read
+  end
+
 let report_coalescing () =
   if wb_totals.systems > 0 then begin
     Benchlib.Report.heading
@@ -156,6 +191,7 @@ let montage_map ?(name = "Montage") ?(cfg_mod = fun c -> c) ~capacity ~threads ~
     mstop =
       guarded_stop (fun () ->
           E.stop_background esys;
+          note_mirror_stats esys r;
           note_region_stats r);
   }
 
@@ -309,6 +345,7 @@ let montage_queue ?(name = "Montage") ?(cfg_mod = fun c -> c) ~capacity ~threads
     qstop =
       guarded_stop (fun () ->
           E.stop_background esys;
+          note_mirror_stats esys r;
           note_region_stats r);
   }
 

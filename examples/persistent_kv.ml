@@ -12,12 +12,7 @@
 module E = Montage.Epoch_sys
 module Store = Kvstore.Store
 
-let backend_of_map map =
-  {
-    Store.get = (fun ~tid k -> Pstructs.Mhashmap.get map ~tid k);
-    put = (fun ~tid k v -> Pstructs.Mhashmap.put map ~tid k v);
-    remove = (fun ~tid k -> Pstructs.Mhashmap.remove map ~tid k);
-  }
+let backend_of_map map = Store.of_mhashmap map
 
 let () =
   let region = Nvm.Region.create ~capacity:(128 * 1024 * 1024) () in

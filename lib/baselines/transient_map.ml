@@ -90,6 +90,37 @@ let put t ~tid key value =
       in
       walk None b.head)
 
+(* Atomic read-modify-write under the bucket lock, mirroring
+   [Mhashmap.update]: [f]'s [Some] result is stored (inserting if the
+   key was absent); [None] leaves the map unchanged.  Returns the
+   previous value.  Keeps the transient references honest when the
+   kvstore benchmarks race add/replace/incr against each other. *)
+let update t ~tid key f =
+  let b = bucket_of t key in
+  Util.Spin_lock.with_lock b.lock (fun () ->
+      let insert prev curr value =
+        let fresh = make_node t ~tid key value curr in
+        (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh);
+        Atomic.incr t.size
+      in
+      let rec walk prev curr =
+        match curr with
+        | Some n when String.equal n.key key ->
+            let old = node_value t n in
+            (match f (Some old) with
+            | Some value -> set_node_value t ~tid n value
+            | None -> ());
+            Some old
+        | Some n when n.key > key ->
+            (match f None with Some value -> insert prev curr value | None -> ());
+            None
+        | Some n -> walk (Some n) n.next
+        | None ->
+            (match f None with Some value -> insert prev curr value | None -> ());
+            None
+      in
+      walk None b.head)
+
 let remove t ~tid key =
   let b = bucket_of t key in
   Util.Spin_lock.with_lock b.lock (fun () ->

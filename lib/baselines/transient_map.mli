@@ -27,4 +27,10 @@ val buckets_of : t -> bucket array
 
 val get : t -> tid:int -> string -> string option
 val put : t -> tid:int -> string -> string -> string option
+
+(** Atomic read-modify-write under the bucket lock; [Some v'] stores
+    (inserting if absent), [None] leaves the map unchanged.  Returns
+    the previous value. *)
+val update : t -> tid:int -> string -> (string option -> string option) -> string option
+
 val remove : t -> tid:int -> string -> string option

@@ -31,6 +31,8 @@ type t = {
   pcheck : pcheck_policy; (* persistency-ordering checker (Pcheck) *)
   coalesce_writebacks : bool; (* line-granular dedup of drained ranges *)
   drain_domains : int; (* worker domains for the background parallel drain *)
+  payload_mirror : bool; (* DRAM read cache of payload bytes (volatile mirrors) *)
+  mirror_max_bytes : int; (* mirror-resident byte budget (clock eviction above it) *)
 }
 
 (* MONTAGE_PCHECK=1|record  → record; MONTAGE_PCHECK=strict|enforce →
@@ -57,6 +59,21 @@ let drain_domains_from_env () =
   | Some n when n >= 1 -> n
   | _ -> 2
 
+(* MONTAGE_MIRROR=0|off|false|no disables the volatile payload
+   mirrors; anything else (or unset) leaves them on.  The CI matrix
+   uses this to run the whole suite down the uncached read path. *)
+let mirror_from_env () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "MONTAGE_MIRROR") with
+  | Some ("0" | "off" | "false" | "no") -> false
+  | _ -> true
+
+(* MONTAGE_MIRROR_BYTES=<n> bounds the DRAM resident in mirror bytes
+   (0 also disables mirroring; default 64 MB). *)
+let mirror_bytes_from_env () =
+  match Option.bind (Sys.getenv_opt "MONTAGE_MIRROR_BYTES") int_of_string_opt with
+  | Some n when n >= 0 -> n
+  | _ -> 1 lsl 26
+
 let default =
   {
     max_threads = 16;
@@ -71,6 +88,8 @@ let default =
     pcheck = pcheck_from_env ();
     coalesce_writebacks = coalesce_from_env ();
     drain_domains = drain_domains_from_env ();
+    payload_mirror = mirror_from_env ();
+    mirror_max_bytes = mirror_bytes_from_env ();
   }
 
 (* Montage (T): payloads placed in NVM, all persistence elided. *)

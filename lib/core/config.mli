@@ -41,6 +41,15 @@ type t = {
       (** max worker domains the background advancer fans an epoch
           drain out over (1 = serial); bounded at run time by the
           region's spare thread slots *)
+  payload_mirror : bool;
+      (** keep a DRAM-side mirror of each live payload's content bytes
+          (and a decoded-value memo via {!Payload.Make}), so warm
+          [pget]s never touch NVM; refreshed by [pset], dropped by
+          [pdelete], cold after recovery *)
+  mirror_max_bytes : int;
+      (** byte budget for resident mirrors; clock (second-chance)
+          eviction keeps the cache under it.  [0] disables mirroring
+          like [payload_mirror = false] *)
 }
 
 (** The [MONTAGE_PCHECK] environment variable, decoded:
@@ -55,6 +64,14 @@ val coalesce_from_env : unit -> bool
 (** The [MONTAGE_DRAIN_DOMAINS] environment variable: a positive
     integer, defaulting to [2]. *)
 val drain_domains_from_env : unit -> int
+
+(** The [MONTAGE_MIRROR] environment variable, decoded:
+    ["0"]/["off"]/["false"]/["no"] → [false], otherwise [true]. *)
+val mirror_from_env : unit -> bool
+
+(** The [MONTAGE_MIRROR_BYTES] environment variable: a non-negative
+    byte budget, defaulting to 64 MB. *)
+val mirror_bytes_from_env : unit -> int
 
 (** The paper's recommended configuration: 10 ms epochs, 64-entry
     write-back buffers, background reclamation.  [pcheck],

@@ -16,12 +16,48 @@ let clock_off = 0
 let heap_base = 65536
 let initial_epoch = 3 (* ≥ 3 so that epoch − 2 never collides with 0 = "idle" *)
 
+(* Decoded-value memos ride the handle as an [exn]: each [Payload.Make]
+   instance declares its own [exception Memo of C.t], giving a typed
+   one-slot cache without adding a type parameter to [pblk].  [No_memo]
+   is the empty slot. *)
+exception No_memo
+
 type pblk = {
   mutable off : int; (* block offset in the region *)
   uid : int;
   mutable epoch : int; (* mirror of the persistent header *)
   mutable size : int; (* content bytes *)
   mutable live : bool; (* debugging aid: detect use-after-free *)
+  (* --- volatile payload mirror (DRAM read cache) ---
+     [mirror] holds the content bytes exactly as stored in NVM; a warm
+     [pget] returns them without touching the region.  [memo] caches
+     the decoded value on top.  Invariants: the memo is only trusted
+     while [mirror] is [Some]; eviction and every content mutation
+     clear both together.  Mirror/memo *mutations* go through the
+     cache lock; the hit path only reads [mirror] and sets [mref]. *)
+  mutable mirror : Bytes.t option;
+  mutable memo : exn;
+  mutable mref : bool; (* clock (second-chance) reference bit *)
+  mutable mslot : int; (* index in the cache ring; -1 = not resident *)
+}
+
+(* The mirror cache: a clock (second-chance) ring of resident handles
+   under a byte budget.  Population, refresh, drop and eviction are
+   serialized by [mc_lock] (they already sit next to an NVM read or
+   write charge, so the spin lock is noise); hits are lock-free — they
+   read [pblk.mirror] and set the ref bit.  The budget counts mirror
+   bytes only; decoded memos are dropped with their mirror, so their
+   lifetime is bounded by the same clock. *)
+type mirror_cache = {
+  budget : int;
+  mc_lock : Util.Spin_lock.t;
+  mutable ring : pblk option array; (* grows on demand; [free] lists vacancies *)
+  mutable free : int list;
+  mutable hand : int;
+  mutable used : int; (* resident mirror bytes; under [mc_lock] *)
+  hits : Util.Padded.counters; (* per tid; the extra slot serves pget_unsafe *)
+  misses : Util.Padded.counters;
+  evictions : int Atomic.t;
 }
 
 type per_thread = {
@@ -53,6 +89,7 @@ type t = {
   stop_bg : bool Atomic.t;
   mutable bg : unit Domain.t option;
   chk : Nvm.Pcheck.t option; (* persistency-ordering checker, per cfg.pcheck *)
+  mirror : mirror_cache option; (* volatile payload mirrors, per cfg.payload_mirror *)
 }
 
 let region t = t.region
@@ -103,9 +140,156 @@ let make_state region cfg =
     stop_bg = Atomic.make false;
     bg = None;
     chk;
+    mirror =
+      (if cfg.Config.payload_mirror && cfg.Config.mirror_max_bytes > 0 then
+         Some
+           {
+             budget = cfg.Config.mirror_max_bytes;
+             mc_lock = Util.Spin_lock.create ();
+             ring = Array.make 1024 None;
+             free = List.init 1024 Fun.id;
+             hand = 0;
+             used = 0;
+             (* one counter slot per worker + advancer, plus a shared
+                slot for tid-less [pget_unsafe] readers *)
+             hits = Util.Padded.make_counters (slots + 1);
+             misses = Util.Padded.make_counters (slots + 1);
+             evictions = Atomic.make 0;
+           }
+       else None);
   }
 
 let checker t = t.chk
+
+(* ---- volatile payload mirrors ---- *)
+
+(* Statistics slot for readers without a tid (recovery decodes,
+   read-only probes): the counter array's last cell.  Padded counters
+   are atomic, so sharing it across domains is safe. *)
+let untracked_slot t = t.cfg.Config.max_threads + 1
+
+(* Drop a handle's mirror and memo and release its ring slot.  Caller
+   holds [mc_lock]. *)
+let mc_release mc (p : pblk) =
+  (match p.mirror with
+  | Some b ->
+      mc.used <- mc.used - Bytes.length b;
+      p.mirror <- None
+  | None -> ());
+  p.memo <- No_memo;
+  if p.mslot >= 0 then begin
+    mc.ring.(p.mslot) <- None;
+    mc.free <- p.mslot :: mc.free;
+    p.mslot <- -1
+  end
+
+(* Clock sweep: advance the hand, sparing referenced entries once,
+   until the budget holds.  Caller holds [mc_lock].  The step bound
+   (every entry visited at most twice) keeps the sweep total even if
+   the budget is unreachable. *)
+let mc_evict_to_budget mc =
+  let n = Array.length mc.ring in
+  let steps = ref (2 * n) in
+  while mc.used > mc.budget && !steps > 0 do
+    decr steps;
+    (match mc.ring.(mc.hand) with
+    | Some p when p.mref -> p.mref <- false
+    | Some p ->
+        Atomic.incr mc.evictions;
+        mc_release mc p
+    | None -> ());
+    mc.hand <- (mc.hand + 1) mod n
+  done
+
+(* Install [b] as [p]'s mirror (replacing any previous one), charging
+   the budget and evicting above it.  [b] is shared, not copied: every
+   caller hands over a freshly allocated buffer (an [encode] result or
+   a fresh region read) and mirror readers must not mutate what [pget]
+   returns.  Payloads larger than the whole budget stay uncached. *)
+let mc_install mc (p : pblk) b =
+  let len = Bytes.length b in
+  Util.Spin_lock.with_lock mc.mc_lock (fun () ->
+      mc_release mc p;
+      if len <= mc.budget then begin
+        (match mc.free with
+        | s :: rest ->
+            mc.free <- rest;
+            p.mslot <- s
+        | [] ->
+            let n = Array.length mc.ring in
+            let bigger = Array.make (2 * n) None in
+            Array.blit mc.ring 0 bigger 0 n;
+            mc.ring <- bigger;
+            mc.free <- List.init (n - 1) (fun i -> n + 1 + i);
+            p.mslot <- n);
+        mc.ring.(p.mslot) <- Some p;
+        p.mirror <- Some b;
+        p.mref <- true;
+        mc.used <- mc.used + len;
+        if mc.used > mc.budget then mc_evict_to_budget mc
+      end)
+
+let mc_drop mc (p : pblk) = Util.Spin_lock.with_lock mc.mc_lock (fun () -> mc_release mc p)
+
+(* The lock-free hit path: return the mirror bytes if resident.  When a
+   checker is attached the read is asserted coherent against the store
+   view ([Pcheck.on_mirror_read]). *)
+let mirror_hit t ~stat_tid (p : pblk) =
+  match t.mirror with
+  | None -> None
+  | Some mc -> (
+      match p.mirror with
+      | Some b as hit ->
+          p.mref <- true;
+          Util.Padded.incr mc.hits stat_tid;
+          Nvm.Region.note_mirror_read t.region ~off:(Payload_hdr.content_off p.off) ~len:(Bytes.length b)
+            ~data:b;
+          hit
+      | None -> None)
+
+let mirror_fill t ~stat_tid p b =
+  match t.mirror with
+  | None -> ()
+  | Some mc ->
+      Util.Padded.incr mc.misses stat_tid;
+      mc_install mc p b
+
+(* Refresh after a content mutation ([pnew]/[pset]): the new encoded
+   bytes become the mirror without a miss being charged. *)
+let mirror_refresh t p b = match t.mirror with None -> () | Some mc -> mc_install mc p b
+let mirror_drop t p = match t.mirror with None -> () | Some mc -> mc_drop mc p
+
+type mirror_stats = { hits : int; misses : int; evictions : int; resident_bytes : int }
+
+let mirror_stats t =
+  match t.mirror with
+  | None -> { hits = 0; misses = 0; evictions = 0; resident_bytes = 0 }
+  | Some mc ->
+      {
+        hits = Util.Padded.sum mc.hits;
+        misses = Util.Padded.sum mc.misses;
+        evictions = Atomic.get mc.evictions;
+        resident_bytes = mc.used;
+      }
+
+(* ---- decoded-value memos (used by Payload.Make) ---- *)
+
+(* Return the handle's memo if it can be trusted: the mirror must be
+   resident (eviction clears both, so a missing mirror means the memo
+   may be stale) and the usual live/old-sees-new discipline applies.
+   Counted as a hit, and the mirror bytes the memo was decoded from
+   are asserted coherent like any other mirror read. *)
+let memo_probe t ~stat_tid (p : pblk) =
+  match p.mirror with
+  | Some b when p.memo != No_memo ->
+      (match t.mirror with
+      | Some mc -> Util.Padded.incr mc.hits stat_tid
+      | None -> ());
+      p.mref <- true;
+      Nvm.Region.note_mirror_read t.region ~off:(Payload_hdr.content_off p.off) ~len:(Bytes.length b)
+        ~data:b;
+      p.memo
+  | _ -> No_memo
 
 (* ---- write-back plumbing ----
 
@@ -329,22 +513,56 @@ let pnew t ~tid content =
     ~hdr:{ Payload_hdr.ptype = Alloc; epoch = pt.op_epoch; uid; size }
     ~content;
   record_persist t ~tid ~off ~len:(Payload_hdr.header_size + size);
-  { off; uid; epoch = pt.op_epoch; size; live = true }
+  let p = { off; uid; epoch = pt.op_epoch; size; live = true; mirror = None; memo = No_memo; mref = false; mslot = -1 } in
+  (* a fresh payload is born warm: the encoded content doubles as its
+     mirror (shared — the caller encoded it for this call) *)
+  mirror_refresh t p content;
+  p
 
 let check_live p = if not p.live then raise Errors.Use_after_free
+
+(* Cold read: pay the charged NVM load, then the buffer just read
+   becomes the mirror (shared with the caller — [pget]'s contract is
+   that returned bytes are never mutated). *)
+let pget_cold t ~stat_tid p =
+  let buf = Bytes.create p.size in
+  Nvm.Region.read t.region ~off:(Payload_hdr.content_off p.off) ~dst:buf ~dst_off:0 ~len:p.size;
+  mirror_fill t ~stat_tid p buf;
+  buf
 
 let pget t ~tid p =
   check_live p;
   osn_check t ~tid p;
-  let buf = Bytes.create p.size in
-  Nvm.Region.read t.region ~off:(Payload_hdr.content_off p.off) ~dst:buf ~dst_off:0 ~len:p.size;
-  buf
+  match mirror_hit t ~stat_tid:tid p with Some b -> b | None -> pget_cold t ~stat_tid:tid p
 
 let pget_unsafe t p =
   check_live p;
-  let buf = Bytes.create p.size in
-  Nvm.Region.read t.region ~off:(Payload_hdr.content_off p.off) ~dst:buf ~dst_off:0 ~len:p.size;
-  buf
+  let stat_tid = untracked_slot t in
+  match mirror_hit t ~stat_tid p with Some b -> b | None -> pget_cold t ~stat_tid p
+
+(* ---- decoded-value memo API (the [Payload.Make] fast path) ---- *)
+
+(* [memo_get] returns the handle's memoized decoded value (as the
+   caller's own [Memo _] exception) when the mirror is warm, or
+   [No_memo]; the caller then decodes via [pget] and calls
+   [memo_store].  Both run the same live/old-sees-new discipline as
+   [pget]. *)
+let memo_get t ~tid p =
+  check_live p;
+  osn_check t ~tid p;
+  memo_probe t ~stat_tid:tid p
+
+let memo_get_unsafe t p =
+  check_live p;
+  memo_probe t ~stat_tid:(untracked_slot t) p
+
+(* Publish a decoded value on the handle.  Only honored while the
+   mirror is resident: the memo's validity is tied to the mirror bytes
+   it was decoded from (eviction clears both).  Racing an eviction is
+   benign — a memo written after its mirror vanished is ignored until
+   the next fill, at which point it describes the same (unchanged)
+   content again. *)
+let memo_store t (p : pblk) m = if t.mirror <> None && p.mirror <> None then p.memo <- m
 
 (* Free a payload bypassing the epoch protocol — used by Montage (T)
    and the DirFree reference configuration, which sacrifice crash
@@ -375,6 +593,9 @@ let pset t ~tid p content =
     Nvm.Region.write t.region ~off:(Payload_hdr.content_off p.off) ~src:content ~src_off:0 ~len;
     p.size <- len;
     record_persist t ~tid ~off:p.off ~len:(Payload_hdr.header_size + len);
+    (* refresh the mirror in place: the new encoded bytes replace the
+       old ones (and clear the stale decoded memo) *)
+    mirror_refresh t p content;
     p
   end
   else begin
@@ -387,9 +608,16 @@ let pset t ~tid p content =
     record_persist t ~tid ~off ~len:(Payload_hdr.header_size + len);
     let old_off = p.off in
     p.live <- false;
+    mirror_drop t p;
     if (not t.cfg.Config.persist) || t.cfg.Config.direct_free then free_immediately t ~tid old_off
     else defer_free t ~tid ~epoch:pt.op_epoch old_off;
-    { off; uid = p.uid; epoch = pt.op_epoch; size = len; live = true }
+    let fresh =
+      { off; uid = p.uid; epoch = pt.op_epoch; size = len; live = true; mirror = None; memo = No_memo; mref = false; mslot = -1 }
+    in
+    (* the warmth carries across the copying update: the fresh handle's
+       mirror is the content just written *)
+    mirror_refresh t fresh content;
+    fresh
   end
 
 let pdelete t ~tid p =
@@ -398,6 +626,7 @@ let pdelete t ~tid p =
   osn_check t ~tid p;
   let pt = t.threads.(tid) in
   p.live <- false;
+  mirror_drop t p;
   if (not t.cfg.Config.persist) || t.cfg.Config.direct_free then
     free_immediately t ~tid p.off
   else if p.epoch = pt.op_epoch then begin
@@ -695,7 +924,11 @@ let recover ?(config = Config.default) ?(threads = 1) region =
   Hashtbl.iter
     (fun uid (hdr, off) ->
       if hdr.Payload_hdr.ptype <> Payload_hdr.Delete then
-        survivors := { off; uid; epoch = hdr.epoch; size = hdr.size; live = true } :: !survivors)
+        (* recovered handles start cold: no pre-crash mirror can survive
+           into the new run — the first decode repopulates from media *)
+        survivors :=
+          { off; uid; epoch = hdr.epoch; size = hdr.size; live = true; mirror = None; memo = No_memo; mref = false; mslot = -1 }
+          :: !survivors)
     best;
   let payloads = Array.of_list !survivors in
   start_background t;

@@ -13,16 +13,28 @@
     the extra slot [config.max_threads], so the region must be created
     with at least [config.max_threads + 2] thread slots. *)
 
+(** The empty decoded-value memo slot (see {!memo_get}). *)
+exception No_memo
+
 (** A transient handle to a persistent payload block.  Handles are
     mutable-by-module only; clients treat them as abstract tokens,
     except that [uid] and [epoch] are exposed for introspection and
-    tests. *)
+    tests.
+
+    The [mirror]/[memo]/[mref]/[mslot] fields belong to the volatile
+    payload mirror layer (a DRAM read cache of the content bytes plus a
+    memoized decoded value); they are managed entirely by this module
+    and {!Payload.Make} and must not be written by clients. *)
 type pblk = {
   mutable off : int;
   uid : int;  (** logical identity, stable across versions *)
   mutable epoch : int;
   mutable size : int;  (** content bytes *)
   mutable live : bool;
+  mutable mirror : Bytes.t option;  (** DRAM copy of the content bytes; [None] = cold *)
+  mutable memo : exn;  (** decoded-value memo ([No_memo] = empty), valid only while mirrored *)
+  mutable mref : bool;  (** clock (second-chance) reference bit *)
+  mutable mslot : int;  (** mirror-cache ring index; [-1] = not resident *)
 }
 
 type t
@@ -61,6 +73,15 @@ val op_epoch : t -> tid:int -> int
 (** Number of epoch advances performed so far. *)
 val advance_count : t -> int
 
+(** Volatile-payload-mirror effectiveness: [hits] are payload reads
+    served from DRAM (byte or memo), [misses] are charged NVM loads
+    that populated a mirror, [evictions] counts clock victims,
+    [resident_bytes] is the current budget use.  All zero when
+    mirroring is off. *)
+type mirror_stats = { hits : int; misses : int; evictions : int; resident_bytes : int }
+
+val mirror_stats : t -> mirror_stats
+
 (** The persistency-ordering checker attached per [config.pcheck] (or
     enabled on the region out-of-band); [None] on the fast path. *)
 val checker : t -> Nvm.Pcheck.t option
@@ -96,15 +117,39 @@ val check_epoch : t -> tid:int -> unit
 val pnew : t -> tid:int -> bytes -> pblk
 
 (** Read a payload's content.  Performs the old-sees-new check when an
-    operation is active.
+    operation is active.  With [config.payload_mirror] a warm handle is
+    served from its DRAM mirror — no NVM load is charged and nothing is
+    allocated; a cold miss pays the load and populates the mirror.  The
+    returned bytes may be the mirror itself: callers must not mutate
+    them (every in-tree caller only decodes).
     @raise Errors.Old_see_new when the payload is newer than the
     operation's epoch.
     @raise Errors.Use_after_free on a dead handle. *)
 val pget : t -> tid:int -> pblk -> bytes
 
 (** Read without the old-sees-new check (paper's [get_unsafe]); also
-    the read path for recovered payloads outside any operation. *)
+    the read path for recovered payloads outside any operation.
+    Mirror-served like {!pget}. *)
 val pget_unsafe : t -> pblk -> bytes
+
+(** {1 Decoded-value memos (the {!Payload.Make} fast path)}
+
+    Each [Payload.Make] instance declares [exception Memo of C.t] and
+    stores decoded values on the handle through these; the [exn] slot
+    gives a typed one-shot cache without a type parameter on [pblk]. *)
+
+(** The handle's memo when it can be trusted (mirror resident, memo
+    set), else {!No_memo}.  Runs {!pget}'s live/old-sees-new checks and
+    coherence assertion. *)
+val memo_get : t -> tid:int -> pblk -> exn
+
+(** {!memo_get} without the old-sees-new check. *)
+val memo_get_unsafe : t -> pblk -> exn
+
+(** Publish a decoded value on the handle; ignored unless the mirror is
+    resident (the memo's validity is tied to the bytes it was decoded
+    from). *)
+val memo_store : t -> pblk -> exn -> unit
 
 (** Replace a payload's content.  In place when the payload belongs to
     the current epoch; otherwise a copying update returns a {e fresh}

@@ -6,7 +6,21 @@
    - [get] performs the old-sees-new check; [get_unsafe] skips it;
    - [set] may return a *different* handle (a copying update across an
      epoch boundary); the caller must install the returned handle
-     everywhere the old one appeared (well-formedness constraint 4). *)
+     everywhere the old one appeared (well-formedness constraint 4).
+
+   On top of the byte-level mirror in [Epoch_sys], each instantiation
+   memoizes the *decoded* value on the handle (via the [Memo]
+   exception, typed per functor application): a warm [get] returns the
+   cached value without touching NVM, decoding, or allocating.  The
+   memo is written by [pnew]/[set]/[get] and trusted only while the
+   mirror bytes it was decoded from are resident — [Epoch_sys] clears
+   both on every mutation and eviction.
+
+   Structures should use the pre-applied instances below ([Str], [Kv],
+   [Seq]) rather than re-applying [Make]: a handle memoized through one
+   instantiation reads as a miss through another (each application gets
+   its own [Memo] constructor), which wastes the cache when two modules
+   share payloads. *)
 
 module type CONTENT = sig
   type t
@@ -18,10 +32,34 @@ end
 module Make (C : CONTENT) = struct
   type handle = Epoch_sys.pblk
 
-  let pnew esys ~tid v = Epoch_sys.pnew esys ~tid (C.encode v)
-  let get esys ~tid h = C.decode (Epoch_sys.pget esys ~tid h)
-  let get_unsafe esys h = C.decode (Epoch_sys.pget_unsafe esys h)
-  let set esys ~tid h v = Epoch_sys.pset esys ~tid h (C.encode v)
+  exception Memo of C.t
+
+  let pnew esys ~tid v =
+    let h = Epoch_sys.pnew esys ~tid (C.encode v) in
+    Epoch_sys.memo_store esys h (Memo v);
+    h
+
+  let get esys ~tid h =
+    match Epoch_sys.memo_get esys ~tid h with
+    | Memo v -> v
+    | _ ->
+        let v = C.decode (Epoch_sys.pget esys ~tid h) in
+        Epoch_sys.memo_store esys h (Memo v);
+        v
+
+  let get_unsafe esys h =
+    match Epoch_sys.memo_get_unsafe esys h with
+    | Memo v -> v
+    | _ ->
+        let v = C.decode (Epoch_sys.pget_unsafe esys h) in
+        Epoch_sys.memo_store esys h (Memo v);
+        v
+
+  let set esys ~tid h v =
+    let h' = Epoch_sys.pset esys ~tid h (C.encode v) in
+    Epoch_sys.memo_store esys h' (Memo v);
+    h'
+
   let pdelete esys ~tid h = Epoch_sys.pdelete esys ~tid h
 
   (* Decode a payload recovered after a crash. *)
@@ -54,6 +92,12 @@ module Kv_content = struct
     let klen = Int32.to_int (Bytes.get_int32_le b 0) in
     ( Bytes.sub_string b 4 klen,
       Bytes.sub_string b (4 + klen) (Bytes.length b - 4 - klen) )
+
+  (* Value-only decode: mapping read paths already cache the key in
+     their DRAM nodes, so materializing it again is pure waste. *)
+  let decode_value b =
+    let klen = Int32.to_int (Bytes.get_int32_le b 0) in
+    Bytes.sub_string b (4 + klen) (Bytes.length b - 4 - klen)
 end
 
 (* Sequence-numbered items, the shape used by queues: a queue's
@@ -72,3 +116,30 @@ module Seq_content = struct
     ( Int64.to_int (Bytes.get_int64_le b 0),
       Bytes.sub_string b 8 (Bytes.length b - 8) )
 end
+
+(* Shared pre-applied instances: one [Memo] constructor per codec for
+   the whole program, so every structure reading a given payload shape
+   hits the same memo. *)
+
+module Str = Make (String_content)
+
+module Kv = struct
+  include Make (Kv_content)
+
+  (* A value-only memo for lookup paths that never need the key (the
+     key is already in the structure's DRAM node).  Coexists with the
+     full-pair [Memo]: whichever accessor ran last owns the slot, and
+     either satisfies its own reader. *)
+  exception Memo_value of string
+
+  let get_value esys ~tid h =
+    match Epoch_sys.memo_get esys ~tid h with
+    | Memo (_, v) -> v
+    | Memo_value v -> v
+    | _ ->
+        let v = Kv_content.decode_value (Epoch_sys.pget esys ~tid h) in
+        Epoch_sys.memo_store esys h (Memo_value v);
+        v
+end
+
+module Seq = Make (Seq_content)

@@ -5,7 +5,15 @@
     gets type-safe [pnew]/[get]/[set]/[pdelete] whose handles carry the
     Montage epoch discipline.  [set] may return a {e different} handle
     (a copying update across an epoch boundary); the caller must
-    install the returned handle everywhere the old one appeared. *)
+    install the returned handle everywhere the old one appeared.
+
+    With [Config.payload_mirror] each instantiation also memoizes the
+    decoded value on the handle: a warm [get] returns the cached value
+    with no NVM load, no decode, and no allocation.  Use the shared
+    pre-applied instances {!Str}/{!Kv}/{!Seq} where possible — each
+    application of {!Make} owns a distinct memo constructor, so two
+    modules reading the same payloads through separate applications
+    miss each other's memos. *)
 
 module type CONTENT = sig
   type t
@@ -16,6 +24,10 @@ end
 
 module Make (C : CONTENT) : sig
   type handle = Epoch_sys.pblk
+
+  (** The decoded-value memo this instantiation stores on handles (via
+      {!Epoch_sys.memo_store}); exposed for tests. *)
+  exception Memo of C.t
 
   val pnew : Epoch_sys.t -> tid:int -> C.t -> handle
   val get : Epoch_sys.t -> tid:int -> handle -> C.t
@@ -31,8 +43,60 @@ end
 module String_content : CONTENT with type t = string
 
 (** [(key, value)] pairs — the shape of sets and mappings. *)
-module Kv_content : CONTENT with type t = string * string
+module Kv_content : sig
+  include CONTENT with type t = string * string
+
+  (** Decode only the value, skipping key materialization — for read
+      paths whose DRAM node already caches the key. *)
+  val decode_value : bytes -> string
+end
 
 (** Sequence-numbered items — the shape of queues and stacks, whose
     abstract state is items {e and} their order (paper §3). *)
 module Seq_content : CONTENT with type t = int * string
+
+(** {1 Shared pre-applied instances} *)
+
+module Str : sig
+  type handle = Epoch_sys.pblk
+
+  exception Memo of string
+
+  val pnew : Epoch_sys.t -> tid:int -> string -> handle
+  val get : Epoch_sys.t -> tid:int -> handle -> string
+  val get_unsafe : Epoch_sys.t -> handle -> string
+  val set : Epoch_sys.t -> tid:int -> handle -> string -> handle
+  val pdelete : Epoch_sys.t -> tid:int -> handle -> unit
+  val of_recovered : Epoch_sys.t -> handle -> handle * string
+end
+
+module Kv : sig
+  type handle = Epoch_sys.pblk
+
+  exception Memo of (string * string)
+  exception Memo_value of string
+
+  val pnew : Epoch_sys.t -> tid:int -> string * string -> handle
+  val get : Epoch_sys.t -> tid:int -> handle -> string * string
+  val get_unsafe : Epoch_sys.t -> handle -> string * string
+  val set : Epoch_sys.t -> tid:int -> handle -> string * string -> handle
+  val pdelete : Epoch_sys.t -> tid:int -> handle -> unit
+  val of_recovered : Epoch_sys.t -> handle -> handle * (string * string)
+
+  (** The value of a [(key, value)] payload without materializing the
+      key (value-only memo on warm handles). *)
+  val get_value : Epoch_sys.t -> tid:int -> handle -> string
+end
+
+module Seq : sig
+  type handle = Epoch_sys.pblk
+
+  exception Memo of (int * string)
+
+  val pnew : Epoch_sys.t -> tid:int -> int * string -> handle
+  val get : Epoch_sys.t -> tid:int -> handle -> int * string
+  val get_unsafe : Epoch_sys.t -> handle -> int * string
+  val set : Epoch_sys.t -> tid:int -> handle -> int * string -> handle
+  val pdelete : Epoch_sys.t -> tid:int -> handle -> unit
+  val of_recovered : Epoch_sys.t -> handle -> handle * (int * string)
+end

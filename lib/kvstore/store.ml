@@ -15,7 +15,30 @@ type backend = {
   get : tid:int -> string -> string option;
   put : tid:int -> string -> string -> string option;
   remove : tid:int -> string -> string option;
+  update : tid:int -> string -> (string option -> string option) -> string option;
+      (* atomic read-modify-write: [f] runs on the current value under
+         the backend's per-key synchronization; its [Some] result is
+         stored (inserting if absent), [None] leaves the map unchanged;
+         returns the previous value.  Conditional ops (add/replace/
+         incr/decr/cas) go through this hook — composing them from
+         [get] + [put] loses updates under concurrency. *)
 }
+
+(* Assemble a backend from bare map operations.  When the map exposes
+   no atomic read-modify-write, the derived [update] is a plain
+   get-then-put: fine for single-writer use and reference benchmarks,
+   NOT linearizable under racing conditional ops. *)
+let backend ~get ~put ~remove ?update () =
+  let update =
+    match update with
+    | Some u -> u
+    | None ->
+        fun ~tid key f ->
+          let old = get ~tid key in
+          (match f old with Some v -> ignore (put ~tid key v) | None -> ());
+          old
+  in
+  { get; put; remove; update }
 
 (* statistic slots in the padded counter block *)
 let stat_hits = 0
@@ -95,34 +118,96 @@ let delete t ~tid key =
       bump t stat_deletes;
       true
 
+(* The conditional ops below run their decision inside [backend.update]
+   so the check and the store are one atomic step; a racing writer
+   cannot slip between them.  A stored item whose TTL has lapsed counts
+   as absent (and is overwritten in place rather than removed first). *)
+
+let live_item now = function
+  | None -> None
+  | Some item ->
+      let _, expiry, _, _ = decode_item item in
+      if expiry > 0.0 && expiry < now then None else Some item
+
 (* memcached ADD: store only if absent. *)
 let add t ~tid ?(flags = 0) ?(ttl_s = 0.0) key data =
-  match get_full t ~tid key with
-  | Some _ -> false
-  | None ->
-      set t ~tid ~flags ~ttl_s key data;
-      true
+  let now = t.now () in
+  let expiry = if ttl_s > 0.0 then now +. ttl_s else 0.0 in
+  let stored = ref false in
+  ignore
+    (t.backend.update ~tid key (fun cur ->
+         match live_item now cur with
+         | Some _ -> None
+         | None ->
+             stored := true;
+             let cas = Atomic.fetch_and_add t.cas_counter 1 in
+             Some (encode_item ~flags ~expiry ~cas data)));
+  if !stored then bump t stat_sets;
+  !stored
 
 (* memcached REPLACE: store only if present. *)
 let replace t ~tid ?(flags = 0) ?(ttl_s = 0.0) key data =
-  match get_full t ~tid key with
-  | None -> false
-  | Some _ ->
-      set t ~tid ~flags ~ttl_s key data;
-      true
+  let now = t.now () in
+  let expiry = if ttl_s > 0.0 then now +. ttl_s else 0.0 in
+  let stored = ref false in
+  ignore
+    (t.backend.update ~tid key (fun cur ->
+         match live_item now cur with
+         | None -> None
+         | Some _ ->
+             stored := true;
+             let cas = Atomic.fetch_and_add t.cas_counter 1 in
+             Some (encode_item ~flags ~expiry ~cas data)));
+  if !stored then bump t stat_sets;
+  !stored
+
+(* memcached CAS: store only if the item's id matches the one the
+   client last read. *)
+type cas_outcome = Stored | Exists | Not_found
+
+let compare_and_set t ~tid ?(flags = 0) ?(ttl_s = 0.0) key ~cas data =
+  let now = t.now () in
+  let expiry = if ttl_s > 0.0 then now +. ttl_s else 0.0 in
+  let outcome = ref Not_found in
+  ignore
+    (t.backend.update ~tid key (fun cur ->
+         match live_item now cur with
+         | None -> None
+         | Some item ->
+             let _, _, id, _ = decode_item item in
+             if id <> cas then begin
+               outcome := Exists;
+               None
+             end
+             else begin
+               outcome := Stored;
+               let id' = Atomic.fetch_and_add t.cas_counter 1 in
+               Some (encode_item ~flags ~expiry ~cas:id' data)
+             end));
+  if !outcome = Stored then bump t stat_sets;
+  !outcome
 
 (* memcached INCR/DECR on a decimal value; [None] if missing or NaN.
-   DECR saturates at zero, as memcached specifies. *)
+   DECR saturates at zero, as memcached specifies.  Flags and expiry
+   survive the arithmetic. *)
 let incr t ~tid key delta =
-  match get_full t ~tid key with
-  | None -> None
-  | Some (data, flags, _) -> (
-      match int_of_string_opt (String.trim data) with
-      | None -> None
-      | Some v ->
-          let v' = max 0 (v + delta) in
-          set t ~tid ~flags key (string_of_int v');
-          Some v')
+  let now = t.now () in
+  let result = ref None in
+  ignore
+    (t.backend.update ~tid key (fun cur ->
+         match live_item now cur with
+         | None -> None
+         | Some item -> (
+             let flags, expiry, _, data = decode_item item in
+             match int_of_string_opt (String.trim data) with
+             | None -> None
+             | Some v ->
+                 let v' = max 0 (v + delta) in
+                 result := Some v';
+                 let cas = Atomic.fetch_and_add t.cas_counter 1 in
+                 Some (encode_item ~flags ~expiry ~cas (string_of_int v')))));
+  if !result <> None then bump t stat_sets;
+  !result
 
 let decr t ~tid key delta = incr t ~tid key (-delta)
 
@@ -143,6 +228,7 @@ let of_mhashmap (m : Pstructs.Mhashmap.t) =
     get = (fun ~tid k -> Pstructs.Mhashmap.get m ~tid k);
     put = (fun ~tid k v -> Pstructs.Mhashmap.put m ~tid k v);
     remove = (fun ~tid k -> Pstructs.Mhashmap.remove m ~tid k);
+    update = (fun ~tid k f -> Pstructs.Mhashmap.update m ~tid k f);
   }
 
 let of_transient_map (m : Baselines.Transient_map.t) =
@@ -150,4 +236,5 @@ let of_transient_map (m : Baselines.Transient_map.t) =
     get = (fun ~tid k -> Baselines.Transient_map.get m ~tid k);
     put = (fun ~tid k v -> Baselines.Transient_map.put m ~tid k v);
     remove = (fun ~tid k -> Baselines.Transient_map.remove m ~tid k);
+    update = (fun ~tid k f -> Baselines.Transient_map.update m ~tid k f);
   }

@@ -12,7 +12,25 @@ type backend = {
   get : tid:int -> string -> string option;
   put : tid:int -> string -> string -> string option;
   remove : tid:int -> string -> string option;
+  update : tid:int -> string -> (string option -> string option) -> string option;
+      (** Atomic read-modify-write: [f] runs on the current value under
+          the backend's per-key synchronization; its [Some] result is
+          stored (inserting if absent), [None] leaves the map
+          unchanged; returns the previous value.  All conditional store
+          ops (add/replace/incr/decr/cas) go through this hook. *)
 }
+
+(** Assemble a backend from bare map operations.  Without [?update],
+    the derived read-modify-write is a plain get-then-put — fine for
+    single-writer use and reference benchmarks, {e not} linearizable
+    under racing conditional ops. *)
+val backend :
+  get:(tid:int -> string -> string option) ->
+  put:(tid:int -> string -> string -> string option) ->
+  remove:(tid:int -> string -> string option) ->
+  ?update:(tid:int -> string -> (string option -> string option) -> string option) ->
+  unit ->
+  backend
 
 type t
 
@@ -35,6 +53,16 @@ val add : t -> tid:int -> ?flags:int -> ?ttl_s:float -> string -> string -> bool
 
 (** Store only if present (memcached REPLACE). *)
 val replace : t -> tid:int -> ?flags:int -> ?ttl_s:float -> string -> string -> bool
+
+type cas_outcome =
+  | Stored  (** the id matched; the new value is in *)
+  | Exists  (** the item changed since the client read it *)
+  | Not_found  (** no live item under the key *)
+
+(** Store only if the item's CAS id still equals [cas] — the id a prior
+    {!get_full} returned (memcached CAS). *)
+val compare_and_set :
+  t -> tid:int -> ?flags:int -> ?ttl_s:float -> string -> cas:int -> string -> cas_outcome
 
 (** Arithmetic on a decimal value; [None] if missing or non-numeric.
     DECR saturates at zero, as memcached specifies. *)

@@ -31,6 +31,10 @@ type violation =
   | Linearize_epoch_mismatch of { epoch : int; clock : int }
       (** an epoch-verified DCSS decided success against the wrong
           clock *)
+  | Mirror_stale of { off : int; len : int; line : int }
+      (** a payload read served from a volatile mirror disagreed with
+          the store view of the mirrored range: some mutation bypassed
+          the mirror refresh (see {!on_mirror_read}) *)
   | Contract of { what : string; off : int; len : int; line : int }
       (** an {!expect_fenced} assertion failed *)
 
@@ -68,6 +72,13 @@ val on_crash : t -> injected:int list -> unit
 val on_buffer_push : t -> tid:int -> epoch:int -> off:int -> len:int -> unit
 val on_epoch_advance : t -> epoch:int -> unit
 val on_linearize : t -> epoch:int -> clock:int -> success:bool -> unit
+
+(** A payload read of [\[off, off+len)] was served from a volatile
+    mirror holding [data]: assert [data] equals the store view [work]
+    over that range (raising/recording {!Mirror_stale} otherwise).
+    Mirrors promise the volatile-store view, not media — media may
+    legitimately lag inside the buffered-durability window. *)
+val on_mirror_read : t -> off:int -> len:int -> data:Bytes.t -> work:Bytes.t -> unit
 
 (** The runtime's coalescing layer merged [ranges] buffered records
     covering [lines_in] 64 B lines into [lines_out] flushed lines. *)

@@ -46,6 +46,10 @@ type t = {
   stat_coalesce_ranges : Util.Padded.counters;
   stat_coalesce_lines_in : Util.Padded.counters;
   stat_coalesce_lines_out : Util.Padded.counters;
+  (* lines whose charged load latency was actually paid ([charge_read]
+     has no tid, so this is a single shared counter; the add is noise
+     next to the 25 ns/line busy-wait it rides on) *)
+  stat_lines_read : int Atomic.t;
   (* opt-in persistency-ordering checker; [None] is the fast path (one
      branch per primitive, no allocation) *)
   mutable checker : Pcheck.t option;
@@ -72,6 +76,7 @@ let create ?(latency = Latency.default) ?(max_threads = 64) ~capacity () =
     stat_coalesce_ranges = Util.Padded.make_counters max_threads;
     stat_coalesce_lines_in = Util.Padded.make_counters max_threads;
     stat_coalesce_lines_out = Util.Padded.make_counters max_threads;
+    stat_lines_read = Atomic.make 0;
     checker = None;
   }
 
@@ -149,6 +154,7 @@ let write_string t ~off s =
    accessors below model hot metadata and stay uncharged. *)
 let charge_read t ~off ~len =
   let lines = ((off + len - 1) lsr line_shift) - (off lsr line_shift) + 1 in
+  ignore (Atomic.fetch_and_add t.stat_lines_read lines);
   Latency.charge_read t.latency ~lines
 
 let read t ~off ~dst ~dst_off ~len =
@@ -317,6 +323,17 @@ let note_coalesced t ~tid ~ranges ~lines_in ~lines_out =
   | None -> ()
   | Some c -> Pcheck.on_coalesce c ~ranges ~lines_in ~lines_out
 
+(* A payload read was served from a volatile mirror holding [data]
+   instead of touching this region: hand the coherence assertion to the
+   checker (mirror bytes must equal the store view of the range).
+   One branch when no checker is attached. *)
+let note_mirror_read t ~off ~len ~data =
+  match t.checker with
+  | None -> ()
+  | Some c ->
+      check_range t off len;
+      Pcheck.on_mirror_read c ~off ~len ~data ~work:t.work
+
 let note_fence t ~tid =
   match t.checker with
   | None -> ()
@@ -391,6 +408,7 @@ type stats = {
   writebacks : int;
   fences : int;
   lines_persisted : int;
+  lines_read : int;
   coalesce_ranges : int;
   coalesce_lines_in : int;
   coalesce_lines_out : int;
@@ -401,6 +419,7 @@ let stats t =
     writebacks = Util.Padded.sum t.stat_writebacks;
     fences = Util.Padded.sum t.stat_fences;
     lines_persisted = Util.Padded.sum t.stat_lines_persisted;
+    lines_read = Atomic.get t.stat_lines_read;
     coalesce_ranges = Util.Padded.sum t.stat_coalesce_ranges;
     coalesce_lines_in = Util.Padded.sum t.stat_coalesce_lines_in;
     coalesce_lines_out = Util.Padded.sum t.stat_coalesce_lines_out;

@@ -76,6 +76,13 @@ val writeback_lines_uncharged : t -> tid:int -> first:int -> lines:int -> unit
     flushed lines.  Feeds {!stats} and the attached checker. *)
 val note_coalesced : t -> tid:int -> ranges:int -> lines_in:int -> lines_out:int -> unit
 
+(** A payload read of [\[off, off+len)] was served from a volatile
+    mirror holding [data] instead of touching this region: assert the
+    mirror-coherence rule against the attached checker
+    ({!Pcheck.on_mirror_read}).  No-op (one branch) without a
+    checker. *)
+val note_mirror_read : t -> off:int -> len:int -> data:Bytes.t -> unit
+
 (** SFENCE analog: commit this thread's queued ranges to media,
     charging the drain wait. *)
 val sfence : t -> tid:int -> unit
@@ -99,12 +106,15 @@ val crash : ?persist_unfenced:float -> ?evict_dirty:float -> ?rng:Util.Xoshiro.t
 (** {1 Statistics} *)
 
 (** [writebacks] counts queued lines; [fences] counts fence calls;
+    [lines_read] counts 64 B lines whose charged load latency was paid
+    (reads served from a volatile mirror never appear here);
     [coalesce_*] aggregate {!note_coalesced} reports (the dedup ratio
     is [coalesce_lines_in / coalesce_lines_out]). *)
 type stats = {
   writebacks : int;
   fences : int;
   lines_persisted : int;
+  lines_read : int;
   coalesce_ranges : int;
   coalesce_lines_in : int;
   coalesce_lines_out : int;

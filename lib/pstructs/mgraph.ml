@@ -55,6 +55,18 @@ module Codec = struct
     | c -> invalid_arg (Printf.sprintf "Mgraph.decode: bad tag %C" c)
 end
 
+(* Typed payload instance over the tagged codec: warm handles serve
+   attribute reads from their decoded memo without touching NVM. *)
+module Gp = Montage.Payload.Make (struct
+  type t = Codec.decoded
+
+  let encode = function
+    | Codec.Vertex { id; attrs } -> Codec.encode_vertex ~id ~attrs
+    | Codec.Edge { src; dst; attrs } -> Codec.encode_edge ~src ~dst ~attrs
+
+  let decode = Codec.decode
+end)
+
 type vertex = {
   id : int;
   mutable payload : E.pblk;
@@ -109,7 +121,7 @@ let add_vertex t ~tid id attrs =
       | Some _ -> false
       | None ->
           E.with_op t.esys ~tid (fun () ->
-              let payload = E.pnew t.esys ~tid (Codec.encode_vertex ~id ~attrs) in
+              let payload = Gp.pnew t.esys ~tid (Codec.Vertex { id; attrs }) in
               t.vertices.(id) <- Some { id; payload; adj = Hashtbl.create 8 };
               Atomic.incr t.vertex_count;
               true))
@@ -146,7 +158,7 @@ let vertex_attrs t ~tid:_ id =
       match t.vertices.(id) with
       | None -> None
       | Some v -> (
-          match Codec.decode (E.pget_unsafe t.esys v.payload) with
+          match Gp.get_unsafe t.esys v.payload with
           | Codec.Vertex { attrs; _ } -> Some attrs
           | Codec.Edge _ ->
               Montage.Errors.corrupt
@@ -166,7 +178,7 @@ let add_edge t ~tid src dst attrs =
             | Some u, Some v when not (Hashtbl.mem u.adj dst) ->
                 E.with_op t.esys ~tid (fun () ->
                     let s, d = canonical src dst in
-                    let payload = E.pnew t.esys ~tid (Codec.encode_edge ~src:s ~dst:d ~attrs) in
+                    let payload = Gp.pnew t.esys ~tid (Codec.Edge { src = s; dst = d; attrs }) in
                     let box = ref payload in
                     Hashtbl.replace u.adj dst box;
                     Hashtbl.replace v.adj src box;
@@ -208,7 +220,7 @@ let edge_attrs t ~tid:_ src dst =
           match Hashtbl.find_opt u.adj dst with
           | None -> None
           | Some box -> (
-              match Codec.decode (E.pget_unsafe t.esys !box) with
+              match Gp.get_unsafe t.esys !box with
               | Codec.Edge { attrs; _ } -> Some attrs
               | Codec.Vertex _ ->
                   Montage.Errors.corrupt
@@ -238,7 +250,7 @@ let recover ?(capacity = 1 lsl 20) ?(threads = 1) esys payloads =
   let vertex_phase slice =
     Array.iter
       (fun p ->
-        match Codec.decode (E.pget_unsafe esys p) with
+        match Gp.get_unsafe esys p with
         | Codec.Vertex { id; _ } ->
             t.vertices.(id) <- Some { id; payload = p; adj = Hashtbl.create 8 };
             Atomic.incr t.vertex_count
@@ -248,7 +260,7 @@ let recover ?(capacity = 1 lsl 20) ?(threads = 1) esys payloads =
   let edge_phase slice =
     Array.iter
       (fun p ->
-        match Codec.decode (E.pget_unsafe esys p) with
+        match Gp.get_unsafe esys p with
         | Codec.Vertex _ -> ()
         | Codec.Edge { src; dst; _ } ->
             lock_pair t src dst (fun () ->

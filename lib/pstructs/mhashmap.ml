@@ -11,7 +11,7 @@
    payload, per well-formedness constraint 4 — reinstalls. *)
 
 module E = Montage.Epoch_sys
-module Kv = Montage.Payload.Kv_content
+module Kv = Montage.Payload.Kv
 
 type node = { key : string; mutable payload : E.pblk; mutable next : node option }
 
@@ -39,8 +39,9 @@ let get t ~tid key =
       let rec find = function
         | None -> None
         | Some n when String.equal n.key key ->
-            let _, v = Kv.decode (E.pget t.esys ~tid n.payload) in
-            Some v
+            (* value-only decode: the node already caches the key, and a
+               warm handle returns its memo without touching NVM *)
+            Some (Kv.get_value t.esys ~tid n.payload)
         | Some n -> find n.next
       in
       find b.head)
@@ -63,18 +64,18 @@ let put t ~tid key value =
           let rec walk prev curr =
             match curr with
             | Some n when String.equal n.key key ->
-                let _, old = Kv.decode (E.pget t.esys ~tid n.payload) in
-                n.payload <- E.pset t.esys ~tid n.payload (Kv.encode (key, value));
+                let old = Kv.get_value t.esys ~tid n.payload in
+                n.payload <- Kv.set t.esys ~tid n.payload (key, value);
                 Some old
             | Some n when n.key > key ->
-                let payload = E.pnew t.esys ~tid (Kv.encode (key, value)) in
+                let payload = Kv.pnew t.esys ~tid (key, value) in
                 let fresh = { key; payload; next = curr } in
                 (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh);
                 Atomic.incr t.size;
                 None
             | Some n -> walk (Some n) n.next
             | None ->
-                let payload = E.pnew t.esys ~tid (Kv.encode (key, value)) in
+                let payload = Kv.pnew t.esys ~tid (key, value) in
                 let fresh = { key; payload; next = None } in
                 (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh);
                 Atomic.incr t.size;
@@ -95,7 +96,7 @@ let put_if_absent t ~tid key value =
       if present b.head then false
       else
         E.with_op t.esys ~tid (fun () ->
-            let payload = E.pnew t.esys ~tid (Kv.encode (key, value)) in
+            let payload = Kv.pnew t.esys ~tid (key, value) in
             let rec splice prev curr =
               match curr with
               | Some n when n.key < key -> splice (Some n) n.next
@@ -107,6 +108,42 @@ let put_if_absent t ~tid key value =
             Atomic.incr t.size;
             true))
 
+(* Atomic read-modify-write: run [f] on the key's current value (None
+   if absent) under the bucket lock and store its [Some] result —
+   inserting if the key was absent — or leave the map unchanged on
+   [None].  Returns the previous value.  This is the primitive the
+   kvstore's add/replace/incr/decr/CAS ops build on: get-then-put
+   without the lock would lose concurrent updates. *)
+let update t ~tid key f =
+  let b = bucket_of t key in
+  Util.Spin_lock.with_lock b.lock (fun () ->
+      let insert prev curr value =
+        E.with_op t.esys ~tid (fun () ->
+            let payload = Kv.pnew t.esys ~tid (key, value) in
+            let fresh = { key; payload; next = curr } in
+            (match prev with None -> b.head <- Some fresh | Some p -> p.next <- Some fresh);
+            Atomic.incr t.size)
+      in
+      let rec walk prev curr =
+        match curr with
+        | Some n when String.equal n.key key ->
+            let old = Kv.get_value t.esys ~tid n.payload in
+            (match f (Some old) with
+            | Some value ->
+                E.with_op t.esys ~tid (fun () ->
+                    n.payload <- Kv.set t.esys ~tid n.payload (key, value))
+            | None -> ());
+            Some old
+        | Some n when n.key > key ->
+            (match f None with Some value -> insert prev curr value | None -> ());
+            None
+        | Some n -> walk (Some n) n.next
+        | None ->
+            (match f None with Some value -> insert prev curr value | None -> ());
+            None
+      in
+      walk None b.head)
+
 (* Remove; returns the removed value. *)
 let remove t ~tid key =
   let b = bucket_of t key in
@@ -115,7 +152,7 @@ let remove t ~tid key =
         match curr with
         | Some n when String.equal n.key key ->
             E.with_op t.esys ~tid (fun () ->
-                let _, old = Kv.decode (E.pget t.esys ~tid n.payload) in
+                let old = Kv.get_value t.esys ~tid n.payload in
                 E.pdelete t.esys ~tid n.payload;
                 (match prev with None -> b.head <- n.next | Some p -> p.next <- n.next);
                 Atomic.decr t.size;
@@ -134,7 +171,7 @@ let to_alist t ~tid =
           let rec collect acc = function
             | None -> acc
             | Some n ->
-                let k, v = Kv.decode (E.pget t.esys ~tid n.payload) in
+                let k, v = Kv.get t.esys ~tid n.payload in
                 collect ((k, v) :: acc) n.next
           in
           collect acc b.head))
@@ -148,7 +185,7 @@ let to_alist t ~tid =
 let recover_slice t payloads =
   Array.iter
     (fun p ->
-      let key, _ = Kv.decode (E.pget_unsafe t.esys p) in
+      let key, _ = Kv.get_unsafe t.esys p in
       let b = bucket_of t key in
       Util.Spin_lock.with_lock b.lock (fun () ->
           let rec splice prev curr =

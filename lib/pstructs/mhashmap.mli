@@ -28,6 +28,13 @@ val put : t -> tid:int -> string -> string -> string option
 (** Insert only if absent; [true] on success. *)
 val put_if_absent : t -> tid:int -> string -> string -> bool
 
+(** Atomic read-modify-write: [update t ~tid key f] runs [f] on the
+    key's current value ([None] if absent) under the bucket lock;
+    [Some v'] stores [v'] (inserting if absent), [None] leaves the map
+    unchanged.  Returns the previous value.  The primitive behind the
+    kvstore's add/replace/incr/decr/CAS operations. *)
+val update : t -> tid:int -> string -> (string option -> string option) -> string option
+
 (** Remove; returns the removed value. *)
 val remove : t -> tid:int -> string -> string option
 

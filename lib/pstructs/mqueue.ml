@@ -8,7 +8,7 @@
    crash cut. *)
 
 module E = Montage.Epoch_sys
-module Seq = Montage.Payload.Seq_content
+module Seq = Montage.Payload.Seq
 
 type t = {
   esys : E.t;
@@ -28,7 +28,7 @@ let enqueue t ~tid value =
       E.with_op t.esys ~tid (fun () ->
           let seq = t.next_seq in
           t.next_seq <- seq + 1;
-          let payload = E.pnew t.esys ~tid (Seq.encode (seq, value)) in
+          let payload = Seq.pnew t.esys ~tid (seq, value) in
           Queue.push (seq, payload) t.items))
 
 let dequeue t ~tid =
@@ -37,7 +37,7 @@ let dequeue t ~tid =
       else
         E.with_op t.esys ~tid (fun () ->
             let _, payload = Queue.pop t.items in
-            let _, value = Seq.decode (E.pget t.esys ~tid payload) in
+            let _, value = Seq.get t.esys ~tid payload in
             E.pdelete t.esys ~tid payload;
             Some value))
 
@@ -47,7 +47,7 @@ let peek t ~tid =
       match Queue.peek_opt t.items with
       | None -> None
       | Some (_, payload) ->
-          let _, value = Seq.decode (E.pget t.esys ~tid payload) in
+          let _, value = Seq.get t.esys ~tid payload in
           Some value)
 
 (* ---- recovery ---- *)
@@ -55,7 +55,7 @@ let peek t ~tid =
 let recover esys payloads =
   let t = create esys in
   let entries =
-    Array.map (fun p -> (fst (Seq.decode (E.pget_unsafe esys p)), p)) payloads
+    Array.map (fun p -> (fst (Seq.get_unsafe esys p), p)) payloads
   in
   Array.sort (fun (a, _) (b, _) -> compare a b) entries;
   Array.iter (fun (seq, p) -> Queue.push (seq, p) t.items) entries;

@@ -15,7 +15,7 @@
    discipline inside begin_op/end_op. *)
 
 module E = Montage.Epoch_sys
-module Kv = Montage.Payload.Kv_content
+module Kv = Montage.Payload.Kv
 
 let max_level = 16
 
@@ -88,7 +88,9 @@ let get t ~tid key =
   match !node.forward.(0) with
   | Some next when String.equal next.key key -> (
       match next.payload with
-      | Some p -> Some (snd (Kv.decode (E.pget t.esys ~tid p)))
+      (* value-only read: the node caches the key; a warm handle is
+         served from its memo without touching NVM *)
+      | Some p -> Some (Kv.get_value t.esys ~tid p)
       | None -> None)
   | _ -> None
 
@@ -100,8 +102,8 @@ let put t ~tid key value =
           | Some node when String.equal node.key key ->
               (* update in place (payload may be replaced by pset) *)
               let p = Option.get node.payload in
-              let old = snd (Kv.decode (E.pget t.esys ~tid p)) in
-              node.payload <- Some (E.pset t.esys ~tid p (Kv.encode (key, value)));
+              let old = Kv.get_value t.esys ~tid p in
+              node.payload <- Some (Kv.set t.esys ~tid p (key, value));
               Some old
           | _ ->
               let level = random_level t in
@@ -111,7 +113,7 @@ let put t ~tid key value =
                 done;
                 t.level <- level
               end;
-              let payload = E.pnew t.esys ~tid (Kv.encode (key, value)) in
+              let payload = Kv.pnew t.esys ~tid (key, value) in
               let fresh = { key; payload = Some payload; forward = Array.make level None } in
               for l = 0 to level - 1 do
                 fresh.forward.(l) <- preds.(l).forward.(l);
@@ -127,7 +129,7 @@ let remove t ~tid key =
       | Some node when String.equal node.key key ->
           E.with_op t.esys ~tid (fun () ->
               let p = Option.get node.payload in
-              let old = snd (Kv.decode (E.pget t.esys ~tid p)) in
+              let old = Kv.get_value t.esys ~tid p in
               E.pdelete t.esys ~tid p;
               for l = 0 to Array.length node.forward - 1 do
                 if l < t.level then
@@ -158,7 +160,7 @@ let fold_range t ~tid ~lo ~hi ~init f =
     | Some n when n.key <= hi ->
         (match n.payload with
         | Some p ->
-            let k, v = Kv.decode (E.pget t.esys ~tid p) in
+            let k, v = Kv.get t.esys ~tid p in
             acc := f !acc k v
         | None -> ());
         scan n.forward.(0)
@@ -171,14 +173,14 @@ let min_binding t ~tid =
   match t.head.forward.(0) with
   | Some n ->
       let p = Option.get n.payload in
-      Some (Kv.decode (E.pget t.esys ~tid p))
+      Some (Kv.get t.esys ~tid p)
   | None -> None
 
 let to_alist t ~tid =
   let rec scan acc = function
     | Some n ->
         let p = Option.get n.payload in
-        scan (Kv.decode (E.pget t.esys ~tid p) :: acc) n.forward.(0)
+        scan (Kv.get t.esys ~tid p :: acc) n.forward.(0)
     | None -> List.rev acc
   in
   scan [] t.head.forward.(0)
@@ -193,7 +195,7 @@ let recover ?(threads = 1) esys payloads =
      parallel slices contend on the single lock, so recovery is
      sequentialized structurally but slices can decode in parallel *)
   let decoded =
-    if threads <= 1 then Array.map (fun p -> (fst (Kv.decode (E.pget_unsafe esys p)), p)) payloads
+    if threads <= 1 then Array.map (fun p -> (fst (Kv.get_unsafe esys p), p)) payloads
     else begin
       let out = Array.make (Array.length payloads) ("", payloads.(0)) in
       let slices = E.slices payloads ~k:threads in
@@ -209,7 +211,7 @@ let recover ?(threads = 1) esys payloads =
           (fun i s ->
             Domain.spawn (fun () ->
                 Array.iteri
-                  (fun j p -> out.(offsets.(i) + j) <- (fst (Kv.decode (E.pget_unsafe esys p)), p))
+                  (fun j p -> out.(offsets.(i) + j) <- (fst (Kv.get_unsafe esys p), p))
                   s))
           slices
       in

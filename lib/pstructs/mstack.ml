@@ -3,7 +3,7 @@
    number descending so the newest surviving push is on top. *)
 
 module E = Montage.Epoch_sys
-module Seq = Montage.Payload.Seq_content
+module Seq = Montage.Payload.Seq
 
 type t = {
   esys : E.t;
@@ -23,7 +23,7 @@ let push t ~tid value =
       E.with_op t.esys ~tid (fun () ->
           let seq = t.next_seq in
           t.next_seq <- seq + 1;
-          let payload = E.pnew t.esys ~tid (Seq.encode (seq, value)) in
+          let payload = Seq.pnew t.esys ~tid (seq, value) in
           t.items <- (seq, payload) :: t.items))
 
 let pop t ~tid =
@@ -32,7 +32,7 @@ let pop t ~tid =
       | [] -> None
       | (_, payload) :: rest ->
           E.with_op t.esys ~tid (fun () ->
-              let _, value = Seq.decode (E.pget t.esys ~tid payload) in
+              let _, value = Seq.get t.esys ~tid payload in
               E.pdelete t.esys ~tid payload;
               t.items <- rest;
               Some value))
@@ -42,12 +42,12 @@ let top t ~tid =
       match t.items with
       | [] -> None
       | (_, payload) :: _ ->
-          let _, value = Seq.decode (E.pget t.esys ~tid payload) in
+          let _, value = Seq.get t.esys ~tid payload in
           Some value)
 
 let recover esys payloads =
   let t = create esys in
-  let entries = Array.map (fun p -> (fst (Seq.decode (E.pget_unsafe esys p)), p)) payloads in
+  let entries = Array.map (fun p -> (fst (Seq.get_unsafe esys p), p)) payloads in
   Array.sort (fun (a, _) (b, _) -> compare b a) entries;
   t.items <- Array.to_list entries;
   (match Array.length entries with

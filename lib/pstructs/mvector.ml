@@ -13,7 +13,7 @@
    set/get on an index follow the Montage discipline. *)
 
 module E = Montage.Epoch_sys
-module Seq = Montage.Payload.Seq_content
+module Seq = Montage.Payload.Seq
 
 type t = {
   esys : E.t;
@@ -40,7 +40,7 @@ let push t ~tid value =
       E.with_op t.esys ~tid (fun () ->
           let index = t.length in
           ensure_capacity t (index + 1);
-          t.slots.(index) <- Some (E.pnew t.esys ~tid (Seq.encode (index, value)));
+          t.slots.(index) <- Some (Seq.pnew t.esys ~tid (index, value));
           t.length <- index + 1;
           index))
 
@@ -51,7 +51,7 @@ let pop t ~tid =
         E.with_op t.esys ~tid (fun () ->
             let index = t.length - 1 in
             let p = Option.get t.slots.(index) in
-            let _, value = Seq.decode (E.pget t.esys ~tid p) in
+            let _, value = Seq.get t.esys ~tid p in
             E.pdelete t.esys ~tid p;
             t.slots.(index) <- None;
             t.length <- index;
@@ -61,7 +61,7 @@ let get t ~tid index =
   if index < 0 || index >= t.length then None
   else
     match t.slots.(index) with
-    | Some p -> Some (snd (Seq.decode (E.pget t.esys ~tid p)))
+    | Some p -> Some (snd (Seq.get t.esys ~tid p))
     | None -> None
 
 let set t ~tid index value =
@@ -70,7 +70,7 @@ let set t ~tid index value =
       else
         E.with_op t.esys ~tid (fun () ->
             let p = Option.get t.slots.(index) in
-            t.slots.(index) <- Some (E.pset t.esys ~tid p (Seq.encode (index, value)));
+            t.slots.(index) <- Some (Seq.set t.esys ~tid p (index, value));
             true))
 
 let to_list t ~tid =
@@ -88,7 +88,7 @@ let recover esys payloads =
   let max_index = ref (-1) in
   Array.iter
     (fun p ->
-      let index, _ = Seq.decode (E.pget_unsafe esys p) in
+      let index, _ = Seq.get_unsafe esys p in
       ensure_capacity t (index + 1);
       t.slots.(index) <- Some p;
       if index > !max_index then max_index := index)

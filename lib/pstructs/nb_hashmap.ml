@@ -10,7 +10,7 @@
 
 module E = Montage.Epoch_sys
 module V = Montage.Everify
-module Kv = Montage.Payload.Kv_content
+module Kv = Montage.Payload.Kv
 
 type node = { key : string; payload : E.pblk option; next : link V.t }
 and link = { succ : node option; marked : bool }
@@ -51,7 +51,7 @@ let get t ~tid key =
         if node.key < key then walk (V.peek node.next).succ
         else if node.key = key && not (V.peek node.next).marked then
           match node.payload with
-          | Some p -> Some (snd (Kv.decode (E.pget t.esys ~tid p)))
+          | Some p -> Some (Kv.get_value t.esys ~tid p)
           | None -> None
         else None
   in
@@ -90,7 +90,7 @@ let add t ~tid key value =
         let payload =
           match payload_opt with
           | Some p -> p
-          | None -> E.pnew t.esys ~tid (Kv.encode (key, value))
+          | None -> Kv.pnew t.esys ~tid (key, value)
         in
         let fresh = { key; payload = Some payload; next = V.make { succ = curr; marked = false } } in
         if
@@ -154,7 +154,7 @@ let to_alist t ~tid =
               if link.marked then acc
               else
                 match node.payload with
-                | Some p -> Kv.decode (E.pget t.esys ~tid p) :: acc
+                | Some p -> Kv.get t.esys ~tid p :: acc
                 | None -> acc
             in
             walk acc link.succ
@@ -172,7 +172,7 @@ let recover ?(buckets = 1 lsl 12) esys payloads =
   let per_bucket = Array.make buckets [] in
   Array.iter
     (fun p ->
-      let key, _ = Kv.decode (E.pget_unsafe esys p) in
+      let key, _ = Kv.get_unsafe esys p in
       let idx = Hashtbl.hash key land (buckets - 1) in
       per_bucket.(idx) <- (key, p) :: per_bucket.(idx))
     payloads;

@@ -17,7 +17,7 @@
 
 module E = Montage.Epoch_sys
 module V = Montage.Everify
-module Str = Montage.Payload.String_content
+module Str = Montage.Payload.Str
 
 type node = { key : string; payload : E.pblk option; next : link V.t }
 and link = { succ : node option; marked : bool }
@@ -81,7 +81,7 @@ let add t ~tid key =
         let payload =
           match payload_opt with
           | Some p -> p
-          | None -> E.pnew t.esys ~tid (Str.encode key)
+          | None -> Str.pnew t.esys ~tid key
         in
         let fresh = { key; payload = Some payload; next = V.make { succ = curr; marked = false } } in
         if V.cas_verify t.esys ~tid pred.next ~expect:pred_link ~desired:{ succ = Some fresh; marked = false }
@@ -147,7 +147,7 @@ let length t = List.length (to_list t)
 
 let recover esys payloads =
   let t = create esys in
-  let keys = Array.map (fun p -> (Str.decode (E.pget_unsafe esys p), p)) payloads in
+  let keys = Array.map (fun p -> (Str.get_unsafe esys p, p)) payloads in
   Array.sort (fun (a, _) (b, _) -> compare b a) keys;
   (* insert descending so each prepend at the head yields sorted order *)
   Array.iter

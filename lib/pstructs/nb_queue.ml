@@ -14,7 +14,7 @@
 
 module E = Montage.Epoch_sys
 module V = Montage.Everify
-module Seq = Montage.Payload.Seq_content
+module Seq = Montage.Payload.Seq
 
 type node = {
   seq : int;
@@ -52,8 +52,8 @@ let enqueue t ~tid value =
         let seq = tail.seq + 1 in
         let payload =
           match payload_opt with
-          | None -> E.pnew t.esys ~tid (Seq.encode (seq, value))
-          | Some p -> E.pset t.esys ~tid p (Seq.encode (seq, value))
+          | None -> Seq.pnew t.esys ~tid (seq, value)
+          | Some p -> Seq.set t.esys ~tid p (seq, value)
         in
         let node = { seq; payload = Some payload; value; next = V.make None } in
         if V.cas_verify t.esys ~tid tail.next ~expect:None ~desired:(Some node) then
@@ -124,13 +124,13 @@ let length t =
 
 let recover esys payloads =
   let t = create esys in
-  let entries = Array.map (fun p -> (fst (Seq.decode (E.pget_unsafe esys p)), p)) payloads in
+  let entries = Array.map (fun p -> (fst (Seq.get_unsafe esys p), p)) payloads in
   Array.sort (fun (a, _) (b, _) -> compare a b) entries;
   let head_node = V.peek t.head in
   let last =
     Array.fold_left
       (fun prev (seq, p) ->
-        let _, value = Seq.decode (E.pget_unsafe esys p) in
+        let _, value = Seq.get_unsafe esys p in
         let node = { seq; payload = Some p; value; next = V.make None } in
         ignore (V.cas esys prev.next ~expect:None ~desired:(Some node));
         node)

@@ -12,7 +12,7 @@
 
 module E = Montage.Epoch_sys
 module V = Montage.Everify
-module Seq = Montage.Payload.Seq_content
+module Seq = Montage.Payload.Seq
 
 type node = { seq : int; payload : E.pblk; value : string; next : node option }
 
@@ -35,8 +35,8 @@ let push t ~tid value =
     let seq = match cur with None -> 1 | Some n -> n.seq + 1 in
     let payload =
       match payload_opt with
-      | None -> E.pnew t.esys ~tid (Seq.encode (seq, value))
-      | Some p -> E.pset t.esys ~tid p (Seq.encode (seq, value)) (* in place: same epoch *)
+      | None -> Seq.pnew t.esys ~tid (seq, value)
+      | Some p -> Seq.set t.esys ~tid p (seq, value) (* in place: same epoch *)
     in
     let node = { seq; payload; value; next = cur } in
     if V.cas_verify t.esys ~tid t.top ~expect:cur ~desired:(Some node) then ()
@@ -87,12 +87,12 @@ let length t =
 
 let recover esys payloads =
   let t = create esys in
-  let entries = Array.map (fun p -> (fst (Seq.decode (E.pget_unsafe esys p)), p)) payloads in
+  let entries = Array.map (fun p -> (fst (Seq.get_unsafe esys p), p)) payloads in
   Array.sort (fun (a, _) (b, _) -> compare a b) entries;
   let chain =
     Array.fold_left
       (fun below (seq, p) ->
-        let _, value = Seq.decode (E.pget_unsafe esys p) in
+        let _, value = Seq.get_unsafe esys p in
         Some { seq; payload = p; value; next = below })
       None entries
   in

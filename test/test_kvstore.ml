@@ -113,6 +113,50 @@ let test_store_concurrent () =
   let _, _, sets, _, _ = Store.stats store in
   Alcotest.(check int) "all sets counted" (3 * per) sets
 
+let test_cas () =
+  let store = make_dram_store () in
+  Alcotest.(check bool) "cas on missing" true
+    (Store.compare_and_set store ~tid:0 "k" ~cas:1 "x" = Store.Not_found);
+  Store.set store ~tid:0 "k" "v1";
+  match Store.get_full store ~tid:0 "k" with
+  | None -> Alcotest.fail "expected hit"
+  | Some (_, _, id) ->
+      Alcotest.(check bool) "stale id rejected" true
+        (Store.compare_and_set store ~tid:0 "k" ~cas:(id + 999) "x" = Store.Exists);
+      Alcotest.(check (option string)) "value untouched" (Some "v1") (Store.get store ~tid:0 "k");
+      Alcotest.(check bool) "matching id stores" true
+        (Store.compare_and_set store ~tid:0 "k" ~cas:id "v2" = Store.Stored);
+      Alcotest.(check (option string)) "value swapped" (Some "v2") (Store.get store ~tid:0 "k");
+      Alcotest.(check bool) "old id now stale" true
+        (Store.compare_and_set store ~tid:0 "k" ~cas:id "v3" = Store.Exists)
+
+(* The conditional ops must not lose updates under concurrency: N
+   domains hammering INCR on one counter must land exactly N*per
+   increments, and racing ADDs on one key must admit exactly one
+   winner.  Before the backend [update] hook these were get-then-set
+   and this test would fail. *)
+let test_concurrent_rmw_no_lost_updates () =
+  let _, _, _, store = make_montage_store () in
+  Store.set store ~tid:0 "counter" "0";
+  let per = 500 and workers = 3 in
+  let add_wins = Atomic.make 0 in
+  let domains =
+    Array.init workers (fun i ->
+        let tid = i + 1 in
+        Domain.spawn (fun () ->
+            for j = 1 to per do
+              ignore (Store.incr store ~tid "counter" 1);
+              if Store.add store ~tid (Printf.sprintf "once-%d" j) "w" then
+                Atomic.incr add_wins
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check (option string))
+    "no increment lost"
+    (Some (string_of_int (workers * per)))
+    (Store.get store ~tid:0 "counter");
+  Alcotest.(check int) "each add has one winner" per (Atomic.get add_wins)
+
 (* ---- YCSB ---- *)
 
 let test_ycsb_mix_a () =
@@ -187,6 +231,8 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats_counting;
           Alcotest.test_case "crash recovery" `Quick test_store_crash_recovery;
           Alcotest.test_case "concurrent" `Quick test_store_concurrent;
+          Alcotest.test_case "cas" `Quick test_cas;
+          Alcotest.test_case "rmw no lost updates" `Quick test_concurrent_rmw_no_lost_updates;
         ] );
       ( "ycsb",
         [

@@ -1,0 +1,332 @@
+(* Volatile payload mirrors: unit coverage of the DRAM read cache
+   (warm hits charge no media, refresh on pset, carry-over across
+   copying updates, drop on pdelete, clock eviction under a byte
+   budget, oversized bypass, off switch), the decoded-value memo layer
+   ([Payload.Str]/[Payload.Kv]), mirror coherence under Pcheck
+   [Enforce] with racing mutators, a QCheck property driving random op
+   mixes against a model, and a [Pcheck.explore] crash matrix asserting
+   recovery never observes pre-crash mirror contents.
+
+   Every esys here pins [payload_mirror] explicitly (rather than
+   inheriting MONTAGE_MIRROR) so the CI matrix legs exercise both
+   library paths without inverting these assertions. *)
+
+module E = Montage.Epoch_sys
+module R = Nvm.Region
+module P = Nvm.Pcheck
+module Cfg = Montage.Config
+module Payload = Montage.Payload
+
+let on_cfg =
+  { Cfg.testing with max_threads = 4; payload_mirror = true; mirror_max_bytes = 1 lsl 20 }
+
+let off_cfg = { on_cfg with payload_mirror = false }
+
+let make_esys ?(cfg = on_cfg) () =
+  let region = R.create ~latency:Nvm.Latency.zero ~max_threads:8 ~capacity:(1 lsl 22) () in
+  (region, E.create ~config:cfg region)
+
+(* ---- the byte mirror ---- *)
+
+let test_warm_reads_charge_no_media () =
+  let region, esys = make_esys () in
+  let p = E.with_op esys ~tid:0 (fun () -> E.pnew esys ~tid:0 (Bytes.of_string "hello")) in
+  let base = (R.stats region).R.lines_read in
+  for _ = 1 to 100 do
+    Alcotest.(check string) "warm read" "hello" (Bytes.to_string (E.pget esys ~tid:0 p))
+  done;
+  Alcotest.(check int) "no media lines charged" base (R.stats region).R.lines_read;
+  let st = E.mirror_stats esys in
+  Alcotest.(check bool) "hits counted" true (st.E.hits >= 100);
+  Alcotest.(check int) "born warm: no miss ever" 0 st.E.misses
+
+let test_cold_after_recovery () =
+  let region, esys = make_esys () in
+  let _p = E.with_op esys ~tid:0 (fun () -> E.pnew esys ~tid:0 (Bytes.of_string "persist-me")) in
+  E.sync esys ~tid:0;
+  E.stop_background esys;
+  R.crash region;
+  let esys2, payloads = E.recover ~config:on_cfg region in
+  Alcotest.(check int) "one payload survives" 1 (Array.length payloads);
+  let st0 = E.mirror_stats esys2 in
+  Alcotest.(check int) "recovery starts cold: nothing resident" 0 st0.E.resident_bytes;
+  Alcotest.(check int) "no hits before any read" 0 st0.E.hits;
+  Alcotest.(check string) "first read decodes from media" "persist-me"
+    (Bytes.to_string (E.pget_unsafe esys2 payloads.(0)));
+  let st1 = E.mirror_stats esys2 in
+  Alcotest.(check bool) "first read was a miss" true (st1.E.misses > st0.E.misses);
+  Alcotest.(check string) "second read is warm" "persist-me"
+    (Bytes.to_string (E.pget_unsafe esys2 payloads.(0)));
+  Alcotest.(check int) "no further miss" st1.E.misses (E.mirror_stats esys2).E.misses;
+  E.stop_background esys2
+
+let test_pset_in_place_refreshes () =
+  let _, esys = make_esys () in
+  E.with_op esys ~tid:0 (fun () ->
+      let p = E.pnew esys ~tid:0 (Bytes.of_string "v1") in
+      let p' = E.pset esys ~tid:0 p (Bytes.of_string "v2") in
+      Alcotest.(check bool) "same-epoch pset is in place" true (p == p');
+      let before = (E.mirror_stats esys).E.misses in
+      Alcotest.(check string) "mirror refreshed" "v2" (Bytes.to_string (E.pget esys ~tid:0 p'));
+      Alcotest.(check int) "still warm" before (E.mirror_stats esys).E.misses)
+
+let test_copying_pset_carries_mirror () =
+  let _, esys = make_esys () in
+  let p = E.with_op esys ~tid:0 (fun () -> E.pnew esys ~tid:0 (Bytes.of_string "v1")) in
+  E.advance_epoch esys ~tid:0;
+  let p' = E.with_op esys ~tid:0 (fun () -> E.pset esys ~tid:0 p (Bytes.of_string "v2!")) in
+  Alcotest.(check bool) "cross-epoch pset copies" true (p != p');
+  let before = (E.mirror_stats esys).E.misses in
+  Alcotest.(check string) "fresh handle is warm" "v2!" (Bytes.to_string (E.pget esys ~tid:0 p'));
+  Alcotest.(check int) "no miss on the fresh handle" before (E.mirror_stats esys).E.misses;
+  Alcotest.(check int) "old mirror dropped with its handle" 3
+    (E.mirror_stats esys).E.resident_bytes
+
+let test_pdelete_drops_mirror () =
+  let _, esys = make_esys () in
+  E.with_op esys ~tid:0 (fun () ->
+      let p = E.pnew esys ~tid:0 (Bytes.of_string "doomed") in
+      Alcotest.(check int) "resident while live" 6 (E.mirror_stats esys).E.resident_bytes;
+      E.pdelete esys ~tid:0 p;
+      Alcotest.(check int) "dropped on delete" 0 (E.mirror_stats esys).E.resident_bytes)
+
+let test_clock_eviction_respects_budget () =
+  let cfg = { on_cfg with Cfg.mirror_max_bytes = 4096 } in
+  let _, esys = make_esys ~cfg () in
+  let payloads =
+    Array.init 64 (fun i ->
+        E.with_op esys ~tid:0 (fun () ->
+            E.pnew esys ~tid:0 (Bytes.make 128 (Char.chr (65 + (i mod 26))))))
+  in
+  let st = E.mirror_stats esys in
+  Alcotest.(check bool) "budget respected" true (st.E.resident_bytes <= 4096);
+  Alcotest.(check bool) "clock evicted victims" true (st.E.evictions > 0);
+  (* evicted entries re-read correctly (cold path), warm ones too *)
+  Array.iteri
+    (fun i p ->
+      let b = E.pget esys ~tid:0 p in
+      Alcotest.(check int) "length survives eviction" 128 (Bytes.length b);
+      Alcotest.(check char) "content survives eviction" (Char.chr (65 + (i mod 26))) (Bytes.get b 0))
+    payloads;
+  Alcotest.(check bool) "still within budget after refills" true
+    ((E.mirror_stats esys).E.resident_bytes <= 4096)
+
+let test_oversized_payload_bypasses_cache () =
+  let cfg = { on_cfg with Cfg.mirror_max_bytes = 256 } in
+  let _, esys = make_esys ~cfg () in
+  let big = Bytes.make 1024 'x' in
+  let p = E.with_op esys ~tid:0 (fun () -> E.pnew esys ~tid:0 big) in
+  Alcotest.(check int) "larger than the whole budget: uncached" 0
+    (E.mirror_stats esys).E.resident_bytes;
+  Alcotest.(check int) "reads still correct" 1024 (Bytes.length (E.pget esys ~tid:0 p));
+  Alcotest.(check int) "still uncached after the read" 0 (E.mirror_stats esys).E.resident_bytes
+
+let test_mirror_off_is_inert () =
+  let region, esys = make_esys ~cfg:off_cfg () in
+  let p = E.with_op esys ~tid:0 (fun () -> E.pnew esys ~tid:0 (Bytes.of_string "plain")) in
+  let base = (R.stats region).R.lines_read in
+  Alcotest.(check string) "read ok" "plain" (Bytes.to_string (E.pget esys ~tid:0 p));
+  Alcotest.(check bool) "every read charges media" true ((R.stats region).R.lines_read > base);
+  let st = E.mirror_stats esys in
+  Alcotest.(check int) "no mirror traffic at all" 0
+    (st.E.hits + st.E.misses + st.E.evictions + st.E.resident_bytes)
+
+(* ---- the decoded-value memo ---- *)
+
+let test_memo_returns_same_boxed_value () =
+  let _, esys = make_esys () in
+  let h = E.with_op esys ~tid:0 (fun () -> Payload.Str.pnew esys ~tid:0 "shared") in
+  let a = Payload.Str.get esys ~tid:0 h in
+  let b = Payload.Str.get esys ~tid:0 h in
+  Alcotest.(check string) "value" "shared" a;
+  Alcotest.(check bool) "warm gets return the same boxed string" true (a == b)
+
+let test_memo_invalidated_by_set () =
+  let _, esys = make_esys () in
+  E.with_op esys ~tid:0 (fun () ->
+      let h = Payload.Str.pnew esys ~tid:0 "old" in
+      let h' = Payload.Str.set esys ~tid:0 h "new" in
+      Alcotest.(check string) "memo follows the mutation" "new" (Payload.Str.get esys ~tid:0 h'))
+
+let test_kv_value_only_memo () =
+  let _, esys = make_esys () in
+  let h = E.with_op esys ~tid:0 (fun () -> Payload.Kv.pnew esys ~tid:0 ("key", "value")) in
+  Alcotest.(check string) "value without the key" "value" (Payload.Kv.get_value esys ~tid:0 h);
+  (* full-pair read after a value-only read: both memo shapes coexist *)
+  let k, v = Payload.Kv.get esys ~tid:0 h in
+  Alcotest.(check string) "key" "key" k;
+  Alcotest.(check string) "value" "value" v;
+  Alcotest.(check string) "value-only again" "value" (Payload.Kv.get_value esys ~tid:0 h)
+
+let test_memo_dies_with_eviction () =
+  let cfg = { on_cfg with Cfg.mirror_max_bytes = 64 } in
+  let _, esys = make_esys ~cfg () in
+  let h = E.with_op esys ~tid:0 (fun () -> Payload.Str.pnew esys ~tid:0 "first") in
+  (* fill past the budget so [h]'s mirror (and with it the memo) is evicted *)
+  for i = 0 to 7 do
+    ignore
+      (E.with_op esys ~tid:0 (fun () ->
+           Payload.Str.pnew esys ~tid:0 (Printf.sprintf "filler-%02d" i)))
+  done;
+  Alcotest.(check string) "evicted handle re-decodes from media" "first"
+    (Payload.Str.get esys ~tid:0 h)
+
+(* ---- coherence under Enforce ---- *)
+
+(* Racing mutators over shared keys with the checker in [Enforce] mode:
+   any pget served stale mirror bytes would raise [Pcheck.Violation]
+   (Mirror_stale) inside a domain and fail the join. *)
+let test_concurrent_coherence_under_enforce () =
+  let _, esys = make_esys () in
+  let m = Pstructs.Mhashmap.create ~buckets:64 esys in
+  let keys = Array.init 32 (fun i -> Printf.sprintf "k%02d" i) in
+  Array.iter (fun k -> ignore (Pstructs.Mhashmap.put m ~tid:0 k "0")) keys;
+  let domains =
+    Array.init 3 (fun i ->
+        let tid = i + 1 in
+        Domain.spawn (fun () ->
+            for j = 0 to 1499 do
+              let k = keys.(j * (tid + 7) mod Array.length keys) in
+              match j mod 4 with
+              | 0 -> ignore (Pstructs.Mhashmap.put m ~tid k (Printf.sprintf "%d-%d" tid j))
+              | 1 -> ignore (Pstructs.Mhashmap.get m ~tid k)
+              | 2 ->
+                  ignore
+                    (Pstructs.Mhashmap.update m ~tid k (function
+                      | Some v when String.length v < 64 -> Some (v ^ "+")
+                      | Some _ -> Some "0"
+                      | None -> Some "fresh"))
+              | _ ->
+                  if j mod 16 = 3 then ignore (Pstructs.Mhashmap.remove m ~tid k)
+                  else ignore (Pstructs.Mhashmap.get m ~tid k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  (match E.checker esys with
+  | Some c -> Alcotest.(check int) "zero violations under Enforce" 0 (List.length (P.violations c))
+  | None -> Alcotest.fail "testing config should attach a checker");
+  let st = E.mirror_stats esys in
+  Alcotest.(check bool) "the race actually exercised the mirror" true (st.E.hits > 0)
+
+(* Random op mixes against a model map, epoch boundaries sprinkled in
+   so copying psets and anti-payload paths are on the table; the
+   Enforce checker cross-checks every mirror read byte-for-byte. *)
+let prop_mirrored_map_matches_model =
+  QCheck.Test.make ~count:40 ~name:"mirrored mhashmap ≡ model over random op mixes"
+    QCheck.(small_list (triple (int_bound 3) (int_bound 15) (int_bound 99)))
+    (fun ops ->
+      let _, esys = make_esys () in
+      let m = Pstructs.Mhashmap.create ~buckets:16 esys in
+      let model = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun (op, ki, vi) ->
+          let k = Printf.sprintf "k%d" ki and v = Printf.sprintf "v%d" vi in
+          if vi mod 11 = 0 then E.advance_epoch esys ~tid:0;
+          match op with
+          | 0 ->
+              ignore (Pstructs.Mhashmap.put m ~tid:0 k v);
+              Hashtbl.replace model k v
+          | 1 -> if Pstructs.Mhashmap.get m ~tid:0 k <> Hashtbl.find_opt model k then ok := false
+          | 2 ->
+              ignore (Pstructs.Mhashmap.remove m ~tid:0 k);
+              Hashtbl.remove model k
+          | _ -> (
+              ignore
+                (Pstructs.Mhashmap.update m ~tid:0 k (function
+                  | Some s -> Some (s ^ "+")
+                  | None -> None));
+              match Hashtbl.find_opt model k with
+              | Some s -> Hashtbl.replace model k (s ^ "+")
+              | None -> ()))
+        ops;
+      let got = List.sort compare (Pstructs.Mhashmap.to_alist m ~tid:0) in
+      let want = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []) in
+      !ok && got = want)
+
+(* ---- crash matrix ---- *)
+
+let logged_esys () =
+  let region = R.create ~latency:Nvm.Latency.zero ~max_threads:8 ~capacity:(1 lsl 18) () in
+  let c = R.enable_pcheck ~mode:P.Enforce ~log_events:true region in
+  let esys = E.create ~config:on_cfg region in
+  (region, c, esys)
+
+let recover_cfg = { on_cfg with Cfg.pcheck = Cfg.Pcheck_off }
+
+(* Warm every mirror, then overwrite the values so DRAM state and the
+   (lagging) media disagree; enumerate every fence-respecting crash
+   state.  A recovery that could observe pre-crash mirrors would
+   resurrect b-values in states where only the a-values are durable —
+   instead every recovered pair must decode from the image itself, and
+   the recovered esys must start with nothing resident. *)
+let test_crash_matrix_recovery_is_cold () =
+  let _, c, esys = logged_esys () in
+  let m = Pstructs.Mhashmap.create ~buckets:8 esys in
+  let written = Hashtbl.create 16 in
+  for i = 0 to 5 do
+    let k = Printf.sprintf "k%d" i in
+    ignore (Pstructs.Mhashmap.put m ~tid:0 k ("a" ^ string_of_int i));
+    Hashtbl.replace written (k, "a" ^ string_of_int i) ()
+  done;
+  E.sync esys ~tid:0;
+  for i = 0 to 5 do
+    ignore (Pstructs.Mhashmap.get m ~tid:0 (Printf.sprintf "k%d" i))
+  done;
+  for i = 0 to 5 do
+    let k = Printf.sprintf "k%d" i in
+    ignore (Pstructs.Mhashmap.put m ~tid:0 k ("b" ^ string_of_int i));
+    Hashtbl.replace written (k, "b" ^ string_of_int i) ()
+  done;
+  E.advance_epoch esys ~tid:0;
+  E.advance_epoch esys ~tid:0;
+  let report =
+    P.explore ~max_states:400 c (fun image ->
+        match E.recover ~config:recover_cfg (R.of_image ~latency:Nvm.Latency.zero ~max_threads:8 image) with
+        | exception _ -> false
+        | esys2, payloads ->
+            let st0 = E.mirror_stats esys2 in
+            st0.E.resident_bytes = 0
+            && st0.E.hits = 0
+            &&
+            let m2 = Pstructs.Mhashmap.recover ~buckets:8 esys2 payloads in
+            List.for_all
+              (fun (k, v) ->
+                Hashtbl.mem written (k, v) && Pstructs.Mhashmap.get m2 ~tid:0 k = Some v)
+              (Pstructs.Mhashmap.to_alist m2 ~tid:0))
+  in
+  Alcotest.(check bool) "states explored" true (report.P.states > 0);
+  Alcotest.(check int) "recovery never observes pre-crash mirrors" 0 report.P.failures
+
+let () =
+  Alcotest.run "mirror"
+    [
+      ( "byte mirror",
+        [
+          Alcotest.test_case "warm reads charge no media" `Quick test_warm_reads_charge_no_media;
+          Alcotest.test_case "cold after recovery" `Quick test_cold_after_recovery;
+          Alcotest.test_case "pset in place refreshes" `Quick test_pset_in_place_refreshes;
+          Alcotest.test_case "copying pset carries mirror" `Quick test_copying_pset_carries_mirror;
+          Alcotest.test_case "pdelete drops mirror" `Quick test_pdelete_drops_mirror;
+          Alcotest.test_case "clock eviction respects budget" `Quick
+            test_clock_eviction_respects_budget;
+          Alcotest.test_case "oversized payload bypasses" `Quick
+            test_oversized_payload_bypasses_cache;
+          Alcotest.test_case "mirror off is inert" `Quick test_mirror_off_is_inert;
+        ] );
+      ( "decoded-value memo",
+        [
+          Alcotest.test_case "same boxed value" `Quick test_memo_returns_same_boxed_value;
+          Alcotest.test_case "invalidated by set" `Quick test_memo_invalidated_by_set;
+          Alcotest.test_case "kv value-only memo" `Quick test_kv_value_only_memo;
+          Alcotest.test_case "memo dies with eviction" `Quick test_memo_dies_with_eviction;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "concurrent mutators under Enforce" `Quick
+            test_concurrent_coherence_under_enforce;
+          QCheck_alcotest.to_alcotest prop_mirrored_map_matches_model;
+        ] );
+      ( "crash matrix",
+        [ Alcotest.test_case "recovery is cold" `Quick test_crash_matrix_recovery_is_cold ] );
+    ]
