@@ -32,13 +32,20 @@ type pblk = {
      [mirror] holds the content bytes exactly as stored in NVM; a warm
      [pget] returns them without touching the region.  [memo] caches
      the decoded value on top.  Invariants: the memo is only trusted
-     while [mirror] is [Some]; eviction and every content mutation
-     clear both together.  Mirror/memo *mutations* go through the
-     cache lock; the hit path only reads [mirror] and sets [mref]. *)
+     while [mirror] is [Some], and it was decoded from exactly the
+     resident buffer ([memo_store] requires physical identity with the
+     mirror, under the cache lock); eviction and every content mutation
+     clear both together.  [mgen] counts mirror transitions (every
+     install/release bumps it, under the cache lock): a cold fill
+     captures it before reading the region and is rejected if it raced
+     a mutation, so a stale read can never be installed over a fresh
+     refresh.  Mirror/memo *mutations* go through the cache lock; the
+     unchecked hit path only reads [mirror] and sets [mref]. *)
   mutable mirror : Bytes.t option;
   mutable memo : exn;
   mutable mref : bool; (* clock (second-chance) reference bit *)
   mutable mslot : int; (* index in the cache ring; -1 = not resident *)
+  mutable mgen : int; (* mirror generation; bumped under the cache lock *)
 }
 
 (* The mirror cache: a clock (second-chance) ring of resident handles
@@ -169,7 +176,8 @@ let checker t = t.chk
 let untracked_slot t = t.cfg.Config.max_threads + 1
 
 (* Drop a handle's mirror and memo and release its ring slot.  Caller
-   holds [mc_lock]. *)
+   holds [mc_lock].  Bumps the handle's generation so any in-flight
+   cold fill that started before this release is rejected. *)
 let mc_release mc (p : pblk) =
   (match p.mirror with
   | Some b ->
@@ -177,6 +185,7 @@ let mc_release mc (p : pblk) =
       p.mirror <- None
   | None -> ());
   p.memo <- No_memo;
+  p.mgen <- p.mgen + 1;
   if p.mslot >= 0 then begin
     mc.ring.(p.mslot) <- None;
     mc.free <- p.mslot :: mc.free;
@@ -205,54 +214,82 @@ let mc_evict_to_budget mc =
    the budget and evicting above it.  [b] is shared, not copied: every
    caller hands over a freshly allocated buffer (an [encode] result or
    a fresh region read) and mirror readers must not mutate what [pget]
-   returns.  Payloads larger than the whole budget stay uncached. *)
-let mc_install mc (p : pblk) b =
+   returns.  Payloads larger than the whole budget stay uncached.
+
+   [gen] (the cold-fill path) makes the install conditional: the fill
+   captured [p.mgen] before its region read, and if the handle mutated
+   since ([pset]/[pdelete]/eviction each bump the generation under this
+   lock), installing the bytes it read would publish a stale — possibly
+   torn — mirror over the mutation's refresh.  The fill is then simply
+   dropped; the reader keeps its private buffer.  Mutators ([pnew]/
+   [pset] refresh) install unconditionally. *)
+let mc_install ?gen mc (p : pblk) b =
   let len = Bytes.length b in
   Util.Spin_lock.with_lock mc.mc_lock (fun () ->
-      mc_release mc p;
-      if len <= mc.budget then begin
-        (match mc.free with
-        | s :: rest ->
-            mc.free <- rest;
-            p.mslot <- s
-        | [] ->
-            let n = Array.length mc.ring in
-            let bigger = Array.make (2 * n) None in
-            Array.blit mc.ring 0 bigger 0 n;
-            mc.ring <- bigger;
-            mc.free <- List.init (n - 1) (fun i -> n + 1 + i);
-            p.mslot <- n);
-        mc.ring.(p.mslot) <- Some p;
-        p.mirror <- Some b;
-        p.mref <- true;
-        mc.used <- mc.used + len;
-        if mc.used > mc.budget then mc_evict_to_budget mc
-      end)
+      match gen with
+      | Some g when p.mgen <> g -> ()
+      | _ ->
+          mc_release mc p;
+          if len <= mc.budget then begin
+            (match mc.free with
+            | s :: rest ->
+                mc.free <- rest;
+                p.mslot <- s
+            | [] ->
+                let n = Array.length mc.ring in
+                let bigger = Array.make (2 * n) None in
+                Array.blit mc.ring 0 bigger 0 n;
+                mc.ring <- bigger;
+                mc.free <- List.init (n - 1) (fun i -> n + 1 + i);
+                p.mslot <- n);
+            mc.ring.(p.mslot) <- Some p;
+            p.mirror <- Some b;
+            p.mref <- true;
+            mc.used <- mc.used + len;
+            if mc.used > mc.budget then mc_evict_to_budget mc
+          end)
 
 let mc_drop mc (p : pblk) = Util.Spin_lock.with_lock mc.mc_lock (fun () -> mc_release mc p)
 
-(* The lock-free hit path: return the mirror bytes if resident.  When a
-   checker is attached the read is asserted coherent against the store
-   view ([Pcheck.on_mirror_read]). *)
+(* The hit path: return the mirror bytes if resident.  Without a
+   checker this is lock-free — one option read and a ref-bit store.
+   With a checker attached the read is asserted coherent against the
+   store view ([Pcheck.on_mirror_read]); that comparison must not
+   straddle an in-flight in-place store, so checked hits revalidate
+   under [mc_lock]: mutators drop the mirror (under the same lock)
+   *before* touching the region and re-install after, so a mirror
+   observed resident while holding the lock implies its range is
+   quiescent and matches the store view.  Only checked builds pay the
+   serialization. *)
 let mirror_hit t ~stat_tid (p : pblk) =
   match t.mirror with
   | None -> None
   | Some mc -> (
-      match p.mirror with
-      | Some b as hit ->
-          p.mref <- true;
-          Util.Padded.incr mc.hits stat_tid;
-          Nvm.Region.note_mirror_read t.region ~off:(Payload_hdr.content_off p.off) ~len:(Bytes.length b)
-            ~data:b;
-          hit
-      | None -> None)
+      match t.chk with
+      | None -> (
+          match p.mirror with
+          | Some _ as hit ->
+              p.mref <- true;
+              Util.Padded.incr mc.hits stat_tid;
+              hit
+          | None -> None)
+      | Some _ ->
+          Util.Spin_lock.with_lock mc.mc_lock (fun () ->
+              match p.mirror with
+              | Some b as hit ->
+                  p.mref <- true;
+                  Util.Padded.incr mc.hits stat_tid;
+                  Nvm.Region.note_mirror_read t.region
+                    ~off:(Payload_hdr.content_off p.off) ~len:(Bytes.length b) ~data:b;
+                  hit
+              | None -> None))
 
-let mirror_fill t ~stat_tid p b =
+let mirror_fill t ~stat_tid ~gen p b =
   match t.mirror with
   | None -> ()
   | Some mc ->
       Util.Padded.incr mc.misses stat_tid;
-      mc_install mc p b
+      mc_install ~gen mc p b
 
 (* Refresh after a content mutation ([pnew]/[pset]): the new encoded
    bytes become the mirror without a miss being charged. *)
@@ -277,19 +314,31 @@ let mirror_stats t =
 (* Return the handle's memo if it can be trusted: the mirror must be
    resident (eviction clears both, so a missing mirror means the memo
    may be stale) and the usual live/old-sees-new discipline applies.
-   Counted as a hit, and the mirror bytes the memo was decoded from
-   are asserted coherent like any other mirror read. *)
+   Counted as a hit.  Like [mirror_hit], checked builds revalidate
+   under [mc_lock] so the coherence assertion on the backing bytes
+   cannot race an in-flight in-place store. *)
 let memo_probe t ~stat_tid (p : pblk) =
-  match p.mirror with
-  | Some b when p.memo != No_memo ->
-      (match t.mirror with
-      | Some mc -> Util.Padded.incr mc.hits stat_tid
-      | None -> ());
-      p.mref <- true;
-      Nvm.Region.note_mirror_read t.region ~off:(Payload_hdr.content_off p.off) ~len:(Bytes.length b)
-        ~data:b;
-      p.memo
-  | _ -> No_memo
+  match t.mirror with
+  | None -> No_memo
+  | Some mc -> (
+      match t.chk with
+      | None -> (
+          match p.mirror with
+          | Some _ when p.memo != No_memo ->
+              Util.Padded.incr mc.hits stat_tid;
+              p.mref <- true;
+              p.memo
+          | _ -> No_memo)
+      | Some _ ->
+          Util.Spin_lock.with_lock mc.mc_lock (fun () ->
+              match p.mirror with
+              | Some b when p.memo != No_memo ->
+                  Util.Padded.incr mc.hits stat_tid;
+                  p.mref <- true;
+                  Nvm.Region.note_mirror_read t.region
+                    ~off:(Payload_hdr.content_off p.off) ~len:(Bytes.length b) ~data:b;
+                  p.memo
+              | _ -> No_memo))
 
 (* ---- write-back plumbing ----
 
@@ -513,7 +562,7 @@ let pnew t ~tid content =
     ~hdr:{ Payload_hdr.ptype = Alloc; epoch = pt.op_epoch; uid; size }
     ~content;
   record_persist t ~tid ~off ~len:(Payload_hdr.header_size + size);
-  let p = { off; uid; epoch = pt.op_epoch; size; live = true; mirror = None; memo = No_memo; mref = false; mslot = -1 } in
+  let p = { off; uid; epoch = pt.op_epoch; size; live = true; mirror = None; memo = No_memo; mref = false; mslot = -1; mgen = 0 } in
   (* a fresh payload is born warm: the encoded content doubles as its
      mirror (shared — the caller encoded it for this call) *)
   mirror_refresh t p content;
@@ -523,11 +572,16 @@ let check_live p = if not p.live then raise Errors.Use_after_free
 
 (* Cold read: pay the charged NVM load, then the buffer just read
    becomes the mirror (shared with the caller — [pget]'s contract is
-   that returned bytes are never mutated). *)
+   that returned bytes are never mutated).  The generation captured
+   *before* the region read gates the fill: if a mutation (in-place
+   [pset], [pdelete], eviction) lands anywhere between the capture and
+   the install, [mc_install] rejects the fill rather than publish bytes
+   that no longer describe the payload. *)
 let pget_cold t ~stat_tid p =
+  let gen = p.mgen in
   let buf = Bytes.create p.size in
   Nvm.Region.read t.region ~off:(Payload_hdr.content_off p.off) ~dst:buf ~dst_off:0 ~len:p.size;
-  mirror_fill t ~stat_tid p buf;
+  mirror_fill t ~stat_tid ~gen p buf;
   buf
 
 let pget t ~tid p =
@@ -556,13 +610,50 @@ let memo_get_unsafe t p =
   check_live p;
   memo_probe t ~stat_tid:(untracked_slot t) p
 
-(* Publish a decoded value on the handle.  Only honored while the
-   mirror is resident: the memo's validity is tied to the mirror bytes
-   it was decoded from (eviction clears both).  Racing an eviction is
-   benign — a memo written after its mirror vanished is ignored until
-   the next fill, at which point it describes the same (unchanged)
-   content again. *)
-let memo_store t (p : pblk) m = if t.mirror <> None && p.mirror <> None then p.memo <- m
+(* Publish a decoded value on the handle.  [src] is the buffer the
+   value was decoded from (a [pget] result or the encode buffer handed
+   to [pnew]/[pset]); the memo is honored only if [src] is *physically*
+   the resident mirror, checked and stored under [mc_lock] so the test
+   cannot race a concurrent install.  Residency alone is not enough: a
+   lock-free reader can decode the old bytes, lose the race to an
+   in-place [pset] that installs new mirror bytes, and would otherwise
+   publish the stale decode against the fresh mirror — served warm on
+   every later read with the byte mirror fully current (invisible to
+   the checker's byte compare).  Identity with the resident buffer
+   pins the memo to exactly the bytes it describes; a mismatched store
+   is simply dropped (the next reader re-decodes). *)
+let memo_store t (p : pblk) ~src m =
+  match t.mirror with
+  | None -> ()
+  | Some mc ->
+      Util.Spin_lock.with_lock mc.mc_lock (fun () ->
+          match p.mirror with
+          | Some b when b == src -> p.memo <- m
+          | _ -> ())
+
+(* Atomic (memo, backing bytes) snapshot, for memo-upgrade paths
+   ([Payload.Kv.get] promoting a value-only memo to the full pair):
+   taken under [mc_lock], so a memoized fragment can safely be combined
+   with the exact mirror bytes it was decoded from and re-published via
+   [memo_store ~src] without ever pairing it with a newer version's
+   bytes.  Not counted as a hit — callers probe lock-free first and
+   only land here on the rare upgrade. *)
+let memo_src t ~tid p =
+  check_live p;
+  osn_check t ~tid p;
+  match t.mirror with
+  | None -> (No_memo, None)
+  | Some mc ->
+      Util.Spin_lock.with_lock mc.mc_lock (fun () ->
+          match p.mirror with
+          | Some b when p.memo != No_memo ->
+              (match t.chk with
+              | None -> ()
+              | Some _ ->
+                  Nvm.Region.note_mirror_read t.region
+                    ~off:(Payload_hdr.content_off p.off) ~len:(Bytes.length b) ~data:b);
+              (p.memo, Some b)
+          | _ -> (No_memo, None))
 
 (* Free a payload bypassing the epoch protocol — used by Montage (T)
    and the DirFree reference configuration, which sacrifice crash
@@ -589,12 +680,20 @@ let pset t ~tid p content =
     && ((not t.cfg.Config.persist) || p.epoch = pt.op_epoch)
   in
   if in_place_ok then begin
+    (* Coherence ordering for lock-free readers: drop the mirror
+       *before* the stores below, re-install after.  A hit can then
+       never compare pre-store mirror bytes against the already-updated
+       store view (a spurious Mirror_stale under Enforce for a legal
+       racy read); readers in the window fall back to a cold region
+       read, whose fill the generation check rejects if it raced this
+       store ([mirror_drop] and [mirror_refresh] each bump it). *)
+    mirror_drop t p;
     Nvm.Region.set_i32 t.region ~off:(p.off + 24) len;
     Nvm.Region.write t.region ~off:(Payload_hdr.content_off p.off) ~src:content ~src_off:0 ~len;
     p.size <- len;
     record_persist t ~tid ~off:p.off ~len:(Payload_hdr.header_size + len);
     (* refresh the mirror in place: the new encoded bytes replace the
-       old ones (and clear the stale decoded memo) *)
+       old ones (the stale decoded memo died with the drop above) *)
     mirror_refresh t p content;
     p
   end
@@ -612,7 +711,7 @@ let pset t ~tid p content =
     if (not t.cfg.Config.persist) || t.cfg.Config.direct_free then free_immediately t ~tid old_off
     else defer_free t ~tid ~epoch:pt.op_epoch old_off;
     let fresh =
-      { off; uid = p.uid; epoch = pt.op_epoch; size = len; live = true; mirror = None; memo = No_memo; mref = false; mslot = -1 }
+      { off; uid = p.uid; epoch = pt.op_epoch; size = len; live = true; mirror = None; memo = No_memo; mref = false; mslot = -1; mgen = 0 }
     in
     (* the warmth carries across the copying update: the fresh handle's
        mirror is the content just written *)
@@ -927,7 +1026,7 @@ let recover ?(config = Config.default) ?(threads = 1) region =
         (* recovered handles start cold: no pre-crash mirror can survive
            into the new run — the first decode repopulates from media *)
         survivors :=
-          { off; uid; epoch = hdr.epoch; size = hdr.size; live = true; mirror = None; memo = No_memo; mref = false; mslot = -1 }
+          { off; uid; epoch = hdr.epoch; size = hdr.size; live = true; mirror = None; memo = No_memo; mref = false; mslot = -1; mgen = 0 }
           :: !survivors)
     best;
   let payloads = Array.of_list !survivors in

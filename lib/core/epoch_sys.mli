@@ -32,9 +32,14 @@ type pblk = {
   mutable size : int;  (** content bytes *)
   mutable live : bool;
   mutable mirror : Bytes.t option;  (** DRAM copy of the content bytes; [None] = cold *)
-  mutable memo : exn;  (** decoded-value memo ([No_memo] = empty), valid only while mirrored *)
+  mutable memo : exn;
+      (** decoded-value memo ([No_memo] = empty), valid only while the
+          buffer it was decoded from is the resident mirror *)
   mutable mref : bool;  (** clock (second-chance) reference bit *)
   mutable mslot : int;  (** mirror-cache ring index; [-1] = not resident *)
+  mutable mgen : int;
+      (** mirror generation, bumped on every install/release; gates
+          racing cold fills (see [epoch_sys.ml]) *)
 }
 
 type t
@@ -113,7 +118,15 @@ val check_epoch : t -> tid:int -> unit
 (** {1 Payload lifecycle} *)
 
 (** PNEW: allocate and fill a payload labeled with the current
-    operation's epoch.  Must be inside [begin_op]/[end_op]. *)
+    operation's epoch.  Must be inside [begin_op]/[end_op].
+
+    Ownership handover: with [config.payload_mirror] the content buffer
+    is adopted {e by reference} as the new handle's DRAM mirror (shared,
+    not copied) and may later be returned verbatim by {!pget}.  Callers
+    must pass a freshly allocated buffer (e.g. an encoder result built
+    for this call) and never mutate it afterwards — reusing or patching
+    the buffer silently corrupts mirror coherence in a way only a
+    Pcheck-checked run can surface. *)
 val pnew : t -> tid:int -> bytes -> pblk
 
 (** Read a payload's content.  Performs the old-sees-new check when an
@@ -146,15 +159,31 @@ val memo_get : t -> tid:int -> pblk -> exn
 (** {!memo_get} without the old-sees-new check. *)
 val memo_get_unsafe : t -> pblk -> exn
 
-(** Publish a decoded value on the handle; ignored unless the mirror is
-    resident (the memo's validity is tied to the bytes it was decoded
-    from). *)
-val memo_store : t -> pblk -> exn -> unit
+(** Publish a decoded value on the handle.  [src] is the buffer the
+    value was decoded from (a {!pget} result, or the buffer handed to
+    {!pnew}/{!pset}); the store is honored only if [src] is physically
+    the resident mirror, checked atomically against concurrent
+    refresh/eviction — a decode that lost a race to an in-place {!pset}
+    is silently dropped rather than published stale against the fresh
+    mirror bytes. *)
+val memo_store : t -> pblk -> src:bytes -> exn -> unit
+
+(** Atomic [(memo, mirror bytes)] snapshot: the memo together with the
+    exact buffer it was decoded from, or [(No_memo, None)].  For
+    memo-upgrade paths that combine a memoized fragment with a partial
+    re-decode of the same bytes ({!Payload.Kv.get}); pass the returned
+    buffer back as {!memo_store}'s [src].  Runs {!memo_get}'s checks;
+    takes the cache lock, so probe lock-free first. *)
+val memo_src : t -> tid:int -> pblk -> exn * Bytes.t option
 
 (** Replace a payload's content.  In place when the payload belongs to
     the current epoch; otherwise a copying update returns a {e fresh}
     handle with the same uid, and the caller must install it everywhere
-    the old handle appeared (well-formedness constraint 4). *)
+    the old handle appeared (well-formedness constraint 4).
+
+    The content buffer is adopted as the (in-place or fresh) handle's
+    DRAM mirror exactly as in {!pnew}: freshly allocated, never mutated
+    by the caller afterwards. *)
 val pset : t -> tid:int -> pblk -> bytes -> pblk
 
 (** PDELETE: logically delete.  Same-epoch ALLOCs die instantly;

@@ -34,30 +34,39 @@ module Make (C : CONTENT) = struct
 
   exception Memo of C.t
 
+  (* Every [memo_store] names the buffer the value was decoded from
+     (or encoded into): the store only sticks if that exact buffer is
+     still the handle's resident mirror, so a decode that raced a
+     concurrent [pset] can never be published against newer bytes. *)
+
   let pnew esys ~tid v =
-    let h = Epoch_sys.pnew esys ~tid (C.encode v) in
-    Epoch_sys.memo_store esys h (Memo v);
+    let b = C.encode v in
+    let h = Epoch_sys.pnew esys ~tid b in
+    Epoch_sys.memo_store esys h ~src:b (Memo v);
     h
 
   let get esys ~tid h =
     match Epoch_sys.memo_get esys ~tid h with
     | Memo v -> v
     | _ ->
-        let v = C.decode (Epoch_sys.pget esys ~tid h) in
-        Epoch_sys.memo_store esys h (Memo v);
+        let b = Epoch_sys.pget esys ~tid h in
+        let v = C.decode b in
+        Epoch_sys.memo_store esys h ~src:b (Memo v);
         v
 
   let get_unsafe esys h =
     match Epoch_sys.memo_get_unsafe esys h with
     | Memo v -> v
     | _ ->
-        let v = C.decode (Epoch_sys.pget_unsafe esys h) in
-        Epoch_sys.memo_store esys h (Memo v);
+        let b = Epoch_sys.pget_unsafe esys h in
+        let v = C.decode b in
+        Epoch_sys.memo_store esys h ~src:b (Memo v);
         v
 
   let set esys ~tid h v =
-    let h' = Epoch_sys.pset esys ~tid h (C.encode v) in
-    Epoch_sys.memo_store esys h' (Memo v);
+    let b = C.encode v in
+    let h' = Epoch_sys.pset esys ~tid h b in
+    Epoch_sys.memo_store esys h' ~src:b (Memo v);
     h'
 
   let pdelete esys ~tid h = Epoch_sys.pdelete esys ~tid h
@@ -98,6 +107,12 @@ module Kv_content = struct
   let decode_value b =
     let klen = Int32.to_int (Bytes.get_int32_le b 0) in
     Bytes.sub_string b (4 + klen) (Bytes.length b - 4 - klen)
+
+  (* Key-only decode, the other half: [Kv.get] uses it to upgrade a
+     value-only memo to the full pair without re-decoding the value. *)
+  let decode_key b =
+    let klen = Int32.to_int (Bytes.get_int32_le b 0) in
+    Bytes.sub_string b 4 klen
 end
 
 (* Sequence-numbered items, the shape used by queues: a queue's
@@ -128,17 +143,46 @@ module Kv = struct
 
   (* A value-only memo for lookup paths that never need the key (the
      key is already in the structure's DRAM node).  Coexists with the
-     full-pair [Memo]: whichever accessor ran last owns the slot, and
-     either satisfies its own reader. *)
+     full-pair [Memo] in the single slot without ping-ponging: [get]
+     over a [Memo_value] {e upgrades} the slot to the pair (decoding
+     just the key from the warm mirror bytes and reusing the memoized
+     value string), and [get_value] is satisfied by either shape — so
+     mixed read paths converge on the pair memo instead of overwriting
+     each other. *)
   exception Memo_value of string
+
+  let decode_full esys ~tid h =
+    let b = Epoch_sys.pget esys ~tid h in
+    let kv = Kv_content.decode b in
+    Epoch_sys.memo_store esys h ~src:b (Memo kv);
+    kv
+
+  let get esys ~tid h =
+    match Epoch_sys.memo_get esys ~tid h with
+    | Memo kv -> kv
+    | Memo_value _ -> (
+        (* Upgrade path.  [memo_src] snapshots (memo, mirror bytes)
+           atomically, so the reused value string is combined with the
+           exact bytes it was decoded from — never a newer version's —
+           and [memo_store ~src] drops the publish if a [pset] lands in
+           between. *)
+        match Epoch_sys.memo_src esys ~tid h with
+        | Memo kv, _ -> kv
+        | Memo_value v, Some b ->
+            let kv = (Kv_content.decode_key b, v) in
+            Epoch_sys.memo_store esys h ~src:b (Memo kv);
+            kv
+        | _ -> decode_full esys ~tid h)
+    | _ -> decode_full esys ~tid h
 
   let get_value esys ~tid h =
     match Epoch_sys.memo_get esys ~tid h with
     | Memo (_, v) -> v
     | Memo_value v -> v
     | _ ->
-        let v = Kv_content.decode_value (Epoch_sys.pget esys ~tid h) in
-        Epoch_sys.memo_store esys h (Memo_value v);
+        let b = Epoch_sys.pget esys ~tid h in
+        let v = Kv_content.decode_value b in
+        Epoch_sys.memo_store esys h ~src:b (Memo_value v);
         v
 end
 

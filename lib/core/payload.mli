@@ -49,6 +49,10 @@ module Kv_content : sig
   (** Decode only the value, skipping key materialization — for read
       paths whose DRAM node already caches the key. *)
   val decode_value : bytes -> string
+
+  (** Decode only the key — the complement used by {!Kv.get} to upgrade
+      a value-only memo to the full pair. *)
+  val decode_key : bytes -> string
 end
 
 (** Sequence-numbered items — the shape of queues and stacks, whose
@@ -84,7 +88,10 @@ module Kv : sig
   val of_recovered : Epoch_sys.t -> handle -> handle * (string * string)
 
   (** The value of a [(key, value)] payload without materializing the
-      key (value-only memo on warm handles). *)
+      key (value-only memo on warm handles).  The two memo shapes share
+      the handle's single slot without thrashing: [get_value] is
+      satisfied by either, and {!get} upgrades a value-only memo to the
+      full pair in place (key-only re-decode of the warm bytes). *)
   val get_value : Epoch_sys.t -> tid:int -> handle -> string
 end
 

@@ -158,6 +158,38 @@ let test_kv_value_only_memo () =
   Alcotest.(check string) "value" "value" v;
   Alcotest.(check string) "value-only again" "value" (Payload.Kv.get_value esys ~tid:0 h)
 
+(* Regression: the stale-memo race.  A lock-free reader decodes the old
+   mirror bytes, an in-place pset then installs new bytes, and the
+   reader's trailing publish arrives last — [memo_store]'s physical-
+   identity check ([src] must still be the resident mirror) must drop
+   it, or the old decoded value would be served warm forever against a
+   byte mirror that is fully current (invisible to the checker). *)
+let test_memo_store_rejects_stale_src () =
+  let _, esys = make_esys () in
+  E.with_op esys ~tid:0 (fun () ->
+      let h = Payload.Str.pnew esys ~tid:0 "old" in
+      (* the reader's decode source: the mirror bytes before the pset *)
+      let src = E.pget esys ~tid:0 h in
+      let h' = Payload.Str.set esys ~tid:0 h "new" in
+      Alcotest.(check bool) "same-epoch pset is in place" true (h == h');
+      (* the reader loses the race and publishes its stale decode *)
+      E.memo_store esys h ~src (Payload.Str.Memo "old");
+      Alcotest.(check string) "stale publish dropped, not served" "new"
+        (Payload.Str.get esys ~tid:0 h))
+
+(* A full-pair [Kv.get] over a value-only memo upgrades the slot in
+   place, reusing the memoized value string (physical equality) instead
+   of re-decoding, and later value-only reads hit the upgraded pair. *)
+let test_kv_memo_upgrade_reuses_value () =
+  let _, esys = make_esys () in
+  let h = E.with_op esys ~tid:0 (fun () -> E.pnew esys ~tid:0 (Payload.Kv_content.encode ("key", "value"))) in
+  let v1 = Payload.Kv.get_value esys ~tid:0 h in
+  let k, v2 = Payload.Kv.get esys ~tid:0 h in
+  Alcotest.(check string) "key" "key" k;
+  Alcotest.(check bool) "upgrade reuses the memoized value string" true (v1 == v2);
+  Alcotest.(check bool) "later value-only reads hit the pair" true
+    (Payload.Kv.get_value esys ~tid:0 h == v2)
+
 let test_memo_dies_with_eviction () =
   let cfg = { on_cfg with Cfg.mirror_max_bytes = 64 } in
   let _, esys = make_esys ~cfg () in
@@ -319,6 +351,10 @@ let () =
           Alcotest.test_case "same boxed value" `Quick test_memo_returns_same_boxed_value;
           Alcotest.test_case "invalidated by set" `Quick test_memo_invalidated_by_set;
           Alcotest.test_case "kv value-only memo" `Quick test_kv_value_only_memo;
+          Alcotest.test_case "stale memo publish rejected" `Quick
+            test_memo_store_rejects_stale_src;
+          Alcotest.test_case "kv memo upgrade reuses value" `Quick
+            test_kv_memo_upgrade_reuses_value;
           Alcotest.test_case "memo dies with eviction" `Quick test_memo_dies_with_eviction;
         ] );
       ( "coherence",
