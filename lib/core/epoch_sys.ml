@@ -403,6 +403,7 @@ let with_draining pt f =
    epoch.  Policy-dependent: buffered (default), direct (DirWB), or
    elided entirely for Montage (T). *)
 let record_persist t ~tid ~off ~len =
+  Util.Sched.yield "esys.record_persist";
   if t.cfg.Config.persist then
     match t.cfg.Config.writeback with
     | Config.Direct -> flush_now t ~tid ~off ~len
@@ -499,6 +500,7 @@ let reclaim_local t ~tid =
 (* ---- operations ---- *)
 
 let begin_op t ~tid =
+  Util.Sched.yield "esys.begin_op";
   let pt = t.threads.(tid) in
   let rec register () =
     let e = Atomic.get t.curr_epoch in
@@ -511,6 +513,7 @@ let begin_op t ~tid =
   pt.last_epoch <- e
 
 let end_op t ~tid =
+  Util.Sched.yield "esys.end_op";
   let pt = t.threads.(tid) in
   if t.cfg.Config.drain_on_end_op && t.cfg.Config.persist then
     (* Montage (dw): the worker itself writes back everything at the
@@ -553,6 +556,7 @@ let write_payload t ~off ~hdr ~content =
     ~len:(Bytes.length content)
 
 let pnew t ~tid content =
+  Util.Sched.yield "esys.pnew";
   require_op t ~tid;
   let pt = t.threads.(tid) in
   let size = Bytes.length content in
@@ -585,6 +589,7 @@ let pget_cold t ~stat_tid p =
   buf
 
 let pget t ~tid p =
+  Util.Sched.yield "esys.pget";
   check_live p;
   osn_check t ~tid p;
   match mirror_hit t ~stat_tid:tid p with Some b -> b | None -> pget_cold t ~stat_tid:tid p
@@ -670,6 +675,7 @@ let block_fits t ~off ~content_len =
   Payload_hdr.header_size + content_len <= Ralloc.block_size t.alloc off
 
 let pset t ~tid p content =
+  Util.Sched.yield "esys.pset";
   require_op t ~tid;
   check_live p;
   osn_check t ~tid p;
@@ -720,6 +726,7 @@ let pset t ~tid p content =
   end
 
 let pdelete t ~tid p =
+  Util.Sched.yield "esys.pdelete";
   require_op t ~tid;
   check_live p;
   osn_check t ~tid p;
@@ -811,6 +818,9 @@ let drain_all_coalesced t ~tid ~slot ~charged =
   let spare = Nvm.Region.max_threads t.region - (nw + 1) in
   let k =
     if charged || tid <> advancer_tid t.cfg then 1
+    else if Util.Sched.active () then 1
+      (* the deterministic scheduler runs everything as fibers on one
+         domain; spawning helper domains would race it *)
     else min t.cfg.Config.drain_domains (min (1 + spare) (max 1 n))
   in
   if k <= 1 then drain_shard t ~tid ~slot ~charged ~fence:(if charged then `Sync else `Async)
@@ -831,9 +841,11 @@ let drain_all_coalesced t ~tid ~slot ~charged =
   end
 
 let advance_epoch_charged t ~tid ~charged =
+  Util.Sched.yield "esys.advance";
   Util.Spin_lock.with_lock t.advance_lock (fun () ->
       let e = Atomic.get t.curr_epoch in
       Tracker.wait_all t.tracker ~epoch:(e - 1);
+      Util.Sched.yield "esys.advance.quiesced";
       if t.cfg.Config.persist then begin
         let slot =
           if t.cfg.Config.reclaim = Config.Background && not t.cfg.Config.direct_free then
@@ -862,13 +874,14 @@ let advance_epoch_charged t ~tid ~charged =
            land before the clock moves — an empty ring is not "drained"
            while its owner is mid-flush. *)
         for w = 0 to t.cfg.Config.max_threads - 1 do
-          while Atomic.get t.threads.(w).draining do
-            Domain.cpu_relax ()
-          done
+          Util.Sched.await "esys.advance.draining" (fun () ->
+              not (Atomic.get t.threads.(w).draining))
         done;
+        Util.Sched.yield "esys.advance.clock_store";
         Nvm.Region.set_i64 t.region ~off:clock_off (e + 1);
         Nvm.Region.persist t.region ~tid ~off:clock_off ~len:8
       end;
+      Util.Sched.yield "esys.advance.clock_persisted";
       Atomic.set t.curr_epoch (e + 1);
       (* epoch e - 1 just retired: the checker audits that every
          persist-buffer range of epochs <= e - 1 reached media *)

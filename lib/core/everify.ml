@@ -31,6 +31,10 @@ type 'a t = { cell : 'a state Atomic.t }
 let make v = { cell = Atomic.make (Value v) }
 
 let decide esys d =
+  (* scheduling point between descriptor installation and the clock
+     read that decides it: the window where an epoch tick flips the
+     verdict *)
+  Util.Sched.yield "everify.decide";
   let clock = Epoch_sys.current_epoch esys in
   let verdict = if clock = d.epoch then 1 else 2 in
   if Atomic.compare_and_set d.outcome 0 verdict then
@@ -46,12 +50,16 @@ let help esys t state d =
   ignore (Atomic.compare_and_set t.cell state final)
 
 (* Read the cell, helping any in-flight DCSS first. *)
-let rec load_verify esys t =
-  match Atomic.get t.cell with
-  | Value v -> v
-  | Desc d as state ->
-      help esys t state d;
-      load_verify esys t
+let load_verify esys t =
+  Util.Sched.yield "everify.load";
+  let rec read () =
+    match Atomic.get t.cell with
+    | Value v -> v
+    | Desc d as state ->
+        help esys t state d;
+        read ()
+  in
+  read ()
 
 (* Plain read that never helps: returns the value the cell will revert
    to if the in-flight DCSS fails.  For monitoring only. *)
@@ -61,6 +69,7 @@ let peek t = match Atomic.get t.cell with Value v -> v | Desc d -> d.expect
    auxiliary pointer swings (e.g. the Michael-Scott tail) that are not
    linearization points. *)
 let rec cas esys t ~expect ~desired =
+  Util.Sched.yield "everify.cas";
   match Atomic.get t.cell with
   | Desc d as state ->
       help esys t state d;
@@ -86,6 +95,9 @@ let rec cas_verify esys ~tid t ~expect ~desired =
   | Value _ as seen ->
       let d = { expect; desired; epoch; outcome = Atomic.make 0 } in
       let installed = Desc d in
+      (* scheduling point between reading [seen] and installing over
+         it: a competing CAS landing here makes this install fail *)
+      Util.Sched.yield "everify.install";
       if Atomic.compare_and_set t.cell seen installed then begin
         help esys t installed d;
         Atomic.get d.outcome = 1

@@ -21,6 +21,7 @@ let create ~max_threads =
 
 (* Thread [tid] may hold unpersisted payloads from [epoch] onward. *)
 let announce t ~tid ~epoch =
+  Util.Sched.yield "mindicator.announce";
   if Util.Padded.get t.leaves tid > epoch then Util.Padded.set t.leaves tid epoch
 
 (* Thread [tid] has nothing unpersisted before [epoch]. *)

@@ -36,3 +36,9 @@ val drain : t -> (int -> int -> unit) -> unit
 (** Drain until empty: the owner's quiescent full flush (END_OP drain,
     shutdown). *)
 val drain_all : t -> (int -> int -> unit) -> unit
+
+(** Fault injection for the Dsched durable-linearizability harness:
+    while set, every {!drain_all} silently discards its first record —
+    an artificial lost write-back the schedule explorer must detect.
+    Test-only; never set in production code. *)
+val test_drop_first_drain_record : bool ref

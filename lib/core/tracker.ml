@@ -20,15 +20,9 @@ let active_epoch t ~tid = Util.Padded.get t.slots tid
    operations remain nonblocking. *)
 let wait_all t ~epoch =
   for tid = 0 to t.n - 1 do
-    let b = Util.Backoff.create () in
-    let rec wait () =
-      let e = Util.Padded.get t.slots tid in
-      if e <> 0 && e <= epoch then begin
-        Util.Backoff.once b;
-        wait ()
-      end
-    in
-    wait ()
+    Util.Sched.await "tracker.wait_all" (fun () ->
+        let e = Util.Padded.get t.slots tid in
+        not (e <> 0 && e <= epoch))
   done
 
 (* True when some operation is currently registered in epoch ≤ [epoch]

@@ -1,0 +1,88 @@
+(* Dlin (see dlin.mli).  Memoized DFS over the product of per-thread
+   prefix positions and the model state.  Search nodes are keyed by
+   (positions, in-flight flags, state) with structural equality — the
+   scripts Dsched drives are a handful of ops per thread, so the state
+   space is tiny; memoization only matters because crash checks run on
+   every branch of an exhaustive exploration. *)
+
+type ('st, 'op, 'res) spec = {
+  initial : 'st;
+  apply : 'st -> 'op -> 'res * 'st;
+}
+
+type ('op, 'res) obs = {
+  completed : ('op * 'res * bool) list;
+  in_flight : 'op option;
+}
+
+let durably_linearizable spec (obs : ('op, 'res) obs array) ~accept =
+  let n = Array.length obs in
+  let completed = Array.map (fun o -> Array.of_list o.completed) obs in
+  (* shortest prefix admissible for thread i: past its last durable op *)
+  let must_len =
+    Array.map
+      (fun ops ->
+        let m = ref 0 in
+        Array.iteri (fun j (_, _, durable) -> if durable then m := j + 1) ops;
+        !m)
+      completed
+  in
+  let visited = Hashtbl.create 256 in
+  let rec go pos taken st =
+    let key = (Array.to_list pos, Array.to_list taken, st) in
+    if Hashtbl.mem visited key then false
+    else begin
+      Hashtbl.add visited key ();
+      let musts_done = ref true in
+      for i = 0 to n - 1 do
+        if pos.(i) < must_len.(i) then musts_done := false
+      done;
+      if !musts_done && accept st then true
+      else begin
+        let rec try_threads i =
+          if i >= n then false
+          else
+            let advanced =
+              if pos.(i) < Array.length completed.(i) then begin
+                let op, res, _ = completed.(i).(pos.(i)) in
+                let r, st' = spec.apply st op in
+                if r = res then begin
+                  pos.(i) <- pos.(i) + 1;
+                  let ok = go pos taken st' in
+                  pos.(i) <- pos.(i) - 1;
+                  ok
+                end
+                else false
+              end
+              else false
+            in
+            if advanced then true
+            else begin
+              let took_inflight =
+                if pos.(i) = Array.length completed.(i) && not taken.(i) then
+                  match obs.(i).in_flight with
+                  | Some op ->
+                      let _, st' = spec.apply st op in
+                      taken.(i) <- true;
+                      let ok = go pos taken st' in
+                      taken.(i) <- false;
+                      ok
+                  | None -> false
+                else false
+              in
+              if took_inflight then true else try_threads (i + 1)
+            end
+        in
+        try_threads 0
+      end
+    end
+  in
+  go (Array.make n 0) (Array.make n false) spec.initial
+
+let linearizable spec histories ~accept =
+  let obs =
+    Array.map
+      (fun h -> { completed = List.map (fun (op, res) -> (op, res, true)) h; in_flight = None })
+      histories
+  in
+  durably_linearizable spec obs ~accept

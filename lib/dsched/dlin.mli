@@ -1,0 +1,47 @@
+(** Dlin — durable-linearizability checking against a sequential model.
+
+    Montage's contract is {e buffered} durable linearizability: after a
+    crash, the recovered state must be the final state of {e some}
+    linearization of a prefix of the pre-crash history, where every
+    operation that became durable (its epoch is at or below the
+    recovery cutoff) must be included, operations that were still
+    buffered may be included or dropped, and at most one in-flight
+    operation per thread may take effect with an unconstrained result.
+
+    This module decides that membership question by memoized DFS over
+    interleavings of per-thread history prefixes, driven by the same
+    sequential [spec] shape the linearizability tests use.  The same
+    search with every operation marked durable and no in-flight ops is
+    a plain linearizability check for completed runs. *)
+
+type ('st, 'op, 'res) spec = {
+  initial : 'st;
+  apply : 'st -> 'op -> 'res * 'st;
+}
+
+(** One thread's observed history at the cut point, in program order.
+    [completed] carries each op, the result the concurrent execution
+    returned, and whether the op must have survived the crash
+    ([durable] = its observed epoch is at or below the recovery
+    cutoff).  [in_flight] is the op the thread was inside, if any. *)
+type ('op, 'res) obs = {
+  completed : ('op * 'res * bool) list;
+  in_flight : 'op option;
+}
+
+(** [durably_linearizable spec obs ~accept] holds iff some interleaving
+    of per-thread prefixes of [obs] — including every durable op,
+    matching every included completed op's model result to its observed
+    result, optionally taking in-flight ops with unconstrained results
+    — drives the model to a state satisfying [accept] (typically:
+    equals the state extracted from the recovered structure).  Model
+    states and results are compared structurally, so they should be
+    plain data. *)
+val durably_linearizable :
+  ('st, 'op, 'res) spec -> ('op, 'res) obs array -> accept:('st -> bool) -> bool
+
+(** Plain linearizability of a complete, crash-free run: every op is
+    required, results must match, and the final model state must
+    satisfy [accept]. *)
+val linearizable :
+  ('st, 'op, 'res) spec -> ('op * 'res) list array -> accept:('st -> bool) -> bool

@@ -91,6 +91,12 @@ let of_image ?(latency = Latency.default) ?(max_threads = 64) image =
   Bytes.blit image 0 t.media 0 len;
   t
 
+(* Snapshot of the current media bytes — the crash state with no
+   unfenced survivors.  Feed to [of_image] to restart from this exact
+   durable state any number of times (e.g. to compare recoveries at
+   different parallelism on one crash image). *)
+let media_image t = Bytes.copy t.media
+
 let capacity t = t.capacity
 let latency t = t.latency
 let max_threads t = t.max_threads

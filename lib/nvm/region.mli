@@ -27,6 +27,11 @@ val create : ?latency:Latency.t -> ?max_threads:int -> capacity:int -> unit -> t
     the image, exactly the post-restart view after that crash. *)
 val of_image : ?latency:Latency.t -> ?max_threads:int -> Bytes.t -> t
 
+(** Copy of the current media bytes: the crash state in which no
+    unfenced line survived.  Round-trips through {!of_image}, so one
+    image can seed any number of independent recoveries. *)
+val media_image : t -> Bytes.t
+
 val capacity : t -> int
 val latency : t -> Latency.t
 val max_threads : t -> int

@@ -115,6 +115,7 @@ let lock_pair t u v f =
 (* ---- vertex operations (exclusive structural access) ---- *)
 
 let add_vertex t ~tid id attrs =
+  Util.Sched.yield "mgraph.add_vertex";
   check_id t id;
   Util.Rw_lock.with_write t.structure (fun () ->
       match t.vertices.(id) with
@@ -129,6 +130,7 @@ let add_vertex t ~tid id attrs =
 (* Remove a vertex and all incident edges (edge payloads deleted too:
    they name the dead vertex). *)
 let remove_vertex t ~tid id =
+  Util.Sched.yield "mgraph.remove_vertex";
   check_id t id;
   Util.Rw_lock.with_write t.structure (fun () ->
       match t.vertices.(id) with
@@ -168,6 +170,7 @@ let vertex_attrs t ~tid:_ id =
 (* ---- edge operations (shared structural access + endpoint locks) ---- *)
 
 let add_edge t ~tid src dst attrs =
+  Util.Sched.yield "mgraph.add_edge";
   check_id t src;
   check_id t dst;
   if src = dst then false
@@ -187,6 +190,7 @@ let add_edge t ~tid src dst attrs =
             | _ -> false))
 
 let remove_edge t ~tid src dst =
+  Util.Sched.yield "mgraph.remove_edge";
   check_id t src;
   check_id t dst;
   if src = dst then false
@@ -207,6 +211,7 @@ let remove_edge t ~tid src dst =
             | _ -> false))
 
 let has_edge t src dst =
+  Util.Sched.yield "mgraph.has_edge";
   check_id t src;
   check_id t dst;
   Util.Rw_lock.with_read t.structure (fun () ->

@@ -34,6 +34,7 @@ let esys t = t.esys
 (* Read-only: no BEGIN_OP needed (paper §3.1); the bucket lock is the
    transient synchronization. *)
 let get t ~tid key =
+  Util.Sched.yield "mhashmap.get";
   let b = bucket_of t key in
   Util.Spin_lock.with_lock b.lock (fun () ->
       let rec find = function
@@ -47,6 +48,7 @@ let get t ~tid key =
       find b.head)
 
 let contains t ~tid:_ key =
+  Util.Sched.yield "mhashmap.contains";
   let b = bucket_of t key in
   Util.Spin_lock.with_lock b.lock (fun () ->
       let rec find = function
@@ -58,6 +60,7 @@ let contains t ~tid:_ key =
 
 (* Insert, or update if the key exists; returns the previous value. *)
 let put t ~tid key value =
+  Util.Sched.yield "mhashmap.put";
   let b = bucket_of t key in
   Util.Spin_lock.with_lock b.lock (fun () ->
       E.with_op t.esys ~tid (fun () ->
@@ -85,6 +88,7 @@ let put t ~tid key value =
 
 (* Insert only if absent; true on success. *)
 let put_if_absent t ~tid key value =
+  Util.Sched.yield "mhashmap.put_if_absent";
   let b = bucket_of t key in
   Util.Spin_lock.with_lock b.lock (fun () ->
       let rec present = function
@@ -115,6 +119,7 @@ let put_if_absent t ~tid key value =
    kvstore's add/replace/incr/decr/CAS ops build on: get-then-put
    without the lock would lose concurrent updates. *)
 let update t ~tid key f =
+  Util.Sched.yield "mhashmap.update";
   let b = bucket_of t key in
   Util.Spin_lock.with_lock b.lock (fun () ->
       let insert prev curr value =
@@ -146,6 +151,7 @@ let update t ~tid key f =
 
 (* Remove; returns the removed value. *)
 let remove t ~tid key =
+  Util.Sched.yield "mhashmap.remove";
   let b = bucket_of t key in
   Util.Spin_lock.with_lock b.lock (fun () ->
       let rec walk prev curr =

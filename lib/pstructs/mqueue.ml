@@ -24,6 +24,7 @@ let length t = Util.Spin_lock.with_lock t.lock (fun () -> Queue.length t.items)
 let is_empty t = length t = 0
 
 let enqueue t ~tid value =
+  Util.Sched.yield "mqueue.enqueue";
   Util.Spin_lock.with_lock t.lock (fun () ->
       E.with_op t.esys ~tid (fun () ->
           let seq = t.next_seq in
@@ -32,6 +33,7 @@ let enqueue t ~tid value =
           Queue.push (seq, payload) t.items))
 
 let dequeue t ~tid =
+  Util.Sched.yield "mqueue.dequeue";
   Util.Spin_lock.with_lock t.lock (fun () ->
       if Queue.is_empty t.items then None
       else
@@ -43,6 +45,7 @@ let dequeue t ~tid =
 
 (* Front element without removing it (read-only, no BEGIN_OP). *)
 let peek t ~tid =
+  Util.Sched.yield "mqueue.peek";
   Util.Spin_lock.with_lock t.lock (fun () ->
       match Queue.peek_opt t.items with
       | None -> None

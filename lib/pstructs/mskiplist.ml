@@ -74,6 +74,7 @@ let find_predecessors t key =
 (* Read-only: traverse the transient index; only the final payload read
    touches NVM. *)
 let get t ~tid key =
+  Util.Sched.yield "mskiplist.get";
   let node = ref t.head in
   for level = t.level - 1 downto 0 do
     let rec walk () =
@@ -95,6 +96,7 @@ let get t ~tid key =
   | _ -> None
 
 let put t ~tid key value =
+  Util.Sched.yield "mskiplist.put";
   Util.Spin_lock.with_lock t.lock (fun () ->
       E.with_op t.esys ~tid (fun () ->
           let preds = find_predecessors t key in
@@ -123,6 +125,7 @@ let put t ~tid key value =
               None))
 
 let remove t ~tid key =
+  Util.Sched.yield "mskiplist.remove";
   Util.Spin_lock.with_lock t.lock (fun () ->
       let preds = find_predecessors t key in
       match preds.(0).forward.(0) with

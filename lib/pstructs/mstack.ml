@@ -19,6 +19,7 @@ let length t = Util.Spin_lock.with_lock t.lock (fun () -> List.length t.items)
 let is_empty t = Util.Spin_lock.with_lock t.lock (fun () -> t.items = [])
 
 let push t ~tid value =
+  Util.Sched.yield "mstack.push";
   Util.Spin_lock.with_lock t.lock (fun () ->
       E.with_op t.esys ~tid (fun () ->
           let seq = t.next_seq in
@@ -27,6 +28,7 @@ let push t ~tid value =
           t.items <- (seq, payload) :: t.items))
 
 let pop t ~tid =
+  Util.Sched.yield "mstack.pop";
   Util.Spin_lock.with_lock t.lock (fun () ->
       match t.items with
       | [] -> None
@@ -38,6 +40,7 @@ let pop t ~tid =
               Some value))
 
 let top t ~tid =
+  Util.Sched.yield "mstack.top";
   Util.Spin_lock.with_lock t.lock (fun () ->
       match t.items with
       | [] -> None

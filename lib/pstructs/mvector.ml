@@ -36,6 +36,7 @@ let ensure_capacity t n =
   end
 
 let push t ~tid value =
+  Util.Sched.yield "mvector.push";
   Util.Spin_lock.with_lock t.lock (fun () ->
       E.with_op t.esys ~tid (fun () ->
           let index = t.length in
@@ -45,6 +46,7 @@ let push t ~tid value =
           index))
 
 let pop t ~tid =
+  Util.Sched.yield "mvector.pop";
   Util.Spin_lock.with_lock t.lock (fun () ->
       if t.length = 0 then None
       else
@@ -58,6 +60,7 @@ let pop t ~tid =
             Some value))
 
 let get t ~tid index =
+  Util.Sched.yield "mvector.get";
   if index < 0 || index >= t.length then None
   else
     match t.slots.(index) with
@@ -65,6 +68,7 @@ let get t ~tid index =
     | None -> None
 
 let set t ~tid index value =
+  Util.Sched.yield "mvector.set";
   Util.Spin_lock.with_lock t.lock (fun () ->
       if index < 0 || index >= t.length then false
       else

@@ -43,6 +43,7 @@ let rec search t head key =
 
 (* Wait-free read: value of [key], traversing without helping. *)
 let get t ~tid key =
+  Util.Sched.yield "nb_hashmap.get";
   let head = bucket_of t key in
   let rec walk cursor =
     match cursor with
@@ -70,6 +71,7 @@ let mem t key =
 
 (* Insert-if-absent; [false] when present. *)
 let add t ~tid key value =
+  Util.Sched.yield "nb_hashmap.add";
   let head = bucket_of t key in
   let rec restart () =
     E.begin_op t.esys ~tid;
@@ -108,6 +110,7 @@ let add t ~tid key value =
   restart ()
 
 let remove t ~tid key =
+  Util.Sched.yield "nb_hashmap.remove";
   let head = bucket_of t key in
   let rec restart () =
     E.begin_op t.esys ~tid;

@@ -51,6 +51,7 @@ let rec search t key =
 
 (* Wait-free read-only membership: traverses without helping writes. *)
 let contains t key =
+  Util.Sched.yield "nb_list_set.contains";
   let rec walk cursor =
     match cursor with
     | None -> false
@@ -61,6 +62,7 @@ let contains t key =
   walk (V.peek t.head.next).succ
 
 let add t ~tid key =
+  Util.Sched.yield "nb_list_set.add";
   let rec restart () =
     E.begin_op t.esys ~tid;
     match attempt None with
@@ -97,6 +99,7 @@ let add t ~tid key =
   restart ()
 
 let remove t ~tid key =
+  Util.Sched.yield "nb_list_set.remove";
   let rec restart () =
     E.begin_op t.esys ~tid;
     match attempt () with

@@ -34,6 +34,7 @@ let create esys =
 let esys t = t.esys
 
 let enqueue t ~tid value =
+  Util.Sched.yield "nb_queue.enqueue";
   let rec restart () =
     E.begin_op t.esys ~tid;
     match attempt None with
@@ -69,6 +70,7 @@ let enqueue t ~tid value =
   restart ()
 
 let dequeue t ~tid =
+  Util.Sched.yield "nb_queue.dequeue";
   let rec restart () =
     E.begin_op t.esys ~tid;
     match attempt () with

@@ -23,6 +23,7 @@ let create esys = { esys; top = V.make None }
 let esys t = t.esys
 
 let push t ~tid value =
+  Util.Sched.yield "nb_stack.push";
   let rec restart () =
     E.begin_op t.esys ~tid;
     match attempt None with
@@ -53,6 +54,7 @@ let push t ~tid value =
   restart ()
 
 let pop t ~tid =
+  Util.Sched.yield "nb_stack.pop";
   let rec restart () =
     E.begin_op t.esys ~tid;
     match attempt () with

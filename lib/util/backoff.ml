@@ -14,7 +14,11 @@ let spin_limit = 64
 let create () = { spins = 0 }
 
 let once b =
-  if b.spins < spin_limit then begin
+  if Sched.active () then
+    (* under the deterministic scheduler every wait step is a
+       scheduling point: sleeping would wedge the single engine domain *)
+    Sched.yield "backoff"
+  else if b.spins < spin_limit then begin
     b.spins <- b.spins + 1;
     Domain.cpu_relax ()
   end

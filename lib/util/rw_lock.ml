@@ -3,7 +3,16 @@
    Like Spin_lock, this blocks rather than spins: with more domains
    than cores, a spinning writer starves the readers it is waiting out.
    Writer preference is not enforced — at benchmark read/write ratios
-   this is immaterial. *)
+   this is immaterial.
+
+   Under the deterministic scheduler ([Sched.active]) the mutex and
+   condition cannot be used: every logical thread is a fiber on one
+   domain, so [Condition.wait] would wedge the whole engine.  The lock
+   then degrades to the bare [readers] count guarded by [Sched.await] —
+   sound because fibers are cooperative (nothing runs between a
+   successful availability poll and the acquiring store).  As with
+   Spin_lock, the two representations are never mixed over a lock's
+   lifetime. *)
 
 type t = {
   mutex : Mutex.t;
@@ -14,32 +23,50 @@ type t = {
 let create () = { mutex = Mutex.create (); cond = Condition.create (); readers = 0 }
 
 let read_acquire t =
-  Mutex.lock t.mutex;
-  while t.readers < 0 do
-    Condition.wait t.cond t.mutex
-  done;
-  t.readers <- t.readers + 1;
-  Mutex.unlock t.mutex
+  if Sched.active () then begin
+    Sched.await "rw_lock.read_acquire" (fun () -> t.readers >= 0);
+    t.readers <- t.readers + 1
+  end
+  else begin
+    Mutex.lock t.mutex;
+    while t.readers < 0 do
+      Condition.wait t.cond t.mutex
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.mutex
+  end
 
 let read_release t =
-  Mutex.lock t.mutex;
-  t.readers <- t.readers - 1;
-  if t.readers = 0 then Condition.broadcast t.cond;
-  Mutex.unlock t.mutex
+  if Sched.active () then t.readers <- t.readers - 1
+  else begin
+    Mutex.lock t.mutex;
+    t.readers <- t.readers - 1;
+    if t.readers = 0 then Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+  end
 
 let write_acquire t =
-  Mutex.lock t.mutex;
-  while t.readers <> 0 do
-    Condition.wait t.cond t.mutex
-  done;
-  t.readers <- -1;
-  Mutex.unlock t.mutex
+  if Sched.active () then begin
+    Sched.await "rw_lock.write_acquire" (fun () -> t.readers = 0);
+    t.readers <- -1
+  end
+  else begin
+    Mutex.lock t.mutex;
+    while t.readers <> 0 do
+      Condition.wait t.cond t.mutex
+    done;
+    t.readers <- -1;
+    Mutex.unlock t.mutex
+  end
 
 let write_release t =
-  Mutex.lock t.mutex;
-  t.readers <- 0;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.mutex
+  if Sched.active () then t.readers <- 0
+  else begin
+    Mutex.lock t.mutex;
+    t.readers <- 0;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+  end
 
 let with_read t f =
   read_acquire t;

@@ -1,0 +1,37 @@
+(* Scheduler hook (see sched.mli).  The hook cell is an [Atomic] so
+   the production fast path is a single load; [None] means no
+   scheduler and both entry points degrade to plain waits. *)
+
+type hook = {
+  yield : string -> unit;
+  await : string -> (unit -> bool) -> unit;
+}
+
+let hook : hook option Atomic.t = Atomic.make None
+
+let install h = Atomic.set hook (Some h)
+let uninstall () = Atomic.set hook None
+let active () = Atomic.get hook <> None
+
+let yield tag = match Atomic.get hook with None -> () | Some h -> h.yield tag
+
+(* The production fallback inlines the spin-then-sleep escalation of
+   [Backoff] rather than depending on it: [Backoff] yields through
+   this module when a scheduler is active, and a dependency cycle
+   between the two would otherwise follow. *)
+let spin_limit = 64
+
+let await tag pred =
+  match Atomic.get hook with
+  | Some h -> h.await tag pred
+  | None ->
+      if not (pred ()) then begin
+        let spins = ref 0 in
+        while not (pred ()) do
+          if !spins < spin_limit then begin
+            incr spins;
+            Domain.cpu_relax ()
+          end
+          else Unix.sleepf 1e-6
+        done
+      end

@@ -1,0 +1,40 @@
+(** Scheduler hook: the seam between production spin/block waits and
+    the deterministic scheduler in [lib/dsched].
+
+    Concurrency-bearing code marks its interesting points with
+    {!yield} (a pure scheduling point) and {!await} (a scheduling
+    point that blocks until a {e pure} predicate holds).  In
+    production no hook is installed and both compile down to one
+    atomic load and a branch ({!yield}) or an inline spin-then-sleep
+    wait ({!await}) — nothing allocates and no behavior changes.  When
+    the deterministic scheduler installs a hook, every call becomes a
+    point where the scheduler may switch logical threads or inject a
+    crash (see DESIGN.md, "Dsched").
+
+    Contract for {!await} predicates: they must be pure observations
+    (no side effects), because the scheduler polls them to decide
+    runnability; the state they observe cannot change between a
+    successful poll and the fiber resuming, since fibers are
+    cooperative on a single domain. *)
+
+type hook = {
+  yield : string -> unit;
+  await : string -> (unit -> bool) -> unit;
+}
+
+(** Install/remove the hook.  Only the dsched engine should call
+    these, and only while no instrumented code is running. *)
+val install : hook -> unit
+
+val uninstall : unit -> unit
+
+(** True when a hook is installed (the scheduler is driving). *)
+val active : unit -> bool
+
+(** A named scheduling point; a no-op (one load + branch) without a
+    hook.  The tag appears in traces and is never interpreted. *)
+val yield : string -> unit
+
+(** Block until [pred ()] holds.  [pred] must be pure.  Without a hook
+    this is a spin-then-sleep wait (the historical [Backoff] loop). *)
+val await : string -> (unit -> bool) -> unit

@@ -7,22 +7,50 @@
    hands the core straight back to the holder.  [try_acquire] keeps the
    one-CAS-equivalent fast path for callers that poll.
 
+   Under the deterministic scheduler ([Sched.active]) the mutex cannot
+   be used: every logical thread is a fiber on one domain, so blocking
+   in the kernel would wedge the whole engine.  The lock then degrades
+   to a plain boolean guarded by [Sched.await] — sound because fibers
+   are cooperative (no other fiber runs between a successful
+   availability poll and the acquiring store below).  The two
+   representations are never mixed: the scheduler only runs while all
+   lock-holding code is fiber code.
+
    The module keeps its historical name; call sites are agnostic. *)
 
-type t = { mutex : Mutex.t }
+type t = { mutex : Mutex.t; mutable flag : bool }
 
-let create () = { mutex = Mutex.create () }
+let create () = { mutex = Mutex.create (); flag = false }
 
-let acquire t = Mutex.lock t.mutex
-let try_acquire t = Mutex.try_lock t.mutex
-let release t = Mutex.unlock t.mutex
+let acquire t =
+  if Sched.active () then begin
+    let rec loop () =
+      Sched.await "spin_lock.acquire" (fun () -> not t.flag);
+      if t.flag then loop () else t.flag <- true
+    in
+    loop ()
+  end
+  else Mutex.lock t.mutex
+
+let try_acquire t =
+  if Sched.active () then begin
+    Sched.yield "spin_lock.try_acquire";
+    if t.flag then false
+    else begin
+      t.flag <- true;
+      true
+    end
+  end
+  else Mutex.try_lock t.mutex
+
+let release t = if Sched.active () then t.flag <- false else Mutex.unlock t.mutex
 
 let with_lock t f =
-  Mutex.lock t.mutex;
+  acquire t;
   match f () with
   | v ->
-      Mutex.unlock t.mutex;
+      release t;
       v
   | exception e ->
-      Mutex.unlock t.mutex;
+      release t;
       raise e

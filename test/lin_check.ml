@@ -126,3 +126,77 @@ let set_spec : (string list, set_op, bool) spec =
         | Remove v -> if List.mem v st then (true, List.filter (( <> ) v) st) else (false, st)
         | Contains v -> (List.mem v st, st));
   }
+
+(* Vector results mix index, value, and success answers; one result
+   type keeps the event list homogeneous. *)
+type vector_op = Vpush of string | Vpop | Vget of int | Vset of int * string
+type vector_res = VIdx of int | VVal of string option | VOk of bool
+
+let vector_spec : (string list, vector_op, vector_res) spec =
+  {
+    initial = [];
+    apply =
+      (fun st op ->
+        match op with
+        | Vpush v -> (VIdx (List.length st), st @ [ v ])
+        | Vpop -> (
+            match List.rev st with
+            | [] -> (VVal None, [])
+            | x :: rest -> (VVal (Some x), List.rev rest))
+        | Vget i -> (VVal (List.nth_opt st i), st)
+        | Vset (i, v) ->
+            if i >= 0 && i < List.length st then
+              (VOk true, List.mapi (fun j x -> if j = i then v else x) st)
+            else (VOk false, st));
+  }
+
+(* Undirected-graph model mirroring Mgraph's semantics: vertex adds
+   reject duplicates, edge adds reject self-loops / missing endpoints /
+   duplicates, vertex removal drops incident edges.  Both components
+   stay sorted so equal abstract states memoize to equal keys. *)
+type graph_op =
+  | Gadd_vertex of int * string
+  | Gremove_vertex of int
+  | Gadd_edge of int * int * string
+  | Gremove_edge of int * int
+  | Gedge_attrs of int * int
+  | Gvertex_attrs of int
+
+type graph_res = GB of bool | GS of string option
+
+type graph_state = { verts : (int * string) list; edges : ((int * int) * string) list }
+
+let graph_spec : (graph_state, graph_op, graph_res) spec =
+  let ekey a b = (min a b, max a b) in
+  let sorted_insert l kv = List.sort compare (kv :: l) in
+  {
+    initial = { verts = []; edges = [] };
+    apply =
+      (fun st op ->
+        match op with
+        | Gadd_vertex (v, attrs) ->
+            if List.mem_assoc v st.verts then (GB false, st)
+            else (GB true, { st with verts = sorted_insert st.verts (v, attrs) })
+        | Gremove_vertex v ->
+            if not (List.mem_assoc v st.verts) then (GB false, st)
+            else
+              ( GB true,
+                {
+                  verts = List.remove_assoc v st.verts;
+                  edges = List.filter (fun ((a, b), _) -> a <> v && b <> v) st.edges;
+                } )
+        | Gadd_edge (a, b, attrs) ->
+            if
+              a = b
+              || (not (List.mem_assoc a st.verts))
+              || (not (List.mem_assoc b st.verts))
+              || List.mem_assoc (ekey a b) st.edges
+            then (GB false, st)
+            else (GB true, { st with edges = sorted_insert st.edges (ekey a b, attrs) })
+        | Gremove_edge (a, b) ->
+            if List.mem_assoc (ekey a b) st.edges then
+              (GB true, { st with edges = List.remove_assoc (ekey a b) st.edges })
+            else (GB false, st)
+        | Gedge_attrs (a, b) -> (GS (List.assoc_opt (ekey a b) st.edges), st)
+        | Gvertex_attrs v -> (GS (List.assoc_opt v st.verts), st));
+  }

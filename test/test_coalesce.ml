@@ -324,6 +324,147 @@ let test_crash_matrix_mskiplist () =
   Alcotest.(check bool) "states explored" true (report.P.states > 0);
   Alcotest.(check int) "every recovered pair was written" 0 report.P.failures
 
+let test_crash_matrix_mvector () =
+  let _, c, esys = logged_esys () in
+  let v = Pstructs.Mvector.create esys in
+  for i = 0 to 5 do
+    ignore (Pstructs.Mvector.push v ~tid:0 (Printf.sprintf "v%d" i))
+  done;
+  E.sync esys ~tid:0;
+  (* straddle an epoch boundary with an in-place rewrite and a pop *)
+  ignore (Pstructs.Mvector.set v ~tid:0 2 "rewritten");
+  ignore (Pstructs.Mvector.pop v ~tid:0);
+  E.advance_epoch esys ~tid:0;
+  E.advance_epoch esys ~tid:0;
+  (* recovered contents must be dense (indexes 0..n-1) and every slot a
+     value that was written at that index *)
+  let legal = [| [ "v0" ]; [ "v1" ]; [ "v2"; "rewritten" ]; [ "v3" ]; [ "v4" ]; [ "v5" ] |] in
+  let report =
+    P.explore ~max_states:explore_states c (fun image ->
+        match recovered_from image with
+        | exception _ -> false
+        | esys2, payloads ->
+            let v2 = Pstructs.Mvector.recover esys2 payloads in
+            let got = Pstructs.Mvector.to_list v2 ~tid:0 in
+            List.length got <= Array.length legal
+            && List.for_all2
+                 (fun i x -> List.mem x legal.(i))
+                 (List.init (List.length got) Fun.id)
+                 got)
+  in
+  Alcotest.(check bool) "states explored" true (report.P.states > 0);
+  Alcotest.(check int) "recovered vector dense and written" 0 report.P.failures
+
+let test_crash_matrix_mgraph () =
+  let _, c, esys = logged_esys () in
+  let g = Pstructs.Mgraph.create ~capacity:8 esys in
+  for v = 0 to 3 do
+    ignore (Pstructs.Mgraph.add_vertex g ~tid:0 v (Printf.sprintf "v%d" v))
+  done;
+  ignore (Pstructs.Mgraph.add_edge g ~tid:0 0 1 "e01");
+  ignore (Pstructs.Mgraph.add_edge g ~tid:0 1 2 "e12");
+  E.sync esys ~tid:0;
+  ignore (Pstructs.Mgraph.remove_edge g ~tid:0 0 1);
+  ignore (Pstructs.Mgraph.add_edge g ~tid:0 2 3 "e23");
+  ignore (Pstructs.Mgraph.remove_vertex g ~tid:0 0);
+  E.advance_epoch esys ~tid:0;
+  E.advance_epoch esys ~tid:0;
+  (* invariant at every crash state: every recovered edge's endpoints
+     are recovered vertices with the attrs they were written with *)
+  let report =
+    P.explore ~max_states:explore_states c (fun image ->
+        match recovered_from image with
+        | exception _ -> false
+        | esys2, payloads ->
+            let g2 = Pstructs.Mgraph.recover ~capacity:8 esys2 payloads in
+            let vertex_ok v =
+              match Pstructs.Mgraph.vertex_attrs g2 ~tid:0 v with
+              | None -> not (Pstructs.Mgraph.has_vertex g2 v)
+              | Some a -> a = Printf.sprintf "v%d" v
+            in
+            let edge_ok (a, b, attrs) =
+              (not (Pstructs.Mgraph.has_edge g2 a b))
+              || (Pstructs.Mgraph.has_vertex g2 a
+                 && Pstructs.Mgraph.has_vertex g2 b
+                 && Pstructs.Mgraph.edge_attrs g2 ~tid:0 a b = Some attrs)
+            in
+            List.for_all vertex_ok [ 0; 1; 2; 3 ]
+            && List.for_all edge_ok [ (0, 1, "e01"); (1, 2, "e12"); (2, 3, "e23") ])
+  in
+  Alcotest.(check bool) "states explored" true (report.P.states > 0);
+  Alcotest.(check int) "edges never dangle" 0 report.P.failures
+
+(* ---- parallel-recovery determinism ---- *)
+
+(* One crash image, recovered at parallelism 1, 2, and 8: §5.1's
+   parallel scan/sweep must be a pure performance knob — the recovered
+   abstract state has to be bit-identical across k. *)
+
+let test_parallel_recovery_deterministic_mhashmap () =
+  let region = R.create ~latency:Nvm.Latency.zero ~max_threads:10 ~capacity:(1 lsl 18) () in
+  let esys = E.create ~config:on_cfg region in
+  let m = Pstructs.Mhashmap.create ~buckets:8 esys in
+  for i = 0 to 39 do
+    ignore (Pstructs.Mhashmap.put m ~tid:0 (Printf.sprintf "k%02d" (i mod 20)) (string_of_int i))
+  done;
+  E.sync esys ~tid:0;
+  ignore (Pstructs.Mhashmap.put m ~tid:0 "late" "lost");
+  R.crash region;
+  let image = R.media_image region in
+  let recovered k =
+    let r = R.of_image ~latency:Nvm.Latency.zero ~max_threads:10 image in
+    let esys2, payloads = E.recover ~config:recover_cfg ~threads:k r in
+    let m2 = Pstructs.Mhashmap.recover ~buckets:8 esys2 payloads in
+    List.sort compare (Pstructs.Mhashmap.to_alist m2 ~tid:0)
+  in
+  let at1 = recovered 1 in
+  Alcotest.(check bool) "something recovered" true (at1 <> []);
+  Alcotest.(check (list (pair string string))) "k=2 identical" at1 (recovered 2);
+  Alcotest.(check (list (pair string string))) "k=8 identical" at1 (recovered 8)
+
+let test_parallel_recovery_deterministic_mgraph () =
+  let region = R.create ~latency:Nvm.Latency.zero ~max_threads:10 ~capacity:(1 lsl 18) () in
+  let esys = E.create ~config:on_cfg region in
+  let g = Pstructs.Mgraph.create ~capacity:16 esys in
+  for v = 0 to 9 do
+    ignore (Pstructs.Mgraph.add_vertex g ~tid:0 v (Printf.sprintf "attr%d" v))
+  done;
+  for v = 0 to 8 do
+    ignore (Pstructs.Mgraph.add_edge g ~tid:0 v (v + 1) (Printf.sprintf "e%d" v))
+  done;
+  E.sync esys ~tid:0;
+  ignore (Pstructs.Mgraph.remove_vertex g ~tid:0 4);
+  R.crash region;
+  let image = R.media_image region in
+  let summary k =
+    let r = R.of_image ~latency:Nvm.Latency.zero ~max_threads:10 image in
+    let esys2, payloads = E.recover ~config:recover_cfg ~threads:k r in
+    (* graph rebuild itself also fans out over [threads] domains *)
+    let g2 = Pstructs.Mgraph.recover ~capacity:16 ~threads:k esys2 payloads in
+    let verts =
+      List.filter_map
+        (fun v -> Option.map (fun a -> (v, a)) (Pstructs.Mgraph.vertex_attrs g2 ~tid:0 v))
+        (List.init 16 Fun.id)
+    in
+    let edges =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              if a < b then Option.map (fun e -> (a, b, e)) (Pstructs.Mgraph.edge_attrs g2 ~tid:0 a b)
+              else None)
+            (List.init 16 Fun.id))
+        (List.init 16 Fun.id)
+    in
+    (verts, edges)
+  in
+  let v1, e1 = summary 1 in
+  Alcotest.(check bool) "vertices recovered" true (v1 <> []);
+  let v2, e2 = summary 2 in
+  let v8, e8 = summary 8 in
+  Alcotest.(check bool) "k=2 identical" true (v1 = v2 && e1 = e2);
+  Alcotest.(check bool) "k=8 identical" true (v1 = v8 && e1 = e8)
+
 let () =
   Alcotest.run "coalesce"
     [
@@ -355,5 +496,14 @@ let () =
           Alcotest.test_case "mqueue" `Quick test_crash_matrix_mqueue;
           Alcotest.test_case "mhashmap" `Quick test_crash_matrix_mhashmap;
           Alcotest.test_case "mskiplist" `Quick test_crash_matrix_mskiplist;
+          Alcotest.test_case "mvector" `Quick test_crash_matrix_mvector;
+          Alcotest.test_case "mgraph" `Quick test_crash_matrix_mgraph;
+        ] );
+      ( "parallel-recovery",
+        [
+          Alcotest.test_case "mhashmap identical at k=1/2/8" `Quick
+            test_parallel_recovery_deterministic_mhashmap;
+          Alcotest.test_case "mgraph identical at k=1/2/8" `Quick
+            test_parallel_recovery_deterministic_mgraph;
         ] );
     ]

@@ -1,0 +1,495 @@
+(* The deterministic scheduler and durable-linearizability checker.
+
+   Three layers of coverage:
+   - the Dsched engine itself on plain-OCaml scenarios: schedule
+     counting and determinism, lost-update detection, deadlock
+     detection, trace round-trips, PCT seed replay, shrinking;
+   - the Dlin prefix-cut checker on hand-built histories;
+   - the real thing: mqueue and nb_queue driven as fibers through the
+     Montage runtime, bounded-exhaustively explored with a crash
+     branched at every scheduling point, every recovered state checked
+     against the sequential queue model — and a deliberately planted
+     drop-a-flush bug in Persist_buffer caught, shrunk, and replayed
+     from both the trace and the printed PCT seed. *)
+
+module D = Dsched
+module R = Nvm.Region
+module E = Montage.Epoch_sys
+module Cfg = Montage.Config
+
+(* ---- engine: counter scenarios ---- *)
+
+type counter = { mutable v : int }
+
+(* classic lost update: read, scheduling point, write back *)
+let racy_incr st =
+  let x = st.v in
+  Util.Sched.yield "incr";
+  st.v <- x + 1
+
+let racy_scenario n =
+  {
+    D.init = (fun () -> { v = 0 });
+    threads = Array.make n racy_incr;
+    check_crash = None;
+    check_done = Some (fun st -> st.v = n);
+  }
+
+let atomic_scenario n =
+  {
+    D.init = (fun () -> { v = 0 });
+    threads = Array.make n (fun st -> st.v <- st.v + 1);
+    check_crash = None;
+    check_done = Some (fun st -> st.v = n);
+  }
+
+let exhaustive ?(preemptions = 2) ?(max_attempts = 100_000) ?(crashes = true) () =
+  D.Exhaustive { preemptions; max_attempts; crashes }
+
+let test_atomic_counter_passes () =
+  let r = D.explore (exhaustive ()) (atomic_scenario 3) in
+  Alcotest.(check bool) "no failure" true (r.D.failure = None);
+  Alcotest.(check bool) "explored more than one schedule" true (r.D.schedules > 1);
+  Alcotest.(check bool) "not truncated" false r.D.truncated
+
+let test_exhaustive_finds_lost_update () =
+  match (D.explore (exhaustive ()) (racy_scenario 2)).D.failure with
+  | None -> Alcotest.fail "lost update not found"
+  | Some f ->
+      Alcotest.(check bool) "reason mentions the check" true
+        (String.length f.D.reason > 0)
+
+let test_zero_preemptions_misses_lost_update () =
+  (* without an involuntary switch each increment runs atomically *)
+  let r = D.explore (exhaustive ~preemptions:0 ()) (racy_scenario 2) in
+  Alcotest.(check bool) "no failure at bound 0" true (r.D.failure = None)
+
+let test_exploration_deterministic () =
+  let run () = D.explore (exhaustive ()) (racy_scenario 2) in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same schedules" true (a.D.schedules = b.D.schedules);
+  (match (a.D.failure, b.D.failure) with
+  | Some fa, Some fb ->
+      Alcotest.(check string) "same shrunk trace" (D.trace_to_string fa.D.trace)
+        (D.trace_to_string fb.D.trace)
+  | _ -> Alcotest.fail "both runs should fail")
+
+let test_shrunk_trace_replays () =
+  match (D.explore (exhaustive ()) (racy_scenario 2)).D.failure with
+  | None -> Alcotest.fail "no failure"
+  | Some f ->
+      Alcotest.(check bool) "shrunk no longer than raw" true
+        (List.length f.D.trace <= List.length f.D.raw_trace);
+      let replayed = D.explore (D.Replay f.D.trace) (racy_scenario 2) in
+      Alcotest.(check bool) "replay reproduces the failure" true (replayed.D.failure <> None)
+
+let test_deadlock_detected () =
+  (* opposite-order awaits on two flags: classic wait cycle *)
+  let scenario =
+    {
+      D.init = (fun () -> (ref false, ref false));
+      threads =
+        [|
+          (fun (a, b) ->
+            Util.Sched.await "want-b" (fun () -> !b);
+            a := true);
+          (fun (a, b) ->
+            Util.Sched.await "want-a" (fun () -> !a);
+            b := true);
+        |];
+      check_crash = None;
+      check_done = None;
+    }
+  in
+  match (D.explore (exhaustive ()) scenario).D.failure with
+  | Some f ->
+      Alcotest.(check bool) "reported as deadlock" true
+        (String.length f.D.reason >= 8 && String.sub f.D.reason 0 8 = "deadlock")
+  | None -> Alcotest.fail "deadlock not reported"
+
+let test_fiber_exception_is_failure () =
+  let scenario =
+    {
+      D.init = (fun () -> ());
+      threads = [| (fun () -> Util.Sched.yield "pre"; failwith "boom") |];
+      check_crash = None;
+      check_done = None;
+    }
+  in
+  match (D.explore (exhaustive ()) scenario).D.failure with
+  | Some f ->
+      Alcotest.(check bool) "exception surfaced" true
+        (String.length f.D.reason > 0)
+  | None -> Alcotest.fail "exception not reported"
+
+let test_pct_finds_and_seed_replays () =
+  let mode = D.Pct { runs = 200; seed = 42; change_points = 3 } in
+  match (D.explore mode (racy_scenario 2)).D.failure with
+  | None -> Alcotest.fail "PCT missed the lost update in 200 runs"
+  | Some f -> (
+      match f.D.seed with
+      | None -> Alcotest.fail "PCT failure carries no seed"
+      | Some s -> (
+          let again = D.explore (D.Pct { runs = 1; seed = s; change_points = 3 }) (racy_scenario 2) in
+          match again.D.failure with
+          | None -> Alcotest.fail "printed seed did not reproduce"
+          | Some f2 ->
+              Alcotest.(check string) "identical raw schedule from the seed"
+                (D.trace_to_string f.D.raw_trace)
+                (D.trace_to_string f2.D.raw_trace)))
+
+let test_trace_roundtrip () =
+  let t = [ D.Run 0; D.Run 0; D.Run 1; D.Run 0; D.Crash ] in
+  Alcotest.(check string) "render" "0.0.1.0.c" (D.trace_to_string t);
+  Alcotest.(check bool) "parse inverts render" true (D.trace_of_string (D.trace_to_string t) = t);
+  Alcotest.(check bool) "empty" true (D.trace_of_string "" = []);
+  Alcotest.check_raises "garbage rejected" (Invalid_argument "Dsched.trace_of_string: bad token x")
+    (fun () -> ignore (D.trace_of_string "0.x"))
+
+let test_mode_from_env () =
+  let with_env pairs f =
+    (* restore prior values so a real MONTAGE_SCHED CI leg isn't
+       clobbered for the tests that run after this one *)
+    let saved = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) pairs in
+    List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun (k, old) -> Unix.putenv k (Option.value old ~default:"")) saved)
+      f
+  in
+  with_env [ ("MONTAGE_SCHED", "random"); ("MONTAGE_SCHED_RUNS", "7"); ("MONTAGE_SCHED_SEED", "9") ]
+    (fun () ->
+      match D.mode_from_env () with
+      | Some (D.Pct { runs = 7; seed = 9; _ }) -> ()
+      | _ -> Alcotest.fail "random env not parsed");
+  with_env [ ("MONTAGE_SCHED", "exhaustive"); ("MONTAGE_SCHED_PREEMPTIONS", "1") ] (fun () ->
+      match D.mode_from_env () with
+      | Some (D.Exhaustive { preemptions = 1; _ }) -> ()
+      | _ -> Alcotest.fail "exhaustive env not parsed");
+  with_env [ ("MONTAGE_SCHED", "replay"); ("MONTAGE_SCHED_TRACE", "0.1.c") ] (fun () ->
+      match D.mode_from_env () with
+      | Some (D.Replay [ D.Run 0; D.Run 1; D.Crash ]) -> ()
+      | _ -> Alcotest.fail "replay env not parsed");
+  with_env [ ("MONTAGE_SCHED", "off") ] (fun () ->
+      Alcotest.(check bool) "off is None" true (D.mode_from_env () = None));
+  Alcotest.(check bool) "unset is None" true (D.mode_from_env () = None)
+
+(* ---- Dlin on hand-built histories ---- *)
+
+type qop = Enq of string | Deq
+
+let qspec =
+  {
+    Dlin.initial = [];
+    apply =
+      (fun st op ->
+        match (op, st) with
+        | Enq v, _ -> (None, st @ [ v ])
+        | Deq, [] -> (None, [])
+        | Deq, x :: rest -> (Some x, rest));
+  }
+
+let test_dlin_accepts_buffered_drop () =
+  (* enq a durable, enq b buffered: recovering [a] alone is legal *)
+  let obs =
+    [| { Dlin.completed = [ (Enq "a", None, true); (Enq "b", None, false) ]; in_flight = None } |]
+  in
+  Alcotest.(check bool) "prefix [a] accepted" true
+    (Dlin.durably_linearizable qspec obs ~accept:(fun m -> m = [ "a" ]));
+  Alcotest.(check bool) "full history accepted too" true
+    (Dlin.durably_linearizable qspec obs ~accept:(fun m -> m = [ "a"; "b" ]))
+
+let test_dlin_rejects_durable_drop () =
+  let obs =
+    [| { Dlin.completed = [ (Enq "a", None, true); (Enq "b", None, true) ]; in_flight = None } |]
+  in
+  Alcotest.(check bool) "durable b cannot vanish" false
+    (Dlin.durably_linearizable qspec obs ~accept:(fun m -> m = [ "a" ]))
+
+let test_dlin_rejects_reorder_and_result_mismatch () =
+  let obs =
+    [| { Dlin.completed = [ (Enq "a", None, true); (Enq "b", None, true) ]; in_flight = None } |]
+  in
+  Alcotest.(check bool) "per-thread order preserved" false
+    (Dlin.durably_linearizable qspec obs ~accept:(fun m -> m = [ "b"; "a" ]));
+  let wrong =
+    [| { Dlin.completed = [ (Enq "a", None, true); (Deq, Some "z", true) ]; in_flight = None } |]
+  in
+  Alcotest.(check bool) "observed result must match the model" false
+    (Dlin.durably_linearizable qspec wrong ~accept:(fun _ -> true))
+
+let test_dlin_in_flight_optional () =
+  let obs i = [| { Dlin.completed = [ (Enq "a", None, true) ]; in_flight = i } |] in
+  Alcotest.(check bool) "in-flight may land" true
+    (Dlin.durably_linearizable qspec (obs (Some (Enq "b"))) ~accept:(fun m -> m = [ "a"; "b" ]));
+  Alcotest.(check bool) "or not" true
+    (Dlin.durably_linearizable qspec (obs (Some (Enq "b"))) ~accept:(fun m -> m = [ "a" ]));
+  Alcotest.(check bool) "but only after the thread's prefix" false
+    (Dlin.durably_linearizable qspec (obs (Some (Enq "b"))) ~accept:(fun m -> m = [ "b"; "a" ]))
+
+let test_dlin_interleaves_threads () =
+  let obs =
+    [|
+      { Dlin.completed = [ (Enq "a", None, true) ]; in_flight = None };
+      { Dlin.completed = [ (Enq "b", None, true) ]; in_flight = None };
+    |]
+  in
+  Alcotest.(check bool) "a then b" true
+    (Dlin.durably_linearizable qspec obs ~accept:(fun m -> m = [ "a"; "b" ]));
+  Alcotest.(check bool) "b then a" true
+    (Dlin.durably_linearizable qspec obs ~accept:(fun m -> m = [ "b"; "a" ]))
+
+let test_linearizable_complete_run () =
+  let hist = [| [ (Enq "a", None); (Deq, Some "a") ]; [ (Enq "b", None) ] |] in
+  Alcotest.(check bool) "valid" true (Dlin.linearizable qspec hist ~accept:(fun m -> m = [ "b" ]));
+  let bad = [| [ (Deq, Some "a") ] |] in
+  Alcotest.(check bool) "deq from empty cannot return a" false
+    (Dlin.linearizable qspec bad ~accept:(fun _ -> true))
+
+(* ---- Montage scenarios: queues as fibers through the runtime ---- *)
+
+(* Both queue flavors behind one face so the scenario builder, the
+   exhaustive test, and the planted-bug test are shared. *)
+type 'q queue_impl = {
+  create : E.t -> 'q;
+  enqueue : 'q -> tid:int -> string -> unit;
+  dequeue : 'q -> tid:int -> string option;
+  recover : E.t -> E.pblk array -> 'q;
+}
+
+let mqueue_impl =
+  {
+    create = Pstructs.Mqueue.create;
+    enqueue = Pstructs.Mqueue.enqueue;
+    dequeue = Pstructs.Mqueue.dequeue;
+    recover = Pstructs.Mqueue.recover;
+  }
+
+let nb_queue_impl =
+  {
+    create = Pstructs.Nb_queue.create;
+    enqueue = Pstructs.Nb_queue.enqueue;
+    dequeue = Pstructs.Nb_queue.dequeue;
+    recover = Pstructs.Nb_queue.recover;
+  }
+
+(* Scenario config: manual epochs, serial drain, no checker, no
+   mirrors — the minimal deterministic runtime.  Recovery under the
+   same knobs. *)
+let sched_cfg =
+  {
+    Cfg.testing with
+    max_threads = 2;
+    pcheck = Cfg.Pcheck_off;
+    drain_domains = 1;
+    payload_mirror = false;
+    buffer_size = 16;
+  }
+
+type 'q qstate = {
+  region : R.t;
+  esys : E.t;
+  q : 'q;
+  hist : (qop * string option * int) list ref array; (* program order, reversed *)
+  inflight : qop option array;
+}
+
+let drain impl q =
+  let rec go acc = match impl.dequeue q ~tid:0 with Some v -> go (v :: acc) | None -> List.rev acc in
+  go []
+
+(* Each fiber runs its op script; after every op it records (op,
+   result, clock after completion) and advances the epoch once, so the
+   persistence frontier moves mid-schedule and crash branches cut
+   through every buffering stage. *)
+let queue_scenario impl scripts =
+  let n = Array.length scripts in
+  {
+    D.init =
+      (fun () ->
+        let region = R.create ~latency:Nvm.Latency.zero ~max_threads:(n + 2) ~capacity:(1 lsl 18) () in
+        let esys = E.create ~config:{ sched_cfg with Cfg.max_threads = n } region in
+        {
+          region;
+          esys;
+          q = impl.create esys;
+          hist = Array.init n (fun _ -> ref []);
+          inflight = Array.make n None;
+        });
+    threads =
+      Array.mapi
+        (fun tid script st ->
+          List.iter
+            (fun op ->
+              st.inflight.(tid) <- Some op;
+              let res =
+                match op with
+                | Enq v ->
+                    impl.enqueue st.q ~tid v;
+                    None
+                | Deq -> impl.dequeue st.q ~tid
+              in
+              st.hist.(tid) := (op, res, E.current_epoch st.esys) :: !(st.hist.(tid));
+              st.inflight.(tid) <- None;
+              E.advance_epoch st.esys ~tid)
+            script)
+        scripts;
+    check_crash =
+      Some
+        (fun st ->
+          R.crash st.region;
+          match E.recover ~config:{ sched_cfg with Cfg.max_threads = Array.length scripts } st.region with
+          | exception _ -> false
+          | esys2, payloads ->
+              let recovered = drain impl (impl.recover esys2 payloads) in
+              (* the durable cutoff recovery applied: persisted clock - 2 *)
+              let cutoff = E.current_epoch esys2 - 2 in
+              let obs =
+                Array.mapi
+                  (fun i h ->
+                    {
+                      Dlin.completed =
+                        List.rev_map (fun (op, res, e) -> (op, res, e <= cutoff)) !h;
+                      in_flight = st.inflight.(i);
+                    })
+                  st.hist
+              in
+              Dlin.durably_linearizable qspec obs ~accept:(fun m -> m = recovered));
+    check_done =
+      Some
+        (fun st ->
+          let remaining = drain impl st.q in
+          let hists = Array.map (fun h -> List.rev_map (fun (op, res, _) -> (op, res)) !h) st.hist in
+          Dlin.linearizable qspec hists ~accept:(fun m -> m = remaining));
+  }
+
+(* the acceptance-criteria script: 2 threads x 3 ops *)
+let scripts = [| [ Enq "a"; Enq "b"; Deq ]; [ Enq "c"; Deq; Deq ] |]
+
+let check_queue_report name r =
+  (match r.D.failure with
+  | Some f -> Alcotest.fail (name ^ ": " ^ D.failure_to_string f)
+  | None -> ());
+  Printf.eprintf "%s: schedules=%d crash_branches=%d max_points=%d\n%!" name r.D.schedules r.D.crash_branches r.D.max_points;
+  Alcotest.(check bool) (name ^ ": schedules explored") true (r.D.schedules > 0);
+  Alcotest.(check bool) (name ^ ": crash injected at every point") true
+    (r.D.crash_branches >= r.D.max_points);
+  Alcotest.(check bool) (name ^ ": exhausted, not truncated") false r.D.truncated
+
+let test_mqueue_exhaustive_with_crashes () =
+  let r =
+    D.explore (exhaustive ~preemptions:1 ~max_attempts:100_000 ()) (queue_scenario mqueue_impl scripts)
+  in
+  check_queue_report "mqueue" r
+
+let test_nb_queue_exhaustive_with_crashes () =
+  let r =
+    D.explore
+      (exhaustive ~preemptions:1 ~max_attempts:100_000 ())
+      (queue_scenario nb_queue_impl scripts)
+  in
+  check_queue_report "nb_queue" r
+
+(* The planted bug: Persist_buffer.drain_all discards its first record,
+   so one buffered payload never reaches media.  Durable-linearizability
+   checking over crash branches must catch it, the shrunk trace must
+   replay, and under PCT the printed per-run seed must reproduce it. *)
+let with_planted_bug f =
+  Montage.Persist_buffer.test_drop_first_drain_record := true;
+  Fun.protect ~finally:(fun () -> Montage.Persist_buffer.test_drop_first_drain_record := false) f
+
+let test_planted_bug_caught_exhaustive () =
+  with_planted_bug (fun () ->
+      let scenario = queue_scenario mqueue_impl scripts in
+      match
+        (D.explore (exhaustive ~preemptions:1 ~max_attempts:100_000 ()) scenario).D.failure
+      with
+      | None -> Alcotest.fail "dropped flush not caught by exhaustive exploration"
+      | Some f ->
+          Alcotest.(check bool) "shrunk trace provided" true (f.D.trace <> []);
+          Alcotest.(check bool) "shrunk no longer than raw" true
+            (List.length f.D.trace <= List.length f.D.raw_trace);
+          (* the minimal trace still ends in the injected crash *)
+          (match List.rev f.D.trace with
+          | D.Crash :: _ -> ()
+          | _ -> Alcotest.fail "planted bug should fail on a crash branch");
+          let again = D.explore (D.Replay f.D.trace) scenario in
+          Alcotest.(check bool) "shrunk trace replays to the same failure" true
+            (again.D.failure <> None))
+
+let test_planted_bug_caught_pct_and_seed_replays () =
+  with_planted_bug (fun () ->
+      let scenario = queue_scenario mqueue_impl scripts in
+      match (D.explore (D.Pct { runs = 100; seed = 7; change_points = 3 }) scenario).D.failure with
+      | None -> Alcotest.fail "dropped flush not caught by 100 PCT runs"
+      | Some f -> (
+          match f.D.seed with
+          | None -> Alcotest.fail "no per-run seed on a PCT failure"
+          | Some s ->
+              let again =
+                D.explore (D.Pct { runs = 1; seed = s; change_points = 3 }) scenario
+              in
+              Alcotest.(check bool) "printed seed reproduces the failure" true
+                (again.D.failure <> None);
+              let replayed = D.explore (D.Replay f.D.trace) scenario in
+              Alcotest.(check bool) "shrunk trace replays too" true (replayed.D.failure <> None)))
+
+(* The CI leg: MONTAGE_SCHED=random MONTAGE_SCHED_RUNS=500 runs this
+   suite with a seeded PCT sweep over both queues; without the env the
+   default is a modest always-on PCT pass. *)
+let test_env_mode_sweep () =
+  let mode =
+    match D.mode_from_env () with
+    | Some m -> m
+    | None -> D.Pct { runs = 50; seed = 20260806; change_points = 3 }
+  in
+  List.iter
+    (fun (name, run) ->
+      match run () with
+      | { D.failure = Some f; _ } -> Alcotest.fail (name ^ ": " ^ D.failure_to_string f)
+      | _ -> ())
+    [
+      ("mqueue", fun () -> D.explore mode (queue_scenario mqueue_impl scripts));
+      ("nb_queue", fun () -> D.explore mode (queue_scenario nb_queue_impl scripts));
+    ]
+
+let () =
+  Alcotest.run "dsched"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "atomic counter passes" `Quick test_atomic_counter_passes;
+          Alcotest.test_case "exhaustive finds lost update" `Quick test_exhaustive_finds_lost_update;
+          Alcotest.test_case "preemption bound 0 misses it" `Quick
+            test_zero_preemptions_misses_lost_update;
+          Alcotest.test_case "exploration is deterministic" `Quick test_exploration_deterministic;
+          Alcotest.test_case "shrunk trace replays" `Quick test_shrunk_trace_replays;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "fiber exception reported" `Quick test_fiber_exception_is_failure;
+          Alcotest.test_case "PCT finds bug, seed replays" `Quick test_pct_finds_and_seed_replays;
+          Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "mode from env" `Quick test_mode_from_env;
+        ] );
+      ( "dlin",
+        [
+          Alcotest.test_case "buffered ops may drop" `Quick test_dlin_accepts_buffered_drop;
+          Alcotest.test_case "durable ops may not" `Quick test_dlin_rejects_durable_drop;
+          Alcotest.test_case "order and results enforced" `Quick
+            test_dlin_rejects_reorder_and_result_mismatch;
+          Alcotest.test_case "in-flight optional" `Quick test_dlin_in_flight_optional;
+          Alcotest.test_case "threads interleave" `Quick test_dlin_interleaves_threads;
+          Alcotest.test_case "complete-run linearizability" `Quick test_linearizable_complete_run;
+        ] );
+      ( "montage",
+        [
+          Alcotest.test_case "mqueue exhaustive + crash at every point" `Quick
+            test_mqueue_exhaustive_with_crashes;
+          Alcotest.test_case "nb_queue exhaustive + crash at every point" `Quick
+            test_nb_queue_exhaustive_with_crashes;
+          Alcotest.test_case "planted flush-drop caught (exhaustive)" `Quick
+            test_planted_bug_caught_exhaustive;
+          Alcotest.test_case "planted flush-drop caught (PCT + seed replay)" `Quick
+            test_planted_bug_caught_pct_and_seed_replays;
+          Alcotest.test_case "env-selected sweep (CI leg)" `Quick test_env_mode_sweep;
+        ] );
+    ]

@@ -107,11 +107,19 @@ let test_concurrent_counter_linearizes () =
   let cell = V.make 0 in
   let per = 300 in
   let stop = Atomic.make false in
+  let ops = Atomic.make 0 in
+  (* progress-paced ticker: one advance per observed batch of
+     increments, so retries are forced without any wall-clock pacing *)
   let ticker =
     Domain.spawn (fun () ->
+        let last = ref (-1) in
         while not (Atomic.get stop) do
-          E.advance_epoch esys ~tid:3;
-          Unix.sleepf 2e-4
+          let seen = Atomic.get ops in
+          if seen <> !last then begin
+            last := seen;
+            E.advance_epoch esys ~tid:3
+          end
+          else Domain.cpu_relax ()
         done)
   in
   let incr_worker tid () =
@@ -123,7 +131,8 @@ let test_concurrent_counter_linearizes () =
         E.end_op esys ~tid;
         if not ok then attempt ()
       in
-      attempt ()
+      attempt ();
+      Atomic.incr ops
     done
   in
   let ds = Array.init 2 (fun tid -> Domain.spawn (incr_worker tid)) in

@@ -20,11 +20,20 @@ let run_history ~threads ~per_thread ~driver esys =
   L.reset_clock ();
   let all = Array.make threads [] in
   let stop = Atomic.make false in
+  let ops = Atomic.make 0 in
+  (* progress-paced ticker: advance only when the workers have recorded
+     new operations since the last tick — epoch churn tracks the
+     workload with no wall-clock pacing to race against *)
   let ticker =
     Domain.spawn (fun () ->
+        let last = ref (-1) in
         while not (Atomic.get stop) do
-          E.advance_epoch esys ~tid:(threads + 1);
-          Unix.sleepf 1e-4
+          let seen = Atomic.get ops in
+          if seen <> !last then begin
+            last := seen;
+            E.advance_epoch esys ~tid:(threads + 1)
+          end
+          else Domain.cpu_relax ()
         done)
   in
   let ds =
@@ -33,7 +42,8 @@ let run_history ~threads ~per_thread ~driver esys =
             let rng = Util.Xoshiro.create (tid * 31 + 5) in
             let events = ref [] in
             for i = 1 to per_thread do
-              events := driver ~tid ~rng ~i :: !events
+              events := driver ~tid ~rng ~i :: !events;
+              Atomic.incr ops
             done;
             all.(tid) <- !events))
   in
@@ -83,6 +93,49 @@ let test_nb_set_linearizable () =
   in
   let events = run_history ~threads:3 ~per_thread:7 ~driver esys in
   Alcotest.(check bool) "history linearizes as a set" true (L.check L.set_spec events)
+
+let test_mvector_linearizable () =
+  let esys = make_esys () in
+  let v = Pstructs.Mvector.create esys in
+  let driver ~tid ~rng ~i =
+    match Util.Xoshiro.int rng 4 with
+    | 0 ->
+        let s = Printf.sprintf "%d-%d" tid i in
+        L.record (L.Vpush s) (fun () -> L.VIdx (Pstructs.Mvector.push v ~tid s))
+    | 1 -> L.record L.Vpop (fun () -> L.VVal (Pstructs.Mvector.pop v ~tid))
+    | 2 ->
+        let idx = Util.Xoshiro.int rng 6 in
+        L.record (L.Vget idx) (fun () -> L.VVal (Pstructs.Mvector.get v ~tid idx))
+    | _ ->
+        let idx = Util.Xoshiro.int rng 6 in
+        let s = Printf.sprintf "s%d-%d" tid i in
+        L.record (L.Vset (idx, s)) (fun () -> L.VOk (Pstructs.Mvector.set v ~tid idx s))
+  in
+  let events = run_history ~threads:3 ~per_thread:7 ~driver esys in
+  Alcotest.(check bool) "history linearizes as a vector" true (L.check L.vector_spec events)
+
+let test_mgraph_linearizable () =
+  let esys = make_esys () in
+  let g = Pstructs.Mgraph.create ~capacity:8 esys in
+  let driver ~tid ~rng ~i =
+    (* small id space so vertex/edge ops genuinely conflict *)
+    let a = Util.Xoshiro.int rng 4 and b = Util.Xoshiro.int rng 4 in
+    match Util.Xoshiro.int rng 6 with
+    | 0 ->
+        let attrs = Printf.sprintf "v%d-%d" tid i in
+        L.record (L.Gadd_vertex (a, attrs)) (fun () ->
+            L.GB (Pstructs.Mgraph.add_vertex g ~tid a attrs))
+    | 1 -> L.record (L.Gremove_vertex a) (fun () -> L.GB (Pstructs.Mgraph.remove_vertex g ~tid a))
+    | 2 ->
+        let attrs = Printf.sprintf "e%d-%d" tid i in
+        L.record (L.Gadd_edge (a, b, attrs)) (fun () ->
+            L.GB (Pstructs.Mgraph.add_edge g ~tid a b attrs))
+    | 3 -> L.record (L.Gremove_edge (a, b)) (fun () -> L.GB (Pstructs.Mgraph.remove_edge g ~tid a b))
+    | 4 -> L.record (L.Gedge_attrs (a, b)) (fun () -> L.GS (Pstructs.Mgraph.edge_attrs g ~tid a b))
+    | _ -> L.record (L.Gvertex_attrs a) (fun () -> L.GS (Pstructs.Mgraph.vertex_attrs g ~tid a))
+  in
+  let events = run_history ~threads:3 ~per_thread:7 ~driver esys in
+  Alcotest.(check bool) "history linearizes as a graph" true (L.check L.graph_spec events)
 
 (* Background-advancer variants: the histories are recorded while the
    auto-spawned advancer ticks asynchronously — with coalescing on and
@@ -208,6 +261,8 @@ let () =
           Alcotest.test_case "nb_stack" `Quick test_nb_stack_linearizable;
           Alcotest.test_case "nb_queue" `Quick test_nb_queue_linearizable;
           Alcotest.test_case "nb_list_set" `Quick test_nb_set_linearizable;
+          Alcotest.test_case "mvector" `Quick test_mvector_linearizable;
+          Alcotest.test_case "mgraph" `Quick test_mgraph_linearizable;
         ] );
       ( "background-advancer",
         [

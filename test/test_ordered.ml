@@ -114,24 +114,25 @@ let test_skiplist_concurrent_reads_during_writes () =
     ignore (Pstructs.Mskiplist.put s ~tid:0 (Printf.sprintf "base%03d" i) "v")
   done;
   let stop = Atomic.make false in
+  let hits = Atomic.make 0 in
   let reader =
     Domain.spawn (fun () ->
         let rng = Util.Xoshiro.create 3 in
-        let hits = ref 0 in
         while not (Atomic.get stop) do
           let k = Printf.sprintf "base%03d" (Util.Xoshiro.int rng 200) in
-          if Pstructs.Mskiplist.get s ~tid:1 k <> None then incr hits
-        done;
-        !hits)
+          if Pstructs.Mskiplist.get s ~tid:1 k <> None then Atomic.incr hits
+        done)
   in
   for i = 0 to 300 do
     ignore (Pstructs.Mskiplist.put s ~tid:0 (Printf.sprintf "new%03d" i) "w")
   done;
-  (* one core: give the reader domain a timeslice before stopping it *)
-  Unix.sleepf 0.05;
+  (* stop only after observed reader progress, not after a timeslice *)
+  while Atomic.get hits = 0 do
+    Domain.cpu_relax ()
+  done;
   Atomic.set stop true;
-  let hits = Domain.join reader in
-  Alcotest.(check bool) "reader made progress and never crashed" true (hits > 0);
+  Domain.join reader;
+  Alcotest.(check bool) "reader made progress and never crashed" true (Atomic.get hits > 0);
   Alcotest.(check int) "all writes landed" 501 (Pstructs.Mskiplist.size s)
 
 (* model property *)
@@ -214,15 +215,24 @@ let test_set_epoch_churn () =
   let _, esys = make_esys () in
   let s = Pstructs.Nb_list_set.create esys in
   let stop = Atomic.make false in
+  let ops = Atomic.make 0 in
+  (* progress-paced ticker (see test_pstructs): epoch churn follows the
+     adds themselves, no wall-clock pacing *)
   let ticker =
     Domain.spawn (fun () ->
+        let last = ref (-1) in
         while not (Atomic.get stop) do
-          E.advance_epoch esys ~tid:5;
-          Unix.sleepf 2e-4
+          let seen = Atomic.get ops in
+          if seen <> !last then begin
+            last := seen;
+            E.advance_epoch esys ~tid:5
+          end
+          else Domain.cpu_relax ()
         done)
   in
   for i = 0 to 300 do
-    ignore (Pstructs.Nb_list_set.add s ~tid:0 (Printf.sprintf "%04d" i))
+    ignore (Pstructs.Nb_list_set.add s ~tid:0 (Printf.sprintf "%04d" i));
+    Atomic.incr ops
   done;
   Atomic.set stop true;
   Domain.join ticker;
@@ -273,11 +283,17 @@ let test_nbmap_concurrent_contention_with_churn () =
   let _, esys = make_esys () in
   let m = Pstructs.Nb_hashmap.create ~buckets:8 esys in
   let stop = Atomic.make false in
+  let ops = Atomic.make 0 in
   let ticker =
     Domain.spawn (fun () ->
+        let last = ref (-1) in
         while not (Atomic.get stop) do
-          E.advance_epoch esys ~tid:5;
-          Unix.sleepf 2e-4
+          let seen = Atomic.get ops in
+          if seen <> !last then begin
+            last := seen;
+            E.advance_epoch esys ~tid:5
+          end
+          else Domain.cpu_relax ()
         done)
   in
   let ds =
@@ -287,7 +303,8 @@ let test_nbmap_concurrent_contention_with_churn () =
             for _ = 1 to 400 do
               let k = Printf.sprintf "k%02d" (Util.Xoshiro.int rng 16) in
               if Util.Xoshiro.bool rng then ignore (Pstructs.Nb_hashmap.add m ~tid k "v")
-              else ignore (Pstructs.Nb_hashmap.remove m ~tid k)
+              else ignore (Pstructs.Nb_hashmap.remove m ~tid k);
+              Atomic.incr ops
             done))
   in
   Array.iter Domain.join ds;

@@ -191,7 +191,7 @@ let test_queue_concurrent_producers_consumers () =
               | Some _ ->
                   incr got;
                   ignore (Atomic.fetch_and_add consumers_got 1)
-              | None -> Unix.sleepf 1e-6 (* yield: more cores than domains here *)
+              | None -> Domain.cpu_relax () (* empty poll: producers still filling *)
             done;
             !got))
   in
@@ -267,19 +267,30 @@ let test_nb_stack_survives_epoch_advances () =
   let _, esys = make_esys () in
   let s = Pstructs.Nb_stack.create esys in
   let stop = Atomic.make false in
+  let ops = Atomic.make 0 in
+  (* progress-paced clock: tick once per observed batch of operations,
+     never on wall time — epoch churn scales with the work instead of
+     depending on a sleep racing the worker *)
   let ticker =
     Domain.spawn (fun () ->
+        let last = ref (-1) in
         while not (Atomic.get stop) do
-          E.advance_epoch esys ~tid:5;
-          Unix.sleepf 2e-4 (* a fast epoch clock, but not a livelock *)
+          let seen = Atomic.get ops in
+          if seen <> !last then begin
+            last := seen;
+            E.advance_epoch esys ~tid:5
+          end
+          else Domain.cpu_relax ()
         done)
   in
   for i = 0 to 500 do
-    Pstructs.Nb_stack.push s ~tid:0 (string_of_int i)
+    Pstructs.Nb_stack.push s ~tid:0 (string_of_int i);
+    Atomic.incr ops
   done;
   let count = ref 0 in
   while Pstructs.Nb_stack.pop s ~tid:0 <> None do
-    incr count
+    incr count;
+    Atomic.incr ops
   done;
   Atomic.set stop true;
   Domain.join ticker;

@@ -94,20 +94,39 @@ let test_tracker_register () =
   T.unregister t ~tid:1;
   Alcotest.(check bool) "gone" false (T.any_active_le t ~epoch:100)
 
+(* Run waiter and unregisterer as deterministic fibers: the scheduler
+   proves [wait_all] blocks (the waiter can only resume once its await
+   predicate holds, i.e. after the unregister) on every interleaving —
+   no wall-clock "should still be blocked by now" window. *)
 let test_tracker_wait_all_blocks_then_releases () =
-  let t = T.create ~max_threads:4 in
-  T.register t ~tid:2 ~epoch:5;
-  let released = Atomic.make false in
-  let waiter =
-    Domain.spawn (fun () ->
-        T.wait_all t ~epoch:5;
-        Atomic.set released true)
+  let scenario =
+    {
+      Dsched.init =
+        (fun () ->
+          let t = T.create ~max_threads:4 in
+          T.register t ~tid:2 ~epoch:5;
+          (t, ref false, ref false));
+      threads =
+        [|
+          (fun (t, released, unregistered) ->
+            T.wait_all t ~epoch:5;
+            (* early release = returning while the epoch is still active *)
+            if !unregistered then released := true);
+          (fun (t, _, unregistered) ->
+            unregistered := true;
+            T.unregister t ~tid:2);
+        |];
+      check_crash = None;
+      check_done = Some (fun (_, released, _) -> !released);
+    }
   in
-  Unix.sleepf 0.02;
-  Alcotest.(check bool) "still blocked" false (Atomic.get released);
-  T.unregister t ~tid:2;
-  Domain.join waiter;
-  Alcotest.(check bool) "released" true (Atomic.get released)
+  let r =
+    Dsched.explore (Dsched.Exhaustive { preemptions = 2; max_attempts = 10_000; crashes = false })
+      scenario
+  in
+  match r.Dsched.failure with
+  | Some f -> Alcotest.fail (Dsched.failure_to_string f)
+  | None -> Alcotest.(check bool) "interleavings explored" true (r.Dsched.schedules > 1)
 
 let test_tracker_wait_ignores_newer_epochs () =
   let t = T.create ~max_threads:4 in
