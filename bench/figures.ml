@@ -891,6 +891,122 @@ let coalesce () =
         ~claim:"hashmap rewrite bursts dedup at least 2x at the coalescer" (lo > 0 && li >= 2 * lo)
   | None -> ()
 
+(* ---- Netserve: the TCP front end under closed-loop load ---- *)
+
+(* The §6.2 validation taken all the way to sockets: the memcached
+   store behind the sharded netserve front end, driven by the
+   closed-loop load generator over loopback.  Throughput vs worker
+   count for the Montage backend against the same server on a
+   transient (DRAM) map — the gap is the full buffered-persistence
+   cost as a network client sees it — plus the latency percentiles at
+   the widest sharding.  Each point builds a fresh server on an
+   ephemeral port, preloads the keyspace, and shuts down gracefully
+   (drain + epoch sync), feeding [Systems.report_netserve]. *)
+let netserve_point ~backend ~workers =
+  let value_size = 64 and keyspace = 2000 in
+  let store, esys, r =
+    match backend with
+    | `Montage ->
+        let capacity = 1 lsl 26 in
+        let r = Systems.region ~capacity ~threads:workers in
+        let esys = E.create ~config:{ Cfg.default with max_threads = workers + 1 } r in
+        let map = Pstructs.Mhashmap.create ~buckets:(1 lsl 12) esys in
+        (Kvstore.Store.create (Kvstore.Store.of_mhashmap map), Some esys, Some r)
+    | `Transient ->
+        let m = Baselines.Transient_map.create ~buckets:(1 lsl 12) Baselines.Transient_map.Dram in
+        (Kvstore.Store.create (Kvstore.Store.of_transient_map m), None, None)
+  in
+  let config = { Netserve.default_config with port = 0; workers; tick_s = 0.01 } in
+  let t =
+    match esys with
+    | Some esys ->
+        Netserve.start ~config
+          ~sync:(fun ~tid -> E.sync esys ~tid)
+          ~persisted_epoch:(fun () -> E.persisted_epoch esys)
+          store
+    | None -> Netserve.start ~config store
+  in
+  let lg =
+    {
+      Netserve.Loadgen.default_config with
+      port = Netserve.port t;
+      conns = max 4 (2 * workers);
+      domains = 2;
+      duration_s = Env.duration_s;
+      pipeline = 8;
+      value_size;
+      keyspace;
+      get_frac = 0.9;
+      key_prefix = "ns";
+    }
+  in
+  Netserve.Loadgen.preload ~config:lg ();
+  let report = Netserve.Loadgen.run ~config:lg () in
+  let d = Netserve.shutdown t in
+  Systems.note_netserve t d;
+  (match (esys, r) with
+  | Some esys, Some r ->
+      E.stop_background esys;
+      Systems.note_region_stats r;
+      Systems.note_mirror_stats esys r
+  | _ -> ());
+  report
+
+let netserve () =
+  Benchlib.Report.heading
+    "Netserve: memcached TCP front end, closed-loop loadgen (90% get, 64 B values)";
+  let worker_counts = Env.threads in
+  let safe backend workers =
+    try Some (netserve_point ~backend ~workers)
+    with e ->
+      Printf.eprintf "[bench] netserve %d workers failed: %s\n%!" workers (Printexc.to_string e);
+      None
+  in
+  let points =
+    List.map
+      (fun (name, backend) ->
+        (name, backend, List.map (fun w -> (w, safe backend w)) worker_counts))
+      [ ("Montage", `Montage); ("Transient (DRAM)", `Transient) ]
+  in
+  let tput = function None -> nan | Some r -> r.Netserve.Loadgen.ops_per_sec in
+  Benchlib.Report.table
+    ~columns:(List.map (fun w -> Printf.sprintf "%dw" w) worker_counts)
+    ~rows:(List.map (fun (name, _, pts) -> (name, List.map (fun (_, p) -> tput p) pts)) points)
+    ~unit_label:"ops/s" ();
+  (* latency at the widest sharding *)
+  Benchlib.Report.table
+    ~columns:[ "mean_us"; "p50_us"; "p95_us"; "p99_us" ]
+    ~rows:
+      (List.map
+         (fun (name, _, pts) ->
+           match List.rev pts with
+           | (_, Some r) :: _ ->
+               ( name,
+                 [
+                   r.Netserve.Loadgen.mean_us;
+                   r.Netserve.Loadgen.p50_us;
+                   r.Netserve.Loadgen.p95_us;
+                   r.Netserve.Loadgen.p99_us;
+                 ] )
+           | _ -> (name, [ nan; nan; nan; nan ]))
+         points)
+    ~unit_label:(Printf.sprintf "latency at %d workers" (List.fold_left max 1 worker_counts))
+    ();
+  let montage_pts = match points with (_, _, pts) :: _ -> pts | [] -> [] in
+  Benchlib.Report.check ~figure:"netserve"
+    ~claim:"the Montage-backed server sustains non-zero throughput at every worker count"
+    (montage_pts <> []
+    && List.for_all
+         (fun (_, p) -> match p with Some r -> r.Netserve.Loadgen.ops > 0 && r.Netserve.Loadgen.errors = 0 | None -> false)
+         montage_pts);
+  Benchlib.Report.check ~figure:"netserve"
+    ~claim:"latency percentiles are ordered (p50 <= p95 <= p99) on the Montage backend"
+    (match List.rev montage_pts with
+    | (_, Some r) :: _ ->
+        r.Netserve.Loadgen.p50_us <= r.Netserve.Loadgen.p95_us
+        && r.Netserve.Loadgen.p95_us <= r.Netserve.Loadgen.p99_us
+    | _ -> false)
+
 (* ---- Read path: volatile payload mirrors ---- *)
 
 (* Fixed-op read-mostly mix (95% GET / 5% PUT over a uniform key

@@ -26,6 +26,7 @@ let () =
       ("ablation", Figures.ablations);
       ("coalesce", Figures.coalesce);
       ("readpath", Figures.readpath);
+      ("netserve", Figures.netserve);
       ("bechamel", Bechamel_suite.run);
     ]
   in
@@ -39,5 +40,6 @@ let () =
     figures;
   Systems.report_coalescing ();
   Systems.report_mirror ();
+  Systems.report_netserve ();
   Systems.report_pcheck ();
   Benchlib.Report.summary ()

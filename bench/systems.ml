@@ -133,6 +133,56 @@ let report_coalescing () =
       ~lines_out:wb_totals.lines_out
   end
 
+(* Netserve front-end accounting, same lifecycle as [wb_totals]: each
+   benchmarked server contributes its lifetime connection/command/byte
+   counters and drain timings when it shuts down. *)
+type net_totals = {
+  mutable n_servers : int;
+  mutable n_conns : int;
+  mutable n_cmds : int;
+  mutable n_bytes_in : int;
+  mutable n_bytes_out : int;
+  mutable n_forced : int;
+  mutable n_drain_s : float;
+  mutable n_sync_s : float;
+}
+
+let net_totals =
+  {
+    n_servers = 0;
+    n_conns = 0;
+    n_cmds = 0;
+    n_bytes_in = 0;
+    n_bytes_out = 0;
+    n_forced = 0;
+    n_drain_s = 0.0;
+    n_sync_s = 0.0;
+  }
+
+let note_netserve t (d : Netserve.drain_stats) =
+  let conns, bytes_in, bytes_out, cmds = Netserve.totals t in
+  net_totals.n_servers <- net_totals.n_servers + 1;
+  net_totals.n_conns <- net_totals.n_conns + conns;
+  net_totals.n_cmds <- net_totals.n_cmds + cmds;
+  net_totals.n_bytes_in <- net_totals.n_bytes_in + bytes_in;
+  net_totals.n_bytes_out <- net_totals.n_bytes_out + bytes_out;
+  net_totals.n_forced <- net_totals.n_forced + d.Netserve.forced_closes;
+  net_totals.n_drain_s <- net_totals.n_drain_s +. d.Netserve.drain_s;
+  net_totals.n_sync_s <- net_totals.n_sync_s +. d.Netserve.sync_s
+
+let report_netserve () =
+  let t = net_totals in
+  if t.n_servers > 0 then
+    Printf.printf
+      "\n\
+       === netserve: %d servers, %d connections, %d commands, %.1f MB in / %.1f MB out, %d \
+       forced closes, %.3fs drain + %.3fs sync total ===\n\
+       %!"
+      t.n_servers t.n_conns t.n_cmds
+      (float_of_int t.n_bytes_in /. 1e6)
+      (float_of_int t.n_bytes_out /. 1e6)
+      t.n_forced t.n_drain_s t.n_sync_s
+
 (* Spawn a 10 ms ticker domain calling [tick] until stopped — the
    pacing Dalí's periodic persistence needs. *)
 let ticker ?(period = 0.01) tick =

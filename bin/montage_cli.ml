@@ -5,6 +5,9 @@
      workload  run a timed workload against a chosen structure
      torture   randomized crash-consistency check (like the example,
                with knobs)
+     serve     run the netserve memcached front end over the KV store
+     loadgen   closed-loop load generator against a running server
+     netsmoke  in-process server smoke test (used by CI)
 
    This is a developer tool; the benchmark suite is bench/main.exe. *)
 
@@ -151,6 +154,226 @@ let torture rounds seed =
   end
   else `Error (false, "inconsistent recovery detected")
 
+(* ---- serve ---- *)
+
+(* Build the store for the requested backend.  The Montage build sizes
+   the epoch system for [workers] server tids plus the advancer slot,
+   and hands netserve the sync/frontier hooks its shutdown drain uses
+   as the durability barrier. *)
+let make_backend backend workers capacity_mib =
+  match backend with
+  | "montage" ->
+      let region = Nvm.Region.create ~max_threads:(workers + 4) ~capacity:(capacity_mib * mib) () in
+      let esys = E.create ~config:{ Cfg.default with max_threads = workers + 1 } region in
+      let map = Pstructs.Mhashmap.create esys in
+      Some (Kvstore.Store.create (Kvstore.Store.of_mhashmap map), Some esys)
+  | "transient" ->
+      let m = Baselines.Transient_map.create Baselines.Transient_map.Dram in
+      Some (Kvstore.Store.create (Kvstore.Store.of_transient_map m), None)
+  | _ -> None
+
+let start_server ~host ~port ~workers store esys =
+  let config = { Netserve.default_config with host; port; workers } in
+  match esys with
+  | Some esys ->
+      Netserve.start ~config
+        ~sync:(fun ~tid -> E.sync esys ~tid)
+        ~persisted_epoch:(fun () -> E.persisted_epoch esys)
+        store
+  | None -> Netserve.start ~config store
+
+let serve backend host port workers seconds capacity_mib =
+  if workers < 1 then `Error (false, "workers must be >= 1")
+  else
+    match make_backend backend workers capacity_mib with
+    | None -> `Error (false, "backend must be montage|transient")
+    | Some (store, esys) ->
+        let t = start_server ~host ~port ~workers store esys in
+        Printf.printf "netserve: %s backend, %d worker(s) on %s:%d\n%!" backend workers host
+          (Netserve.port t);
+        let stop = Atomic.make false in
+        let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+        Sys.set_signal Sys.sigint handler;
+        Sys.set_signal Sys.sigterm handler;
+        let deadline = if seconds <= 0.0 then infinity else Unix.gettimeofday () +. seconds in
+        while (not (Atomic.get stop)) && Unix.gettimeofday () < deadline do
+          try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        let d = Netserve.shutdown t in
+        let accepted, bytes_in, bytes_out, cmds = Netserve.totals t in
+        Printf.printf "shutdown: drained %d conn(s), %d forced, %.3fs drain + %.3fs sync" d.drained_conns
+          d.forced_closes d.drain_s d.sync_s;
+        if d.persisted_epoch >= 0 then Printf.printf ", persisted epoch %d" d.persisted_epoch;
+        print_newline ();
+        Printf.printf "totals: %d connection(s), %d command(s), %d bytes in, %d bytes out\n" accepted
+          cmds bytes_in bytes_out;
+        Option.iter E.stop_background esys;
+        `Ok ()
+
+(* ---- loadgen ---- *)
+
+let loadgen host port conns domains seconds pipeline value_size keyspace get_frac seed no_preload =
+  let config =
+    {
+      Netserve.Loadgen.default_config with
+      host;
+      port;
+      conns;
+      domains;
+      duration_s = seconds;
+      pipeline;
+      value_size;
+      keyspace;
+      get_frac;
+      seed;
+    }
+  in
+  match
+    if not no_preload then Netserve.Loadgen.preload ~config ();
+    Netserve.Loadgen.run ~config ()
+  with
+  | exception (Unix.Unix_error _ | Failure _) ->
+      `Error (false, Printf.sprintf "cannot drive server at %s:%d" host port)
+  | r ->
+      Netserve.Loadgen.print_report ~label:(Printf.sprintf "%s:%d" host port) r;
+      if r.ops = 0 then `Error (false, "no operations completed") else `Ok ()
+
+(* ---- netsmoke ---- *)
+
+(* In-process end-to-end smoke: start a Montage-backed server on an
+   ephemeral port, run a byte-exact pipelined session and a seeded
+   loadgen burst, read stats, shut down gracefully, crash the region,
+   and verify every acked STORED key survives recovery.  CI runs this
+   in every matrix leg. *)
+let netsmoke () =
+  let failures = ref [] in
+  let check name ok =
+    Printf.printf "  [%s] %s\n%!" (if ok then "ok" else "FAIL") name;
+    if not ok then failures := name :: !failures
+  in
+  let workers = 4 in
+  let region = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:(workers + 4) ~capacity:(64 * mib) () in
+  let esys = E.create ~config:{ Cfg.default with max_threads = workers + 1 } region in
+  let map = Pstructs.Mhashmap.create esys in
+  let store = Kvstore.Store.create (Kvstore.Store.of_mhashmap map) in
+  let t = start_server ~host:"127.0.0.1" ~port:0 ~workers store (Some esys) in
+  let port = Netserve.port t in
+  let connect () =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.setsockopt_float fd SO_RCVTIMEO 5.0;
+    fd
+  in
+  let send fd s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+  let recv_exact fd n =
+    let buf = Bytes.create n in
+    let off = ref 0 in
+    (try
+       while !off < n do
+         let k = Unix.read fd buf !off (n - !off) in
+         if k = 0 then raise Exit;
+         off := !off + k
+       done
+     with Exit | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+    Bytes.sub_string buf 0 !off
+  in
+  let recv_until fd suffix =
+    let acc = Buffer.create 256 in
+    let chunk = Bytes.create 4096 in
+    let ends_with () =
+      let s = Buffer.contents acc in
+      String.length s >= String.length suffix
+      && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
+    in
+    (try
+       while not (ends_with ()) do
+         let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+         if k = 0 then raise Exit;
+         Buffer.add_subbytes acc chunk 0 k
+       done
+     with Exit | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+    Buffer.contents acc
+  in
+  (* 1. byte-exact pipelined session on one connection *)
+  let fd = connect () in
+  send fd
+    "set a 5 0 3\r\nfoo\r\nget a\r\nset n 0 0 1\r\n7\r\nincr n 3\r\nadd a 0 0 1\r\nx\r\ndelete missing\r\nget a n\r\n";
+  let expected =
+    "STORED\r\nVALUE a 5 3\r\nfoo\r\nEND\r\nSTORED\r\n10\r\nNOT_STORED\r\nNOT_FOUND\r\n\
+     VALUE a 5 3\r\nfoo\r\nVALUE n 0 2\r\n10\r\nEND\r\n"
+  in
+  let got = recv_exact fd (String.length expected) in
+  check "pipelined session byte-exact" (got = expected);
+  if got <> expected then Printf.printf "    got: %S\n" got;
+  (* 2. flush_all wipes, later sets survive *)
+  send fd "flush_all\r\nget a\r\nset b 0 0 2\r\nhi\r\nget b\r\n";
+  let expected2 = "OK\r\nEND\r\nSTORED\r\nVALUE b 0 2\r\nhi\r\nEND\r\n" in
+  let got2 = recv_exact fd (String.length expected2) in
+  check "flush_all epoch-style invalidation" (got2 = expected2);
+  (* 3. seeded loadgen burst through benchlib reporting *)
+  let lg =
+    {
+      Netserve.Loadgen.default_config with
+      port;
+      conns = 8;
+      domains = 2;
+      duration_s = 0.5;
+      keyspace = 500;
+      key_prefix = "sm";
+    }
+  in
+  Netserve.Loadgen.preload ~config:lg ();
+  let r = Netserve.Loadgen.run ~config:lg () in
+  Netserve.Loadgen.print_report ~label:"netsmoke" r;
+  check "loadgen completed ops" (r.ops > 0);
+  check "loadgen error-free" (r.errors = 0);
+  check "loadgen hit path exercised" (r.hits > 0);
+  check "loadgen percentiles ordered" (r.p50_us <= r.p95_us && r.p95_us <= r.p99_us);
+  (* 4. stats over the wire: server section present and plausible *)
+  send fd "stats\r\n";
+  let stats = recv_until fd "END\r\n" in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check "stats: worker threads reported" (contains stats "STAT threads 4");
+  check "stats: get counter present" (contains stats "STAT cmd_get ");
+  check "stats: connection counter present" (contains stats "STAT total_connections ");
+  check "stats: pipeline depth tracked" (contains stats "STAT max_pipeline_depth ");
+  (* 5. acked STORED keys survive graceful shutdown + crash *)
+  let dur = 20 in
+  let buf = Buffer.create 512 in
+  for i = 0 to dur - 1 do
+    Buffer.add_string buf (Printf.sprintf "set dur%02d 0 0 4\r\nv%03d\r\n" i i)
+  done;
+  send fd (Buffer.contents buf);
+  let acks = recv_exact fd (dur * 8) in
+  check "durability keys acked" (acks = String.concat "" (List.init dur (fun _ -> "STORED\r\n")));
+  send fd "quit\r\n";
+  Unix.close fd;
+  let d = Netserve.shutdown t in
+  check "graceful drain (no forced closes)" (d.forced_closes = 0);
+  check "shutdown advanced the durable frontier" (d.persisted_epoch >= 1);
+  E.stop_background esys;
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:{ Cfg.default with max_threads = workers + 1 } region in
+  let map2 = Pstructs.Mhashmap.recover esys2 payloads in
+  let store2 = Kvstore.Store.create (Kvstore.Store.of_mhashmap map2) in
+  let missing = ref 0 in
+  for i = 0 to dur - 1 do
+    match Kvstore.Store.get store2 ~tid:0 (Printf.sprintf "dur%02d" i) with
+    | Some v when v = Printf.sprintf "v%03d" i -> ()
+    | _ -> incr missing
+  done;
+  check "every acked key recovered after crash" (!missing = 0);
+  E.stop_background esys2;
+  match !failures with
+  | [] ->
+      Printf.printf "netsmoke: all checks passed\n";
+      `Ok ()
+  | fs -> `Error (false, Printf.sprintf "netsmoke failed: %s" (String.concat "; " (List.rev fs)))
+
 (* ---- command wiring ---- *)
 
 let demo_cmd =
@@ -174,6 +397,46 @@ let torture_cmd =
   Cmd.v (Cmd.info "torture" ~doc:"Randomized crash-consistency check.")
     Term.(ret (const torture $ rounds $ seed))
 
+let host_arg = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Bind/connect address.")
+
+let serve_cmd =
+  let backend =
+    Arg.(value & pos 0 string "montage" & info [] ~docv:"BACKEND" ~doc:"montage|transient")
+  in
+  let port = Arg.(value & opt int 11211 & info [ "port"; "p" ] ~doc:"TCP port (0 = ephemeral).") in
+  let workers = Arg.(value & opt int 2 & info [ "workers"; "w" ] ~doc:"Event-loop domains.") in
+  let seconds =
+    Arg.(value & opt float 0.0 & info [ "seconds"; "d" ] ~doc:"Run time; 0 = until SIGINT/SIGTERM.")
+  in
+  let capacity = Arg.(value & opt int 256 & info [ "capacity-mib" ] ~doc:"NVM region size (MiB).") in
+  Cmd.v (Cmd.info "serve" ~doc:"Serve the memcached text protocol over the KV store.")
+    Term.(ret (const serve $ backend $ host_arg $ port $ workers $ seconds $ capacity))
+
+let loadgen_cmd =
+  let port = Arg.(value & opt int 11211 & info [ "port"; "p" ] ~doc:"Server port.") in
+  let conns = Arg.(value & opt int 8 & info [ "conns"; "c" ] ~doc:"Total connections.") in
+  let domains = Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Generator domains.") in
+  let seconds = Arg.(value & opt float 2.0 & info [ "seconds"; "d" ] ~doc:"Duration.") in
+  let pipeline = Arg.(value & opt int 8 & info [ "pipeline" ] ~doc:"Commands per batch.") in
+  let value_size = Arg.(value & opt int 64 & info [ "value-size" ] ~doc:"Value size in bytes.") in
+  let keyspace = Arg.(value & opt int 10_000 & info [ "keys" ] ~doc:"Keyspace size.") in
+  let get_frac = Arg.(value & opt float 0.9 & info [ "get-frac" ] ~doc:"Fraction of gets.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let no_preload = Arg.(value & flag & info [ "no-preload" ] ~doc:"Skip keyspace preload.") in
+  Cmd.v (Cmd.info "loadgen" ~doc:"Closed-loop memcached load generator.")
+    Term.(
+      ret
+        (const loadgen $ host_arg $ port $ conns $ domains $ seconds $ pipeline $ value_size
+       $ keyspace $ get_frac $ seed $ no_preload))
+
+let netsmoke_cmd =
+  Cmd.v (Cmd.info "netsmoke" ~doc:"In-process server smoke test (CI).")
+    Term.(ret (const netsmoke $ const ()))
+
 let () =
   let doc = "Montage buffered-persistence playground" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "montage_cli" ~doc) [ demo_cmd; workload_cmd; torture_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "montage_cli" ~doc)
+          [ demo_cmd; workload_cmd; torture_cmd; serve_cmd; loadgen_cmd; netsmoke_cmd ]))

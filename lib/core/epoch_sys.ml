@@ -910,6 +910,12 @@ let sync t ~tid =
   advance_epoch_charged t ~tid ~charged:true;
   advance_epoch_charged t ~tid ~charged:true
 
+(* The durable frontier: recovery after a crash in epoch e restores
+   exactly the payloads of epochs <= e - 2, so that is what is durable
+   right now.  [sync] advances twice precisely to push this frontier
+   past every already-completed operation. *)
+let persisted_epoch t = Atomic.get t.curr_epoch - 2
+
 (* ---- background advancer ---- *)
 
 let start_background t =

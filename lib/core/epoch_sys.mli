@@ -203,3 +203,10 @@ val advance_epoch : t -> tid:int -> unit
     charged epoch advances; the caller helps with the writes-back, as
     in §5.2). *)
 val sync : t -> tid:int -> unit
+
+(** The durable frontier: a crash right now loses nothing from epochs
+    [<= persisted_epoch t] (= current epoch - 2).  Transports use this
+    to report how far the persisted prefix reaches after a
+    shutdown-drain {!sync} — every reply acked before the sync is
+    covered by the frontier it leaves behind. *)
+val persisted_epoch : t -> int

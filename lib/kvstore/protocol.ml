@@ -6,10 +6,17 @@
    transport and produces protocol replies, handling pipelining,
    [noreply], and binary-safe data blocks (which may contain \r\n).
 
-   Supported commands: get/gets, set/add/replace/append/prepend,
-   delete, incr/decr, touch, version, verbosity, stats, quit.
-   cas is parsed but answered with EXISTS/NOT_FOUND semantics against
-   the store's cas ids. *)
+   Supported commands: get/gets, set/add/replace/append/prepend/cas,
+   delete, incr/decr, touch, flush_all, stats, version, verbosity,
+   quit.
+
+   Framing is amortized O(1) per byte: unconsumed input lives in a
+   compacting ring ([ibuf], [ipos], [ilen]) and the command-line
+   scanner remembers how far it has already looked for \r\n
+   ([scanned]), so a data block or long line arriving in many small
+   feeds is never re-scanned.  Command lines are capped at [max_line]
+   bytes and data blocks at [max_value]; oversized input is answered
+   with a CLIENT_ERROR and drained without ever being buffered. *)
 
 type pending = {
   op : storage_op;
@@ -22,17 +29,44 @@ type pending = {
 
 and storage_op = Set | Add | Replace | Append | Prepend | Cas of int
 
-type state = Idle | Awaiting of pending
+type state =
+  | Idle
+  | Awaiting of pending  (* command parsed, data block incomplete *)
+  | Discarding of int  (* oversized data block: bytes left to drop *)
+  | Skipping_line  (* oversized command line: drop until \r\n *)
 
 type conn = {
   store : Store.t;
   tid : int;
-  buf : Buffer.t; (* unconsumed input *)
+  mutable ibuf : Bytes.t; (* unconsumed input lives in [ipos, ilen) *)
+  mutable ipos : int;
+  mutable ilen : int;
+  mutable scanned : int; (* no \r\n starts in [ipos, scanned) *)
   mutable state : state;
   mutable closed : bool;
+  max_line : int;
+  max_value : int;
+  on_command : string -> unit;
+  extra_stats : unit -> (string * string) list;
 }
 
-let create store ~tid = { store; tid; buf = Buffer.create 256; state = Idle; closed = false }
+let create ?(max_line = 8192) ?(max_value = 1 lsl 20) ?(extra_stats = fun () -> [])
+    ?(on_command = fun _ -> ()) store ~tid =
+  {
+    store;
+    tid;
+    ibuf = Bytes.create 256;
+    ipos = 0;
+    ilen = 0;
+    scanned = 0;
+    state = Idle;
+    closed = false;
+    max_line;
+    max_value;
+    extra_stats;
+    on_command;
+  }
+
 let is_closed c = c.closed
 
 let crlf = "\r\n"
@@ -64,12 +98,11 @@ let exec_storage c op key flags exptime data =
           "STORED"
       | None -> "NOT_STORED")
   | Cas expected -> (
-      match Store.get_full c.store ~tid:c.tid key with
-      | None -> "NOT_FOUND"
-      | Some (_, _, cas) when cas <> expected -> "EXISTS"
-      | Some _ ->
-          Store.set c.store ~tid:c.tid ~flags ~ttl_s key data;
-          "STORED")
+      (* one atomic step through the backend's update hook *)
+      match Store.compare_and_set c.store ~tid:c.tid ~flags ~ttl_s key ~cas:expected data with
+      | Store.Stored -> "STORED"
+      | Store.Exists -> "EXISTS"
+      | Store.Not_found -> "NOT_FOUND")
 
 let exec_get c ~with_cas keys =
   let out = Buffer.create 128 in
@@ -92,15 +125,17 @@ let exec_get c ~with_cas keys =
 
 let exec_stats c =
   let hits, misses, sets, deletes, expired = Store.stats c.store in
-  String.concat crlf
+  let base =
     [
       Printf.sprintf "STAT get_hits %d" hits;
       Printf.sprintf "STAT get_misses %d" misses;
       Printf.sprintf "STAT cmd_set %d" sets;
       Printf.sprintf "STAT delete_hits %d" deletes;
       Printf.sprintf "STAT expired_unfetched %d" expired;
-      "END";
     ]
+  in
+  let extra = List.map (fun (k, v) -> Printf.sprintf "STAT %s %s" k v) (c.extra_stats ()) in
+  String.concat crlf (base @ extra @ [ "END" ])
 
 (* ---- line parsing ---- *)
 
@@ -110,6 +145,7 @@ let split_words line = String.split_on_char ' ' line |> List.filter (( <> ) "")
 type step =
   | Reply of string option (* None = noreply *)
   | Need_data of pending
+  | Swallow of int * string option (* drop a data block, then reply *)
   | Close of string option
 
 let int_arg s = int_of_string_opt s
@@ -144,12 +180,14 @@ let run_command c line =
   match split_words line with
   | [] -> Reply (Some "ERROR")
   | cmd :: args -> (
-      match (String.lowercase_ascii cmd, args) with
+      let cmd = String.lowercase_ascii cmd in
+      c.on_command cmd;
+      match (cmd, args) with
       | "get", (_ :: _ as keys) -> Reply (Some (exec_get c ~with_cas:false keys))
       | "gets", (_ :: _ as keys) -> Reply (Some (exec_get c ~with_cas:true keys))
       | "set", _ | "add", _ | "replace", _ | "append", _ | "prepend", _ | "cas", _ -> (
           let tag =
-            match String.lowercase_ascii cmd with
+            match cmd with
             | "set" -> `Set
             | "add" -> `Add
             | "replace" -> `Replace
@@ -158,6 +196,11 @@ let run_command c line =
             | _ -> `Cas
           in
           match parse_storage tag args with
+          | Some pending when pending.bytes > c.max_value ->
+              (* drain the announced block without buffering it *)
+              Swallow
+                ( pending.bytes + 2,
+                  if pending.noreply then None else Some "CLIENT_ERROR object too large for cache" )
           | Some pending -> Need_data pending
           | None -> Reply (Some "CLIENT_ERROR bad command line format"))
       | "delete", [ key ] ->
@@ -169,7 +212,7 @@ let run_command c line =
           match int_arg amount with
           | None -> Reply (Some "CLIENT_ERROR invalid numeric delta argument")
           | Some delta ->
-              let delta = if String.lowercase_ascii cmd = "decr" then -delta else delta in
+              let delta = if cmd = "decr" then -delta else delta in
               (match Store.incr c.store ~tid:c.tid key delta with
               | Some v -> Reply (Some (string_of_int v))
               | None -> Reply (Some "NOT_FOUND")))
@@ -182,6 +225,23 @@ let run_command c line =
                   Store.set c.store ~tid:c.tid ~flags ~ttl_s:(float_of_int e) key data;
                   Reply (Some "TOUCHED")
               | None -> Reply (Some "NOT_FOUND")))
+      | "flush_all", args -> (
+          let args, noreply =
+            match List.rev args with
+            | "noreply" :: rest -> (List.rev rest, true)
+            | _ -> (args, false)
+          in
+          match args with
+          | [] ->
+              Store.flush_all c.store ();
+              Reply (if noreply then None else Some "OK")
+          | [ delay ] -> (
+              match int_arg delay with
+              | Some d when d >= 0 ->
+                  Store.flush_all c.store ~delay_s:(float_of_int d) ();
+                  Reply (if noreply then None else Some "OK")
+              | _ -> Reply (Some "CLIENT_ERROR invalid delay argument"))
+          | _ -> Reply (Some "CLIENT_ERROR bad command line format"))
       | "stats", [] -> Reply (Some (exec_stats c))
       | "version", [] -> Reply (Some "VERSION montage-ocaml 1.0")
       | "verbosity", _ -> Reply (Some "OK")
@@ -190,48 +250,99 @@ let run_command c line =
 
 (* ---- streaming state machine ---- *)
 
-let get_state c = c.state
-let set_state c s = c.state <- s
+let line_too_long = "CLIENT_ERROR line too long"
 
-(* Find "\r\n" in the buffer starting at [from]. *)
-let find_crlf s from =
-  let n = String.length s in
-  let rec scan i = if i + 1 >= n then None else if s.[i] = '\r' && s.[i + 1] = '\n' then Some i else scan (i + 1) in
-  scan from
+(* Make room for [n] more bytes: compact in place when the dead prefix
+   suffices, otherwise reallocate.  Keeps [scanned] aligned. *)
+let ensure_room c n =
+  if c.ilen + n > Bytes.length c.ibuf then begin
+    let live = c.ilen - c.ipos in
+    if live + n <= Bytes.length c.ibuf then Bytes.blit c.ibuf c.ipos c.ibuf 0 live
+    else begin
+      let cap = ref (max 256 (Bytes.length c.ibuf)) in
+      while live + n > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit c.ibuf c.ipos nb 0 live;
+      c.ibuf <- nb
+    end;
+    c.scanned <- c.scanned - c.ipos;
+    c.ilen <- live;
+    c.ipos <- 0
+  end
+
+(* Find the first "\r\n" starting at or after [scanned]; remembers the
+   scan frontier so a line split across feeds is scanned once. *)
+let find_crlf c =
+  let i = ref (max c.ipos c.scanned) in
+  let stop = c.ilen - 1 in
+  let found = ref (-1) in
+  while !found < 0 && !i < stop do
+    if Bytes.get c.ibuf !i = '\r' && Bytes.get c.ibuf (!i + 1) = '\n' then found := !i
+    else incr i
+  done;
+  if !found < 0 then begin
+    (* everything up to the last byte (a possible lone \r) is clean *)
+    c.scanned <- max c.ipos (c.ilen - 1);
+    None
+  end
+  else Some !found
 
 (* Feed raw bytes; returns the protocol replies generated (in order).
    Incomplete commands/data blocks stay buffered for the next feed. *)
 let feed c input =
   if c.closed then []
   else begin
-    Buffer.add_string c.buf input;
-    let data = Buffer.contents c.buf in
+    let n = String.length input in
+    ensure_room c n;
+    Bytes.blit_string input 0 c.ibuf c.ilen n;
+    c.ilen <- c.ilen + n;
     let replies = ref [] in
-    let pos = ref 0 in
     let emit = function Some r -> replies := r :: !replies | None -> () in
+    let consume_to pos =
+      c.ipos <- pos;
+      c.scanned <- pos
+    in
     let progressing = ref true in
     while !progressing && not c.closed do
-      match get_state c with
+      match c.state with
       | Idle -> (
-          match find_crlf data !pos with
-          | None -> progressing := false
+          match find_crlf c with
+          | None ->
+              (* cap unbounded buffering: a line of L <= max_line bytes
+                 occupies at most max_line + 1 bytes without its final
+                 \n, so anything longer is already oversized *)
+              if c.ilen - c.ipos >= c.max_line + 2 then begin
+                emit (Some line_too_long);
+                c.state <- Skipping_line
+              end
+              else progressing := false
           | Some eol ->
-              let line = String.sub data !pos (eol - !pos) in
-              pos := eol + 2;
-              (match run_command c line with
-              | Reply r -> emit r
-              | Need_data pending -> set_state c (Awaiting pending)
-              | Close r ->
-                  emit r;
-                  c.closed <- true))
+              let line = Bytes.sub_string c.ibuf c.ipos (eol - c.ipos) in
+              let too_long = String.length line > c.max_line in
+              consume_to (eol + 2);
+              if too_long then emit (Some line_too_long)
+              else begin
+                match run_command c line with
+                | Reply r -> emit r
+                | Need_data pending -> c.state <- Awaiting pending
+                | Swallow (bytes, r) ->
+                    emit r;
+                    c.state <- Discarding bytes
+                | Close r ->
+                    emit r;
+                    c.closed <- true
+              end)
       | Awaiting pending ->
-          if String.length data - !pos >= pending.bytes + 2 then begin
-            let block = String.sub data !pos pending.bytes in
+          if c.ilen - c.ipos >= pending.bytes + 2 then begin
+            let block = Bytes.sub_string c.ibuf c.ipos pending.bytes in
             let terminated =
-              String.sub data (!pos + pending.bytes) 2 = crlf
+              Bytes.get c.ibuf (c.ipos + pending.bytes) = '\r'
+              && Bytes.get c.ibuf (c.ipos + pending.bytes + 1) = '\n'
             in
-            pos := !pos + pending.bytes + 2;
-            set_state c Idle;
+            consume_to (c.ipos + pending.bytes + 2);
+            c.state <- Idle;
             if terminated then begin
               let r = exec_storage c pending.op pending.key pending.flags pending.exptime block in
               if not pending.noreply then emit (Some r)
@@ -239,9 +350,28 @@ let feed c input =
             else emit (Some "CLIENT_ERROR bad data chunk")
           end
           else progressing := false
+      | Discarding remaining ->
+          let take = min (c.ilen - c.ipos) remaining in
+          consume_to (c.ipos + take);
+          if take = remaining then c.state <- Idle
+          else begin
+            c.state <- Discarding (remaining - take);
+            progressing := false
+          end
+      | Skipping_line -> (
+          (* the error was already sent; drop bytes until \r\n *)
+          match find_crlf c with
+          | Some eol ->
+              consume_to (eol + 2);
+              c.state <- Idle
+          | None ->
+              consume_to (max c.ipos (c.ilen - 1));
+              progressing := false)
     done;
-    (* retain the unconsumed tail *)
-    Buffer.clear c.buf;
-    Buffer.add_substring c.buf data !pos (String.length data - !pos);
+    if c.ipos = c.ilen then begin
+      c.ipos <- 0;
+      c.ilen <- 0;
+      c.scanned <- 0
+    end;
     List.rev_map (fun r -> r ^ crlf) !replies
   end

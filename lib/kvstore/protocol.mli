@@ -3,13 +3,35 @@
     [feed] consumes raw bytes from any transport and produces protocol
     replies, handling pipelining, [noreply], and binary-safe data
     blocks.  Commands: get/gets, set/add/replace/append/prepend/cas,
-    delete, incr/decr, touch, stats, version, verbosity, quit. *)
+    delete, incr/decr, touch, flush_all, stats, version, verbosity,
+    quit.
+
+    Framing is amortized O(1) per byte: the codec keeps a scan offset
+    so input split across many [feed] calls is never re-scanned, and
+    both command lines and data blocks are size-capped — oversized
+    input is answered with a [CLIENT_ERROR] and drained without being
+    buffered. *)
 
 type conn
 
 (** One connection against a store.  [tid] is the worker thread this
-    connection's operations run as. *)
-val create : Store.t -> tid:int -> conn
+    connection's operations run as.
+
+    [max_line] caps the command line (default 8192 bytes) and
+    [max_value] the data block (default 1 MiB); both are enforced with
+    a [CLIENT_ERROR] reply rather than unbounded buffering.
+    [extra_stats] contributes additional [STAT key value] lines to the
+    [stats] reply (the transport's per-worker metrics); [on_command]
+    observes every dispatched verb, lowercased (the transport's
+    ops-by-verb counters). *)
+val create :
+  ?max_line:int ->
+  ?max_value:int ->
+  ?extra_stats:(unit -> (string * string) list) ->
+  ?on_command:(string -> unit) ->
+  Store.t ->
+  tid:int ->
+  conn
 
 (** [true] after the client sent [quit]; further input is ignored. *)
 val is_closed : conn -> bool

@@ -47,10 +47,17 @@ and stat_sets = 2
 and stat_deletes = 3
 and stat_expired = 4
 
+(* One flush_all order: items whose cas id is below [mark] become
+   invisible once the wall clock reaches [at].  A single atomic record
+   swap makes the whole flush O(1) — no per-key deletes, mirroring how
+   the epoch clock retires whole generations at once. *)
+type flush_order = { mark : int; at : float }
+
 type t = {
   backend : backend;
   cas_counter : int Atomic.t;
   stats : Util.Padded.counters; (* lock-free, padded: no hot-path lock *)
+  flush : flush_order Atomic.t;
   (* test hook: lets expiry tests travel in time *)
   mutable now : unit -> float;
 }
@@ -77,10 +84,40 @@ let create backend =
     backend;
     cas_counter = Atomic.make 1;
     stats = Util.Padded.make_counters 5;
+    flush = Atomic.make { mark = 0; at = 0.0 };
     now = Unix.gettimeofday;
   }
 
 let bump t slot = Util.Padded.incr t.stats slot
+
+(* memcached FLUSH_ALL: retire every current item in one step.  The
+   watermark is the cas counter at command time: every existing item has
+   a smaller cas id, every later store a larger one, so visibility is a
+   single integer compare on the read path.  With [delay_s > 0] the
+   order arms in the future; items stored during the delay window carry
+   ids above the watermark and survive (memcached's time-based variant
+   would also retire those — we document the divergence in the mli). *)
+let flush_all t ?(delay_s = 0.0) () =
+  let at = if delay_s > 0.0 then t.now () +. delay_s else t.now () in
+  let mark = Atomic.get t.cas_counter in
+  (* keep the strongest order: a later watermark never retreats, and of
+     equal watermarks the earlier deadline wins *)
+  let rec install () =
+    let cur = Atomic.get t.flush in
+    let next =
+      if mark > cur.mark then { mark; at }
+      else if mark = cur.mark && at < cur.at then { mark; at }
+      else cur
+    in
+    if next != cur && not (Atomic.compare_and_set t.flush cur next) then install ()
+  in
+  install ()
+
+(* An item is flushed when an armed order's deadline has passed and the
+   item predates its watermark. *)
+let flushed t ~now cas =
+  let o = Atomic.get t.flush in
+  o.mark > 0 && cas < o.mark && now >= o.at
 
 (* memcached SET: unconditional store. *)
 let set t ~tid ?(flags = 0) ?(ttl_s = 0.0) key data =
@@ -97,8 +134,10 @@ let get_full t ~tid key =
       None
   | Some item ->
       let flags, expiry, cas, data = decode_item item in
-      if expiry > 0.0 && expiry < t.now () then begin
-        (* lazy expiry, as memcached does *)
+      let now = t.now () in
+      if (expiry > 0.0 && expiry < now) || flushed t ~now cas then begin
+        (* lazy expiry, as memcached does; flushed items expire the
+           same way on first touch *)
         ignore (t.backend.remove ~tid key);
         bump t stat_misses;
         bump t stat_expired;
@@ -123,11 +162,11 @@ let delete t ~tid key =
    cannot slip between them.  A stored item whose TTL has lapsed counts
    as absent (and is overwritten in place rather than removed first). *)
 
-let live_item now = function
+let live_item t now = function
   | None -> None
   | Some item ->
-      let _, expiry, _, _ = decode_item item in
-      if expiry > 0.0 && expiry < now then None else Some item
+      let _, expiry, cas, _ = decode_item item in
+      if (expiry > 0.0 && expiry < now) || flushed t ~now cas then None else Some item
 
 (* memcached ADD: store only if absent. *)
 let add t ~tid ?(flags = 0) ?(ttl_s = 0.0) key data =
@@ -136,7 +175,7 @@ let add t ~tid ?(flags = 0) ?(ttl_s = 0.0) key data =
   let stored = ref false in
   ignore
     (t.backend.update ~tid key (fun cur ->
-         match live_item now cur with
+         match live_item t now cur with
          | Some _ -> None
          | None ->
              stored := true;
@@ -152,7 +191,7 @@ let replace t ~tid ?(flags = 0) ?(ttl_s = 0.0) key data =
   let stored = ref false in
   ignore
     (t.backend.update ~tid key (fun cur ->
-         match live_item now cur with
+         match live_item t now cur with
          | None -> None
          | Some _ ->
              stored := true;
@@ -171,7 +210,7 @@ let compare_and_set t ~tid ?(flags = 0) ?(ttl_s = 0.0) key ~cas data =
   let outcome = ref Not_found in
   ignore
     (t.backend.update ~tid key (fun cur ->
-         match live_item now cur with
+         match live_item t now cur with
          | None -> None
          | Some item ->
              let _, _, id, _ = decode_item item in
@@ -195,7 +234,7 @@ let incr t ~tid key delta =
   let result = ref None in
   ignore
     (t.backend.update ~tid key (fun cur ->
-         match live_item now cur with
+         match live_item t now cur with
          | None -> None
          | Some item -> (
              let flags, expiry, _, data = decode_item item in

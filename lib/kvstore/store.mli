@@ -70,6 +70,15 @@ val incr : t -> tid:int -> string -> int -> int option
 
 val decr : t -> tid:int -> string -> int -> int option
 
+(** memcached FLUSH_ALL: retire every item currently in the store in
+    O(1), with no per-key deletes — a cas-id watermark is published and
+    the read path treats older items as lazily expired (removed on
+    first touch, counted as [expired]).  With [delay_s > 0] the order
+    takes effect that many seconds in the future.  Divergence from
+    memcached's time-based rule: items stored {e during} the delay
+    window carry ids above the watermark and survive the deadline. *)
+val flush_all : t -> ?delay_s:float -> unit -> unit
+
 (** (hits, misses, sets, deletes, expired). *)
 val stats : t -> int * int * int * int * int
 

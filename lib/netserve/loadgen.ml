@@ -1,0 +1,266 @@
+(* Closed-loop memcached-protocol load generator.
+
+   Each of [domains] generator domains owns [conns / domains]
+   blocking TCP connections and drives them round-robin: write a
+   pipeline of [pipeline] commands (mixed get/set per [get_frac]),
+   read all the replies, record the batch round-trip once per command
+   into a per-domain log-scale histogram.  Closed loop — a connection
+   never has more than one batch in flight — so reported latency is
+   honest service time including the server's batched-flush cycle.
+
+   Reply framing: a reply "unit" is one line, except [VALUE] headers
+   which are followed by <bytes>+2 of data and are terminated (with
+   any other VALUE blocks of the same get) by [END].  Counting units
+   against commands issued keeps the reader in lockstep without
+   parsing every verb's reply shape. *)
+
+type config = {
+  host : string;
+  port : int;
+  conns : int;
+  domains : int;
+  duration_s : float;
+  pipeline : int;
+  value_size : int;
+  keyspace : int;
+  get_frac : float;
+  seed : int;
+  key_prefix : string;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 11211;
+    conns = 8;
+    domains = 2;
+    duration_s = 2.0;
+    pipeline = 8;
+    value_size = 64;
+    keyspace = 10_000;
+    get_frac = 0.9;
+    seed = 42;
+    key_prefix = "lg";
+  }
+
+type report = {
+  ops : int;
+  errors : int;
+  hits : int;
+  seconds : float;
+  ops_per_sec : float;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+}
+
+(* ---------- wire helpers (blocking sockets) ---------- *)
+
+let write_all fd buf len =
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd buf !off (len - !off) in
+    if n = 0 then failwith "loadgen: short write";
+    off := !off + n
+  done
+
+(* Buffered reader: enough to split reply lines and skip data blocks. *)
+type reader = { fd : Unix.file_descr; buf : Bytes.t; mutable pos : int; mutable len : int }
+
+let reader fd = { fd; buf = Bytes.create 65536; pos = 0; len = 0 }
+
+let refill r =
+  if r.pos = r.len then begin
+    r.pos <- 0;
+    r.len <- Unix.read r.fd r.buf 0 (Bytes.length r.buf);
+    if r.len = 0 then failwith "loadgen: server closed connection"
+  end
+
+(* One CRLF-terminated line, CRLF stripped.  Lines longer than the
+   buffer would be a server bug; grow-free because server replies are
+   short (VALUE data is skipped separately). *)
+let read_line r =
+  let acc = Buffer.create 64 in
+  let rec go () =
+    refill r;
+    match Bytes.index_from_opt r.buf r.pos '\n' with
+    | Some i when i < r.len ->
+        Buffer.add_subbytes acc r.buf r.pos (i - r.pos);
+        r.pos <- i + 1;
+        let s = Buffer.contents acc in
+        let n = String.length s in
+        if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+    | _ ->
+        Buffer.add_subbytes acc r.buf r.pos (r.len - r.pos);
+        r.pos <- r.len;
+        go ()
+  in
+  go ()
+
+let skip r n =
+  let left = ref n in
+  while !left > 0 do
+    refill r;
+    let take = min !left (r.len - r.pos) in
+    r.pos <- r.pos + take;
+    left := !left - take
+  done
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Read one reply unit; returns (was_error, hits). *)
+let read_unit r =
+  let rec values hits =
+    let line = read_line r in
+    if starts_with "VALUE " line then begin
+      (* VALUE <key> <flags> <bytes> [cas] *)
+      let parts = String.split_on_char ' ' line in
+      let bytes = match parts with _ :: _ :: _ :: b :: _ -> int_of_string b | _ -> 0 in
+      skip r (bytes + 2);
+      values (hits + 1)
+    end
+    else if line = "END" then (false, hits)
+    else
+      ( starts_with "ERROR" line || starts_with "CLIENT_ERROR" line
+        || starts_with "SERVER_ERROR" line,
+        hits )
+  in
+  values 0
+
+(* ---------- per-domain generator ---------- *)
+
+type domain_result = { d_ops : int; d_errors : int; d_hits : int; d_hist : Util.Histogram.t }
+
+let connect cfg =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try Unix.setsockopt fd TCP_NODELAY true with _ -> ());
+  Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+  fd
+
+let run_domain cfg did stop =
+  let nconns = max 1 (cfg.conns / max 1 cfg.domains) in
+  let fds = Array.init nconns (fun _ -> connect cfg) in
+  let readers = Array.map reader fds in
+  let rng = Util.Xoshiro.create (cfg.seed + (did * 7919) + 1) in
+  let value = String.make cfg.value_size 'v' in
+  let hist = Util.Histogram.create () in
+  let out = Buffer.create 4096 in
+  let ops = ref 0 and errors = ref 0 and hits = ref 0 in
+  let key () = Printf.sprintf "%s%06d" cfg.key_prefix (Util.Xoshiro.int rng cfg.keyspace) in
+  (try
+     while not (Atomic.get stop) do
+       Array.iteri
+         (fun i fd ->
+           Buffer.clear out;
+           for _ = 1 to cfg.pipeline do
+             if Util.Xoshiro.float rng < cfg.get_frac then
+               Buffer.add_string out (Printf.sprintf "get %s\r\n" (key ()))
+             else
+               Buffer.add_string out
+                 (Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" (key ()) cfg.value_size value)
+           done;
+           let t0 = Unix.gettimeofday () in
+           write_all fd (Buffer.to_bytes out) (Buffer.length out);
+           for _ = 1 to cfg.pipeline do
+             let err, h = read_unit readers.(i) in
+             if err then incr errors;
+             hits := !hits + h
+           done;
+           let per_op_ns =
+             (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int cfg.pipeline
+           in
+           for _ = 1 to cfg.pipeline do
+             Util.Histogram.record hist (int_of_float per_op_ns)
+           done;
+           ops := !ops + cfg.pipeline)
+         fds
+     done
+   with _ -> ());
+  Array.iter
+    (fun fd ->
+      (try write_all fd (Bytes.of_string "quit\r\n") 6 with _ -> ());
+      try Unix.close fd with _ -> ())
+    fds;
+  { d_ops = !ops; d_errors = !errors; d_hits = !hits; d_hist = hist }
+
+(* ---------- driver ---------- *)
+
+let us hist q = float_of_int (Util.Histogram.quantile_ns hist q) /. 1e3
+
+let run ?(config = default_config) () =
+  let cfg = config in
+  let stop = Atomic.make false in
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    Array.init (max 1 cfg.domains) (fun did ->
+        Domain.spawn (fun () -> run_domain cfg did stop))
+  in
+  Unix.sleepf cfg.duration_s;
+  Atomic.set stop true;
+  let results = Array.map Domain.join doms in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let hist = Util.Histogram.create () in
+  Array.iter (fun r -> Util.Histogram.merge_into ~dst:hist r.d_hist) results;
+  let ops = Array.fold_left (fun a r -> a + r.d_ops) 0 results in
+  let errors = Array.fold_left (fun a r -> a + r.d_errors) 0 results in
+  let hits = Array.fold_left (fun a r -> a + r.d_hits) 0 results in
+  {
+    ops;
+    errors;
+    hits;
+    seconds;
+    ops_per_sec = float_of_int ops /. seconds;
+    mean_us = Util.Histogram.mean_ns hist /. 1e3;
+    p50_us = us hist 0.5;
+    p95_us = us hist 0.95;
+    p99_us = us hist 0.99;
+  }
+
+(* Pre-populate the keyspace so a read-heavy run measures hits, not
+   misses.  One blocking connection, pipelined in chunks. *)
+let preload ?(config = default_config) () =
+  let cfg = config in
+  let fd = connect cfg in
+  let r = reader fd in
+  let value = String.make cfg.value_size 'v' in
+  let chunk = 256 in
+  let out = Buffer.create (chunk * (cfg.value_size + 48)) in
+  let k = ref 0 in
+  while !k < cfg.keyspace do
+    Buffer.clear out;
+    let n = min chunk (cfg.keyspace - !k) in
+    for i = 0 to n - 1 do
+      Buffer.add_string out
+        (Printf.sprintf "set %s%06d 0 0 %d\r\n%s\r\n" cfg.key_prefix (!k + i) cfg.value_size
+           value)
+    done;
+    write_all fd (Buffer.to_bytes out) (Buffer.length out);
+    for _ = 1 to n do
+      ignore (read_unit r)
+    done;
+    k := !k + n
+  done;
+  (try write_all fd (Bytes.of_string "quit\r\n") 6 with _ -> ());
+  (try Unix.close fd with _ -> ())
+
+let print_report ~label r =
+  Benchlib.Report.heading (Printf.sprintf "loadgen: %s" label);
+  Benchlib.Report.table
+    ~columns:[ "ops"; "ops/s"; "errors"; "hits"; "mean_us"; "p50_us"; "p95_us"; "p99_us" ]
+    ~rows:
+      [
+        ( label,
+          [
+            float_of_int r.ops;
+            r.ops_per_sec;
+            float_of_int r.errors;
+            float_of_int r.hits;
+            r.mean_us;
+            r.p50_us;
+            r.p95_us;
+            r.p99_us;
+          ] );
+      ]
+    ~unit_label:"closed-loop" ()

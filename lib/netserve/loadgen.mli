@@ -1,0 +1,50 @@
+(** Closed-loop memcached-protocol load generator for {!Netserve}.
+
+    [domains] generator domains each own [conns / domains] blocking
+    connections and drive them round-robin: write a [pipeline]-deep
+    batch of commands (get with probability [get_frac], else a
+    [value_size]-byte set over [keyspace] keys), read every reply,
+    record per-command latency into a log-scale histogram.  Closed
+    loop — one batch in flight per connection — so latency includes
+    the server's batched-flush cycle honestly. *)
+
+type config = {
+  host : string;
+  port : int;
+  conns : int;
+  domains : int;
+  duration_s : float;
+  pipeline : int;
+  value_size : int;
+  keyspace : int;
+  get_frac : float;  (** in [0, 1]; the rest are sets *)
+  seed : int;
+  key_prefix : string;
+}
+
+(** 8 connections over 2 domains, 2 s, pipeline 8, 64-byte values,
+    10k keys, 90% gets. *)
+val default_config : config
+
+type report = {
+  ops : int;
+  errors : int;  (** ERROR/CLIENT_ERROR/SERVER_ERROR replies *)
+  hits : int;  (** VALUE blocks returned *)
+  seconds : float;
+  ops_per_sec : float;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+}
+
+(** Populate every key in [keyspace] with one pipelined connection, so
+    a read-heavy {!run} measures hits rather than misses. *)
+val preload : ?config:config -> unit -> unit
+
+(** Run the closed loop for [duration_s] and merge the per-domain
+    histograms into one report. *)
+val run : ?config:config -> unit -> report
+
+(** Render through {!Benchlib.Report.table}. *)
+val print_report : label:string -> report -> unit

@@ -1,0 +1,73 @@
+(** Sharded TCP front end serving the memcached text protocol over
+    {!Kvstore.Store}.
+
+    [workers] event-loop domains share one nonblocking listening
+    socket (kernel-balanced accept sharding); worker [w] owns Montage
+    thread id [w], so epoch hooks and per-thread persist buffers stay
+    thread-local.  Each worker multiplexes its connections with
+    [Unix.select]: per-cycle reads feed the protocol codec, all
+    replies of a cycle flush with one batched write per connection,
+    pending-output high-water marks pause reads (backpressure), and
+    idle/slow clients are reaped.
+
+    {!shutdown} drains gracefully — stop accepting, serve until the
+    clients disconnect or [drain_timeout_s] passes, join the workers —
+    and {e then} runs the epoch-sync hook, so every acked reply is
+    inside the durable frontier a post-shutdown crash recovers. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 = kernel-assigned; read it back with {!port} *)
+  workers : int;
+  backlog : int;
+  max_conns : int;  (** per worker *)
+  read_chunk : int;
+  out_hwm : int;  (** pause reads above this many pending output bytes *)
+  idle_timeout_s : float;  (** 0. = never *)
+  drain_timeout_s : float;
+  tick_s : float;  (** select timeout: stop/timeout poll granularity *)
+  max_line : int;  (** protocol command-line cap *)
+  max_value : int;  (** protocol data-block cap *)
+}
+
+(** Port 11211 on 127.0.0.1, 2 workers, 1 MiB output high-water mark,
+    60 s idle timeout, 5 s drain timeout. *)
+val default_config : config
+
+type drain_stats = {
+  drained_conns : int;  (** connections open when shutdown began *)
+  forced_closes : int;  (** still open at the drain deadline *)
+  drain_s : float;
+  sync_s : float;
+  persisted_epoch : int;  (** durable frontier after the sync; -1 without hooks *)
+}
+
+type t
+
+(** Bind, listen and spawn the worker domains.  [sync] is called once
+    after the workers have joined (graceful shutdown's durability
+    barrier — pass [Epoch_sys.sync esys] for a Montage-backed store);
+    [persisted_epoch] reports the durable frontier for
+    {!drain_stats}.  The store's backend must accept tids
+    [0 .. workers-1].
+    @raise Unix.Unix_error when the bind fails. *)
+val start :
+  ?config:config ->
+  ?sync:(tid:int -> unit) ->
+  ?persisted_epoch:(unit -> int) ->
+  Kvstore.Store.t ->
+  t
+
+(** The bound port (useful with [port = 0]). *)
+val port : t -> int
+
+(** Graceful shutdown: stop accepting, drain, join workers, sync.
+    Idempotent — later calls return the first result. *)
+val shutdown : t -> drain_stats
+
+(** Aggregate lifetime counters across workers:
+    [(connections_accepted, bytes_in, bytes_out, commands)]. *)
+val totals : t -> int * int * int * int
+
+(** The companion closed-loop load generator. *)
+module Loadgen = Loadgen

@@ -1,0 +1,291 @@
+(* Loopback end-to-end tests for the netserve TCP front end: real
+   sockets against a Montage-backed store on an ephemeral port.
+   Covers concurrent pipelined clients across the sharded workers, the
+   wire-visible stats counters, the load generator's closed loop, the
+   protocol size caps over a socket, and the acceptance property the
+   shutdown-drain ordering exists for: every reply acked as STORED
+   before a graceful shutdown survives a crash of the region. *)
+
+module E = Montage.Epoch_sys
+module Cfg = Montage.Config
+
+let testing_cfg workers = { Cfg.testing with max_threads = workers + 1 }
+
+let buckets = 256
+
+(* A Montage-backed server on port 0 with a fast poll tick.  Returns
+   the region/esys so tests can crash and recover the image. *)
+let start_montage ?(workers = 4) ?(config_mod = fun c -> c) () =
+  let region =
+    Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:(workers + 4)
+      ~capacity:(1 lsl 25) ()
+  in
+  let esys = E.create ~config:(testing_cfg workers) region in
+  let map = Pstructs.Mhashmap.create ~buckets esys in
+  let store = Kvstore.Store.create (Kvstore.Store.of_mhashmap map) in
+  let config =
+    config_mod { Netserve.default_config with port = 0; workers; tick_s = 0.01 }
+  in
+  let t =
+    Netserve.start ~config
+      ~sync:(fun ~tid -> E.sync esys ~tid)
+      ~persisted_epoch:(fun () -> E.persisted_epoch esys)
+      store
+  in
+  (region, esys, t)
+
+(* ---- blocking client helpers ---- *)
+
+let connect port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try Unix.setsockopt fd TCP_NODELAY true with Unix.Unix_error _ -> ());
+  Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd SO_RCVTIMEO 10.0;
+  fd
+
+let send fd s =
+  let off = ref 0 in
+  let n = String.length s in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let recv_exact fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  (try
+     while !off < n do
+       let k = Unix.read fd buf !off (n - !off) in
+       if k = 0 then raise Exit;
+       off := !off + k
+     done
+   with Exit -> ());
+  Bytes.sub_string buf 0 !off
+
+let recv_until fd suffix =
+  let acc = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let ends_with () =
+    let s = Buffer.contents acc in
+    String.length s >= String.length suffix
+    && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
+  in
+  (try
+     while not (ends_with ()) do
+       let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+       if k = 0 then raise Exit;
+       Buffer.add_subbytes acc chunk 0 k
+     done
+   with Exit -> ());
+  Buffer.contents acc
+
+let quit_close fd =
+  (try send fd "quit\r\n" with _ -> ());
+  try Unix.close fd with _ -> ()
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+(* ---- concurrent pipelined clients ---- *)
+
+let test_concurrent_pipelined_clients () =
+  let region, esys, t = start_montage () in
+  let port = Netserve.port t in
+  let clients = 6 and batches = 10 and per_batch = 8 in
+  (* each client pipelines [per_batch] set+get pairs per write and
+     checks the replies byte-exactly, on its own key prefix *)
+  let run_client cid =
+    let fd = connect port in
+    let ok = ref true in
+    for b = 0 to batches - 1 do
+      let out = Buffer.create 512 and expect = Buffer.create 512 in
+      for i = 0 to per_batch - 1 do
+        let key = Printf.sprintf "c%d-%d-%d" cid b i in
+        let v = Printf.sprintf "v%d.%d.%d" cid b i in
+        Buffer.add_string out (Printf.sprintf "set %s 0 0 %d\r\n%s\r\nget %s\r\n" key (String.length v) v key);
+        Buffer.add_string expect
+          (Printf.sprintf "STORED\r\nVALUE %s 0 %d\r\n%s\r\nEND\r\n" key (String.length v) v)
+      done;
+      send fd (Buffer.contents out);
+      let want = Buffer.contents expect in
+      let got = recv_exact fd (String.length want) in
+      if got <> want then ok := false
+    done;
+    quit_close fd;
+    !ok
+  in
+  let doms = Array.init clients (fun cid -> Domain.spawn (fun () -> run_client cid)) in
+  let oks = Array.map Domain.join doms in
+  Array.iteri
+    (fun cid ok -> Alcotest.(check bool) (Printf.sprintf "client %d byte-exact" cid) true ok)
+    oks;
+  let d = Netserve.shutdown t in
+  Alcotest.(check int) "graceful drain, no forced closes" 0 d.Netserve.forced_closes;
+  let accepted, _, _, cmds = Netserve.totals t in
+  Alcotest.(check int) "every client connection accepted" clients accepted;
+  Alcotest.(check int) "every command dispatched" (clients * batches * per_batch * 2 + clients) cmds;
+  E.stop_background esys;
+  ignore region
+
+(* ---- wire-visible stats ---- *)
+
+let test_stats_over_wire () =
+  let region, esys, t = start_montage () in
+  let port = Netserve.port t in
+  let fd = connect port in
+  send fd "set s1 0 0 2\r\nhi\r\nget s1\r\nget s1 s1\r\n";
+  let expect = "STORED\r\nVALUE s1 0 2\r\nhi\r\nEND\r\nVALUE s1 0 2\r\nhi\r\nVALUE s1 0 2\r\nhi\r\nEND\r\n" in
+  Alcotest.(check string) "session replies" expect (recv_exact fd (String.length expect));
+  send fd "stats\r\n";
+  let stats = recv_until fd "END\r\n" in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "stats carries %S" needle) true (contains stats needle))
+    [
+      "STAT threads 4";
+      "STAT cmd_set 1";
+      "STAT cmd_get 2";
+      "STAT total_connections 1";
+      "STAT curr_connections 1";
+      "STAT max_pipeline_depth ";
+      "STAT bytes_read ";
+      "STAT bytes_written ";
+      "STAT worker0_accepted ";
+      (* store-level section still present alongside the server's *)
+      "STAT get_hits 3";
+    ];
+  quit_close fd;
+  let d = Netserve.shutdown t in
+  Alcotest.(check int) "drained" 0 d.Netserve.forced_closes;
+  E.stop_background esys;
+  ignore region
+
+(* ---- protocol size caps over a real socket ---- *)
+
+let test_caps_over_wire () =
+  let region, esys, t =
+    start_montage ~workers:2 ~config_mod:(fun c -> { c with Netserve.max_value = 64; max_line = 128 }) ()
+  in
+  let port = Netserve.port t in
+  let fd = connect port in
+  send fd (Printf.sprintf "set big 0 0 4096\r\n%s\r\nget alive\r\n" (String.make 4096 'z'));
+  let expect = "CLIENT_ERROR object too large for cache\r\nEND\r\n" in
+  Alcotest.(check string) "oversized block refused, framing intact" expect
+    (recv_exact fd (String.length expect));
+  send fd (Printf.sprintf "get %s\r\nget alive\r\n" (String.make 500 'k'));
+  let expect2 = "CLIENT_ERROR line too long\r\nEND\r\n" in
+  Alcotest.(check string) "oversized line refused, framing intact" expect2
+    (recv_exact fd (String.length expect2));
+  quit_close fd;
+  ignore (Netserve.shutdown t);
+  E.stop_background esys;
+  ignore region
+
+(* ---- the load generator's closed loop (>= 4 workers) ---- *)
+
+let test_loadgen_throughput () =
+  let region, esys, t = start_montage ~workers:4 () in
+  let port = Netserve.port t in
+  let lg =
+    {
+      Netserve.Loadgen.default_config with
+      port;
+      conns = 8;
+      domains = 2;
+      duration_s = 0.4;
+      pipeline = 8;
+      keyspace = 400;
+      value_size = 32;
+      key_prefix = "lgt";
+    }
+  in
+  Netserve.Loadgen.preload ~config:lg ();
+  let r = Netserve.Loadgen.run ~config:lg () in
+  Alcotest.(check bool) "non-zero throughput" true (r.Netserve.Loadgen.ops > 0);
+  Alcotest.(check bool) "ops/s positive" true (r.Netserve.Loadgen.ops_per_sec > 0.0);
+  Alcotest.(check int) "error-free" 0 r.Netserve.Loadgen.errors;
+  Alcotest.(check bool) "hit path exercised" true (r.Netserve.Loadgen.hits > 0);
+  Alcotest.(check bool) "percentiles ordered" true
+    (r.Netserve.Loadgen.p50_us <= r.Netserve.Loadgen.p95_us
+    && r.Netserve.Loadgen.p95_us <= r.Netserve.Loadgen.p99_us
+    && r.Netserve.Loadgen.p99_us > 0.0);
+  let d = Netserve.shutdown t in
+  Alcotest.(check int) "loadgen connections drained" 0 d.Netserve.forced_closes;
+  E.stop_background esys;
+  ignore region
+
+(* ---- acked STORED keys survive shutdown + crash ---- *)
+
+let test_acked_keys_survive_crash () =
+  let region, esys, t = start_montage () in
+  let port = Netserve.port t in
+  let clients = 4 and keys_per_client = 25 in
+  let run_client cid =
+    let fd = connect port in
+    let out = Buffer.create 1024 in
+    for i = 0 to keys_per_client - 1 do
+      Buffer.add_string out (Printf.sprintf "set dur%d-%02d 0 0 6\r\nv%d.%03d\r\n" cid i cid i)
+    done;
+    send fd (Buffer.contents out);
+    (* read all acks: only count a key as acked if STORED came back *)
+    let want = String.concat "" (List.init keys_per_client (fun _ -> "STORED\r\n")) in
+    let got = recv_exact fd (String.length want) in
+    quit_close fd;
+    got = want
+  in
+  let doms = Array.init clients (fun cid -> Domain.spawn (fun () -> run_client cid)) in
+  let all_acked = Array.for_all Fun.id (Array.map Domain.join doms) in
+  Alcotest.(check bool) "every set acked STORED" true all_acked;
+  let d = Netserve.shutdown t in
+  Alcotest.(check bool) "shutdown reports a durable frontier" true (d.Netserve.persisted_epoch >= 0);
+  E.stop_background esys;
+  (* power failure after the graceful shutdown *)
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:(testing_cfg 4) region in
+  let map2 = Pstructs.Mhashmap.recover ~buckets esys2 payloads in
+  let store2 = Kvstore.Store.create (Kvstore.Store.of_mhashmap map2) in
+  let missing = ref [] in
+  for cid = 0 to clients - 1 do
+    for i = 0 to keys_per_client - 1 do
+      let key = Printf.sprintf "dur%d-%02d" cid i in
+      match Kvstore.Store.get store2 ~tid:0 key with
+      | Some v when v = Printf.sprintf "v%d.%03d" cid i -> ()
+      | _ -> missing := key :: !missing
+    done
+  done;
+  Alcotest.(check (list string)) "every acked key recovered with its value" [] !missing;
+  E.stop_background esys2
+
+(* ---- shutdown is idempotent and syncs once ---- *)
+
+let test_shutdown_idempotent () =
+  let region, esys, t = start_montage ~workers:2 () in
+  let fd = connect (Netserve.port t) in
+  send fd "set k 0 0 1\r\nv\r\n";
+  Alcotest.(check string) "stored" "STORED\r\n" (recv_exact fd 8);
+  quit_close fd;
+  let d1 = Netserve.shutdown t in
+  let d2 = Netserve.shutdown t in
+  Alcotest.(check bool) "second shutdown returns the first drain" true (d1 = d2);
+  E.stop_background esys;
+  ignore region
+
+let () =
+  Alcotest.run "netserve"
+    [
+      ( "loopback",
+        [
+          Alcotest.test_case "concurrent pipelined clients" `Quick test_concurrent_pipelined_clients;
+          Alcotest.test_case "stats over the wire" `Quick test_stats_over_wire;
+          Alcotest.test_case "size caps over the wire" `Quick test_caps_over_wire;
+          Alcotest.test_case "loadgen closed loop (4 workers)" `Quick test_loadgen_throughput;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "acked keys survive shutdown + crash" `Quick
+            test_acked_keys_survive_crash;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        ] );
+    ]

@@ -9,10 +9,12 @@ module P = Kvstore.Protocol
 
 let testing_cfg = { Cfg.testing with max_threads = 4 }
 
-let make_conn () =
+let make_store () =
   let map = Baselines.Transient_map.create ~buckets:64 Baselines.Transient_map.Dram in
-  let store = Store.create (Store.of_transient_map map) in
-  P.create store ~tid:0
+  Store.create (Store.of_transient_map map)
+
+let make_conn ?max_line ?max_value () =
+  P.create ?max_line ?max_value (make_store ()) ~tid:0
 
 let feed_all c s = String.concat "" (P.feed c s)
 
@@ -159,6 +161,187 @@ let test_protocol_over_montage_with_crash () =
   Alcotest.(check string) "counter durable" "41\r\n" (feed_all c2 "incr hits 0\r\n");
   Alcotest.(check string) "unsynced lost" "END\r\n" (feed_all c2 "get user:2\r\n")
 
+(* ---- flush_all ---- *)
+
+let test_flush_all_wipes () =
+  let c = make_conn () in
+  ignore (feed_all c "set a 0 0 1\r\nA\r\nset b 0 0 1\r\nB\r\n");
+  Alcotest.(check string) "flush acked" "OK\r\n" (feed_all c "flush_all\r\n");
+  Alcotest.(check string) "everything gone" "END\r\n" (feed_all c "get a b\r\n");
+  Alcotest.(check string) "later set lands" "STORED\r\n" (feed_all c "set c 0 0 1\r\nC\r\n");
+  Alcotest.(check string) "and is visible" "VALUE c 0 1\r\nC\r\nEND\r\n" (feed_all c "get c\r\n");
+  Alcotest.(check string) "conditional ops see the wipe" "NOT_STORED\r\n"
+    (feed_all c "replace a 0 0 1\r\nX\r\n")
+
+let test_flush_all_delay () =
+  let store = make_store () in
+  let now = ref 1000.0 in
+  Store.set_clock store (fun () -> !now);
+  let c = P.create store ~tid:0 in
+  ignore (feed_all c "set k 0 0 1\r\nv\r\n");
+  Alcotest.(check string) "delayed flush acked" "OK\r\n" (feed_all c "flush_all 30\r\n");
+  Alcotest.(check string) "still visible before the deadline" "VALUE k 0 1\r\nv\r\nEND\r\n"
+    (feed_all c "get k\r\n");
+  now := 1031.0;
+  Alcotest.(check string) "gone after the deadline" "END\r\n" (feed_all c "get k\r\n");
+  let _, _, _, _, expired = Store.stats store in
+  Alcotest.(check int) "lazy reap counted as expired" 1 expired;
+  Alcotest.(check string) "bad delay rejected" "CLIENT_ERROR invalid delay argument\r\n"
+    (feed_all c "flush_all -3\r\n")
+
+let test_flush_all_noreply () =
+  let c = make_conn () in
+  ignore (feed_all c "set a 0 0 1\r\nA\r\n");
+  Alcotest.(check (list string)) "silent flush" [] (P.feed c "flush_all noreply\r\n");
+  Alcotest.(check string) "it happened" "END\r\n" (feed_all c "get a\r\n")
+
+(* ---- size caps ---- *)
+
+let test_line_cap () =
+  let c = make_conn ~max_line:64 () in
+  let long_key = String.make 200 'k' in
+  Alcotest.(check string) "oversized line rejected" "CLIENT_ERROR line too long\r\n"
+    (feed_all c (Printf.sprintf "get %s\r\n" long_key));
+  Alcotest.(check string) "stream resyncs on the next command" "END\r\n" (feed_all c "get a\r\n")
+
+let test_line_cap_streaming () =
+  (* the oversized line arrives in drips: the error must fire once the
+     cap is provably blown (bounded buffering), and the skip state must
+     swallow the rest of the line without touching later commands *)
+  let c = make_conn ~max_line:32 () in
+  let replies = ref [] in
+  let push s = replies := !replies @ P.feed c s in
+  String.iter (fun ch -> push (String.make 1 ch)) ("get " ^ String.make 100 'x');
+  Alcotest.(check string) "error emitted mid-line, before the terminator"
+    "CLIENT_ERROR line too long\r\n" (String.concat "" !replies);
+  replies := [];
+  push "xxx\r\n";
+  Alcotest.(check string) "tail of the long line swallowed silently" "" (String.concat "" !replies);
+  Alcotest.(check string) "next command parses" "END\r\n" (feed_all c "get a\r\n")
+
+let test_value_cap () =
+  let c = make_conn ~max_value:16 () in
+  Alcotest.(check string) "oversized block refused"
+    "CLIENT_ERROR object too large for cache\r\n"
+    (feed_all c (Printf.sprintf "set big 0 0 64\r\n%s\r\n" (String.make 64 'v')));
+  Alcotest.(check string) "block drained, stream intact" "END\r\n" (feed_all c "get big\r\n");
+  Alcotest.(check string) "small values still fine" "STORED\r\n" (feed_all c "set s 0 0 4\r\nokay\r\n")
+
+let test_value_cap_streaming_noreply () =
+  (* noreply + oversized: no error reply, and the announced block is
+     discarded across many partial feeds without being buffered *)
+  let c = make_conn ~max_value:16 () in
+  let replies = ref [] in
+  let push s = replies := !replies @ P.feed c s in
+  push "set big 0 0 1000 noreply\r\n";
+  let blob = String.make 1000 'z' ^ "\r\n" in
+  String.iter (fun ch -> push (String.make 1 ch)) blob;
+  Alcotest.(check string) "silent discard" "" (String.concat "" !replies);
+  Alcotest.(check string) "framing recovered" "END\r\n" (feed_all c "get big\r\n")
+
+(* ---- byte-split equivalence property ---- *)
+
+(* Replies for a command stream delivered as [chunks], against a fresh
+   store each time so cas ids and counters are reproducible. *)
+let run_stream chunks =
+  let c = make_conn () in
+  String.concat "" (List.concat_map (P.feed c) chunks)
+
+(* A fixed pipelined stream exercising every framing hazard: noreply,
+   binary data blocks containing \r\n (and a lone \r at a chunk edge),
+   cas against deterministic ids, flush_all, and an error reply. *)
+let canonical_stream =
+  let bin = "a\r\nb\rc\nd" in
+  String.concat ""
+    [
+      "set k1 7 0 5\r\nhello\r\n";
+      Printf.sprintf "set bin 0 0 %d\r\n%s\r\n" (String.length bin) bin;
+      "set quiet 0 0 2 noreply\r\nqq\r\n";
+      "get k1 bin quiet\r\n";
+      "gets k1\r\n";
+      "cas k1 0 0 3 1\r\nnew\r\n";
+      "incr missing 1\r\n";
+      "add k1 0 0 1\r\nx\r\n";
+      "delete quiet noreply\r\n";
+      "frobnicate\r\n";
+      "flush_all\r\n";
+      "get k1\r\n";
+      "set after 0 0 3\r\nyes\r\n";
+      "get after\r\n";
+    ]
+
+let test_split_every_boundary () =
+  let s = canonical_stream in
+  let reference = run_stream [ s ] in
+  Alcotest.(check bool) "reference produced replies" true (String.length reference > 0);
+  for i = 0 to String.length s do
+    let got = run_stream [ String.sub s 0 i; String.sub s i (String.length s - i) ] in
+    if got <> reference then
+      Alcotest.failf "split at byte %d diverged:\nwant %S\ngot  %S" i reference got
+  done
+
+(* Random pipelined streams under random chunkings must byte-match the
+   single-feed delivery.  Commands and keys are drawn small so streams
+   collide on keys (exercising cas/add/replace interplay); values draw
+   from a bytes alphabet heavy in \r and \n. *)
+let prop_random_chunking =
+  let open QCheck in
+  let key_gen = Gen.oneofl [ "a"; "bb"; "c3"; "dd4" ] in
+  let value_gen =
+    Gen.(
+      string_size ~gen:(oneofl [ '\r'; '\n'; 'x'; 'y'; ' '; '\000' ]) (int_range 0 12))
+  in
+  let cmd_gen =
+    Gen.(
+      oneof
+        [
+          (let* k = key_gen and* v = value_gen and* nr = bool in
+           return
+             (Printf.sprintf "set %s 0 0 %d%s\r\n%s\r\n" k (String.length v)
+                (if nr then " noreply" else "")
+                v));
+          (let* k = key_gen and* v = value_gen in
+           return (Printf.sprintf "add %s 0 0 %d\r\n%s\r\n" k (String.length v) v));
+          (let* k1 = key_gen and* k2 = key_gen in
+           return (Printf.sprintf "get %s %s\r\n" k1 k2));
+          (let* k = key_gen in
+           return (Printf.sprintf "gets %s\r\n" k));
+          (let* k = key_gen and* nr = bool in
+           return (Printf.sprintf "delete %s%s\r\n" k (if nr then " noreply" else "")));
+          (let* k = key_gen and* d = int_range 0 99 in
+           return (Printf.sprintf "incr %s %d\r\n" k d));
+          (let* k = key_gen and* v = value_gen and* id = int_range 1 9 in
+           return (Printf.sprintf "cas %s 0 0 %d %d\r\n%s\r\n" k (String.length v) id v));
+          return "flush_all\r\n";
+          return "stats\r\n";
+          return "bogus command\r\n";
+        ])
+  in
+  let stream_gen =
+    Gen.(
+      let* cmds = list_size (int_range 1 12) cmd_gen in
+      let s = String.concat "" cmds in
+      let* cuts = list_size (int_range 0 8) (int_range 0 (max 1 (String.length s))) in
+      return (s, List.sort_uniq compare cuts))
+  in
+  let arb =
+    make stream_gen
+      ~print:(fun (s, cuts) ->
+        Printf.sprintf "stream=%S cuts=[%s]" s (String.concat ";" (List.map string_of_int cuts)))
+  in
+  QCheck.Test.make ~count:200 ~name:"chunked delivery is byte-identical to single feed" arb
+    (fun (s, cuts) ->
+      let n = String.length s in
+      let cuts = List.filter (fun c -> c > 0 && c < n) cuts in
+      let chunks =
+        let rec slice prev = function
+          | [] -> [ String.sub s prev (n - prev) ]
+          | c :: rest -> String.sub s prev (c - prev) :: slice c rest
+        in
+        slice 0 cuts
+      in
+      run_stream chunks = run_stream [ s ])
+
 let () =
   Alcotest.run "protocol"
     [
@@ -181,6 +364,25 @@ let () =
           Alcotest.test_case "errors" `Quick test_errors;
           Alcotest.test_case "quit closes" `Quick test_quit_closes;
           Alcotest.test_case "stats/version" `Quick test_stats_and_version;
+        ] );
+      ( "flush_all",
+        [
+          Alcotest.test_case "wipes current items" `Quick test_flush_all_wipes;
+          Alcotest.test_case "delayed order" `Quick test_flush_all_delay;
+          Alcotest.test_case "noreply" `Quick test_flush_all_noreply;
+        ] );
+      ( "caps",
+        [
+          Alcotest.test_case "command-line cap" `Quick test_line_cap;
+          Alcotest.test_case "line cap, dripped input" `Quick test_line_cap_streaming;
+          Alcotest.test_case "data-block cap" `Quick test_value_cap;
+          Alcotest.test_case "block cap, dripped noreply" `Quick test_value_cap_streaming_noreply;
+        ] );
+      ( "byte-split",
+        [
+          Alcotest.test_case "every boundary of the canonical stream" `Quick
+            test_split_every_boundary;
+          QCheck_alcotest.to_alcotest prop_random_chunking;
         ] );
       ( "persistence",
         [ Alcotest.test_case "session across crash" `Quick test_protocol_over_montage_with_crash ] );
