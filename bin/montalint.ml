@@ -1,0 +1,59 @@
+(* montalint — the Montage static analyzer (see DESIGN.md, "Montalint").
+
+   Scans dune-produced .cmt files for the five Montage rule families
+   and diffs findings against the checked-in baseline.  Run through
+   the build alias:
+
+     dune build @lint
+
+   or directly, from the repo root, after a build:
+
+     dune exec bin/montalint.exe --            # report vs baseline
+     dune exec bin/montalint.exe -- --update-baseline
+
+   With no roots given, scans _build/default/{lib,bin} when run from
+   the repo root, or ./{lib,bin} when already inside the build tree
+   (as the @lint alias does). *)
+
+let () =
+  let baseline = ref "montalint.baseline" in
+  let update = ref false in
+  let no_baseline = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ("--baseline", Arg.Set_string baseline, "FILE baseline file (default montalint.baseline)");
+      ("--update-baseline", Arg.Set update, " rewrite the baseline from current findings");
+      ("--no-baseline", Arg.Set no_baseline, " report every finding, ignoring the baseline");
+    ]
+  in
+  Arg.parse spec
+    (fun r -> roots := r :: !roots)
+    "montalint [options] [root dirs]";
+  let roots =
+    match List.rev !roots with
+    | [] ->
+        if Sys.file_exists "_build/default/lib" then
+          [ "_build/default/lib"; "_build/default/bin" ]
+        else [ "lib"; "bin" ]
+    | rs -> rs
+  in
+  let result = Lint.Driver.scan roots in
+  if result.files = 0 then begin
+    prerr_endline
+      "montalint: no .cmt files found — run `dune build` first (or use \
+       `dune build @lint`)";
+    exit 2
+  end;
+  if !update then begin
+    Lint.Baseline.save !baseline result.findings;
+    Printf.printf "%s\nmontalint: wrote %d finding(s) to %s\n"
+      (Lint.Driver.summary result)
+      (List.length result.findings) !baseline
+  end
+  else if !no_baseline then begin
+    List.iter (fun f -> print_endline (Lint.Rule.render f)) result.findings;
+    print_endline (Lint.Driver.summary result);
+    if result.findings <> [] then exit 1
+  end
+  else exit (Lint.Driver.report ~baseline_file:!baseline result)

@@ -117,7 +117,8 @@ let tx_commit t tx =
   if tx.writes <> [] || tx.data_ranges <> [] then begin
     let base = t.log_base.(tx.tid) in
     let n = List.length tx.writes in
-    if 8 + (16 * n) > t.log_capacity then failwith "Mnemosyne: transaction too large";
+    if 8 + (16 * n) > t.log_capacity then
+      (failwith "Mnemosyne: transaction too large" [@montage.allow "R4: simulated-capacity limit of the baseline; intentionally fatal so a benchmark misconfiguration cannot masquerade as a result"]);
     (* 1. write and persist the redo log (first fence) *)
     Nvm.Region.set_i64 region ~off:base n;
     List.iteri
@@ -198,7 +199,8 @@ module Queue = struct
         w
     | [] ->
         let w = Atomic.fetch_and_add q.bump 2 in
-        if w + 2 > q.stm.words then failwith "Mnemosyne.Queue: word space exhausted";
+        if w + 2 > q.stm.words then
+          (failwith "Mnemosyne.Queue: word space exhausted" [@montage.allow "R4: simulated-capacity limit of the baseline; intentionally fatal so a benchmark misconfiguration cannot masquerade as a result"]);
         w
 
   let enqueue q ~tid value =
@@ -278,7 +280,8 @@ module Map = struct
         w
     | [] ->
         let w = Atomic.fetch_and_add m.bump 3 in
-        if w + 3 > m.stm.words then failwith "Mnemosyne.Map: word space exhausted";
+        if w + 3 > m.stm.words then
+          (failwith "Mnemosyne.Map: word space exhausted" [@montage.allow "R4: simulated-capacity limit of the baseline; intentionally fatal so a benchmark misconfiguration cannot masquerade as a result"]);
         w
 
   let free_node m ~tid w = m.free_nodes.(tid) := w :: !(m.free_nodes.(tid))

@@ -22,12 +22,20 @@ let initial_epoch = 3 (* ≥ 3 so that epoch − 2 never collides with 0 = "idle
    is the empty slot. *)
 exception No_memo
 
+(* Ownership of the non-mirror mutable fields follows the paper's §4
+   well-formedness contract: a payload is mutated only by the single
+   operation that currently owns it (the data structure serializes
+   per-payload access), so those writes need no further lock. *)
 type pblk = {
-  mutable off : int; (* block offset in the region *)
+  mutable off : int [@montage.guarded_by "owning operation (per-payload exclusion, §4)"];
+      (* block offset in the region *)
   uid : int;
-  mutable epoch : int; (* mirror of the persistent header *)
-  mutable size : int; (* content bytes *)
-  mutable live : bool; (* debugging aid: detect use-after-free *)
+  mutable epoch : int [@montage.guarded_by "owning operation (per-payload exclusion, §4)"];
+      (* mirror of the persistent header *)
+  mutable size : int [@montage.guarded_by "owning operation (per-payload exclusion, §4)"];
+      (* content bytes *)
+  mutable live : bool [@montage.guarded_by "owning operation (per-payload exclusion, §4)"];
+      (* debugging aid: detect use-after-free *)
   (* --- volatile payload mirror (DRAM read cache) ---
      [mirror] holds the content bytes exactly as stored in NVM; a warm
      [pget] returns them without touching the region.  [memo] caches
@@ -41,11 +49,15 @@ type pblk = {
      a mutation, so a stale read can never be installed over a fresh
      refresh.  Mirror/memo *mutations* go through the cache lock; the
      unchecked hit path only reads [mirror] and sets [mref]. *)
-  mutable mirror : Bytes.t option;
-  mutable memo : exn;
-  mutable mref : bool; (* clock (second-chance) reference bit *)
-  mutable mslot : int; (* index in the cache ring; -1 = not resident *)
-  mutable mgen : int; (* mirror generation; bumped under the cache lock *)
+  mutable mirror : Bytes.t option [@montage.guarded_by "mirror_cache.mc_lock"];
+  mutable memo : exn [@montage.guarded_by "mirror_cache.mc_lock"];
+  mutable mref : bool
+      [@montage.guarded_by "none: lock-free clock ref bit, benign race by design"];
+      (* clock (second-chance) reference bit *)
+  mutable mslot : int [@montage.guarded_by "mirror_cache.mc_lock"];
+      (* index in the cache ring; -1 = not resident *)
+  mutable mgen : int [@montage.guarded_by "mirror_cache.mc_lock"];
+      (* mirror generation; bumped under the cache lock *)
 }
 
 (* The mirror cache: a clock (second-chance) ring of resident handles
@@ -58,18 +70,20 @@ type pblk = {
 type mirror_cache = {
   budget : int;
   mc_lock : Util.Spin_lock.t;
-  mutable ring : pblk option array; (* grows on demand; [free] lists vacancies *)
-  mutable free : int list;
-  mutable hand : int;
-  mutable used : int; (* resident mirror bytes; under [mc_lock] *)
+  mutable ring : pblk option array [@montage.guarded_by "mc_lock"];
+      (* grows on demand; [free] lists vacancies *)
+  mutable free : int list [@montage.guarded_by "mc_lock"];
+  mutable hand : int [@montage.guarded_by "mc_lock"];
+  mutable used : int [@montage.guarded_by "mc_lock"];
+      (* resident mirror bytes; under [mc_lock] *)
   hits : Util.Padded.counters; (* per tid; the extra slot serves pget_unsafe *)
   misses : Util.Padded.counters;
   evictions : int Atomic.t;
 }
 
 type per_thread = {
-  mutable op_epoch : int; (* 0 = no active operation *)
-  mutable last_epoch : int;
+  mutable op_epoch : int [@montage.thread_local]; (* 0 = no active operation *)
+  mutable last_epoch : int [@montage.thread_local];
   buffer : Persist_buffer.t;
   coal : Wb_coalescer.t; (* this thread's line-dedup scratch for drains *)
   draining : bool Atomic.t;
@@ -94,7 +108,8 @@ type t = {
   uid_counter : int Atomic.t;
   advances : int Atomic.t; (* statistics *)
   stop_bg : bool Atomic.t;
-  mutable bg : unit Domain.t option;
+  mutable bg : unit Domain.t option
+      [@montage.guarded_by "control thread (start/stop_background caller)"];
   chk : Nvm.Pcheck.t option; (* persistency-ordering checker, per cfg.pcheck *)
   mirror : mirror_cache option; (* volatile payload mirrors, per cfg.payload_mirror *)
 }
@@ -102,9 +117,16 @@ type t = {
 let region t = t.region
 let allocator t = t.alloc
 let config t = t.cfg
+
 let current_epoch t = Atomic.get t.curr_epoch
+[@@montage.allow
+  "R2: read-only observer for stats/tests; in-operation clock reads go \
+   through check_epoch and the esys.* points"]
+
 let op_epoch t ~tid = t.threads.(tid).op_epoch
+
 let advance_count t = Atomic.get t.advances
+[@@montage.allow "R2: read-only statistics observer"]
 
 (* ---- construction ---- *)
 
@@ -209,6 +231,9 @@ let mc_evict_to_budget mc =
     | None -> ());
     mc.hand <- (mc.hand + 1) mod n
   done
+[@@montage.allow
+  "R2: the eviction counter is telemetry; the sweep itself runs under \
+   mc_lock, whose acquire is the Sched-visible point"]
 
 (* Install [b] as [p]'s mirror (replacing any previous one), charging
    the budget and evicting above it.  [b] is shared, not copied: every
@@ -308,6 +333,7 @@ let mirror_stats t =
         evictions = Atomic.get mc.evictions;
         resident_bytes = mc.used;
       }
+[@@montage.allow "R2: read-only statistics observer"]
 
 (* ---- decoded-value memos (used by Payload.Make) ---- *)
 
@@ -398,6 +424,10 @@ let with_draining pt f =
   | exception e ->
       Atomic.set pt.draining false;
       raise e
+[@@montage.allow
+  "R2: every caller is a Sched-instrumented drain path \
+   (esys.record_persist/end_op/advance), and the advance observes the \
+   flag through its own esys.advance.draining await point"]
 
 (* Record that [off, off+len) must persist by the end of the current
    epoch.  Policy-dependent: buffered (default), direct (DirWB), or
@@ -537,6 +567,9 @@ let with_op t ~tid f =
 
 let check_epoch t ~tid =
   if Atomic.get t.curr_epoch <> t.threads.(tid).op_epoch then raise Errors.Epoch_changed
+[@@montage.allow
+  "R2: validation read inside an operation; every caller is an op body \
+   that opened with a Sched point in begin_op (esys.begin_op)"]
 
 let require_op t ~tid =
   if t.threads.(tid).op_epoch = 0 then
@@ -549,6 +582,9 @@ let osn_check t ~tid p =
 (* ---- payload lifecycle ---- *)
 
 let fresh_uid t = Atomic.fetch_and_add t.uid_counter 1
+[@@montage.allow
+  "R2: uid allocation commutes with everything; no interleaving of the \
+   fetch-and-add is observable beyond the uid value itself"]
 
 let write_payload t ~off ~hdr ~content =
   Payload_hdr.write t.region ~off hdr;
@@ -752,7 +788,11 @@ let pdelete t ~tid p =
         Payload_hdr.set_type t.region ~off:p.off Delete;
         record_persist t ~tid ~off:p.off ~len:8;
         defer_free t ~tid ~epoch:(pt.op_epoch + 1) p.off
-    | None -> assert false
+    | None ->
+        Errors.corrupt
+          "epoch_sys: pdelete: live payload uid=%d at off=%d born this epoch \
+           (%d) has an unreadable header"
+          p.uid p.off pt.op_epoch
   end
   else begin
     (* Deleting a payload from an earlier epoch: publish an anti-payload
@@ -915,6 +955,7 @@ let sync t ~tid =
    right now.  [sync] advances twice precisely to push this frontier
    past every already-completed operation. *)
 let persisted_epoch t = Atomic.get t.curr_epoch - 2
+[@@montage.allow "R2: read-only observer of the durable frontier"]
 
 (* ---- background advancer ---- *)
 
@@ -927,10 +968,17 @@ let start_background t =
       Some
         (Domain.spawn (fun () ->
              while not (Atomic.get t.stop_bg) do
-               Unix.sleepf period_s;
+               (Unix.sleepf period_s
+               [@montage.allow
+                 "R5: pacing sleep on the dedicated background-advancer \
+                  domain; it never runs inside an operation or under \
+                  Dsched"]);
                if not (Atomic.get t.stop_bg) then advance_epoch t ~tid
              done))
   end
+[@@montage.allow
+  "R2: lifecycle flags for the background advancer domain, which is \
+   started from the control thread and never runs under Dsched"]
 
 let stop_background t =
   match t.bg with
@@ -939,11 +987,17 @@ let stop_background t =
       Atomic.set t.stop_bg true;
       Domain.join d;
       t.bg <- None
+[@@montage.allow
+  "R2: lifecycle flag handshake with the background advancer domain; \
+   control-thread only, never under Dsched"]
 
 let sync_checker_clock t =
   match t.chk with
   | None -> ()
   | Some c -> Nvm.Pcheck.on_epoch_advance c ~epoch:(Atomic.get t.curr_epoch)
+[@@montage.allow
+  "R2: checker-clock observer; runs at create/advance boundaries, not \
+   inside operation bodies"]
 
 let create ?(config = Config.default) region =
   let t = make_state region config in
@@ -955,6 +1009,8 @@ let create ?(config = Config.default) region =
   sync_checker_clock t;
   start_background t;
   t
+[@@montage.allow
+  "R2: initialization before the instance is shared with any worker"]
 
 (* ---- recovery ---- *)
 
@@ -1051,6 +1107,10 @@ let recover ?(config = Config.default) ?(threads = 1) region =
   let payloads = Array.of_list !survivors in
   start_background t;
   (t, payloads)
+[@@montage.allow
+  "R2: recovery initializes the clock and uid counter before the \
+   instance is shared; the parallel sweep domains are joined before \
+   return"]
 
 (* Split recovered payloads into [k] slices for parallel rebuilding, as
    the paper's recovery API offers (§5.1). *)

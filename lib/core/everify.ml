@@ -48,6 +48,10 @@ let help esys t state d =
   decide esys d;
   let final = if Atomic.get d.outcome = 1 then Value d.desired else Value d.expect in
   ignore (Atomic.compare_and_set t.cell state final)
+[@@montage.allow
+  "R2: help opens with decide, which yields at everify.decide; after \
+   the verdict is fixed the completing CAS commutes (all helpers \
+   install the same final value)"]
 
 (* Read the cell, helping any in-flight DCSS first. *)
 let load_verify esys t =
@@ -64,6 +68,9 @@ let load_verify esys t =
 (* Plain read that never helps: returns the value the cell will revert
    to if the in-flight DCSS fails.  For monitoring only. *)
 let peek t = match Atomic.get t.cell with Value v -> v | Desc d -> d.expect
+[@@montage.allow
+  "R2: monitoring-only read that never helps and is never a \
+   linearization point"]
 
 (* Plain CAS with descriptor helping but no epoch verification — for
    auxiliary pointer swings (e.g. the Michael-Scott tail) that are not
@@ -110,3 +117,6 @@ let rec cas_verify esys ~tid t ~expect ~desired =
    use outside tests: it freezes the cell until somebody helps. *)
 let install_pending_for_testing t ~expect ~desired ~epoch =
   Atomic.set t.cell (Desc { expect; desired; epoch; outcome = Atomic.make 0 })
+[@@montage.allow
+  "R2: test-only fixture that seeds a pending descriptor from a \
+   single thread before the helping paths under test run"]

@@ -21,10 +21,12 @@
    (or shard); no synchronization inside. *)
 
 type t = {
-  mutable entries : int array;
-  mutable len : int;
-  mutable ranges : int; (* [add] calls since the last flush *)
-  mutable lines_in : int; (* lines covered before merging *)
+  mutable entries : int array [@montage.thread_local];
+  mutable len : int [@montage.thread_local];
+  mutable ranges : int [@montage.thread_local];
+      (* [add] calls since the last flush *)
+  mutable lines_in : int [@montage.thread_local];
+      (* lines covered before merging *)
 }
 
 let count_bits = 10

@@ -101,7 +101,10 @@ let run_step f =
     | Fresh body -> Effect.Deep.match_with body () (handler f)
     | Suspended k -> Effect.Deep.continue k ()
     | Waiting (_, k) -> Effect.Deep.continue k ()
-    | Finished -> assert false
+    | Finished ->
+        Montage.Errors.corrupt
+          "dsched: run_step on a finished fiber — the engine's runnable \
+           filter should make this unreachable"
   in
   match out with
   | Yielded -> None (* status already parked by the handler *)

@@ -1,0 +1,59 @@
+(* Baseline file: one finding key per line (see [Rule.key]), '#'
+   comments, duplicate lines meaning "this key may occur that many
+   times".  The diff is a multiset comparison, so grandfathering three
+   occurrences of the same defect does not hide a fourth. *)
+
+type t = (string, int) Hashtbl.t
+
+let load path : t =
+  let tbl = Hashtbl.create 64 in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           Hashtbl.replace tbl line
+             (1 + Option.value ~default:0 (Hashtbl.find_opt tbl line))
+       done
+     with End_of_file -> ());
+    close_in ic
+  end;
+  tbl
+
+let header =
+  "# Montalint baseline: pre-existing findings grandfathered so CI fails\n\
+   # only on new ones.  One [Rule.key] per line (rule|file|binding|detail);\n\
+   # duplicates count occurrences.  Refresh deliberately with:\n\
+   #   dune exec bin/montalint.exe -- --update-baseline\n\
+   # The goal is to keep this file empty: fix the finding or annotate it\n\
+   # with a justified suppression instead of baselining it.\n"
+
+let save path findings =
+  let oc = open_out path in
+  output_string oc header;
+  List.iter
+    (fun f -> output_string oc (Rule.key f ^ "\n"))
+    (List.sort (fun a b -> compare (Rule.key a) (Rule.key b)) findings);
+  close_out oc
+
+(* Partition current findings into (new, grandfathered); also report
+   stale baseline keys that no longer occur. *)
+let diff (t : t) findings =
+  let remaining = Hashtbl.copy t in
+  let fresh =
+    List.filter
+      (fun f ->
+        let k = Rule.key f in
+        match Hashtbl.find_opt remaining k with
+        | Some n when n > 0 ->
+            Hashtbl.replace remaining k (n - 1);
+            false
+        | _ -> true)
+      findings
+  in
+  let stale =
+    Hashtbl.fold (fun k n acc -> if n > 0 then (k, n) :: acc else acc) remaining []
+    |> List.sort compare
+  in
+  (fresh, stale)

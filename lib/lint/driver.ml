@@ -1,0 +1,78 @@
+(* Directory scanning and reporting for montalint.  The scanner walks
+   build trees for the .cmt files dune already produces (both library
+   .objs and executable .eobjs), lints each implementation once (keyed
+   by source path — a module compiled into both a library and an
+   executable is linted once), and diffs the result against the
+   checked-in baseline. *)
+
+let rec find_cmts acc dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.fold_left
+        (fun acc name ->
+          let path = Filename.concat dir name in
+          if Sys.is_directory path then find_cmts acc path
+          else if Filename.check_suffix name ".cmt" then path :: acc
+          else acc)
+        acc entries
+  | exception Sys_error _ -> acc
+
+type result = {
+  files : int;  (* implementations linted *)
+  findings : Rule.finding list;
+}
+
+let scan roots =
+  let cmts = List.fold_left find_cmts [] roots |> List.sort compare in
+  let seen = Hashtbl.create 64 in
+  let files = ref 0 and findings = ref [] in
+  List.iter
+    (fun path ->
+      match Engine.lint_cmt path with
+      | Some (src, fs) when not (Hashtbl.mem seen src) ->
+          Hashtbl.add seen src ();
+          incr files;
+          findings := fs @ !findings
+      | Some _ | None -> ()
+      | exception Cmt_format.Error _ -> ()
+      | exception Sys_error _ -> ())
+    cmts;
+  { files = !files; findings = List.sort Rule.compare_position !findings }
+
+let by_rule findings =
+  List.map
+    (fun r -> (r, List.length (List.filter (fun f -> f.Rule.rule = r) findings)))
+    Rule.all
+
+let summary { files; findings } =
+  let counts =
+    by_rule findings
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (r, n) -> Printf.sprintf "%s:%d" (Rule.to_string r) n)
+  in
+  Printf.sprintf "montalint: %d files, %d findings%s" files
+    (List.length findings)
+    (if counts = [] then "" else " (" ^ String.concat " " counts ^ ")")
+
+(* Run against a baseline; prints new findings and stale baseline
+   entries, returns the exit code (0 iff no new findings). *)
+let report ?(out = stdout) ~baseline_file result =
+  let base = Baseline.load baseline_file in
+  let fresh, stale = Baseline.diff base result.findings in
+  List.iter (fun f -> output_string out (Rule.render f ^ "\n")) fresh;
+  List.iter
+    (fun (k, n) ->
+      Printf.fprintf out
+        "montalint: stale baseline entry (finding no longer occurs%s): %s\n"
+        (if n > 1 then Printf.sprintf " x%d" n else "")
+        k)
+    stale;
+  output_string out (summary result ^ "\n");
+  if fresh <> [] then begin
+    Printf.fprintf out
+      "montalint: %d new finding(s) not in %s — fix, annotate with a \
+       justified suppression, or refresh the baseline deliberately\n"
+      (List.length fresh) baseline_file;
+    1
+  end
+  else 0

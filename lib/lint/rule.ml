@@ -1,0 +1,63 @@
+(* Rule identifiers and findings for Montalint (see DESIGN.md,
+   "Montalint").  A finding's [key] deliberately omits line/column so
+   baseline entries survive unrelated edits above the finding; the
+   enclosing binding name plus the detail string is stable enough to
+   pin a finding to "the same defect" across refactors. *)
+
+type id =
+  | R0  (* malformed suppression: annotation without a justification *)
+  | R1  (* shared-mutable: unguarded write to domain-shared mutable state *)
+  | R2  (* sched-seam: atomic op in a binding with no Sched hook *)
+  | R3  (* payload-handle escape: pblk stored into module-level state *)
+  | R4  (* error discipline: bare assert false / failwith in lib/ *)
+  | R5  (* blocking call outside the netserve event loop *)
+
+let to_string = function
+  | R0 -> "R0"
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let of_string = function
+  | "R0" -> Some R0
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | _ -> None
+
+let all = [ R0; R1; R2; R3; R4; R5 ]
+
+let describe = function
+  | R0 -> "suppression without justification"
+  | R1 -> "unguarded write to domain-shared mutable state"
+  | R2 -> "atomic operation not covered by a Util.Sched hook"
+  | R3 -> "Epoch_sys.pblk escapes into module-level state"
+  | R4 -> "bare assert false / failwith in lib/"
+  | R5 -> "blocking call outside the netserve event loop"
+
+type finding = {
+  rule : id;
+  file : string;  (* source path as recorded in the .cmt, repo-relative *)
+  line : int;
+  col : int;
+  context : string;  (* enclosing top-level binding, or "<module>" *)
+  detail : string;  (* line-number-free description; part of the baseline key *)
+  hint : string;  (* fix-it suggestion *)
+}
+
+(* Baseline key: everything except position and hint. *)
+let key f =
+  String.concat "|" [ to_string f.rule; f.file; f.context; f.detail ]
+
+let render f =
+  Printf.sprintf "%s:%d:%d: [%s] %s (in %s)\n    hint: %s" f.file f.line
+    (f.col + 1) (to_string f.rule) f.detail f.context f.hint
+
+let compare_position a b =
+  match compare a.file b.file with
+  | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+  | c -> c

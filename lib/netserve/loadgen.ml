@@ -53,28 +53,45 @@ type report = {
   p50_us : float;
   p95_us : float;
   p99_us : float;
+  disconnects : string list;
 }
+
+exception Connection_lost of string
 
 (* ---------- wire helpers (blocking sockets) ---------- *)
 
 let write_all fd buf len =
   let off = ref 0 in
   while !off < len do
-    let n = Unix.write fd buf !off (len - !off) in
-    if n = 0 then failwith "loadgen: short write";
+    let n =
+      try Unix.write fd buf !off (len - !off)
+      with Unix.Unix_error (e, _, _) ->
+        raise (Connection_lost (Unix.error_message e))
+    in
+    if n = 0 then raise (Connection_lost "short write");
     off := !off + n
   done
 
-(* Buffered reader: enough to split reply lines and skip data blocks. *)
-type reader = { fd : Unix.file_descr; buf : Bytes.t; mutable pos : int; mutable len : int }
+(* Buffered reader: enough to split reply lines and skip data blocks.
+   The reader is owned by the one generator domain driving its
+   connection. *)
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int [@montage.thread_local];
+  mutable len : int [@montage.thread_local];
+}
 
 let reader fd = { fd; buf = Bytes.create 65536; pos = 0; len = 0 }
 
 let refill r =
   if r.pos = r.len then begin
     r.pos <- 0;
-    r.len <- Unix.read r.fd r.buf 0 (Bytes.length r.buf);
-    if r.len = 0 then failwith "loadgen: server closed connection"
+    r.len <-
+      (try Unix.read r.fd r.buf 0 (Bytes.length r.buf)
+       with Unix.Unix_error (e, _, _) ->
+         raise (Connection_lost (Unix.error_message e)));
+    if r.len = 0 then raise (Connection_lost "server closed connection")
   end
 
 (* One CRLF-terminated line, CRLF stripped.  Lines longer than the
@@ -131,7 +148,13 @@ let read_unit r =
 
 (* ---------- per-domain generator ---------- *)
 
-type domain_result = { d_ops : int; d_errors : int; d_hits : int; d_hist : Util.Histogram.t }
+type domain_result = {
+  d_ops : int;
+  d_errors : int;
+  d_hits : int;
+  d_hist : Util.Histogram.t;
+  d_disconnect : string option;
+}
 
 let connect cfg =
   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
@@ -149,6 +172,7 @@ let run_domain cfg did stop =
   let out = Buffer.create 4096 in
   let ops = ref 0 and errors = ref 0 and hits = ref 0 in
   let key () = Printf.sprintf "%s%06d" cfg.key_prefix (Util.Xoshiro.int rng cfg.keyspace) in
+  let disconnect = ref None in
   (try
      while not (Atomic.get stop) do
        Array.iteri
@@ -177,13 +201,19 @@ let run_domain cfg did stop =
            ops := !ops + cfg.pipeline)
          fds
      done
-   with _ -> ());
+   with Connection_lost why -> disconnect := Some why);
   Array.iter
     (fun fd ->
-      (try write_all fd (Bytes.of_string "quit\r\n") 6 with _ -> ());
-      try Unix.close fd with _ -> ())
+      (try write_all fd (Bytes.of_string "quit\r\n") 6 with Connection_lost _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
     fds;
-  { d_ops = !ops; d_errors = !errors; d_hits = !hits; d_hist = hist }
+  {
+    d_ops = !ops;
+    d_errors = !errors;
+    d_hits = !hits;
+    d_hist = hist;
+    d_disconnect = !disconnect;
+  }
 
 (* ---------- driver ---------- *)
 
@@ -197,7 +227,10 @@ let run ?(config = default_config) () =
     Array.init (max 1 cfg.domains) (fun did ->
         Domain.spawn (fun () -> run_domain cfg did stop))
   in
-  Unix.sleepf cfg.duration_s;
+  (Unix.sleepf cfg.duration_s
+  [@montage.allow
+    "R5: the loadgen driver thread sleeps to pace the measurement \
+     window; it is client tooling, not server or structure code"]);
   Atomic.set stop true;
   let results = Array.map Domain.join doms in
   let seconds = Unix.gettimeofday () -. t0 in
@@ -206,6 +239,9 @@ let run ?(config = default_config) () =
   let ops = Array.fold_left (fun a r -> a + r.d_ops) 0 results in
   let errors = Array.fold_left (fun a r -> a + r.d_errors) 0 results in
   let hits = Array.fold_left (fun a r -> a + r.d_hits) 0 results in
+  let disconnects =
+    Array.to_list results |> List.filter_map (fun r -> r.d_disconnect)
+  in
   {
     ops;
     errors;
@@ -216,6 +252,7 @@ let run ?(config = default_config) () =
     p50_us = us hist 0.5;
     p95_us = us hist 0.95;
     p99_us = us hist 0.99;
+    disconnects;
   }
 
 (* Pre-populate the keyspace so a read-heavy run measures hits, not
@@ -263,4 +300,9 @@ let print_report ~label r =
             r.p99_us;
           ] );
       ]
-    ~unit_label:"closed-loop" ()
+    ~unit_label:"closed-loop" ();
+  List.iter
+    (fun why ->
+      Printf.printf "loadgen: %s: generator domain lost its connection: %s\n"
+        label why)
+    r.disconnects

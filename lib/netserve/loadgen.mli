@@ -26,6 +26,13 @@ type config = {
     10k keys, 90% gets. *)
 val default_config : config
 
+(** The server side of a connection went away mid-run (closed socket,
+    reset, short write).  {!run} catches it per generator domain and
+    reports it in {!report.disconnects} rather than silently dropping
+    the domain's remaining work; {!preload} lets it propagate, since a
+    preload cannot meaningfully continue without the connection. *)
+exception Connection_lost of string
+
 type report = {
   ops : int;
   errors : int;  (** ERROR/CLIENT_ERROR/SERVER_ERROR replies *)
@@ -36,6 +43,9 @@ type report = {
   p50_us : float;
   p95_us : float;
   p99_us : float;
+  disconnects : string list;
+      (** one entry per generator domain that lost its connection
+          mid-run, with the reason; empty on a clean run *)
 }
 
 (** Populate every key in [keyspace] with one pipelined connection, so

@@ -199,6 +199,14 @@ let create ?(mode = Record) ?(log_events = false) ?(max_log = 1 lsl 16) ~capacit
 
 let mode t = t.mode
 
+(* The checker's own mutex is held only for O(1) bookkeeping appends
+   and never across a hook callback or scheduling point; Pcheck runs in
+   testing/strict configurations where a short kernel block is
+   harmless. *)
+[@@@montage.allow
+  "R5: checker-internal mutex held for O(1) bookkeeping only, never \
+   across user code; Pcheck is a testing facility, not a hot path"]
+
 (* ---- findings plumbing ---- *)
 
 let violate t v =

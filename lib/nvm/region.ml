@@ -51,8 +51,10 @@ type t = {
      next to the 25 ns/line busy-wait it rides on) *)
   stat_lines_read : int Atomic.t;
   (* opt-in persistency-ordering checker; [None] is the fast path (one
-     branch per primitive, no allocation) *)
-  mutable checker : Pcheck.t option;
+     branch per primitive, no allocation).  Written once during test
+     setup, before the region is shared with worker domains. *)
+  mutable checker : Pcheck.t option
+      [@montage.guarded_by "set-up-before-sharing (enable_pcheck precedes domain spawn)"];
 }
 
 let queue_capacity = 4096

@@ -98,7 +98,10 @@ let create ?(capacity = 1 lsl 20) esys =
 
 let esys t = t.esys
 let vertex_count t = Atomic.get t.vertex_count
+[@@montage.allow "R2: read-only statistics observer"]
+
 let edge_count t = Atomic.get t.edge_count
+[@@montage.allow "R2: read-only statistics observer"]
 
 let check_id t id =
   if id < 0 || id >= t.capacity then invalid_arg (Printf.sprintf "Mgraph: id %d out of range" id)
@@ -290,3 +293,7 @@ let recover ?(capacity = 1 lsl 20) ?(threads = 1) esys payloads =
     Array.iter Domain.join d2
   end;
   t
+[@@montage.allow
+  "R2: recovery-time counters; the incrs commute and recovery \
+   completes (domains joined) before the graph is shared with any \
+   operation"]

@@ -29,6 +29,8 @@ let create ?(buckets = 1 lsl 16) esys =
 let bucket_of t key = t.buckets.(Hashtbl.hash key land (Array.length t.buckets - 1))
 
 let size t = Atomic.get t.size
+[@@montage.allow "R2: read-only statistics observer"]
+
 let esys t = t.esys
 
 (* Read-only: no BEGIN_OP needed (paper §3.1); the bucket lock is the
@@ -204,6 +206,9 @@ let recover_slice t payloads =
           splice None b.head;
           Atomic.incr t.size))
     payloads
+[@@montage.allow
+  "R2: recovery-time counter; parallel slices' incrs commute and \
+   recovery completes before the map is shared with any operation"]
 
 let recover ?(buckets = 1 lsl 16) ?(threads = 1) esys payloads =
   let t = create ~buckets esys in

@@ -66,3 +66,6 @@ let recover esys payloads =
   | 0 -> ()
   | n -> t.next_seq <- fst entries.(n - 1) + 1);
   t
+[@@montage.allow
+  "R1: recovery builds the queue before it is shared with any \
+   operation; normal next_seq writers hold the queue lock"]

@@ -45,7 +45,9 @@ let create ?(seed = 0x5EED) esys =
   }
 
 let esys t = t.esys
+
 let size t = Atomic.get t.size
+[@@montage.allow "R2: read-only statistics observer"]
 
 let random_level t =
   let rec toss level =
@@ -242,3 +244,9 @@ let recover ?(threads = 1) esys payloads =
     decoded;
     t
   end
+[@@montage.allow
+  "R1: recovery builds the skiplist before it is shared with any \
+   operation; normal level writers hold the structure lock"]
+[@@montage.allow
+  "R2: recovery-time counter, incremented before the structure is \
+   shared with any operation"]

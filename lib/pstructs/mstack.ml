@@ -57,3 +57,6 @@ let recover esys payloads =
   | 0 -> ()
   | _ -> t.next_seq <- fst entries.(0) + 1);
   t
+[@@montage.allow
+  "R1: recovery builds the stack before it is shared with any \
+   operation; normal items/next_seq writers hold the stack lock"]

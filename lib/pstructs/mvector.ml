@@ -34,6 +34,9 @@ let ensure_capacity t n =
     Array.blit t.slots 0 fresh 0 t.length;
     t.slots <- fresh
   end
+[@@montage.allow
+  "R1: every caller either holds t.lock (push/set paths) or is \
+   recovery running before the structure is shared"]
 
 let push t ~tid value =
   Util.Sched.yield "mvector.push";
@@ -99,3 +102,6 @@ let recover esys payloads =
     payloads;
   t.length <- !max_index + 1;
   t
+[@@montage.allow
+  "R1: recovery builds the vector before it is shared with any \
+   operation; normal length writers hold the vector lock"]

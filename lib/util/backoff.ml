@@ -7,6 +7,11 @@
    microsecond, which yields the core.  All spin loops in this
    repository go through here. *)
 
+[@@@montage.allow
+  "R5: the microsecond sleep is the production escalation tail of the \
+   backoff itself; under the deterministic scheduler [once] yields \
+   through Sched instead of ever reaching it"]
+
 type t = { mutable spins : int }
 
 let spin_limit = 64

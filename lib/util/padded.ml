@@ -5,6 +5,11 @@
    spaces logical slots [stride] words apart inside one atomic-int
    array, so two threads' hot counters never share a line. *)
 
+[@@@montage.allow
+  "R2: these are relaxed telemetry counters (region write-back/fence \
+   stats, kvstore op counts); no control flow observes them, so their \
+   interleavings are not scheduler-relevant"]
+
 let stride = 16 (* 16 words = 128 B: a line pair, covering prefetchers *)
 
 type counters = { cells : int Atomic.t array }

@@ -20,6 +20,11 @@ type t = {
   mutable readers : int; (* -1 = writer holds it *)
 }
 
+[@@@montage.allow
+  "R5: the internal mutex guards O(1) reader-count/condition updates \
+   and is never held across user code; the Sched-active arm replaces \
+   it entirely under the deterministic scheduler"]
+
 let create () = { mutex = Mutex.create (); cond = Condition.create (); readers = 0 }
 
 let read_acquire t =

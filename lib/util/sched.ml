@@ -2,6 +2,15 @@
    the production fast path is a single load; [None] means no
    scheduler and both entry points degrade to plain waits. *)
 
+[@@@montage.allow
+  "R2: this module implements the Sched seam itself; its hook-cell \
+   accesses are the mechanism the rule checks for, not instrumentable \
+   state"]
+
+[@@@montage.allow
+  "R5: the spin-then-sleep escalation below is the production fallback \
+   wait that Sched.await degrades to when no scheduler is installed"]
+
 type hook = {
   yield : string -> unit;
   await : string -> (unit -> bool) -> unit;

@@ -18,6 +18,11 @@
 
    The module keeps its historical name; call sites are agnostic. *)
 
+[@@@montage.allow
+  "R5: this module is the blocking-lock primitive itself — the kernel \
+   block is the documented design above; under the deterministic \
+   scheduler [acquire] degrades to the fiber-cooperative flag instead"]
+
 type t = { mutex : Mutex.t; mutable flag : bool }
 
 let create () = { mutex = Mutex.create (); flag = false }

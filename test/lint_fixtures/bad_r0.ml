@@ -1,0 +1,8 @@
+[@@@montage.scope "r4"]
+
+(* R0 known-bad: suppressions without a justification are themselves
+   findings — and a malformed allow grants nothing, so the failwith it
+   pretends to cover is still reported.  Expected findings: one R0 for
+   the payload missing its "Rn: why" shape, and the R4 underneath. *)
+
+let sloppy () = failwith "covered?" [@montage.allow "no rule prefix here"]

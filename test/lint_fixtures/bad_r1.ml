@@ -1,0 +1,12 @@
+[@@@montage.scope "r1"]
+
+(* R1 known-bad: module-level mutable state written with no lock in
+   sight.  Expected findings: the field write in [bump] and the ref
+   write in [tick]. *)
+
+type counter = { mutable count : int }
+
+let shared = { count = 0 }
+let total = ref 0
+let bump () = shared.count <- shared.count + 1
+let tick () = total := !total + 1

@@ -1,0 +1,9 @@
+[@@@montage.scope "r2"]
+
+(* R2 known-bad: atomics touched by bindings that give the
+   deterministic scheduler nothing to interleave.  Expected findings:
+   the get in [read] and the incr in [bump]. *)
+
+let counter = Atomic.make 0
+let read () = Atomic.get counter
+let bump () = Atomic.incr counter

@@ -1,0 +1,11 @@
+[@@@montage.scope "r3"]
+
+(* R3 known-bad: payload handles squirreled away in module-level
+   state, outliving the operation that obtained them.  Expected
+   findings: the ref store in [stash] and the Hashtbl store in
+   [remember]. *)
+
+let cache : Montage.Epoch_sys.pblk option ref = ref None
+let table : (int, Montage.Epoch_sys.pblk) Hashtbl.t = Hashtbl.create 8
+let stash p = cache := Some p
+let remember k p = Hashtbl.replace table k p

@@ -1,0 +1,8 @@
+[@@@montage.scope "r4"]
+
+(* R4 known-bad: invariant violations that die without saying which
+   invariant.  Expected findings: the assert false in [unreachable]
+   and the failwith in [explode]. *)
+
+let unreachable () = assert false
+let explode () = failwith "boom"

@@ -1,0 +1,11 @@
+[@@@montage.scope "r5"]
+
+(* R5 known-bad: blocking calls outside the netserve event loop.
+   Expected findings: the sleep in [nap] and the lock in [hold]. *)
+
+let nap () = Unix.sleepf 0.01
+let guard = Mutex.create ()
+
+let hold () =
+  Mutex.lock guard;
+  Mutex.unlock guard

@@ -1,0 +1,25 @@
+[@@@montage.scope "r1"]
+
+(* R1 known-clean: every write is either under a with-lock combinator,
+   in a binding that acquires the lock itself, or on state annotated
+   as thread-local.  Expected findings: none. *)
+
+type counter = {
+  lock : Util.Spin_lock.t;
+  mutable count : int;
+  mutable scratch : int [@montage.thread_local];
+}
+
+let shared = { lock = Util.Spin_lock.create (); count = 0; scratch = 0 }
+let bump () = Util.Spin_lock.with_lock shared.lock (fun () -> shared.count <- shared.count + 1)
+
+let bump_manual () =
+  Util.Spin_lock.acquire shared.lock;
+  shared.count <- shared.count + 1;
+  Util.Spin_lock.release shared.lock
+
+let note x = shared.scratch <- x
+let local_ref x =
+  let r = ref 0 in
+  r := x;
+  !r

@@ -1,0 +1,13 @@
+[@@@montage.scope "r2"]
+
+(* R2 known-clean: the hot binding carries a Sched point; the observer
+   carries a justified suppression.  Expected findings: none. *)
+
+let counter = Atomic.make 0
+
+let bump () =
+  Util.Sched.yield "fixture.bump";
+  Atomic.incr counter
+
+let read () = Atomic.get counter
+[@@montage.allow "R2: read-only observer used by the fixture tests"]

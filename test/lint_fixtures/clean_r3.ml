@@ -1,0 +1,14 @@
+[@@@montage.scope "r3"]
+
+(* R3 known-clean: handles flow through calls and local state only.
+   Expected findings: none. *)
+
+let use p f = f p
+
+let swap_local p q =
+  let slot = ref p in
+  slot := q;
+  !slot
+
+let sizes : (int, int) Hashtbl.t = Hashtbl.create 8
+let note_size k n = Hashtbl.replace sizes k n

@@ -1,0 +1,14 @@
+[@@@montage.scope "r4"]
+
+(* R4 known-clean: failures carry types or messages.  Asserting a
+   real predicate is fine — only [assert false] is flagged.  Expected
+   findings: none. *)
+
+exception Fixture_error of string
+
+let checked x =
+  assert (x >= 0);
+  x
+
+let reject reason = raise (Fixture_error reason)
+let bad_arg () = invalid_arg "clean_r4: not a capacity bound"

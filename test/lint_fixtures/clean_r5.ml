@@ -1,0 +1,11 @@
+[@@@montage.scope "r5"]
+
+(* R5 known-clean: non-blocking Unix use is fine, and a justified
+   suppression covers the one deliberate sleep.  Expected findings:
+   none. *)
+
+let now () = Unix.gettimeofday ()
+
+let paced_wait () =
+  Unix.sleepf 0.01
+  [@montage.allow "R5: fixture models a driver-thread pacing sleep"]

@@ -1,0 +1,96 @@
+(* Montalint fixture-corpus tests: each known-bad module under
+   test/lint_fixtures/ must produce exactly its expected findings
+   (rule id and line, in source order) and each known-clean sibling
+   must produce none — the rules fire where designed and nowhere
+   else.  The analyzer reads the fixtures' .cmt files straight out of
+   the build tree, the same artifacts the @lint alias consumes. *)
+
+(* [dune runtest] runs us in _build/default/test; [dune exec] from the
+   repo root.  Accept either. *)
+let cmt name =
+  let rel =
+    Printf.sprintf "lint_fixtures/.lint_fixtures.objs/byte/lint_fixtures__%s.cmt" name
+  in
+  if Sys.file_exists rel then rel else Filename.concat "_build/default/test" rel
+
+let findings name =
+  match Lint.Engine.lint_cmt (cmt name) with
+  | Some (_, fs) -> List.sort Lint.Rule.compare_position fs
+  | None -> Alcotest.failf "no implementation cmt for fixture %s" name
+
+let observed fs =
+  List.map (fun f -> (Lint.Rule.to_string f.Lint.Rule.rule, f.Lint.Rule.line)) fs
+
+let rule_line = Alcotest.(pair string int)
+
+let check_fixture name expected () =
+  Alcotest.(check (list rule_line)) name expected (observed (findings name))
+
+(* Expected (rule, line) pairs track the fixture sources: if a fixture
+   is edited, re-run montalint over the fixture tree to refresh. *)
+let bad_cases =
+  [
+    ("Bad_r0", [ ("R4", 8); ("R0", 8) ]);
+    ("Bad_r1", [ ("R1", 11); ("R1", 12) ]);
+    ("Bad_r2", [ ("R2", 8); ("R2", 9) ]);
+    ("Bad_r3", [ ("R3", 10); ("R3", 11) ]);
+    ("Bad_r4", [ ("R4", 7); ("R4", 8) ]);
+    ("Bad_r5", [ ("R5", 6); ("R5", 10) ]);
+  ]
+
+let clean_cases = [ "Clean_r1"; "Clean_r2"; "Clean_r3"; "Clean_r4"; "Clean_r5" ]
+
+(* The malformed allow in Bad_r0 must not suppress the failwith it sits
+   on, and its detail must say why it was rejected. *)
+let test_malformed_allow_details () =
+  let fs = findings "Bad_r0" in
+  let r0 = List.find (fun f -> f.Lint.Rule.rule = Lint.Rule.R0) fs in
+  if
+    not
+      (String.length r0.detail >= 9
+      && String.sub r0.detail 0 9 = "malformed")
+  then Alcotest.failf "unexpected R0 detail: %s" r0.detail
+
+(* Baseline round-trip: grandfathering the bad-fixture findings makes
+   the diff empty; a baseline missing one of them reports exactly that
+   one as fresh; an entry with no matching finding is stale. *)
+let test_baseline_diff () =
+  let all = List.concat_map (fun (n, _) -> findings n) bad_cases in
+  let file = Filename.temp_file "montalint" ".baseline" in
+  Lint.Baseline.save file all;
+  let fresh, stale = Lint.Baseline.diff (Lint.Baseline.load file) all in
+  Alcotest.(check int) "full baseline: no fresh" 0 (List.length fresh);
+  Alcotest.(check int) "full baseline: no stale" 0 (List.length stale);
+  (match all with
+  | hd :: tl ->
+      Lint.Baseline.save file tl;
+      let fresh, _ = Lint.Baseline.diff (Lint.Baseline.load file) all in
+      Alcotest.(check (list rule_line))
+        "missing entry resurfaces"
+        [ (Lint.Rule.to_string hd.rule, hd.line) ]
+        (observed fresh);
+      Lint.Baseline.save file all;
+      let _, stale = Lint.Baseline.diff (Lint.Baseline.load file) tl in
+      Alcotest.(check int) "removed finding goes stale" 1 (List.length stale)
+  | [] -> Alcotest.fail "fixture corpus produced no findings");
+  Sys.remove file
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "known-bad",
+        List.map
+          (fun (name, expected) ->
+            Alcotest.test_case name `Quick (check_fixture name expected))
+          bad_cases );
+      ( "known-clean",
+        List.map
+          (fun name -> Alcotest.test_case name `Quick (check_fixture name []))
+          clean_cases );
+      ( "machinery",
+        [
+          Alcotest.test_case "malformed allow is rejected with detail" `Quick
+            test_malformed_allow_details;
+          Alcotest.test_case "baseline multiset diff" `Quick test_baseline_diff;
+        ] );
+    ]
