@@ -33,6 +33,7 @@ type t = {
   drain_domains : int; (* worker domains for the background parallel drain *)
   payload_mirror : bool; (* DRAM read cache of payload bytes (volatile mirrors) *)
   mirror_max_bytes : int; (* mirror-resident byte budget (clock eviction above it) *)
+  nb_advance : bool; (* nonblocking (helping) epoch advance + wait-free sync *)
 }
 
 (* MONTAGE_PCHECK=1|record  → record; MONTAGE_PCHECK=strict|enforce →
@@ -74,6 +75,16 @@ let mirror_bytes_from_env () =
   | Some n when n >= 0 -> n
   | _ -> 1 lsl 26
 
+(* MONTAGE_NB_ADVANCE=0|off|false|no selects the original blocking
+   epoch advance (advance lock + per-thread draining handshake);
+   anything else (or unset) selects the nonblocking advance, where any
+   thread helps complete a lagging peer's buffer publication and the
+   clock is published by CAS.  The CI matrix runs both arms. *)
+let nb_advance_from_env () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "MONTAGE_NB_ADVANCE") with
+  | Some ("0" | "off" | "false" | "no") -> false
+  | _ -> true
+
 let default =
   {
     max_threads = 16;
@@ -90,6 +101,7 @@ let default =
     drain_domains = drain_domains_from_env ();
     payload_mirror = mirror_from_env ();
     mirror_max_bytes = mirror_bytes_from_env ();
+    nb_advance = nb_advance_from_env ();
   }
 
 (* Montage (T): payloads placed in NVM, all persistence elided. *)

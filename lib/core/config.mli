@@ -50,6 +50,14 @@ type t = {
       (** byte budget for resident mirrors; clock (second-chance)
           eviction keeps the cache under it.  [0] disables mirroring
           like [payload_mirror = false] *)
+  nb_advance : bool;
+      (** nonblocking epoch advance (nbMontage): buffered records are
+          published in place and stay claimable until fenced, any
+          thread helps complete a lagging peer's publication, and the
+          clock is installed by CAS — no advance lock, no per-thread
+          draining handshake, and {!Epoch_sys.sync} never waits on an
+          idle or stalled peer.  [false] restores the original blocking
+          advance for ablation *)
 }
 
 (** The [MONTAGE_PCHECK] environment variable, decoded:
@@ -73,10 +81,15 @@ val mirror_from_env : unit -> bool
     byte budget, defaulting to 64 MB. *)
 val mirror_bytes_from_env : unit -> int
 
+(** The [MONTAGE_NB_ADVANCE] environment variable, decoded:
+    ["0"]/["off"]/["false"]/["no"] → [false] (blocking advance),
+    otherwise [true] (nonblocking advance, the default). *)
+val nb_advance_from_env : unit -> bool
+
 (** The paper's recommended configuration: 10 ms epochs, 64-entry
     write-back buffers, background reclamation.  [pcheck],
-    [coalesce_writebacks] and [drain_domains] follow their environment
-    variables (see the [_from_env] decoders above). *)
+    [coalesce_writebacks], [drain_domains] and [nb_advance] follow
+    their environment variables (see the [_from_env] decoders above). *)
 val default : t
 
 (** Montage (T): payloads placed in NVM, all persistence elided. *)

@@ -87,9 +87,11 @@ type per_thread = {
   buffer : Persist_buffer.t;
   coal : Wb_coalescer.t; (* this thread's line-dedup scratch for drains *)
   draining : bool Atomic.t;
-      (* raised while this thread holds records it popped from [buffer]
-         whose write-backs are not yet fenced; the epoch advance waits
-         for it before persisting the clock (see [advance_epoch_charged]) *)
+      (* blocking arm only: raised while this thread holds records it
+         popped from [buffer] whose write-backs are not yet fenced; the
+         blocking epoch advance waits for it before persisting the
+         clock.  The nonblocking arm never pops before fencing, so it
+         neither raises nor waits on this flag. *)
 }
 
 type t = {
@@ -100,10 +102,18 @@ type t = {
   tracker : Tracker.t;
   mind : Mindicator.t;
   threads : per_thread array;
-  (* to_free.(e mod 4).(tid): blocks freed in epoch e by thread tid,
-     reclaimable once the clock reaches e + 2.  Single-owner push; the
-     epoch-advance schedule guarantees drain never races a push. *)
-  to_free : int list ref array array;
+  (* to_free.(tid): (epoch, off, is_anti) triples freed by thread tid,
+     each reclaimable once the clock reaches epoch + 2.  The owner
+     appends with a CAS loop; a reclaimer claims the whole cell with
+     one [Atomic.exchange] — scrub and free are not idempotent, so each
+     block must be reclaimed by exactly one helper even when
+     nonblocking advances race — filters by the epoch tag, and pushes
+     unripe survivors back (see [reclaim_ripe]).  The is_anti flag
+     marks anti-payloads, whose scrub must never reach media before the
+     scrub of the victim they mask is fenced (see [reclaim_ripe]);
+     [pdelete] defers a victim and its anti at the same epoch so one
+     exchange always claims them together. *)
+  to_free : (int * int * bool) list Atomic.t array;
   advance_lock : Util.Spin_lock.t;
   uid_counter : int Atomic.t;
   advances : int Atomic.t; (* statistics *)
@@ -162,7 +172,7 @@ let make_state region cfg =
             coal = Wb_coalescer.create ();
             draining = Atomic.make false;
           });
-    to_free = Array.init 4 (fun _ -> Array.init slots (fun _ -> ref []));
+    to_free = Array.init slots (fun _ -> Atomic.make []);
     advance_lock = Util.Spin_lock.create ();
     uid_counter = Atomic.make 1;
     advances = Atomic.make 0;
@@ -429,6 +439,52 @@ let with_draining pt f =
    (esys.record_persist/end_op/advance), and the advance observes the \
    flag through its own esys.advance.draining await point"]
 
+(* Test-only stall injection: invoked in the middle of every drain's
+   vulnerable window — after records have been collected (blocking arm)
+   or published (nonblocking arm) but before the fence that makes them
+   durable.  The Dsched wait-freedom suites and the stalled-worker
+   bench park a thread here to show that the nonblocking advance
+   completes without it while the blocking advance waits forever.
+   Never set outside tests and benches. *)
+let test_stall_in_drain : (unit -> unit) ref = ref (fun () -> ())
+
+(* The nonblocking arm's owner-side full-ring flush: publish the whole
+   ring in place (records stay claimable — a concurrent advance that
+   observes them simply flushes them too; write-backs of data still in
+   the ring are idempotent), fence, and only then retire the published
+   prefix.  There is never a moment when a record is out of the ring
+   but not yet durable, which is why the nonblocking advance needs no
+   [draining] handshake. *)
+let publish_own_buffer t ~tid ~fence =
+  let pt = t.threads.(tid) in
+  let stop =
+    if t.cfg.Config.coalesce_writebacks then begin
+      let stop =
+        Persist_buffer.publish pt.buffer (fun off len -> Wb_coalescer.add pt.coal ~off ~len)
+      in
+      !test_stall_in_drain ();
+      flush_coalesced t ~tid ~charged:true ~fence pt.coal;
+      stop
+    end
+    else begin
+      let emitted = ref 0 in
+      let stop =
+        Persist_buffer.publish pt.buffer (fun off len ->
+            incr emitted;
+            Nvm.Region.writeback t.region ~tid ~off ~len)
+      in
+      !test_stall_in_drain ();
+      (if !emitted > 0 then
+         match fence with
+         | `Sync -> Nvm.Region.sfence t.region ~tid
+         | `Async -> Nvm.Region.sfence_async t.region ~tid
+         | `None -> ());
+      stop
+    end
+  in
+  Persist_buffer.retire_upto pt.buffer ~upto:stop;
+  if Persist_buffer.is_empty pt.buffer then Mindicator.clear t.mind ~tid
+
 (* Record that [off, off+len) must persist by the end of the current
    epoch.  Policy-dependent: buffered (default), direct (DirWB), or
    elided entirely for Montage (T). *)
@@ -445,18 +501,30 @@ let record_persist t ~tid ~off ~len =
         (match t.chk with
         | None -> ()
         | Some c -> Nvm.Pcheck.on_buffer_push c ~tid ~epoch:pt.op_epoch ~off ~len);
-        with_draining pt (fun () ->
-            if t.cfg.Config.coalesce_writebacks && Persist_buffer.is_full pt.buffer then begin
-              (* ring full: instead of evicting one record per push with a
-                 writeback+fence each (the per-record incremental path),
-                 snapshot-drain the whole ring through the coalescer — one
-                 batched issue, one fence, each line at most once *)
-              Persist_buffer.drain pt.buffer (fun o l -> Wb_coalescer.add pt.coal ~off:o ~len:l);
-              flush_coalesced t ~tid ~charged:true ~fence:`Async pt.coal
-            end;
-            Persist_buffer.push pt.buffer
-              ~flush:(fun o l -> flush_incremental t ~tid ~off:o ~len:l)
-              ~off ~len)
+        if t.cfg.Config.nb_advance then begin
+          if Persist_buffer.is_full pt.buffer then
+            publish_own_buffer t ~tid ~fence:`Async;
+          (* the retire above made room, so the eviction flush cannot
+             fire — it would be exactly the popped-but-unfenced window
+             the nonblocking arm bans *)
+          Persist_buffer.push pt.buffer
+            ~flush:(fun o l -> flush_incremental t ~tid ~off:o ~len:l)
+            ~off ~len
+        end
+        else
+          with_draining pt (fun () ->
+              if t.cfg.Config.coalesce_writebacks && Persist_buffer.is_full pt.buffer then begin
+                (* ring full: instead of evicting one record per push with a
+                   writeback+fence each (the per-record incremental path),
+                   snapshot-drain the whole ring through the coalescer — one
+                   batched issue, one fence, each line at most once *)
+                Persist_buffer.drain pt.buffer (fun o l -> Wb_coalescer.add pt.coal ~off:o ~len:l);
+                !test_stall_in_drain ();
+                flush_coalesced t ~tid ~charged:true ~fence:`Async pt.coal
+              end;
+              Persist_buffer.push pt.buffer
+                ~flush:(fun o l -> flush_incremental t ~tid ~off:o ~len:l)
+                ~off ~len)
 
 (* Drain one thread's buffer.  With [coal] the records are collected
    for a later batched flush; otherwise each goes straight onto the
@@ -498,32 +566,68 @@ let reclaim_block ?coal t ~tid ~charged off =
       else Nvm.Region.writeback_uncharged t.region ~tid ~off ~len:8);
   Ralloc.free t.alloc ~tid off
 
-let drain_free_slot ?coal ?(charged = false) t ~tid ~slot ~owner =
-  let cell = t.to_free.(slot).(owner) in
-  let blocks = !cell in
-  cell := [];
-  List.iter (fun off -> reclaim_block ?coal t ~tid ~charged off) blocks
+(* Claim and reclaim thread [owner]'s deferred frees that are ripe at
+   [upto]: every (epoch, off) pair with epoch <= upto, where the caller
+   guarantees the clock has reached upto + 2.  The whole cell is
+   claimed with a single [Atomic.exchange] — scrub and free are not
+   idempotent, so unlike payload write-backs this step must be owned by
+   exactly one thread even when nonblocking advances race — and unripe
+   survivors are pushed back with a CAS loop against the owner's
+   concurrent appends.  [upto] is a fixed epoch, not a clock-relative
+   slot index, so a reclaimer delayed arbitrarily long still frees only
+   blocks whose two-epoch quarantine had elapsed when it was computed.
+   Returns the number of blocks reclaimed (callers skip their fence
+   when nothing happened). *)
+let reclaim_ripe ?coal ?(charged = false) t ~tid ~owner ~upto =
+  Util.Sched.yield "esys.reclaim";
+  let cell = t.to_free.(owner) in
+  match Atomic.exchange cell [] with
+  | [] -> 0
+  | all ->
+      let ripe, keep = List.partition (fun (e, _, _) -> e <= upto) all in
+      (if keep <> [] then
+         let rec put_back () =
+           let cur = Atomic.get cell in
+           if not (Atomic.compare_and_set cell cur (keep @ cur)) then put_back ()
+         in
+         put_back ());
+      (* Anti-scrub barrier.  An anti-payload masks its still-valid
+         victim at recovery, so the anti's scrub must never reach media
+         while the victim's scrub is still volatile — otherwise a crash
+         resurrects the victim.  [pdelete] defers both at the same
+         epoch, so one exchange claims the pair; here we scrub all
+         plain victims first, fence, and only then store the anti
+         scrubs.  The fence (not mere store order) matters: write-backs
+         may complete independently per line, so without it a crash
+         could persist the anti's line and drop the victim's. *)
+      let antis, plains = List.partition (fun (_, _, anti) -> anti) ripe in
+      List.iter (fun (_, off, _) -> reclaim_block ?coal t ~tid ~charged off) plains;
+      if antis <> [] then begin
+        (if plains <> [] then
+           match coal with
+           | Some coal ->
+               flush_coalesced t ~tid ~charged ~fence:(if charged then `Sync else `Async) coal
+           | None -> Nvm.Region.sfence t.region ~tid);
+        List.iter (fun (_, off, _) -> reclaim_block ?coal t ~tid ~charged off) antis
+      end;
+      List.length ripe
 
 (* Worker-local reclamation (+LocalFree in Fig. 4): at begin_op, a
-   thread entering epoch e reclaims its own garbage from the epochs
-   the paper's window formula proves are ripe — between last_epoch − 1
-   and min(last_epoch + 1, e − 2). *)
+   thread entering epoch e reclaims its own garbage that is ripe at
+   e − 2.  The epoch tags on the deferred list subsume the paper's
+   window formula — any entry at least two epochs old is safe. *)
 let reclaim_local t ~tid =
   let pt = t.threads.(tid) in
   if pt.last_epoch > 0 && pt.op_epoch > pt.last_epoch then begin
-    let lo = max 1 (pt.last_epoch - 1) and hi = min (pt.last_epoch + 1) (pt.op_epoch - 2) in
+    let upto = pt.op_epoch - 2 in
     (* worker-side reclamation dilates the critical path: charged *)
     if t.cfg.Config.coalesce_writebacks then begin
-      for e = lo to hi do
-        drain_free_slot ~coal:pt.coal ~charged:true t ~tid ~slot:(e mod 4) ~owner:tid
-      done;
+      ignore (reclaim_ripe ~coal:pt.coal ~charged:true t ~tid ~owner:tid ~upto);
       flush_coalesced t ~tid ~charged:true ~fence:`Sync pt.coal
     end
     else begin
-      for e = lo to hi do
-        drain_free_slot ~charged:true t ~tid ~slot:(e mod 4) ~owner:tid
-      done;
-      if hi >= lo then Nvm.Region.sfence t.region ~tid
+      let n = reclaim_ripe ~charged:true t ~tid ~owner:tid ~upto in
+      if n > 0 then Nvm.Region.sfence t.region ~tid
     end
   end
 
@@ -546,20 +650,40 @@ let end_op t ~tid =
   Util.Sched.yield "esys.end_op";
   let pt = t.threads.(tid) in
   if t.cfg.Config.drain_on_end_op && t.cfg.Config.persist then
-    (* Montage (dw): the worker itself writes back everything at the
-       end of each operation — fully charged, it waits for the drain *)
-    with_draining pt (fun () ->
-        if t.cfg.Config.coalesce_writebacks then begin
-          Persist_buffer.drain_all pt.buffer (fun off len -> Wb_coalescer.add pt.coal ~off ~len);
-          Mindicator.clear t.mind ~tid;
-          flush_coalesced t ~tid ~charged:true ~fence:`Sync pt.coal
-        end
-        else begin
-          drain_buffer t ~tid ~owner:tid ~charged:true;
-          Nvm.Region.sfence t.region ~tid
-        end);
-  pt.op_epoch <- 0;
-  Tracker.unregister t.tracker ~tid
+    if t.cfg.Config.nb_advance then begin
+      (* Montage (dw), nonblocking arm: complete the operation *before*
+         draining.  Once the records are in the ring any helper can
+         claim them, so an epoch advance (or a peer's sync) racing this
+         drain finishes it instead of waiting for us — and the tracker
+         no longer counts us, so quiescence cannot stall on a thread
+         that is merely flushing. *)
+      pt.op_epoch <- 0;
+      Tracker.unregister t.tracker ~tid;
+      publish_own_buffer t ~tid ~fence:`Sync
+    end
+    else begin
+      (* Montage (dw), blocking arm: the worker itself writes back
+         everything at the end of each operation — fully charged, it
+         waits for the drain *)
+      with_draining pt (fun () ->
+          if t.cfg.Config.coalesce_writebacks then begin
+            Persist_buffer.drain_all pt.buffer (fun off len -> Wb_coalescer.add pt.coal ~off ~len);
+            Mindicator.clear t.mind ~tid;
+            !test_stall_in_drain ();
+            flush_coalesced t ~tid ~charged:true ~fence:`Sync pt.coal
+          end
+          else begin
+            drain_buffer t ~tid ~owner:tid ~charged:true;
+            !test_stall_in_drain ();
+            Nvm.Region.sfence t.region ~tid
+          end);
+      pt.op_epoch <- 0;
+      Tracker.unregister t.tracker ~tid
+    end
+  else begin
+    pt.op_epoch <- 0;
+    Tracker.unregister t.tracker ~tid
+  end
 
 let with_op t ~tid f =
   begin_op t ~tid;
@@ -703,9 +827,19 @@ let free_immediately t ~tid off =
   Payload_hdr.scrub t.region ~off;
   Ralloc.free t.alloc ~tid off
 
-let defer_free t ~tid ~epoch off =
-  let cell = t.to_free.(epoch mod 4).(tid) in
-  cell := off :: !cell
+(* Defer [off] for reclamation once the clock reaches [epoch] + 2.
+   CAS append: the owner is the only pusher, but a reclaimer's
+   push-back of unripe survivors ([reclaim_ripe]) can race it.
+   [anti] marks anti-payload blocks for [reclaim_ripe]'s scrub
+   ordering. *)
+let defer_free ?(anti = false) t ~tid ~epoch off =
+  Util.Sched.yield "esys.defer_free";
+  let cell = t.to_free.(tid) in
+  let rec add () =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur ((epoch, off, anti) :: cur)) then add ()
+  in
+  add ()
 
 let block_fits t ~off ~content_len =
   Payload_hdr.header_size + content_len <= Ralloc.block_size t.alloc off
@@ -787,7 +921,7 @@ let pdelete t ~tid p =
            in to_free from the copying update.) *)
         Payload_hdr.set_type t.region ~off:p.off Delete;
         record_persist t ~tid ~off:p.off ~len:8;
-        defer_free t ~tid ~epoch:(pt.op_epoch + 1) p.off
+        defer_free ~anti:true t ~tid ~epoch:(pt.op_epoch + 1) p.off
     | None ->
         Errors.corrupt
           "epoch_sys: pdelete: live payload uid=%d at off=%d born this epoch \
@@ -803,32 +937,48 @@ let pdelete t ~tid p =
     Payload_hdr.write t.region ~off:anti
       { Payload_hdr.ptype = Delete; epoch = pt.op_epoch; uid = p.uid; size = 0 };
     record_persist t ~tid ~off:anti ~len:Payload_hdr.header_size;
-    defer_free t ~tid ~epoch:(pt.op_epoch + 1) anti;
-    defer_free t ~tid ~epoch:pt.op_epoch p.off
+    (* The victim is deferred at the anti's epoch, not its own: the two
+       scrubs must be claimed by one [reclaim_ripe] exchange so the
+       anti-scrub barrier there can order them.  Under the nonblocking
+       advance a reclaimer can stall between its scrub stores and its
+       fence while further ticks proceed; if the victim were ripe one
+       tick earlier, a later tick could durably scrub the anti while
+       the victim's scrub is still volatile in the stalled helper —
+       after a crash, recovery would see the victim without its anti
+       and resurrect it. *)
+    defer_free ~anti:true t ~tid ~epoch:(pt.op_epoch + 1) anti;
+    defer_free t ~tid ~epoch:(pt.op_epoch + 1) p.off
   end
 
 (* ---- epoch advance ---- *)
 
-(* Advance the clock by one epoch.  Serialized by [advance_lock]; the
-   caller may be the background domain, a sync helper, or a test.
-   Steps follow §3.2: quiesce e−1, reclaim the ripe to_free slot,
-   write back everything buffered, fence, then bump and persist the
-   clock.  Reclamation scrubs ride the same fence as the payload
-   write-backs, so nothing is reused before its supersession record is
-   durable. *)
-(* Drain the free slot (when background reclamation is on) and the
-   persist buffer of each owner in [owners] through [coal] on thread
-   [tid], then flush the batch and fence.  One shard of an epoch
-   drain. *)
-let drain_shard t ~tid ~slot ~charged ~fence coal owners =
+(* Blocking arm: advance the clock by one epoch under [advance_lock];
+   the caller may be the background domain, a sync helper, or a test.
+   Steps follow §3.2: quiesce e−1, reclaim ripe deferred frees, write
+   back everything buffered, fence, then bump and persist the clock.
+   Reclamation scrubs ride the same fence as the payload write-backs,
+   so nothing is reused before its supersession record is durable. *)
+(* Drain the ripe deferred frees (when background reclamation is on;
+   [reclaim_upto] is the newest ripe epoch) and the persist buffer of
+   each owner in [owners] through [coal] on thread [tid], then flush
+   the batch and fence.  One shard of an epoch drain. *)
+let drain_shard t ~tid ~reclaim_upto ~charged ~fence coal owners =
   List.iter
     (fun owner ->
-      (match slot with
-      | Some slot -> drain_free_slot ~coal ~charged t ~tid ~slot ~owner
+      (match reclaim_upto with
+      | Some upto -> ignore (reclaim_ripe ~coal ~charged t ~tid ~owner ~upto)
       | None -> ());
       drain_buffer ~coal t ~tid ~owner ~charged)
     owners;
   flush_coalesced t ~tid ~charged ~fence coal
+
+(* Advisory emptiness probe on an owner's deferred-free cell, used only
+   to decide whether it is worth visiting in a drain shard. *)
+let has_ripe_free t ~owner ~upto =
+  List.exists (fun (e, _, _) -> e <= upto) (Atomic.get t.to_free.(owner))
+[@@montage.allow
+  "R2: read-only probe under the blocking arm's advance lock; the \
+   claim itself goes through reclaim_ripe's esys.reclaim point"]
 
 (* The coalesced epoch drain.  Serial by default; the background
    advancer (and only it — worker tids must not be borrowed from under
@@ -837,12 +987,12 @@ let drain_shard t ~tid ~slot ~charged ~fence coal owners =
    region queue (one of the region's spare thread slots) and trailing
    fence, so the write-back of a large epoch completes before the
    clock ticks rather than serializing on one domain. *)
-let drain_all_coalesced t ~tid ~slot ~charged =
+let drain_all_coalesced t ~tid ~reclaim_upto ~charged =
   let nw = t.cfg.Config.max_threads in
   let owners = ref [] in
   for owner = nw - 1 downto 0 do
     let ripe =
-      match slot with Some slot -> !(t.to_free.(slot).(owner)) <> [] | None -> false
+      match reclaim_upto with Some upto -> has_ripe_free t ~owner ~upto | None -> false
     in
     if ripe || not (Persist_buffer.is_empty t.threads.(owner).buffer) then
       owners := owner :: !owners
@@ -863,7 +1013,7 @@ let drain_all_coalesced t ~tid ~slot ~charged =
          domain; spawning helper domains would race it *)
     else min t.cfg.Config.drain_domains (min (1 + spare) (max 1 n))
   in
-  if k <= 1 then drain_shard t ~tid ~slot ~charged ~fence:(if charged then `Sync else `Async)
+  if k <= 1 then drain_shard t ~tid ~reclaim_upto ~charged ~fence:(if charged then `Sync else `Async)
       t.threads.(tid).coal owners
   else begin
     let shards = Array.make k [] in
@@ -873,31 +1023,32 @@ let drain_all_coalesced t ~tid ~slot ~charged =
          the region's spare slots above the advancer *)
       let stid = if j = 0 then tid else nw + 1 + (j - 1) in
       let coal = if j = 0 then t.threads.(tid).coal else Wb_coalescer.create () in
-      drain_shard t ~tid:stid ~slot ~charged:false ~fence:`Async coal shards.(j)
+      drain_shard t ~tid:stid ~reclaim_upto ~charged:false ~fence:`Async coal shards.(j)
     in
     let helpers = Array.init (k - 1) (fun j -> Domain.spawn (fun () -> run (j + 1))) in
     run 0;
     Array.iter Domain.join helpers
   end
 
-let advance_epoch_charged t ~tid ~charged =
+let blocking_advance_epoch t ~tid ~charged =
   Util.Sched.yield "esys.advance";
   Util.Spin_lock.with_lock t.advance_lock (fun () ->
       let e = Atomic.get t.curr_epoch in
       Tracker.wait_all t.tracker ~epoch:(e - 1);
       Util.Sched.yield "esys.advance.quiesced";
       if t.cfg.Config.persist then begin
-        let slot =
+        let reclaim_upto =
           if t.cfg.Config.reclaim = Config.Background && not t.cfg.Config.direct_free then
-            Some ((e - 2) mod 4)
+            Some (e - 2)
           else None
         in
-        (if t.cfg.Config.coalesce_writebacks then drain_all_coalesced t ~tid ~slot ~charged
+        (if t.cfg.Config.coalesce_writebacks then
+           drain_all_coalesced t ~tid ~reclaim_upto ~charged
          else begin
-           (match slot with
-           | Some slot ->
+           (match reclaim_upto with
+           | Some upto ->
                for owner = 0 to t.cfg.Config.max_threads - 1 do
-                 drain_free_slot t ~tid ~slot ~owner
+                 ignore (reclaim_ripe t ~tid ~owner ~upto)
                done
            | None -> ());
            for owner = 0 to t.cfg.Config.max_threads - 1 do
@@ -930,6 +1081,129 @@ let advance_epoch_charged t ~tid ~charged =
       | Some c -> Nvm.Pcheck.on_epoch_advance c ~epoch:(e + 1));
       Atomic.incr t.advances)
 
+(* Nonblocking arm (nbMontage, Cai et al. — PAPERS.md): one helped tick
+   e → e+1.  Any number of threads may run this concurrently for the
+   same [e]; there is no advance lock and no draining handshake:
+
+     quiesce e−1 → publish + fence every ring → retire the published
+     records → CAS the persistent clock e → e+1 → persist it → CAS the
+     transient clock (the winner reports to the checker and reclaims)
+
+   Safety: every thread that attempts the clock CAS has *itself*
+   written back and fenced all records due at this tick first, so
+   whichever attempt wins, the media clock never moves past an
+   unflushed payload.  Records pushed after a publication snapshot
+   belong to epoch ≥ e (quiescence on e−1 already happened) and are due
+   only at e+2.  Helping is idempotent by construction: a publication
+   re-issues line write-backs of data still in the ring — never a
+   payload store — so two helpers racing over the same ring at worst
+   flush a line twice.  The one non-idempotent step, scrub + free of
+   deferred blocks, is claimed by a single [Atomic.exchange] inside
+   [reclaim_ripe] and performed only by the transient-CAS winner, with
+   the conservative bound e−1: ripe at the clock value e+1 the winner
+   just installed, and still ripe under any later clock if the winner
+   is delayed, so helping never double-frees.
+
+   Liveness: no step waits on another thread except the initial
+   quiescence on epochs ≤ e−2 (bounded by operation length, and absent
+   entirely for a peer parked *between* ops or inside a drain —
+   unregistered threads are invisible to the tracker, and their ring
+   records are claimable, so the helper flushes them itself).
+   Publication is bounded by ring capacity, retirement by the
+   published count, and each clock CAS is one attempt with no retry
+   loop. *)
+let nb_advance_epoch t ~tid ~charged =
+  Util.Sched.yield "esys.advance";
+  let e = Atomic.get t.curr_epoch in
+  Tracker.wait_all t.tracker ~epoch:(e - 1);
+  Util.Sched.yield "esys.advance.quiesced";
+  (* a helper may have completed this very tick while we quiesced; the
+     caller's contract (clock strictly past the epoch it observed)
+     already holds, so do not push it an extra tick *)
+  if Atomic.get t.curr_epoch = e then begin
+    let nw = t.cfg.Config.max_threads in
+    let coal =
+      if t.cfg.Config.coalesce_writebacks then Some t.threads.(tid).coal else None
+    in
+    if t.cfg.Config.persist then begin
+      (* publication pass: emit every owner's ring without consuming *)
+      let stops = Array.make nw 0 in
+      let emitted = ref 0 in
+      for owner = 0 to nw - 1 do
+        let buf = t.threads.(owner).buffer in
+        stops.(owner) <-
+          (match coal with
+          | Some coal ->
+              Persist_buffer.publish buf (fun off len ->
+                  incr emitted;
+                  Wb_coalescer.add coal ~off ~len)
+          | None ->
+              let wb =
+                if charged then Nvm.Region.writeback else Nvm.Region.writeback_uncharged
+              in
+              Persist_buffer.publish buf (fun off len ->
+                  incr emitted;
+                  wb t.region ~tid ~off ~len))
+      done;
+      !test_stall_in_drain ();
+      (* one fence covers every owner's published write-backs *)
+      (match coal with
+      | Some coal ->
+          flush_coalesced t ~tid ~charged ~fence:(if charged then `Sync else `Async) coal
+      | None ->
+          if !emitted > 0 then
+            if charged then Nvm.Region.sfence t.region ~tid
+            else Nvm.Region.sfence_async t.region ~tid);
+      (* fenced: retire each published prefix and update the owner's
+         mindicator leaf — records still in a ring (pushed after our
+         snapshot) belong to epoch >= e *)
+      for owner = 0 to nw - 1 do
+        let buf = t.threads.(owner).buffer in
+        Persist_buffer.retire_upto buf ~upto:stops.(owner);
+        if Persist_buffer.is_empty buf then Mindicator.clear t.mind ~tid:owner
+        else Mindicator.retire t.mind ~tid:owner ~epoch:e
+      done;
+      Util.Sched.yield "esys.advance.clock_store";
+      (* helpers race on the persistent clock; exactly one CAS installs
+         e+1 and a stale attempt fails harmlessly (the media clock is
+         monotone).  The write-back + fence after it is idempotent and
+         issued by *every* attempter, so even if the winner stalls
+         right after its CAS, any helper's fence makes the new clock
+         durable. *)
+      ignore (Nvm.Region.cas_i64 t.region ~off:clock_off ~expected:e ~desired:(e + 1));
+      Nvm.Region.persist t.region ~tid ~off:clock_off ~len:8
+    end;
+    Util.Sched.yield "esys.advance.clock_persisted";
+    if Atomic.compare_and_set t.curr_epoch e (e + 1) then begin
+      (* transient-CAS winner: report the tick and reclaim ripe frees *)
+      (match t.chk with
+      | None -> ()
+      | Some c -> Nvm.Pcheck.on_epoch_advance c ~epoch:(e + 1));
+      Atomic.incr t.advances;
+      if
+        t.cfg.Config.persist
+        && t.cfg.Config.reclaim = Config.Background
+        && not t.cfg.Config.direct_free
+      then begin
+        let reclaimed = ref 0 in
+        for owner = 0 to nw - 1 do
+          reclaimed := !reclaimed + reclaim_ripe ?coal ~charged t ~tid ~owner ~upto:(e - 1)
+        done;
+        match coal with
+        | Some coal ->
+            flush_coalesced t ~tid ~charged ~fence:(if charged then `Sync else `Async) coal
+        | None ->
+            if !reclaimed > 0 then
+              if charged then Nvm.Region.sfence t.region ~tid
+              else Nvm.Region.sfence_async t.region ~tid
+      end
+    end
+  end
+
+let advance_epoch_charged t ~tid ~charged =
+  if t.cfg.Config.nb_advance then nb_advance_epoch t ~tid ~charged
+  else blocking_advance_epoch t ~tid ~charged
+
 (* Background/default advance: the advancer's device traffic is not
    billed to application time (dedicated-core assumption). *)
 let advance_epoch t ~tid = advance_epoch_charged t ~tid ~charged:false
@@ -944,8 +1218,20 @@ let note_linearize t ~epoch ~clock ~success =
 (* Force buffered work durable: everything that completed before this
    call survives any later crash.  Mirrors fsync: two epoch advances
    move the persistence frontier past all completed operations.  The
-   caller helps with the writes-back and *waits* for them (paper §5.2),
-   so sync is fully charged. *)
+   caller helps with the write-backs and *waits* for them (paper §5.2),
+   so sync is fully charged.
+
+   Under [Config.nb_advance] this is wait-free with respect to peers
+   that are between operations: each helped tick does a bounded amount
+   of the caller's own work (publish every ring, fence, one CAS each on
+   the persistent and transient clocks) and never waits on a stalled
+   peer's drain — the caller flushes the peer's claimable records
+   itself.  If the first tick the caller attempts was already completed
+   by a concurrent helper, the clock still ends at least two past the
+   epoch of every operation completed before this call, which is the
+   durability contract.  The only wait is [Tracker.wait_all] on ops
+   still *inside* their begin/end window from two epochs back — a
+   quiescence condition no sync can soundly skip. *)
 let sync t ~tid =
   advance_epoch_charged t ~tid ~charged:true;
   advance_epoch_charged t ~tid ~charged:true

@@ -24,8 +24,13 @@ let announce t ~tid ~epoch =
   Util.Sched.yield "mindicator.announce";
   if Util.Padded.get t.leaves tid > epoch then Util.Padded.set t.leaves tid epoch
 
-(* Thread [tid] has nothing unpersisted before [epoch]. *)
+(* Thread [tid] has nothing unpersisted before [epoch].  Unlike
+   [clear], this keeps the leaf live when the owner may still hold
+   unpersisted records of [epoch] itself — the nonblocking advance uses
+   it after retiring a publication it fenced, where later records
+   (pushed after the publication's snapshot) can still be pending. *)
 let retire t ~tid ~epoch =
+  Util.Sched.yield "mindicator.retire";
   if Util.Padded.get t.leaves tid < epoch then Util.Padded.set t.leaves tid epoch
 
 let clear t ~tid = Util.Padded.set t.leaves tid infinity_epoch

@@ -109,6 +109,67 @@ let drain t f =
    Never set outside tests. *)
 let test_drop_first_drain_record = ref false
 
+(* ---- nonblocking publication (the nb-advance drain path) ----
+
+   The blocking drain pops a record before its write-back is fenced,
+   which is why the epoch advance must wait out every consumer's
+   pop→fence window (the [draining] handshake).  The nonblocking
+   protocol never creates that window: [publish] *peeks* — it emits
+   every record in [head, tail-at-entry) without consuming any of
+   them — and only after the caller has fenced the emitted write-backs
+   does [retire_upto] move the head past them.  Until then the records
+   stay visible, so any helper (an epoch advance, a sync caller) can
+   re-publish and fence them itself; write-backs are idempotent, so
+   helping never double-applies anything.  The ring itself is the
+   publication descriptor: (head, observed tail) delimits the claimable
+   records, and the monotonic CAS on head in [retire_upto] is the
+   claim-completion step that concurrent helpers race benignly. *)
+
+(* Planted-bug twin of [test_drop_first_drain_record] for the
+   nonblocking arm: while set, every [publish] skips its first record
+   but still returns the stop index past it, so [retire_upto] retires a
+   record that was never written back — a lost publication the Dsched
+   durable-linearizability explorer must detect.  Never set outside
+   tests. *)
+let test_drop_first_publish_record = ref false
+
+(* Emit every record currently in the ring, oldest first, *without*
+   consuming: the publication pass of a nonblocking drain.  Bounded by
+   the tail observed at entry (later records belong to a later epoch).
+   Returns the exclusive upper index to hand to [retire_upto] once the
+   emitted write-backs are fenced.  Safe from any thread: a slot is
+   rewritten only after the head passes it, so a racing reader sees
+   either the old record (already retired — re-emitting is an
+   idempotent write-back of durable data) or the new one (a harmless
+   early flush); int-array reads cannot tear. *)
+let publish t f =
+  Util.Sched.yield "pbuf.publish";
+  let stop = Atomic.get t.tail in
+  let start = Atomic.get t.head in
+  let start = if !test_drop_first_publish_record && start < stop then start + 1 else start in
+  for i = start to stop - 1 do
+    let entry = t.slots.(i mod t.capacity) in
+    f (unpack_off entry) (unpack_len entry)
+  done;
+  stop
+
+(* Retire published records: advance the head to at least [upto],
+   one monotonic CAS step at a time.  Called only after the caller's
+   fence covers everything below [upto].  Helpers retiring the same
+   prefix cooperate — every CAS failure means another thread moved the
+   head forward — so the loop takes at most [upto - head] iterations
+   regardless of contention: bounded, hence wait-free. *)
+let retire_upto t ~upto =
+  Util.Sched.yield "pbuf.retire";
+  let rec go () =
+    let head = Atomic.get t.head in
+    if head < upto then begin
+      ignore (Atomic.compare_and_set t.head head (head + 1));
+      go ()
+    end
+  in
+  go ()
+
 (* Drain until empty — the owner's quiescent full flush (END_OP drain,
    shutdown), where chasing the tail is the point. *)
 let drain_all t f =

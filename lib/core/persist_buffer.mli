@@ -42,3 +42,29 @@ val drain_all : t -> (int -> int -> unit) -> unit
     an artificial lost write-back the schedule explorer must detect.
     Test-only; never set in production code. *)
 val test_drop_first_drain_record : bool ref
+
+(** {1 Nonblocking publication (the nb-advance drain path)}
+
+    [publish]/[retire_upto] replace pop-based drains under
+    [Config.nb_advance]: records are emitted {e without} being
+    consumed, stay claimable by concurrent helpers until the emitter's
+    fence lands, and are only then retired by a monotonic CAS on the
+    head — there is no popped-but-unfenced window for an epoch advance
+    to wait out. *)
+
+(** Emit every record in [head, tail-observed-at-entry), oldest first,
+    without consuming; returns the exclusive stop index for
+    {!retire_upto}.  Safe from any thread; emitting a record another
+    thread already retired re-issues an idempotent write-back. *)
+val publish : t -> (int -> int -> unit) -> int
+
+(** Advance the head to at least [upto] (monotonic; cooperating CAS
+    steps, at most [upto - head] iterations).  Call only after fencing
+    the write-backs of everything below [upto]. *)
+val retire_upto : t -> upto:int -> unit
+
+(** Planted-bug twin of {!test_drop_first_drain_record} for the
+    nonblocking arm: while set, {!publish} skips its first record but
+    still returns the stop index past it — a lost publication the
+    schedule explorer must detect.  Test-only. *)
+val test_drop_first_publish_record : bool ref

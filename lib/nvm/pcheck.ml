@@ -72,6 +72,7 @@ type violation =
   | Epoch_retired_unflushed of { tid : int; epoch : int; off : int; len : int; clock : int }
   | Linearize_epoch_mismatch of { epoch : int; clock : int }
   | Mirror_stale of { off : int; len : int; line : int }
+  | Epoch_clock_regression of { from_ : int; to_ : int }
   | Contract of { what : string; off : int; len : int; line : int }
 
 let violation_to_string = function
@@ -99,6 +100,11 @@ let violation_to_string = function
         "mirror-stale: volatile mirror of [%d, %d) disagrees with the store view at line %d — a \
          payload mutation bypassed the mirror refresh"
         off (off + len) line
+  | Epoch_clock_regression { from_; to_ } ->
+      Printf.sprintf
+        "epoch-clock-regression: the clock was advanced to %d after the checker observed %d — a \
+         racing advance published a stale epoch, so recovery cutoffs could move backwards"
+        to_ from_
   | Contract { what; off; len; line } ->
       Printf.sprintf "contract %S: range [%d, %d) expected fenced but line %d is dirty or pending"
         what off (off + len) line
@@ -346,6 +352,9 @@ let on_crash t ~injected =
   Array.fill t.pending_count 0 (Array.length t.pending_count) 0;
   (* outstanding obligations belong to epochs recovery will discard *)
   t.obligations <- [];
+  (* clear the monotonicity watermark: a recovery (or a re-used checker
+     across [explore] branches) may legally resume at a lower clock *)
+  Atomic.set t.clock 0;
   List.iter (fun line -> Bytes.unsafe_set t.unfenced_media line '\001') injected;
   Mutex.unlock t.lock;
   record_event t Crash
@@ -388,6 +397,14 @@ let check_obligation t ~clock ob =
          })
 
 let on_epoch_advance t ~epoch =
+  (* The clock must be monotone within one pre-crash execution: under
+     the nonblocking advance, helpers race to install e+1, and only the
+     winning transient CAS may report the tick — a loser reporting its
+     stale epoch would move recovery cutoffs backwards.  (A crash
+     resets this watermark: recovery legitimately restarts the clock at
+     whatever the media image holds.) *)
+  let prev = Atomic.get t.clock in
+  if epoch < prev then violate t (Epoch_clock_regression { from_ = prev; to_ = epoch });
   Atomic.set t.clock epoch;
   Mutex.lock t.lock;
   let retired, live = List.partition (fun ob -> ob.ob_epoch <= epoch - 2) t.obligations in

@@ -35,6 +35,13 @@ type violation =
       (** a payload read served from a volatile mirror disagreed with
           the store view of the mirrored range: some mutation bypassed
           the mirror refresh (see {!on_mirror_read}) *)
+  | Epoch_clock_regression of { from_ : int; to_ : int }
+      (** {!on_epoch_advance} reported an epoch lower than one already
+          observed in this pre-crash execution — under the nonblocking
+          advance only the winning helper may report its tick, and a
+          loser publishing a stale epoch would move recovery cutoffs
+          backwards.  The watermark resets on crash (recovery may
+          legally resume at a lower clock). *)
   | Contract of { what : string; off : int; len : int; line : int }
       (** an {!expect_fenced} assertion failed *)
 

@@ -55,6 +55,8 @@ type t = {
      setup, before the region is shared with worker domains. *)
   mutable checker : Pcheck.t option
       [@montage.guarded_by "set-up-before-sharing (enable_pcheck precedes domain spawn)"];
+  (* serializes [cas_i64]'s read-check-write; see its comment *)
+  cas_lock : Mutex.t;
 }
 
 let queue_capacity = 4096
@@ -80,6 +82,7 @@ let create ?(latency = Latency.default) ?(max_threads = 64) ~capacity () =
     stat_coalesce_lines_out = Util.Padded.make_counters max_threads;
     stat_lines_read = Atomic.make 0;
     checker = None;
+    cas_lock = Mutex.create ();
   }
 
 (* Reconstruct a region from a raw media image (e.g. one of the crash
@@ -200,6 +203,32 @@ let get_i64 t ~off =
   check_range t off 8;
   note_read t ~off ~len:8;
   Int64.to_int (Bytes.get_int64_le t.work off)
+
+(* Atomic 8-byte compare-and-swap on the store view — the lock-cmpxchg
+   analog for a persistent address, which the nonblocking epoch advance
+   uses to publish the clock (racing helpers install e+1 exactly once;
+   a stale attempt fails instead of regressing the clock).  The mutex
+   only serializes the read-check-write against other [cas_i64] calls:
+   it is O(1), contains no scheduling point, and so behaves as the
+   single hardware instruction it models, even under Dsched.  A
+   successful swap has store semantics (dirty marking + checker
+   [on_store]); the caller still owns write-back and fence. *)
+let cas_i64 t ~off ~expected ~desired =
+  check_range t off 8;
+  Mutex.lock t.cas_lock;
+  let cur = Int64.to_int (Bytes.get_int64_le t.work off) in
+  let won = cur = expected in
+  if won then Bytes.set_int64_le t.work off (Int64.of_int desired);
+  Mutex.unlock t.cas_lock;
+  if won then begin
+    mark_dirty t off 8;
+    note_store t ~off ~len:8
+  end;
+  won
+[@@montage.allow
+  "R5: models one atomic instruction — the lock is O(1) with no \
+   scheduling point or user code inside, like Pcheck's bookkeeping \
+   mutex"]
 
 let set_i32 t ~off v =
   check_range t off 4;

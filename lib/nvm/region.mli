@@ -52,6 +52,15 @@ val get_i32 : t -> off:int -> int
 val set_i64 : t -> off:int -> int -> unit
 val get_i64 : t -> off:int -> int
 
+(** Atomic 8-byte compare-and-swap on the store view (the lock-cmpxchg
+    analog for a persistent address): when the current value equals
+    [expected], stores [desired] — with full store semantics (dirty
+    marking, checker notification) — and returns [true]; otherwise
+    leaves the cell untouched and returns [false].  Used by the
+    nonblocking epoch advance to publish the clock; the caller still
+    owns write-back and fence of the line. *)
+val cas_i64 : t -> off:int -> expected:int -> desired:int -> bool
+
 (** Transient metadata access: never participates in persistence (no
     dirty marking, no latency).  Allocator free lists use it. *)
 

@@ -275,7 +275,9 @@ let nb_queue_impl =
 
 (* Scenario config: manual epochs, serial drain, no checker, no
    mirrors — the minimal deterministic runtime.  Recovery under the
-   same knobs. *)
+   same knobs.  [nb_advance] is inherited from the environment so the
+   CI matrix legs (MONTAGE_NB_ADVANCE=1/0) sweep the shared scenarios
+   over both advance arms; arm-specific tests pin it explicitly. *)
 let sched_cfg =
   {
     Cfg.testing with
@@ -285,6 +287,13 @@ let sched_cfg =
     payload_mirror = false;
     buffer_size = 16;
   }
+
+(* Arm-pinned variants: the planted drain-record bug lives in the
+   blocking arm's [drain_all] path, the planted publish bug in the
+   nonblocking arm's [publish] path — each must be explored on the arm
+   that actually executes its code regardless of the CI leg's env. *)
+let blocking_cfg = { sched_cfg with Cfg.nb_advance = false }
+let nb_cfg = { sched_cfg with Cfg.nb_advance = true }
 
 type 'q qstate = {
   region : R.t;
@@ -301,14 +310,46 @@ let drain impl q =
 (* Each fiber runs its op script; after every op it records (op,
    result, clock after completion) and advances the epoch once, so the
    persistence frontier moves mid-schedule and crash branches cut
-   through every buffering stage. *)
-let queue_scenario impl scripts =
+   through every buffering stage.  [helpers] appends extra fibers that
+   only advance the epoch (twice each): with the nonblocking arm they
+   race the op threads' advances and each other through the helping
+   protocol, so exploration preempts a writer mid-publication with two
+   helpers live — the nbMontage racing-helper case. *)
+let queue_scenario ?(cfg = sched_cfg) ?(helpers = 0) impl scripts =
   let n = Array.length scripts in
+  let total = n + helpers in
+  let op_threads =
+    Array.mapi
+      (fun tid script st ->
+        List.iter
+          (fun op ->
+            st.inflight.(tid) <- Some op;
+            let res =
+              match op with
+              | Enq v ->
+                  impl.enqueue st.q ~tid v;
+                  None
+              | Deq -> impl.dequeue st.q ~tid
+            in
+            st.hist.(tid) := (op, res, E.current_epoch st.esys) :: !(st.hist.(tid));
+            st.inflight.(tid) <- None;
+            E.advance_epoch st.esys ~tid)
+          script)
+      scripts
+  in
+  let helper_threads =
+    Array.init helpers (fun i st ->
+        let tid = n + i in
+        E.advance_epoch st.esys ~tid;
+        E.advance_epoch st.esys ~tid)
+  in
   {
     D.init =
       (fun () ->
-        let region = R.create ~latency:Nvm.Latency.zero ~max_threads:(n + 2) ~capacity:(1 lsl 18) () in
-        let esys = E.create ~config:{ sched_cfg with Cfg.max_threads = n } region in
+        let region =
+          R.create ~latency:Nvm.Latency.zero ~max_threads:(total + 2) ~capacity:(1 lsl 18) ()
+        in
+        let esys = E.create ~config:{ cfg with Cfg.max_threads = total } region in
         {
           region;
           esys;
@@ -316,29 +357,12 @@ let queue_scenario impl scripts =
           hist = Array.init n (fun _ -> ref []);
           inflight = Array.make n None;
         });
-    threads =
-      Array.mapi
-        (fun tid script st ->
-          List.iter
-            (fun op ->
-              st.inflight.(tid) <- Some op;
-              let res =
-                match op with
-                | Enq v ->
-                    impl.enqueue st.q ~tid v;
-                    None
-                | Deq -> impl.dequeue st.q ~tid
-              in
-              st.hist.(tid) := (op, res, E.current_epoch st.esys) :: !(st.hist.(tid));
-              st.inflight.(tid) <- None;
-              E.advance_epoch st.esys ~tid)
-            script)
-        scripts;
+    threads = Array.append op_threads helper_threads;
     check_crash =
       Some
         (fun st ->
           R.crash st.region;
-          match E.recover ~config:{ sched_cfg with Cfg.max_threads = Array.length scripts } st.region with
+          match E.recover ~config:{ cfg with Cfg.max_threads = total } st.region with
           | exception _ -> false
           | esys2, payloads ->
               let recovered = drain impl (impl.recover esys2 payloads) in
@@ -390,17 +414,21 @@ let test_nb_queue_exhaustive_with_crashes () =
   in
   check_queue_report "nb_queue" r
 
-(* The planted bug: Persist_buffer.drain_all discards its first record,
-   so one buffered payload never reaches media.  Durable-linearizability
-   checking over crash branches must catch it, the shrunk trace must
-   replay, and under PCT the printed per-run seed must reproduce it. *)
-let with_planted_bug f =
-  Montage.Persist_buffer.test_drop_first_drain_record := true;
-  Fun.protect ~finally:(fun () -> Montage.Persist_buffer.test_drop_first_drain_record := false) f
+(* The planted bugs: the blocking arm's [Persist_buffer.drain_all]
+   discards its first record, the nonblocking arm's
+   [Persist_buffer.publish] skips its first record but still returns
+   the stop index past it (so [retire_upto] throws it away unflushed) —
+   either way one buffered payload never reaches media.
+   Durable-linearizability checking over crash branches must catch it
+   on the arm that runs the planted path, the shrunk trace must replay,
+   and under PCT the printed per-run seed must reproduce it. *)
+let with_planted_bug flag f =
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := false) f
 
-let test_planted_bug_caught_exhaustive () =
-  with_planted_bug (fun () ->
-      let scenario = queue_scenario mqueue_impl scripts in
+let planted_caught_exhaustive ~flag ~cfg () =
+  with_planted_bug flag (fun () ->
+      let scenario = queue_scenario ~cfg mqueue_impl scripts in
       match
         (D.explore (exhaustive ~preemptions:1 ~max_attempts:100_000 ()) scenario).D.failure
       with
@@ -417,9 +445,9 @@ let test_planted_bug_caught_exhaustive () =
           Alcotest.(check bool) "shrunk trace replays to the same failure" true
             (again.D.failure <> None))
 
-let test_planted_bug_caught_pct_and_seed_replays () =
-  with_planted_bug (fun () ->
-      let scenario = queue_scenario mqueue_impl scripts in
+let planted_caught_pct_and_seed_replays ~flag ~cfg () =
+  with_planted_bug flag (fun () ->
+      let scenario = queue_scenario ~cfg mqueue_impl scripts in
       match (D.explore (D.Pct { runs = 100; seed = 7; change_points = 3 }) scenario).D.failure with
       | None -> Alcotest.fail "dropped flush not caught by 100 PCT runs"
       | Some f -> (
@@ -433,6 +461,209 @@ let test_planted_bug_caught_pct_and_seed_replays () =
                 (again.D.failure <> None);
               let replayed = D.explore (D.Replay f.D.trace) scenario in
               Alcotest.(check bool) "shrunk trace replays too" true (replayed.D.failure <> None)))
+
+let test_planted_bug_caught_exhaustive =
+  planted_caught_exhaustive ~flag:Montage.Persist_buffer.test_drop_first_drain_record
+    ~cfg:blocking_cfg
+
+let test_planted_bug_caught_pct_and_seed_replays =
+  planted_caught_pct_and_seed_replays ~flag:Montage.Persist_buffer.test_drop_first_drain_record
+    ~cfg:blocking_cfg
+
+let test_planted_publish_bug_caught_exhaustive =
+  planted_caught_exhaustive ~flag:Montage.Persist_buffer.test_drop_first_publish_record ~cfg:nb_cfg
+
+let test_planted_publish_bug_caught_pct_and_seed_replays =
+  planted_caught_pct_and_seed_replays ~flag:Montage.Persist_buffer.test_drop_first_publish_record
+    ~cfg:nb_cfg
+
+(* ---- nonblocking advance: racing helpers ---- *)
+
+(* One writer through a 4-slot ring (every other enqueue overflows into
+   a mid-op publication) with two helper fibers advancing concurrently:
+   exploration preempts the writer between publishing and retiring
+   while both helpers run the same tick's helping protocol, and a crash
+   is branched at every scheduling point.  Durable linearizability must
+   hold at every recovered state. *)
+let racing_cfg = { nb_cfg with Cfg.buffer_size = 4 }
+let racing_scripts = [| [ Enq "a"; Enq "b"; Enq "c"; Deq ] |]
+
+let test_racing_helpers_exhaustive () =
+  let r =
+    D.explore
+      (exhaustive ~preemptions:1 ~max_attempts:400_000 ())
+      (queue_scenario ~cfg:racing_cfg ~helpers:2 mqueue_impl racing_scripts)
+  in
+  check_queue_report "nb-racing-helpers" r
+
+let test_racing_helpers_pct () =
+  let r =
+    D.explore
+      (D.Pct { runs = 300; seed = 11; change_points = 3 })
+      (queue_scenario ~cfg:racing_cfg ~helpers:2 mqueue_impl racing_scripts)
+  in
+  match r.D.failure with
+  | Some f -> Alcotest.fail ("nb-racing-helpers-pct: " ^ D.failure_to_string f)
+  | None -> Alcotest.(check bool) "schedules explored" true (r.D.schedules > 0)
+
+(* ---- wait-freedom: a stalled peer cannot block advance or sync ---- *)
+
+(* Harness: [arm ()] primes the next drain-window stall; the parked
+   fiber raises [stalled] and waits for [released].  Arm/consume runs
+   on the victim's own fiber with no scheduling point in between other
+   fibers could use, so only the victim parks. *)
+type stall_rig = {
+  arm : unit -> unit;
+  stalled : bool ref;
+  released : bool ref;
+}
+
+let with_stall_rig f =
+  let armed = ref false and stalled = ref false and released = ref false in
+  E.test_stall_in_drain :=
+    (fun () ->
+      if !armed then begin
+        armed := false;
+        stalled := true;
+        Util.Sched.await "test.stall" (fun () -> !released)
+      end);
+  Fun.protect
+    ~finally:(fun () -> E.test_stall_in_drain := (fun () -> ()))
+    (fun () -> f { arm = (fun () -> armed := true); stalled; released })
+
+(* Writer parked mid-drain *inside an open op* (the overflow
+   publication of its third pnew, records collected but not yet
+   fenced); the peer performs one full epoch advance and only then
+   releases the writer.  Nonblocking arm: the advance claims and
+   flushes the parked writer's records itself and completes — the
+   schedule runs to the end.  Blocking arm: the advance spins on the
+   writer's [draining] flag while the writer waits for [released] —
+   Dsched must report the wait cycle as a deadlock. *)
+let stalled_writer_scenario rig cfg =
+  let cfg = { cfg with Cfg.max_threads = 2; buffer_size = 2; coalesce_writebacks = true } in
+  {
+    D.init =
+      (fun () ->
+        let region = R.create ~latency:Nvm.Latency.zero ~max_threads:4 ~capacity:(1 lsl 18) () in
+        rig.stalled := false;
+        rig.released := false;
+        E.create ~config:cfg region);
+    threads =
+      [|
+        (fun esys ->
+          E.begin_op esys ~tid:0;
+          ignore (E.pnew esys ~tid:0 (Bytes.make 16 'a'));
+          ignore (E.pnew esys ~tid:0 (Bytes.make 16 'b'));
+          rig.arm ();
+          (* third record overflows the 2-slot ring: the drain parks
+             under the hook with both records still unfenced *)
+          ignore (E.pnew esys ~tid:0 (Bytes.make 16 'c'));
+          E.end_op esys ~tid:0);
+        (fun esys ->
+          Util.Sched.await "helper.sees-stall" (fun () -> !(rig.stalled));
+          E.advance_epoch esys ~tid:1;
+          rig.released := true);
+      |];
+    check_crash = None;
+    check_done = Some (fun esys -> E.advance_count esys = 1);
+  }
+
+let test_nb_advance_completes_past_stalled_writer () =
+  with_stall_rig (fun rig ->
+      let r =
+        D.explore
+          (exhaustive ~preemptions:2 ~max_attempts:100_000 ~crashes:false ())
+          (stalled_writer_scenario rig nb_cfg)
+      in
+      (match r.D.failure with
+      | Some f -> Alcotest.fail ("nb advance stalled: " ^ D.failure_to_string f)
+      | None -> ());
+      Alcotest.(check bool) "schedules explored" true (r.D.schedules > 0))
+
+let test_blocking_advance_stalls_on_stalled_writer () =
+  with_stall_rig (fun rig ->
+      match
+        (D.explore
+           (exhaustive ~preemptions:2 ~max_attempts:100_000 ~crashes:false ())
+           (stalled_writer_scenario rig blocking_cfg))
+          .D.failure
+      with
+      | Some f ->
+          Alcotest.(check bool)
+            ("blocking arm should deadlock, got: " ^ f.D.reason)
+            true
+            (String.length f.D.reason >= 8 && String.sub f.D.reason 0 8 = "deadlock")
+      | None -> Alcotest.fail "blocking advance did not stall on the parked drain")
+
+(* Sync wait-freedom: the victim completes its op and parks inside its
+   END_OP drain (records published, not yet fenced).  Under the
+   nonblocking arm the victim has already unregistered, so a peer's
+   [sync] never waits on it — it claims the victim's records, performs
+   both ticks, and the durable frontier covers the victim's completed
+   op.  Under the blocking arm END_OP drains before unregistering while
+   holding [draining], so the same schedule is a deadlock. *)
+let stalled_end_op_scenario rig cfg =
+  let cfg =
+    { cfg with Cfg.max_threads = 2; buffer_size = 16; coalesce_writebacks = true;
+      drain_on_end_op = true }
+  in
+  let op_epoch = ref 0 in
+  {
+    D.init =
+      (fun () ->
+        let region = R.create ~latency:Nvm.Latency.zero ~max_threads:4 ~capacity:(1 lsl 18) () in
+        rig.stalled := false;
+        rig.released := false;
+        op_epoch := 0;
+        E.create ~config:cfg region);
+    threads =
+      [|
+        (fun esys ->
+          E.begin_op esys ~tid:0;
+          ignore (E.pnew esys ~tid:0 (Bytes.make 16 'x'));
+          op_epoch := E.op_epoch esys ~tid:0;
+          rig.arm ();
+          E.end_op esys ~tid:0);
+        (fun esys ->
+          Util.Sched.await "syncer.sees-stall" (fun () -> !(rig.stalled));
+          E.sync esys ~tid:1;
+          rig.released := true);
+      |];
+    check_crash = None;
+    check_done =
+      Some
+        (fun esys ->
+          (* both ticks ran and the frontier covers the victim's
+             completed op even though the victim never fenced it *)
+          E.advance_count esys = 2 && E.persisted_epoch esys >= !op_epoch);
+  }
+
+let test_nb_sync_wait_free_past_stalled_end_op () =
+  with_stall_rig (fun rig ->
+      let r =
+        D.explore
+          (exhaustive ~preemptions:2 ~max_attempts:100_000 ~crashes:false ())
+          (stalled_end_op_scenario rig nb_cfg)
+      in
+      (match r.D.failure with
+      | Some f -> Alcotest.fail ("nb sync stalled: " ^ D.failure_to_string f)
+      | None -> ());
+      Alcotest.(check bool) "schedules explored" true (r.D.schedules > 0))
+
+let test_blocking_sync_stalls_on_stalled_end_op () =
+  with_stall_rig (fun rig ->
+      match
+        (D.explore
+           (exhaustive ~preemptions:2 ~max_attempts:100_000 ~crashes:false ())
+           (stalled_end_op_scenario rig blocking_cfg))
+          .D.failure
+      with
+      | Some f ->
+          Alcotest.(check bool)
+            ("blocking arm should deadlock, got: " ^ f.D.reason)
+            true
+            (String.length f.D.reason >= 8 && String.sub f.D.reason 0 8 = "deadlock")
+      | None -> Alcotest.fail "blocking sync did not stall on the parked END_OP drain")
 
 (* The CI leg: MONTAGE_SCHED=random MONTAGE_SCHED_RUNS=500 runs this
    suite with a seeded PCT sweep over both queues; without the env the
@@ -491,5 +722,23 @@ let () =
           Alcotest.test_case "planted flush-drop caught (PCT + seed replay)" `Quick
             test_planted_bug_caught_pct_and_seed_replays;
           Alcotest.test_case "env-selected sweep (CI leg)" `Quick test_env_mode_sweep;
+        ] );
+      ( "nb-advance",
+        [
+          Alcotest.test_case "racing helpers exhaustive + crash at every point" `Quick
+            test_racing_helpers_exhaustive;
+          Alcotest.test_case "racing helpers PCT" `Quick test_racing_helpers_pct;
+          Alcotest.test_case "planted publish-drop caught (exhaustive)" `Quick
+            test_planted_publish_bug_caught_exhaustive;
+          Alcotest.test_case "planted publish-drop caught (PCT + seed replay)" `Quick
+            test_planted_publish_bug_caught_pct_and_seed_replays;
+          Alcotest.test_case "nb advance completes past stalled writer" `Quick
+            test_nb_advance_completes_past_stalled_writer;
+          Alcotest.test_case "blocking advance stalls on stalled writer" `Quick
+            test_blocking_advance_stalls_on_stalled_writer;
+          Alcotest.test_case "nb sync wait-free past stalled END_OP" `Quick
+            test_nb_sync_wait_free_past_stalled_end_op;
+          Alcotest.test_case "blocking sync stalls on stalled END_OP" `Quick
+            test_blocking_sync_stalls_on_stalled_end_op;
         ] );
     ]

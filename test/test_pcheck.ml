@@ -147,6 +147,23 @@ let test_epoch_obligation_satisfied_by_drain () =
   P.on_epoch_advance c ~epoch:7;
   Alcotest.(check int) "flushed range retires clean" 0 (List.length (P.violations c))
 
+(* ---- rule: epoch-clock regression ---- *)
+
+let test_epoch_clock_regression () =
+  let c = P.create ~capacity:4096 ~max_threads:2 () in
+  P.on_epoch_advance c ~epoch:6;
+  P.on_epoch_advance c ~epoch:7;
+  Alcotest.(check int) "monotone advances pass" 0 (List.length (P.violations c));
+  (* a losing nonblocking helper must never report its stale tick *)
+  P.on_epoch_advance c ~epoch:6;
+  Alcotest.(check bool) "stale advance flagged" true
+    (count_violations c (function P.Epoch_clock_regression _ -> true | _ -> false) > 0);
+  P.clear_violations c;
+  (* recovery legally resumes at a lower clock: crash resets the mark *)
+  P.on_crash c ~injected:[];
+  P.on_epoch_advance c ~epoch:3;
+  Alcotest.(check int) "post-crash restart is clean" 0 (List.length (P.violations c))
+
 (* ---- rule: linearize-epoch-mismatch ---- *)
 
 let test_linearize_epoch_mismatch () =
@@ -255,6 +272,33 @@ let test_montage_map_clean_under_enforce () =
   | None -> Alcotest.fail "testing config should have attached a checker"
   | Some c -> Alcotest.(check int) "no violations" 0 (List.length (P.violations c))
 
+(* Nonblocking advance: a helper thread publishes the owner's ring.
+   The two-epoch durability obligation ([Epoch_retired_unflushed])
+   tracks the line, not the thread — write-backs performed by the
+   helping advancer on the owner's behalf must satisfy it, with no
+   false violation and the owner's data durable after the tick. *)
+let test_helper_persists_for_owner_clean () =
+  let cfg = { testing_cfg with Cfg.nb_advance = true; drain_on_end_op = false } in
+  let region = R.create ~latency:Nvm.Latency.zero ~max_threads:8 ~capacity:(1 lsl 22) () in
+  let esys = E.create ~config:cfg region in
+  let m = Pstructs.Mhashmap.create ~buckets:16 esys in
+  for i = 0 to 9 do
+    ignore (Pstructs.Mhashmap.put m ~tid:0 (Printf.sprintf "k%d" i) (string_of_int i))
+  done;
+  (* tid 0 leaves its records buffered in the ring; tid 1 alone drives
+     the clock two ticks, claiming and fencing tid 0's publication *)
+  E.advance_epoch esys ~tid:1;
+  E.advance_epoch esys ~tid:1;
+  R.crash region;
+  let esys2, payloads = E.recover ~config:cfg region in
+  let m2 = Pstructs.Mhashmap.recover ~buckets:16 esys2 payloads in
+  Alcotest.(check int) "owner's writes durable via the helper" 10 (Pstructs.Mhashmap.size m2);
+  match R.checker region with
+  | None -> Alcotest.fail "checker missing"
+  | Some c ->
+      Alcotest.(check int) "no retired-unflushed (or other) violations" 0
+        (List.length (P.violations c))
+
 let test_friedman_queue_clean_under_enforce () =
   let r = make_region ~capacity:(1 lsl 22) () in
   let (_ : P.t) = R.enable_pcheck ~mode:P.Enforce r in
@@ -313,6 +357,7 @@ let () =
           Alcotest.test_case "retired unflushed" `Quick test_epoch_retired_unflushed;
           Alcotest.test_case "satisfied by drain" `Quick test_epoch_obligation_satisfied_by_drain;
           Alcotest.test_case "linearize mismatch" `Quick test_linearize_epoch_mismatch;
+          Alcotest.test_case "clock regression" `Quick test_epoch_clock_regression;
         ] );
       ( "contracts",
         [
@@ -329,6 +374,8 @@ let () =
       ( "stock-structures",
         [
           Alcotest.test_case "montage map" `Quick test_montage_map_clean_under_enforce;
+          Alcotest.test_case "helper persists for owner" `Quick
+            test_helper_persists_for_owner_clean;
           Alcotest.test_case "friedman queue" `Quick test_friedman_queue_clean_under_enforce;
           Alcotest.test_case "nvtraverse map" `Quick test_nvtraverse_map_clean_under_enforce;
         ] );
