@@ -1007,6 +1007,332 @@ let netserve () =
         && r.Netserve.Loadgen.p95_us <= r.Netserve.Loadgen.p99_us
     | _ -> false)
 
+(* ---- C10K: connection scaling and open-loop offered load ---- *)
+
+(* Connection-census scaling for the readiness backends.  Each point
+   starts a fresh 2-worker server, parks [census] idle connections in
+   the pollers, runs a closed-loop burst over a small busy subset, and
+   then round-trips a [version] command on every idle connection to
+   prove the census is still being served.  Epoll should hold its 1K
+   throughput at 10K+ idle connections (the kernel holds the interest
+   set; waits cost O(ready)); select degrades and cannot track fd
+   numbers past FD_SETSIZE at all.  Both ends of every connection live
+   in this process, so the sweep is clamped to RLIMIT_NOFILE/2. *)
+
+(* [ck_report] is [None] when the busy burst itself could not run —
+   the select backend refuses fds past FD_SETSIZE, so at large censuses
+   the burst connections land beyond the limit and get reset.  The
+   point still carries the census/answered counts, which are the
+   figure's real signal on that arm. *)
+type c10k_point = {
+  ck_requested : int;
+  ck_established : int;
+  ck_answered : int;
+  ck_report : Netserve.Loadgen.report option;
+}
+
+let c10k_connect port =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let rec go attempt backoff =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Some fd
+    | exception
+        Unix.Unix_error
+          ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EAGAIN | Unix.EWOULDBLOCK
+            | Unix.EINTR | Unix.ETIMEDOUT ),
+            _,
+            _ )
+      when attempt < 100 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (Unix.sleepf backoff
+        [@montage.allow
+          "R5: bounded connect backoff in the benchmark driver; client \
+           tooling, not server code"]);
+        go (attempt + 1) (Float.min 0.2 (backoff *. 2.0))
+    | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        None
+  in
+  go 0 0.002
+
+let c10k_census_point ~backend ~poller ~census =
+  let workers = 2 in
+  let store, esys, r =
+    match backend with
+    | `Montage ->
+        let capacity = 1 lsl 26 in
+        let r = Systems.region ~capacity ~threads:workers in
+        let esys = E.create ~config:{ Cfg.default with max_threads = workers + 1 } r in
+        let map = Pstructs.Mhashmap.create ~buckets:(1 lsl 12) esys in
+        (Kvstore.Store.create (Kvstore.Store.of_mhashmap map), Some esys, Some r)
+    | `Transient ->
+        let m = Baselines.Transient_map.create ~buckets:(1 lsl 12) Baselines.Transient_map.Dram in
+        (Kvstore.Store.create (Kvstore.Store.of_transient_map m), None, None)
+  in
+  let config =
+    {
+      Netserve.default_config with
+      port = 0;
+      workers;
+      poller = Some poller;
+      max_conns = census + 128;
+      backlog = 1024;
+      idle_timeout_s = 0.0;
+      tick_s = 0.01;
+    }
+  in
+  let t =
+    match esys with
+    | Some esys ->
+        Netserve.start ~config
+          ~sync:(fun ~tid -> E.sync esys ~tid)
+          ~persisted_epoch:(fun () -> E.persisted_epoch esys)
+          store
+    | None -> Netserve.start ~config store
+  in
+  let port = Netserve.port t in
+  let idle = Array.init census (fun _ -> c10k_connect port) in
+  let established = Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 idle in
+  let lg =
+    {
+      Netserve.Loadgen.default_config with
+      port;
+      conns = 16;
+      domains = 2;
+      duration_s = Env.duration_s;
+      value_size = 64;
+      keyspace = 2000;
+      key_prefix = "ck";
+    }
+  in
+  let report =
+    try
+      Netserve.Loadgen.preload ~config:lg ();
+      Some (Netserve.Loadgen.run ~config:lg ())
+    with Netserve.Loadgen.Connection_lost _ | Unix.Unix_error _ -> None
+  in
+  (* every idle connection must still answer after the burst *)
+  let buf = Bytes.create 64 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some fd -> (
+          try
+            Unix.setsockopt_float fd SO_RCVTIMEO 5.0;
+            ignore (Unix.write_substring fd "version\r\n" 0 9)
+          with Unix.Unix_error _ -> ()))
+    idle;
+  let answered = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some fd ->
+          let rec rd acc =
+            if String.contains acc '\n' then acc
+            else
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> acc
+              | n -> rd (acc ^ Bytes.sub_string buf 0 n)
+              | exception Unix.Unix_error _ -> acc
+          in
+          let reply = rd "" in
+          if String.length reply >= 7 && String.sub reply 0 7 = "VERSION" then incr answered)
+    idle;
+  Array.iter
+    (function None -> () | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())) idle;
+  let d = Netserve.shutdown t in
+  Systems.note_netserve t d;
+  (match (esys, r) with
+  | Some esys, Some r ->
+      E.stop_background esys;
+      Systems.note_region_stats r;
+      Systems.note_mirror_stats esys r
+  | _ -> ());
+  { ck_requested = census; ck_established = established; ck_answered = !answered; ck_report = report }
+
+let c10k () =
+  Benchlib.Report.heading
+    "C10K: mostly-idle connection census vs readiness backend (2 workers, 16 busy conns)";
+  let soft = Netserve.Poller.raise_fd_limit 45_000 in
+  let budget = max 64 ((soft - 512) / 2) in
+  (* 400 sits under FD_SETSIZE even with client and server fds sharing
+     one process, so the select arm gets one census it can fully hold *)
+  let requested = [ 400; 1_000; 5_000; 10_000; 20_000 ] in
+  let censuses = List.sort_uniq compare (List.map (fun c -> min c budget) requested) in
+  if List.exists (fun c -> c > budget) requested then
+    Printf.printf
+      "note: RLIMIT_NOFILE soft limit %d caps the in-process census at %d connections\n%!" soft
+      budget;
+  let series =
+    [
+      ("Montage/epoll", `Montage, Netserve.Poller.Epoll);
+      ("Transient/epoll", `Transient, Netserve.Poller.Epoll);
+      ("Montage/select", `Montage, Netserve.Poller.Select);
+    ]
+  in
+  let series =
+    if Netserve.Poller.epoll_available then series
+    else [ ("Montage/select", `Montage, Netserve.Poller.Select) ]
+  in
+  let points =
+    List.map
+      (fun (name, backend, poller) ->
+        ( name,
+          List.map
+            (fun census ->
+              try Some (c10k_census_point ~backend ~poller ~census)
+              with e ->
+                Printf.eprintf "[bench] c10k %s census=%d failed: %s\n%!" name census
+                  (Printexc.to_string e);
+                None)
+            censuses ))
+      series
+  in
+  let columns = List.map (fun c -> Printf.sprintf "%dc" c) censuses in
+  let cell f = function None -> nan | Some p -> f p in
+  let rcell f =
+    cell (fun p -> match p.ck_report with Some r -> f r | None -> nan)
+  in
+  Benchlib.Report.table ~columns
+    ~rows:
+      (List.map
+         (fun (name, pts) ->
+           (name, List.map (rcell (fun r -> r.Netserve.Loadgen.ops_per_sec)) pts))
+         points)
+    ~unit_label:"busy-subset ops/s" ();
+  Benchlib.Report.table ~columns
+    ~rows:
+      (List.map
+         (fun (name, pts) ->
+           (name, List.map (rcell (fun r -> r.Netserve.Loadgen.p99_us)) pts))
+         points)
+    ~unit_label:"busy-subset p99_us" ();
+  Benchlib.Report.table ~columns
+    ~rows:
+      (List.map
+         (fun (name, pts) -> (name, List.map (cell (fun p -> float_of_int p.ck_answered)) pts))
+         points)
+    ~unit_label:"idle conns still answering (of census)" ();
+  (if Netserve.Poller.epoll_available then begin
+     let epoll_pts = match points with (_, pts) :: _ -> List.filter_map Fun.id pts | [] -> [] in
+     Benchlib.Report.check ~figure:"c10k"
+       ~claim:"epoll serves the full idle census at every size (all connections answer)"
+       (epoll_pts <> []
+       && List.for_all
+            (fun p -> p.ck_established = p.ck_requested && p.ck_answered = p.ck_requested)
+            epoll_pts);
+     (* anchored at the 1K census, the paper-style C10K comparison
+        point (the 400-conn point exists for the select arm) *)
+     let anchor = List.find_opt (fun p -> p.ck_requested >= 1_000) epoll_pts in
+     (match (anchor, List.rev epoll_pts) with
+     | Some first, last :: _ when first.ck_requested < last.ck_requested ->
+         Benchlib.Report.check ~figure:"c10k"
+           ~claim:
+             (Printf.sprintf
+                "epoll throughput at %d idle conns stays within 10%% of the %d-conn figure"
+                last.ck_requested first.ck_requested)
+           (match (first.ck_report, last.ck_report) with
+           | Some fr, Some lr ->
+               lr.Netserve.Loadgen.ops_per_sec >= 0.9 *. fr.Netserve.Loadgen.ops_per_sec
+           | _ -> false)
+     | _ -> Benchlib.Report.check ~figure:"c10k" ~claim:"epoll census sweep completed" false);
+     let select_pts =
+       List.concat_map
+         (fun (name, pts) -> if name = "Montage/select" then List.filter_map Fun.id pts else [])
+         points
+     in
+     Benchlib.Report.check ~figure:"c10k"
+       ~claim:
+         "select holds a sub-FD_SETSIZE census but drops idle conns past it; epoll holds both"
+       (List.exists
+          (fun p ->
+            p.ck_requested < Netserve.Poller.select_fd_limit
+            && p.ck_answered = p.ck_requested)
+          select_pts
+       && List.exists
+            (fun p ->
+              p.ck_requested >= Netserve.Poller.select_fd_limit
+              && p.ck_answered < p.ck_requested)
+            select_pts)
+   end);
+  (* ---- open loop: latency vs offered load ---- *)
+  Benchlib.Report.heading "C10K: open-loop latency vs offered load (Montage, epoll when available)";
+  let workers = 2 in
+  let capacity = 1 lsl 26 in
+  let r = Systems.region ~capacity ~threads:workers in
+  let esys = E.create ~config:{ Cfg.default with max_threads = workers + 1 } r in
+  let map = Pstructs.Mhashmap.create ~buckets:(1 lsl 12) esys in
+  let store = Kvstore.Store.create (Kvstore.Store.of_mhashmap map) in
+  let config = { Netserve.default_config with port = 0; workers; tick_s = 0.01 } in
+  let t =
+    Netserve.start ~config
+      ~sync:(fun ~tid -> E.sync esys ~tid)
+      ~persisted_epoch:(fun () -> E.persisted_epoch esys)
+      store
+  in
+  let lg =
+    {
+      Netserve.Loadgen.default_config with
+      port = Netserve.port t;
+      conns = 16;
+      domains = 2;
+      duration_s = Env.duration_s;
+      value_size = 64;
+      keyspace = 2000;
+      key_prefix = "ol";
+    }
+  in
+  Netserve.Loadgen.preload ~config:lg ();
+  (* closed-loop capacity and its (coordinated-omission-blind) p99 *)
+  let closed = Netserve.Loadgen.run ~config:lg () in
+  let capacity_rate = closed.Netserve.Loadgen.ops_per_sec in
+  let fractions = [ 0.5; 0.9; 1.5 ] in
+  let open_pts =
+    List.map
+      (fun frac ->
+        let rate = Float.max 1000.0 (frac *. capacity_rate) in
+        try (frac, Some (Netserve.Loadgen.run_open ~config:lg ~grace_s:1.0 ~rate ()))
+        with e ->
+          Printf.eprintf "[bench] c10k open-loop %.1fx failed: %s\n%!" frac
+            (Printexc.to_string e);
+          (frac, None))
+      fractions
+  in
+  let d = Netserve.shutdown t in
+  Systems.note_netserve t d;
+  E.stop_background esys;
+  Systems.note_region_stats r;
+  Benchlib.Report.table
+    ~columns:[ "offered/s"; "achieved/s"; "p50_us"; "p99_us"; "abandoned" ]
+    ~rows:
+      (( Printf.sprintf "closed loop (capacity)",
+         [ capacity_rate; capacity_rate; closed.Netserve.Loadgen.p50_us; closed.Netserve.Loadgen.p99_us; 0.0 ] )
+      :: List.map
+           (fun (frac, p) ->
+             let label = Printf.sprintf "open %.1fx capacity" frac in
+             match p with
+             | Some (o : Netserve.Loadgen.open_report) ->
+                 ( label,
+                   [
+                     o.Netserve.Loadgen.offered_rate;
+                     o.Netserve.Loadgen.achieved_rate;
+                     o.Netserve.Loadgen.o_p50_us;
+                     o.Netserve.Loadgen.o_p99_us;
+                     float_of_int o.Netserve.Loadgen.abandoned;
+                   ] )
+             | None -> (label, [ nan; nan; nan; nan; nan ]))
+           open_pts)
+    ~unit_label:"open vs closed loop" ();
+  match List.assoc_opt 1.5 open_pts with
+  | Some (Some o) ->
+      Benchlib.Report.check ~figure:"c10k"
+        ~claim:
+          "open-loop p99 at 1.5x capacity exceeds the closed-loop p99 (queueing delay is charged \
+           to latency)"
+        (o.Netserve.Loadgen.o_p99_us > closed.Netserve.Loadgen.p99_us)
+  | _ -> Benchlib.Report.check ~figure:"c10k" ~claim:"open-loop overload point completed" false
+
 (* ---- Read path: volatile payload mirrors ---- *)
 
 (* Fixed-op read-mostly mix (95% GET / 5% PUT over a uniform key

@@ -27,6 +27,7 @@ let () =
       ("coalesce", Figures.coalesce);
       ("readpath", Figures.readpath);
       ("netserve", Figures.netserve);
+      ("c10k", Figures.c10k);
       ("bechamel", Bechamel_suite.run);
     ]
   in

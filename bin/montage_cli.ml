@@ -6,7 +6,10 @@
      torture   randomized crash-consistency check (like the example,
                with knobs)
      serve     run the netserve memcached front end over the KV store
-     loadgen   closed-loop load generator against a running server
+     loadgen   load generator against a running server (closed loop,
+               or open loop with --rate)
+     c10k      in-process C10K scenario: idle connection census + busy
+               burst, every idle connection verified live afterwards
      stallbench
                sync latency past a worker parked in its drain window,
                blocking vs nonblocking advance
@@ -243,8 +246,7 @@ let make_backend backend workers capacity_mib =
       Some (Kvstore.Store.create (Kvstore.Store.of_transient_map m), None)
   | _ -> None
 
-let start_server ~host ~port ~workers store esys =
-  let config = { Netserve.default_config with host; port; workers } in
+let start_server ~config store esys =
   match esys with
   | Some esys ->
       Netserve.start ~config
@@ -253,15 +255,28 @@ let start_server ~host ~port ~workers store esys =
         store
   | None -> Netserve.start ~config store
 
-let serve backend host port workers seconds capacity_mib =
+(* "auto" = leave the choice to MONTAGE_POLLER / platform detection. *)
+let parse_poller = function
+  | "auto" -> Ok None
+  | s -> (
+      match Netserve.Poller.kind_of_string s with
+      | Some k -> Ok (Some k)
+      | None -> Error "poller must be auto|select|epoll")
+
+let serve backend host port workers seconds capacity_mib poller_s =
+  match parse_poller poller_s with
+  | Error e -> `Error (false, e)
+  | Ok poller -> (
   if workers < 1 then `Error (false, "workers must be >= 1")
   else
     match make_backend backend workers capacity_mib with
     | None -> `Error (false, "backend must be montage|transient")
     | Some (store, esys) ->
-        let t = start_server ~host ~port ~workers store esys in
-        Printf.printf "netserve: %s backend, %d worker(s) on %s:%d\n%!" backend workers host
-          (Netserve.port t);
+        let config = { Netserve.default_config with host; port; workers; poller } in
+        let t = start_server ~config store esys in
+        Printf.printf "netserve: %s backend, %d worker(s) on %s:%d (%s poller)\n%!" backend
+          workers host (Netserve.port t)
+          (Netserve.Poller.kind_name (Netserve.poller_kind t));
         let stop = Atomic.make false in
         let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
         Sys.set_signal Sys.sigint handler;
@@ -284,11 +299,12 @@ let serve backend host port workers seconds capacity_mib =
         Printf.printf "totals: %d connection(s), %d command(s), %d bytes in, %d bytes out\n" accepted
           cmds bytes_in bytes_out;
         Option.iter E.stop_background esys;
-        `Ok ()
+        `Ok ())
 
 (* ---- loadgen ---- *)
 
-let loadgen host port conns domains seconds pipeline value_size keyspace get_frac seed no_preload =
+let loadgen host port conns domains seconds pipeline value_size keyspace get_frac seed no_preload
+    rate arrival_s grace_s =
   let config =
     {
       Netserve.Loadgen.default_config with
@@ -304,15 +320,247 @@ let loadgen host port conns domains seconds pipeline value_size keyspace get_fra
       seed;
     }
   in
-  match
-    if not no_preload then Netserve.Loadgen.preload ~config ();
-    Netserve.Loadgen.run ~config ()
-  with
-  | exception (Unix.Unix_error _ | Failure _) ->
-      `Error (false, Printf.sprintf "cannot drive server at %s:%d" host port)
-  | r ->
-      Netserve.Loadgen.print_report ~label:(Printf.sprintf "%s:%d" host port) r;
-      if r.ops = 0 then `Error (false, "no operations completed") else `Ok ()
+  let label = Printf.sprintf "%s:%d" host port in
+  if rate > 0.0 then
+    (* open loop: fixed arrival schedule, latency charged from it *)
+    match Netserve.Loadgen.arrival_of_string arrival_s with
+    | None -> `Error (false, "arrival must be poisson|uniform")
+    | Some arrival -> (
+        match
+          if not no_preload then Netserve.Loadgen.preload ~config ();
+          Netserve.Loadgen.run_open ~config ~arrival ~grace_s ~rate ()
+        with
+        | exception ((Unix.Unix_error _ | Failure _) as e) ->
+            `Error
+              ( false,
+                Printf.sprintf "cannot drive server at %s:%d (%s)" host port
+                  (Printexc.to_string e) )
+        | r ->
+            Netserve.Loadgen.print_open_report ~label r;
+            if r.completed = 0 then `Error (false, "no operations completed") else `Ok ())
+  else
+    match
+      if not no_preload then Netserve.Loadgen.preload ~config ();
+      Netserve.Loadgen.run ~config ()
+    with
+    | exception ((Unix.Unix_error _ | Failure _) as e) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot drive server at %s:%d (%s)" host port
+              (Printexc.to_string e) )
+    | r ->
+        Netserve.Loadgen.print_report ~label r;
+        if r.ops = 0 then `Error (false, "no operations completed") else `Ok ()
+
+(* ---- c10k ---- *)
+
+(* Single-point C10K scenario, in-process: raise the fd limit, open
+   [conns] idle connections (the census), run a closed-loop burst over
+   [active] busy connections through the same workers, then prove every
+   idle connection is still served by round-tripping a [version]
+   command on each.  Exits nonzero if any connection was refused,
+   dropped, or went unanswered. *)
+let c10k backend conns workers seconds active value_size capacity_mib poller_s target_port =
+  match parse_poller poller_s with
+  | Error e -> `Error (false, e)
+  | Ok poller -> (
+      if workers < 1 then `Error (false, "workers must be >= 1")
+      else
+        (* [--port] drives an already-running server (started with
+           [serve] in another process) instead of an in-process one:
+           each connection then costs this process one fd, not two, so
+           the census can go past half the RLIMIT_NOFILE cap. *)
+        let be =
+          if target_port > 0 then Some None
+          else
+            match make_backend backend workers capacity_mib with
+            | None -> None
+            | Some b -> Some (Some b)
+        in
+        match be with
+        | None -> `Error (false, "backend must be montage|transient")
+        | Some be ->
+            let fds_per_conn = if be = None then 1 else 2 in
+            let soft =
+              Netserve.Poller.raise_fd_limit ((fds_per_conn * (conns + active)) + 512)
+            in
+            let budget = max 16 ((soft - 256 - (fds_per_conn * active)) / fds_per_conn) in
+            let conns =
+              if conns > budget then begin
+                Printf.printf
+                  "c10k: RLIMIT_NOFILE soft limit %d: clamping %d -> %d idle connections\n%!"
+                  soft conns budget;
+                budget
+              end
+              else conns
+            in
+            let t =
+              Option.map
+                (fun (store, esys) ->
+                  let config =
+                    {
+                      Netserve.default_config with
+                      host = "127.0.0.1";
+                      port = 0;
+                      workers;
+                      poller;
+                      max_conns = conns + active + 64;
+                      backlog = 1024;
+                      idle_timeout_s = 0.0;
+                      tick_s = 0.01;
+                    }
+                  in
+                  start_server ~config store esys)
+                be
+            in
+            let port = match t with Some t -> Netserve.port t | None -> target_port in
+            let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+            let connect_retry () =
+              let rec go attempt backoff =
+                let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+                match Unix.connect fd addr with
+                | () -> Some fd
+                | exception
+                    Unix.Unix_error
+                      ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EAGAIN
+                        | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ETIMEDOUT ),
+                        _,
+                        _ )
+                  when attempt < 100 ->
+                    (try Unix.close fd with Unix.Unix_error _ -> ());
+                    (Unix.sleepf backoff
+                    [@montage.allow
+                      "R5: bounded connect backoff in the c10k driver; \
+                       client tooling, not server code"]);
+                    go (attempt + 1) (Float.min 0.2 (backoff *. 2.0))
+                | exception Unix.Unix_error _ ->
+                    (try Unix.close fd with Unix.Unix_error _ -> ());
+                    None
+              in
+              go 0 0.002
+            in
+            let t0 = Netserve.Poller.mono_s () in
+            let idle = Array.init conns (fun _ -> connect_retry ()) in
+            let established = Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 idle in
+            let ramp_s = Netserve.Poller.mono_s () -. t0 in
+            (match t with
+            | Some t ->
+                Printf.printf
+                  "c10k: %d/%d idle connection(s) up in %.2fs (%s poller, %d worker(s))\n%!"
+                  established conns ramp_s
+                  (Netserve.Poller.kind_name (Netserve.poller_kind t))
+                  workers
+            | None ->
+                Printf.printf
+                  "c10k: %d/%d idle connection(s) up in %.2fs (external server :%d)\n%!"
+                  established conns ramp_s port);
+            (* throughput burst over a small busy subset while the idle
+               census sits registered in the pollers *)
+            let lg =
+              {
+                Netserve.Loadgen.default_config with
+                port;
+                conns = active;
+                domains = min 4 (max 1 (active / 8));
+                duration_s = seconds;
+                value_size;
+                keyspace = 4096;
+                key_prefix = "c10k";
+              }
+            in
+            let burst =
+              try
+                Netserve.Loadgen.preload ~config:lg ();
+                Some (Netserve.Loadgen.run ~config:lg ())
+              with
+              | Netserve.Loadgen.Connection_lost why ->
+                  Printf.printf "c10k: busy burst failed: connection lost (%s)\n%!" why;
+                  None
+              | Unix.Unix_error (e, fn, _) ->
+                  Printf.printf "c10k: busy burst failed: %s in %s\n%!"
+                    (Unix.error_message e) fn;
+                  None
+            in
+            Option.iter
+              (Netserve.Loadgen.print_report
+                 ~label:(Printf.sprintf "%d idle + %d active" established active))
+              burst;
+            (* liveness sweep: every idle connection still answers *)
+            let buf = Bytes.create 64 in
+            let answered = ref 0 in
+            Array.iter
+              (function
+                | None -> ()
+                | Some fd -> (
+                    try
+                      Unix.setsockopt_float fd SO_RCVTIMEO 5.0;
+                      ignore (Unix.write_substring fd "version\r\n" 0 9)
+                    with Unix.Unix_error _ -> ()))
+              idle;
+            Array.iter
+              (function
+                | None -> ()
+                | Some fd ->
+                    let rec rd acc =
+                      if String.contains acc '\n' then acc
+                      else
+                        match Unix.read fd buf 0 (Bytes.length buf) with
+                        | 0 -> acc
+                        | n -> rd (acc ^ Bytes.sub_string buf 0 n)
+                        | exception Unix.Unix_error _ -> acc
+                    in
+                    let reply = rd "" in
+                    if String.length reply >= 7 && String.sub reply 0 7 = "VERSION" then
+                      incr answered)
+              idle;
+            Printf.printf "c10k: %d/%d idle connection(s) answered after the burst\n%!" !answered
+              established;
+            Array.iter
+              (function
+                | None -> () | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+              idle;
+            (match t with
+            | Some t ->
+                let d = Netserve.shutdown t in
+                let _, _, _, cmds = Netserve.totals t in
+                (match burst with
+                | Some r ->
+                    Printf.printf
+                      "c10k: throughput %.0f ops/s, p99 %.0f us, %d command(s) total, \
+                       drain %.3fs\n%!"
+                      r.ops_per_sec r.p99_us cmds d.drain_s
+                | None ->
+                    Printf.printf "c10k: %d command(s) total, drain %.3fs\n%!" cmds d.drain_s)
+            | None ->
+                Option.iter
+                  (fun r ->
+                    Printf.printf "c10k: throughput %.0f ops/s, p99 %.0f us\n%!"
+                      r.Netserve.Loadgen.ops_per_sec r.Netserve.Loadgen.p99_us)
+                  burst);
+            Option.iter (fun (_, esys) -> Option.iter E.stop_background esys) be;
+            let problems =
+              (if established < conns then
+                 [ Printf.sprintf "only %d/%d connections established" established conns ]
+               else [])
+              @ (if !answered < established then
+                   [ Printf.sprintf "only %d/%d idle connections answered" !answered established ]
+                 else [])
+              @
+              match burst with
+              | None -> [ "busy burst failed" ]
+              | Some r ->
+                  (if r.ops = 0 then [ "no operations completed" ] else [])
+                  @ (if r.errors > 0 then
+                       [ Printf.sprintf "%d protocol errors" r.errors ]
+                     else [])
+                  @ (match r.disconnects with
+                    | [] -> []
+                    | ds ->
+                        [ Printf.sprintf "%d loadgen disconnect(s): %s" (List.length ds)
+                            (List.hd ds) ])
+            in
+            if problems = [] then `Ok ()
+            else `Error (false, "c10k failed: " ^ String.concat "; " problems))
 
 (* ---- netsmoke ---- *)
 
@@ -332,7 +580,9 @@ let netsmoke () =
   let esys = E.create ~config:{ Cfg.default with max_threads = workers + 1 } region in
   let map = Pstructs.Mhashmap.create esys in
   let store = Kvstore.Store.create (Kvstore.Store.of_mhashmap map) in
-  let t = start_server ~host:"127.0.0.1" ~port:0 ~workers store (Some esys) in
+  let config = { Netserve.default_config with host = "127.0.0.1"; port = 0; workers } in
+  let t = start_server ~config store (Some esys) in
+  Printf.printf "netsmoke: %s poller\n%!" (Netserve.Poller.kind_name (Netserve.poller_kind t));
   let port = Netserve.port t in
   let connect () =
     let fd = Unix.socket PF_INET SOCK_STREAM 0 in
@@ -475,6 +725,11 @@ let torture_cmd =
 
 let host_arg = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Bind/connect address.")
 
+let poller_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "poller" ] ~doc:"Readiness backend: auto|select|epoll (auto = MONTAGE_POLLER or platform default).")
+
 let serve_cmd =
   let backend =
     Arg.(value & pos 0 string "montage" & info [] ~docv:"BACKEND" ~doc:"montage|transient")
@@ -486,7 +741,7 @@ let serve_cmd =
   in
   let capacity = Arg.(value & opt int 256 & info [ "capacity-mib" ] ~doc:"NVM region size (MiB).") in
   Cmd.v (Cmd.info "serve" ~doc:"Serve the memcached text protocol over the KV store.")
-    Term.(ret (const serve $ backend $ host_arg $ port $ workers $ seconds $ capacity))
+    Term.(ret (const serve $ backend $ host_arg $ port $ workers $ seconds $ capacity $ poller_arg))
 
 let loadgen_cmd =
   let port = Arg.(value & opt int 11211 & info [ "port"; "p" ] ~doc:"Server port.") in
@@ -499,11 +754,53 @@ let loadgen_cmd =
   let get_frac = Arg.(value & opt float 0.9 & info [ "get-frac" ] ~doc:"Fraction of gets.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   let no_preload = Arg.(value & flag & info [ "no-preload" ] ~doc:"Skip keyspace preload.") in
-  Cmd.v (Cmd.info "loadgen" ~doc:"Closed-loop memcached load generator.")
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~doc:"Open-loop offered load in ops/s (0 = closed loop).")
+  in
+  let arrival =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "arrival" ] ~doc:"Open-loop interarrival distribution: poisson|uniform.")
+  in
+  let grace =
+    Arg.(
+      value & opt float 1.0
+      & info [ "grace" ] ~doc:"Open-loop drain grace period in seconds after the schedule ends.")
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc:"Memcached load generator (closed loop, or open loop with --rate).")
     Term.(
       ret
         (const loadgen $ host_arg $ port $ conns $ domains $ seconds $ pipeline $ value_size
-       $ keyspace $ get_frac $ seed $ no_preload))
+       $ keyspace $ get_frac $ seed $ no_preload $ rate $ arrival $ grace))
+
+let c10k_cmd =
+  let backend =
+    Arg.(value & pos 0 string "montage" & info [] ~docv:"BACKEND" ~doc:"montage|transient")
+  in
+  let conns = Arg.(value & opt int 10_000 & info [ "conns"; "c" ] ~doc:"Idle connection census size.") in
+  let workers = Arg.(value & opt int 2 & info [ "workers"; "w" ] ~doc:"Event-loop domains.") in
+  let seconds = Arg.(value & opt float 2.0 & info [ "seconds"; "d" ] ~doc:"Busy-burst duration.") in
+  let active = Arg.(value & opt int 32 & info [ "active" ] ~doc:"Busy connections for the burst.") in
+  let value_size = Arg.(value & opt int 64 & info [ "value-size" ] ~doc:"Value size in bytes.") in
+  let capacity = Arg.(value & opt int 256 & info [ "capacity-mib" ] ~doc:"NVM region size (MiB).") in
+  let target_port =
+    Arg.(
+      value & opt int 0
+      & info [ "port"; "p" ]
+          ~doc:
+            "Drive an already-running server on this port instead of starting one in-process \
+             (one fd per connection, so the census can exceed half the fd limit).")
+  in
+  Cmd.v
+    (Cmd.info "c10k"
+       ~doc:"In-process C10K scenario: N idle connections + a busy burst; verify every idle \
+             connection is still served.")
+    Term.(
+      ret
+        (const c10k $ backend $ conns $ workers $ seconds $ active $ value_size $ capacity
+       $ poller_arg $ target_port))
 
 let stallbench_cmd =
   let stall_ms =
@@ -532,6 +829,7 @@ let () =
             torture_cmd;
             serve_cmd;
             loadgen_cmd;
+            c10k_cmd;
             stallbench_cmd;
             netsmoke_cmd;
           ]))

@@ -1,18 +1,30 @@
-(* Closed-loop memcached-protocol load generator.
+(* Memcached-protocol load generator: closed-loop and open-loop.
 
-   Each of [domains] generator domains owns [conns / domains]
-   blocking TCP connections and drives them round-robin: write a
-   pipeline of [pipeline] commands (mixed get/set per [get_frac]),
-   read all the replies, record the batch round-trip once per command
-   into a per-domain log-scale histogram.  Closed loop — a connection
-   never has more than one batch in flight — so reported latency is
-   honest service time including the server's batched-flush cycle.
+   Closed loop ([run]): each of [domains] generator domains owns
+   [conns / domains] blocking TCP connections and drives them
+   round-robin: write a pipeline of [pipeline] commands (mixed get/set
+   per [get_frac]), read all the replies, record the batch round-trip
+   once per command into a per-domain log-scale histogram.  A
+   connection never has more than one batch in flight, so reported
+   latency is honest service time including the server's batched-flush
+   cycle — but the offered load collapses whenever the server slows
+   down, which hides overload.
 
-   Reply framing: a reply "unit" is one line, except [VALUE] headers
-   which are followed by <bytes>+2 of data and are terminated (with
-   any other VALUE blocks of the same get) by [END].  Counting units
-   against commands issued keeps the reader in lockstep without
-   parsing every verb's reply shape. *)
+   Open loop ([run_open]): commands arrive on a fixed schedule (Poisson
+   or uniform interarrivals at [rate] ops/s) regardless of how fast the
+   server answers, over nonblocking connections driven by a {!Poller}.
+   Latency is measured from the {e scheduled} arrival time, not the
+   moment the socket write happened, so queueing delay the server
+   imposes on a backed-up connection is charged to the request — the
+   standard fix for coordinated omission.  Under overload the inflight
+   population grows and the tail explodes, which is exactly the signal
+   a closed loop cannot produce.
+
+   Reply framing (both modes): a reply "unit" is one line, except
+   [VALUE] headers which are followed by <bytes>+2 of data and are
+   terminated (with any other VALUE blocks of the same get) by [END].
+   Counting units against commands issued keeps the reader in lockstep
+   without parsing every verb's reply shape. *)
 
 type config = {
   host : string;
@@ -127,6 +139,10 @@ let skip r n =
 let starts_with p s =
   String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
+let is_error_line line =
+  starts_with "ERROR" line || starts_with "CLIENT_ERROR" line
+  || starts_with "SERVER_ERROR" line
+
 (* Read one reply unit; returns (was_error, hits). *)
 let read_unit r =
   let rec values hits =
@@ -139,14 +155,48 @@ let read_unit r =
       values (hits + 1)
     end
     else if line = "END" then (false, hits)
-    else
-      ( starts_with "ERROR" line || starts_with "CLIENT_ERROR" line
-        || starts_with "SERVER_ERROR" line,
-        hits )
+    else (is_error_line line, hits)
   in
   values 0
 
-(* ---------- per-domain generator ---------- *)
+(* ---------- connecting (shared by both modes) ---------- *)
+
+(* Retry the initial connect with bounded exponential backoff: under a
+   C10K ramp the listen backlog overflows transiently, and a run that
+   dies on the first ECONNREFUSED measures nothing. *)
+let ignore_sigpipe () =
+  match Sys.os_type with
+  | "Unix" -> ( try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+  | _ -> ()
+
+let connect ?(retries = 60) cfg =
+  ignore_sigpipe ();
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+  let rec go attempt backoff =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    (try Unix.setsockopt fd TCP_NODELAY true with _ -> ());
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception
+        Unix.Unix_error
+          ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EAGAIN | Unix.EWOULDBLOCK
+            | Unix.EINTR | Unix.ETIMEDOUT ),
+            _,
+            _ )
+      when attempt < retries ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (Unix.sleepf backoff
+        [@montage.allow
+          "R5: bounded connect backoff in client tooling; the server \
+           under test is not on this thread"]);
+        go (attempt + 1) (Float.min 0.25 (backoff *. 2.0))
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  go 0 0.005
+
+(* ---------- closed loop: per-domain generator ---------- *)
 
 type domain_result = {
   d_ops : int;
@@ -155,12 +205,6 @@ type domain_result = {
   d_hist : Util.Histogram.t;
   d_disconnect : string option;
 }
-
-let connect cfg =
-  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-  (try Unix.setsockopt fd TCP_NODELAY true with _ -> ());
-  Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
-  fd
 
 let run_domain cfg did stop =
   let nconns = max 1 (cfg.conns / max 1 cfg.domains) in
@@ -185,7 +229,7 @@ let run_domain cfg did stop =
                Buffer.add_string out
                  (Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" (key ()) cfg.value_size value)
            done;
-           let t0 = Unix.gettimeofday () in
+           let t0 = Poller.mono_s () in
            write_all fd (Buffer.to_bytes out) (Buffer.length out);
            for _ = 1 to cfg.pipeline do
              let err, h = read_unit readers.(i) in
@@ -193,7 +237,7 @@ let run_domain cfg did stop =
              hits := !hits + h
            done;
            let per_op_ns =
-             (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int cfg.pipeline
+             (Poller.mono_s () -. t0) *. 1e9 /. float_of_int cfg.pipeline
            in
            for _ = 1 to cfg.pipeline do
              Util.Histogram.record hist (int_of_float per_op_ns)
@@ -215,14 +259,14 @@ let run_domain cfg did stop =
     d_disconnect = !disconnect;
   }
 
-(* ---------- driver ---------- *)
+(* ---------- closed-loop driver ---------- *)
 
 let us hist q = float_of_int (Util.Histogram.quantile_ns hist q) /. 1e3
 
 let run ?(config = default_config) () =
   let cfg = config in
   let stop = Atomic.make false in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Poller.mono_s () in
   let doms =
     Array.init (max 1 cfg.domains) (fun did ->
         Domain.spawn (fun () -> run_domain cfg did stop))
@@ -233,7 +277,7 @@ let run ?(config = default_config) () =
      window; it is client tooling, not server or structure code"]);
   Atomic.set stop true;
   let results = Array.map Domain.join doms in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Poller.mono_s () -. t0 in
   let hist = Util.Histogram.create () in
   Array.iter (fun r -> Util.Histogram.merge_into ~dst:hist r.d_hist) results;
   let ops = Array.fold_left (fun a r -> a + r.d_ops) 0 results in
@@ -306,3 +350,357 @@ let print_report ~label r =
       Printf.printf "loadgen: %s: generator domain lost its connection: %s\n"
         label why)
     r.disconnects
+
+(* ---------- open loop ---------- *)
+
+type arrival = Poisson | Uniform
+
+type open_report = {
+  offered_rate : float;
+  achieved_rate : float;  (** completions / scheduling window *)
+  sent : int;
+  completed : int;
+  abandoned : int;  (** sent but unanswered when the grace period expired *)
+  o_errors : int;
+  o_hits : int;
+  o_seconds : float;  (** wall time including the drain grace period *)
+  o_mean_us : float;
+  o_p50_us : float;
+  o_p95_us : float;
+  o_p99_us : float;
+  o_disconnects : string list;
+}
+
+(* One nonblocking open-loop connection.  Owned by the one generator
+   domain driving it; the parser is incremental because replies arrive
+   whenever the poller says so, not in lockstep with sends. *)
+type oconn = {
+  ofd : Unix.file_descr;
+  inflight : float Queue.t;  (* scheduled arrival times, FIFO per conn *)
+  line : Buffer.t;  (* partial reply line across reads *)
+  mutable ob : Bytes.t [@montage.thread_local];  (* unsent commands in [opos, olen) *)
+  mutable opos : int [@montage.thread_local];
+  mutable olen : int [@montage.thread_local];
+  mutable skip : int [@montage.thread_local];  (* VALUE data bytes still to discard *)
+  mutable want_w : bool [@montage.thread_local];
+  mutable oalive : bool [@montage.thread_local];
+}
+
+let oconn_pending c = c.olen - c.opos
+
+let oconn_add c s =
+  let n = String.length s in
+  if c.olen + n > Bytes.length c.ob then begin
+    let live = oconn_pending c in
+    if live + n <= Bytes.length c.ob then Bytes.blit c.ob c.opos c.ob 0 live
+    else begin
+      let cap = ref (max 4096 (Bytes.length c.ob)) in
+      while live + n > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit c.ob c.opos nb 0 live;
+      c.ob <- nb
+    end;
+    c.olen <- live;
+    c.opos <- 0
+  end;
+  Bytes.blit_string s 0 c.ob c.olen n;
+  c.olen <- c.olen + n
+
+(* Feed [len] bytes into the incremental reply parser.  [on_unit] fires
+   once per completed reply unit; [on_hit] once per VALUE block. *)
+let oconn_feed c bytes len ~on_unit ~on_hit =
+  let pos = ref 0 in
+  while !pos < len do
+    if c.skip > 0 then begin
+      let take = min c.skip (len - !pos) in
+      c.skip <- c.skip - take;
+      pos := !pos + take
+    end
+    else begin
+      (* bounded newline scan: bytes beyond [len] are stale *)
+      let nl = ref (-1) in
+      let i = ref !pos in
+      while !nl < 0 && !i < len do
+        if Bytes.get bytes !i = '\n' then nl := !i;
+        incr i
+      done;
+      if !nl < 0 then begin
+        Buffer.add_subbytes c.line bytes !pos (len - !pos);
+        pos := len
+      end
+      else begin
+        Buffer.add_subbytes c.line bytes !pos (!nl - !pos);
+        pos := !nl + 1;
+        let s = Buffer.contents c.line in
+        Buffer.clear c.line;
+        let n = String.length s in
+        let s = if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s in
+        if starts_with "VALUE " s then begin
+          let parts = String.split_on_char ' ' s in
+          let bytes' =
+            match parts with _ :: _ :: _ :: b :: _ -> (try int_of_string b with _ -> 0) | _ -> 0
+          in
+          c.skip <- bytes' + 2;
+          on_hit ()
+        end
+        else if s = "END" then on_unit ~err:false
+        else on_unit ~err:(is_error_line s)
+      end
+    end
+  done
+
+type open_domain_result = {
+  od_sent : int;
+  od_completed : int;
+  od_errors : int;
+  od_hits : int;
+  od_hist : Util.Histogram.t;
+  od_disconnects : string list;
+}
+
+let run_open_domain cfg ~rate_d ~arrival ~grace_s did =
+  let nconns = max 1 (cfg.conns / max 1 cfg.domains) in
+  let conns =
+    Array.init nconns (fun _ ->
+        let fd = connect cfg in
+        Unix.set_nonblock fd;
+        {
+          ofd = fd;
+          inflight = Queue.create ();
+          line = Buffer.create 64;
+          ob = Bytes.create 4096;
+          opos = 0;
+          olen = 0;
+          skip = 0;
+          want_w = false;
+          oalive = true;
+        })
+  in
+  let poller = Poller.create ~hint:nconns (Poller.kind_of_env ()) in
+  Array.iter (fun c -> Poller.set poller c.ofd ~read:true ~write:false) conns;
+  let by_fd = Hashtbl.create nconns in
+  Array.iter (fun c -> Hashtbl.replace by_fd c.ofd c) conns;
+  let rng = Util.Xoshiro.create (cfg.seed + (did * 7919) + 1) in
+  let value = String.make cfg.value_size 'v' in
+  let hist = Util.Histogram.create () in
+  let rbuf = Bytes.create 65536 in
+  let sent = ref 0 and completed = ref 0 and errors = ref 0 and hits = ref 0 in
+  let disconnects = ref [] in
+  let key () = Printf.sprintf "%s%06d" cfg.key_prefix (Util.Xoshiro.int rng cfg.keyspace) in
+  let interarrival () =
+    match arrival with
+    | Uniform -> 1.0 /. rate_d
+    | Poisson -> -.Float.log (1.0 -. Util.Xoshiro.float rng) /. rate_d
+  in
+  let close_conn c why =
+    if c.oalive then begin
+      c.oalive <- false;
+      Poller.remove poller c.ofd;
+      Hashtbl.remove by_fd c.ofd;
+      (try Unix.close c.ofd with Unix.Unix_error _ -> ());
+      disconnects := why :: !disconnects
+    end
+  in
+  let update_interest c =
+    if c.oalive then Poller.set poller c.ofd ~read:true ~write:c.want_w
+  in
+  (* Drain pending output; EAGAIN arms write interest so the poller
+     wakes us when the socket has room again. *)
+  let try_flush c =
+    let again = ref true and ok = ref true in
+    while !again && oconn_pending c > 0 do
+      match Unix.write c.ofd c.ob c.opos (oconn_pending c) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          c.want_w <- true;
+          again := false
+      | exception Unix.Unix_error (e, _, _) ->
+          ok := false;
+          again := false;
+          close_conn c (Unix.error_message e)
+      | 0 ->
+          ok := false;
+          again := false;
+          close_conn c "short write"
+      | n ->
+          c.opos <- c.opos + n;
+          if oconn_pending c = 0 then begin
+            c.opos <- 0;
+            c.olen <- 0
+          end
+    done;
+    if !ok && oconn_pending c = 0 then c.want_w <- false;
+    if !ok then update_interest c;
+    !ok
+  in
+  let settle_units c now =
+    ( (fun ~err ->
+        (* latency from the scheduled arrival, not the socket write:
+           queueing delay is part of the request's experience *)
+        (match Queue.take_opt c.inflight with
+        | Some t_sched ->
+            incr completed;
+            Util.Histogram.record hist (int_of_float ((now -. t_sched) *. 1e9))
+        | None -> ());
+        if err then incr errors),
+      fun () -> incr hits )
+  in
+  let read_conn c =
+    let again = ref true in
+    while !again && c.oalive do
+      match Unix.read c.ofd rbuf 0 (Bytes.length rbuf) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          again := false
+      | exception Unix.Unix_error (e, _, _) ->
+          again := false;
+          close_conn c (Unix.error_message e)
+      | 0 ->
+          again := false;
+          close_conn c "server closed connection"
+      | n ->
+          let now = Poller.mono_s () in
+          let on_unit, on_hit = settle_units c now in
+          oconn_feed c rbuf n ~on_unit ~on_hit
+    done
+  in
+  let t_start = Poller.mono_s () in
+  let t_end = t_start +. cfg.duration_s in
+  let next = ref (t_start +. interarrival ()) in
+  let drain_at = ref infinity in
+  let rr = ref 0 in
+  let running = ref true in
+  while !running do
+    let now = Poller.mono_s () in
+    (* schedule every arrival that is due, even if we are behind: an
+       open loop does not slow down because the server did *)
+    if now < t_end then
+      while !next <= now do
+        let c = conns.(!rr mod nconns) in
+        incr rr;
+        if c.oalive then begin
+          let cmd =
+            if Util.Xoshiro.float rng < cfg.get_frac then
+              Printf.sprintf "get %s\r\n" (key ())
+            else Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" (key ()) cfg.value_size value
+          in
+          oconn_add c cmd;
+          Queue.push !next c.inflight;
+          incr sent;
+          ignore (try_flush c)
+        end;
+        next := !next +. interarrival ()
+      done
+    else if !drain_at = infinity then drain_at := now +. grace_s;
+    let tnext = if now < t_end then Float.min !next t_end else !drain_at in
+    let timeout = Float.max 0.0 (Float.min 0.05 (tnext -. now)) in
+    ignore
+      ((Poller.wait poller ~timeout_s:timeout (fun fd ~readable ~writable ->
+            match Hashtbl.find_opt by_fd fd with
+            | None -> ()
+            | Some c ->
+                if writable then begin
+                  c.want_w <- false;
+                  ignore (try_flush c)
+                end;
+                if readable && c.oalive then read_conn c))
+      [@montage.allow
+        "R5: open-loop generator readiness wait in client tooling; \
+         paced by the arrival schedule, not a server thread"]);
+    let now = Poller.mono_s () in
+    if now >= t_end then begin
+      if !drain_at = infinity then drain_at := now +. grace_s;
+      let quiesced =
+        Array.for_all
+          (fun c -> (not c.oalive) || (Queue.is_empty c.inflight && oconn_pending c = 0))
+          conns
+      in
+      if quiesced || now >= !drain_at then running := false
+    end
+  done;
+  Array.iter
+    (fun c ->
+      if c.oalive then begin
+        Poller.remove poller c.ofd;
+        (try Unix.close c.ofd with Unix.Unix_error _ -> ())
+      end)
+    conns;
+  Poller.close poller;
+  {
+    od_sent = !sent;
+    od_completed = !completed;
+    od_errors = !errors;
+    od_hits = !hits;
+    od_hist = hist;
+    od_disconnects = !disconnects;
+  }
+
+let run_open ?(config = default_config) ?(arrival = Poisson) ?(grace_s = 1.0) ~rate () =
+  let cfg = config in
+  if rate <= 0.0 then invalid_arg "Loadgen.run_open: rate must be positive";
+  let ndomains = max 1 cfg.domains in
+  let rate_d = rate /. float_of_int ndomains in
+  let t0 = Poller.mono_s () in
+  let doms =
+    Array.init ndomains (fun did ->
+        Domain.spawn (fun () -> run_open_domain cfg ~rate_d ~arrival ~grace_s did))
+  in
+  let results = Array.map Domain.join doms in
+  let seconds = Poller.mono_s () -. t0 in
+  let hist = Util.Histogram.create () in
+  Array.iter (fun r -> Util.Histogram.merge_into ~dst:hist r.od_hist) results;
+  let sum f = Array.fold_left (fun a r -> a + f r) 0 results in
+  let sent = sum (fun r -> r.od_sent) in
+  let completed = sum (fun r -> r.od_completed) in
+  {
+    offered_rate = rate;
+    achieved_rate = float_of_int completed /. cfg.duration_s;
+    sent;
+    completed;
+    abandoned = sent - completed;
+    o_errors = sum (fun r -> r.od_errors);
+    o_hits = sum (fun r -> r.od_hits);
+    o_seconds = seconds;
+    o_mean_us = Util.Histogram.mean_ns hist /. 1e3;
+    o_p50_us = us hist 0.5;
+    o_p95_us = us hist 0.95;
+    o_p99_us = us hist 0.99;
+    o_disconnects = List.concat_map (fun r -> r.od_disconnects) (Array.to_list results);
+  }
+
+let arrival_name = function Poisson -> "poisson" | Uniform -> "uniform"
+
+let arrival_of_string = function
+  | "poisson" -> Some Poisson
+  | "uniform" -> Some Uniform
+  | _ -> None
+
+let print_open_report ~label r =
+  Benchlib.Report.heading (Printf.sprintf "loadgen open-loop: %s" label);
+  Benchlib.Report.table
+    ~columns:
+      [
+        "offered/s"; "achieved/s"; "sent"; "done"; "abandoned"; "errors"; "mean_us"; "p50_us";
+        "p95_us"; "p99_us";
+      ]
+    ~rows:
+      [
+        ( label,
+          [
+            r.offered_rate;
+            r.achieved_rate;
+            float_of_int r.sent;
+            float_of_int r.completed;
+            float_of_int r.abandoned;
+            float_of_int r.o_errors;
+            r.o_mean_us;
+            r.o_p50_us;
+            r.o_p95_us;
+            r.o_p99_us;
+          ] );
+      ]
+    ~unit_label:"open-loop" ();
+  List.iter
+    (fun why ->
+      Printf.printf "loadgen: %s: open-loop connection lost: %s\n" label why)
+    r.o_disconnects

@@ -1,12 +1,21 @@
-(** Closed-loop memcached-protocol load generator for {!Netserve}.
+(** Memcached-protocol load generator for {!Netserve}: closed-loop and
+    open-loop.
 
-    [domains] generator domains each own [conns / domains] blocking
-    connections and drive them round-robin: write a [pipeline]-deep
-    batch of commands (get with probability [get_frac], else a
-    [value_size]-byte set over [keyspace] keys), read every reply,
-    record per-command latency into a log-scale histogram.  Closed
-    loop — one batch in flight per connection — so latency includes
-    the server's batched-flush cycle honestly. *)
+    Closed loop ({!run}): [domains] generator domains each own
+    [conns / domains] blocking connections and drive them round-robin:
+    write a [pipeline]-deep batch of commands (get with probability
+    [get_frac], else a [value_size]-byte set over [keyspace] keys),
+    read every reply, record per-command latency into a log-scale
+    histogram.  One batch in flight per connection — latency includes
+    the server's batched-flush cycle honestly, but offered load
+    collapses when the server slows, hiding overload.
+
+    Open loop ({!run_open}): commands arrive on a fixed schedule
+    ([rate] ops/s, {!Poisson} or {!Uniform} interarrivals) regardless
+    of server speed, over nonblocking connections driven by a
+    {!Poller}.  Latency is charged from the {e scheduled} arrival
+    time, so server-imposed queueing delay lands in the tail — the
+    coordinated-omission fix a closed loop cannot provide. *)
 
 type config = {
   host : string;
@@ -14,7 +23,7 @@ type config = {
   conns : int;
   domains : int;
   duration_s : float;
-  pipeline : int;
+  pipeline : int;  (** closed loop only: commands per batch *)
   value_size : int;
   keyspace : int;
   get_frac : float;  (** in [0, 1]; the rest are sets *)
@@ -30,7 +39,10 @@ val default_config : config
     reset, short write).  {!run} catches it per generator domain and
     reports it in {!report.disconnects} rather than silently dropping
     the domain's remaining work; {!preload} lets it propagate, since a
-    preload cannot meaningfully continue without the connection. *)
+    preload cannot meaningfully continue without the connection.
+    Initial connects are retried with bounded backoff on
+    [ECONNREFUSED]/[EAGAIN]/[ETIMEDOUT] before giving up, so a listen
+    backlog overflow during a connection ramp does not kill the run. *)
 exception Connection_lost of string
 
 type report = {
@@ -58,3 +70,41 @@ val run : ?config:config -> unit -> report
 
 (** Render through {!Benchlib.Report.table}. *)
 val print_report : label:string -> report -> unit
+
+(** {1 Open loop} *)
+
+(** Interarrival distribution for the open-loop schedule: {!Poisson}
+    (exponential interarrivals — bursty, like independent clients) or
+    {!Uniform} (evenly spaced). *)
+type arrival = Poisson | Uniform
+
+val arrival_name : arrival -> string
+val arrival_of_string : string -> arrival option
+
+type open_report = {
+  offered_rate : float;
+  achieved_rate : float;  (** completions / scheduling window *)
+  sent : int;
+  completed : int;
+  abandoned : int;  (** sent but unanswered when the grace period expired *)
+  o_errors : int;
+  o_hits : int;
+  o_seconds : float;  (** wall time including the drain grace period *)
+  o_mean_us : float;
+  o_p50_us : float;
+  o_p95_us : float;
+  o_p99_us : float;
+  o_disconnects : string list;
+}
+
+(** Offer [rate] ops/s for [duration_s] on the fixed schedule, then
+    wait up to [grace_s] (default 1 s) for stragglers.  Requests still
+    unanswered after the grace period count as [abandoned].  Latency
+    for every completion is measured from its scheduled arrival time
+    (coordinated-omission-aware), so under overload the tail reflects
+    queueing delay, not just service time. *)
+val run_open :
+  ?config:config -> ?arrival:arrival -> ?grace_s:float -> rate:float -> unit -> open_report
+
+(** Render through {!Benchlib.Report.table}. *)
+val print_open_report : label:string -> open_report -> unit

@@ -4,11 +4,16 @@
     [workers] event-loop domains share one nonblocking listening
     socket (kernel-balanced accept sharding); worker [w] owns Montage
     thread id [w], so epoch hooks and per-thread persist buffers stay
-    thread-local.  Each worker multiplexes its connections with
-    [Unix.select]: per-cycle reads feed the protocol codec, all
-    replies of a cycle flush with one batched write per connection,
-    pending-output high-water marks pause reads (backpressure), and
-    idle/slow clients are reaped.
+    thread-local.  Each worker multiplexes its connections through a
+    pluggable readiness backend ({!Poller}: Linux epoll by default,
+    [Unix.select] as the portable fallback) and only touches ready
+    connections: reads feed the protocol codec, the replies of a
+    readiness cycle flush with one batched write per dirty connection
+    (O(active), not O(connections)), pending-output high-water marks
+    pause reads (backpressure), and idle/slow clients are reaped by a
+    periodic monotonic-clock sweep.  Poller interest changes only on
+    state transitions, so idle connections cost nothing per tick on
+    epoll.
 
     {!shutdown} drains gracefully — stop accepting, serve until the
     clients disconnect or [drain_timeout_s] passes, join the workers —
@@ -25,13 +30,16 @@ type config = {
   out_hwm : int;  (** pause reads above this many pending output bytes *)
   idle_timeout_s : float;  (** 0. = never *)
   drain_timeout_s : float;
-  tick_s : float;  (** select timeout: stop/timeout poll granularity *)
+  tick_s : float;  (** poll timeout: stop/timeout poll granularity *)
   max_line : int;  (** protocol command-line cap *)
   max_value : int;  (** protocol data-block cap *)
+  poller : Poller.kind option;
+      (** [None] = [MONTAGE_POLLER] env var, else epoll when available *)
 }
 
-(** Port 11211 on 127.0.0.1, 2 workers, 1 MiB output high-water mark,
-    60 s idle timeout, 5 s drain timeout. *)
+(** Port 11211 on 127.0.0.1, 2 workers, 16384 conns/worker, 1 MiB
+    output high-water mark, 60 s idle timeout, 5 s drain timeout,
+    auto-detected poller. *)
 val default_config : config
 
 type drain_stats = {
@@ -61,6 +69,9 @@ val start :
 (** The bound port (useful with [port = 0]). *)
 val port : t -> int
 
+(** The readiness backend the workers are running on. *)
+val poller_kind : t -> Poller.kind
+
 (** Graceful shutdown: stop accepting, drain, join workers, sync.
     Idempotent — later calls return the first result. *)
 val shutdown : t -> drain_stats
@@ -69,5 +80,8 @@ val shutdown : t -> drain_stats
     [(connections_accepted, bytes_in, bytes_out, commands)]. *)
 val totals : t -> int * int * int * int
 
-(** The companion closed-loop load generator. *)
+(** The readiness backend abstraction (select / epoll). *)
+module Poller = Poller
+
+(** The companion load generator (closed-loop and open-loop). *)
 module Loadgen = Loadgen

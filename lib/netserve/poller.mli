@@ -1,0 +1,73 @@
+(** Pluggable readiness backend for the {!Netserve} event loop: a
+    Linux [epoll] implementation (level-triggered, kernel-held
+    interest set, O(ready) waits) and a portable [Unix.select]
+    fallback (user-held interest set, O(tracked) waits, fd numbers
+    below FD_SETSIZE only).
+
+    Interest is an upsert per fd ({!set}); implementations skip the
+    syscall when the requested interest matches what is already
+    registered, so callers may re-assert interest every cycle and
+    steady-state (idle) connections still cost nothing per tick. *)
+
+type kind = Select | Epoll
+
+(** Whether the platform has epoll (Linux). *)
+val epoll_available : bool
+
+(** FD_SETSIZE: the select backend cannot track fd numbers at or
+    beyond this. *)
+val select_fd_limit : int
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+(** [MONTAGE_POLLER=epoll|select] if set, else {!Epoll} when available,
+    else {!Select}.  An explicit [epoll] on a platform without it is
+    honored and fails at {!create}. *)
+val kind_of_env : unit -> kind
+
+type t
+
+(** [hint] sizes the interest table. *)
+val create : ?hint:int -> kind -> t
+
+val kind : t -> kind
+
+(** Upsert the interest for [fd].  [read:false write:false]
+    deregisters it.  No-op when the registered interest already
+    matches.
+    @raise Unix.Unix_error [EINVAL] on the select backend for fd
+    numbers at or beyond FD_SETSIZE (1024) — refuse the connection
+    rather than poisoning the event loop. *)
+val set : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+
+(** Forget [fd] entirely.  Safe on fds never registered or already
+    closed. *)
+val remove : t -> Unix.file_descr -> unit
+
+(** Number of fds currently registered. *)
+val tracked : t -> int
+
+(** Block up to [timeout_s] (negative = forever) and invoke the
+    callback once per ready fd event; returns the event count.  The
+    select backend may report one fd through two callbacks (readable
+    and writable separately).  EINTR returns 0, like a timeout. *)
+val wait :
+  t ->
+  timeout_s:float ->
+  (Unix.file_descr -> readable:bool -> writable:bool -> unit) ->
+  int
+
+(** Release the backend (the epoll fd, the interest table).  The
+    caller owns the registered fds; they are not closed. *)
+val close : t -> unit
+
+(** Monotonic clock in seconds (CLOCK_MONOTONIC) — the event loop's
+    time base for idle timeouts, drain deadlines and load-generator
+    latency, immune to wall-clock jumps. *)
+val mono_s : unit -> float
+
+(** [raise_fd_limit n] raises the soft RLIMIT_NOFILE toward [n]
+    (clamped to the hard limit) and returns the resulting soft limit.
+    Never lowers it. *)
+val raise_fd_limit : int -> int

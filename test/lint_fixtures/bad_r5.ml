@@ -1,7 +1,9 @@
 [@@@montage.scope "r5"]
 
 (* R5 known-bad: blocking calls outside the netserve event loop.
-   Expected findings: the sleep in [nap] and the lock in [hold]. *)
+   Expected findings: the sleep in [nap], the lock in [hold], and the
+   readiness wait in [spin] (a local [Poller.wait] matches the
+   module-suffix rule exactly like [Netserve.Poller.wait] does). *)
 
 let nap () = Unix.sleepf 0.01
 let guard = Mutex.create ()
@@ -9,3 +11,9 @@ let guard = Mutex.create ()
 let hold () =
   Mutex.lock guard;
   Mutex.unlock guard
+
+module Poller = struct
+  let wait ~timeout_s = ignore timeout_s
+end
+
+let spin () = Poller.wait ~timeout_s:0.05

@@ -9,3 +9,11 @@ let now () = Unix.gettimeofday ()
 let paced_wait () =
   Unix.sleepf 0.01
   [@montage.allow "R5: fixture models a driver-thread pacing sleep"]
+
+module Poller = struct
+  let wait ~timeout_s = ignore timeout_s
+end
+
+let readiness_tick () =
+  Poller.wait ~timeout_s:0.05
+  [@montage.allow "R5: fixture models a client-tooling readiness wait"]

@@ -35,7 +35,7 @@ let bad_cases =
     ("Bad_r2", [ ("R2", 8); ("R2", 9) ]);
     ("Bad_r3", [ ("R3", 10); ("R3", 11) ]);
     ("Bad_r4", [ ("R4", 7); ("R4", 8) ]);
-    ("Bad_r5", [ ("R5", 6); ("R5", 10) ]);
+    ("Bad_r5", [ ("R5", 8); ("R5", 12); ("R5", 19) ]);
   ]
 
 let clean_cases = [ "Clean_r1"; "Clean_r2"; "Clean_r3"; "Clean_r4"; "Clean_r5" ]

@@ -14,8 +14,9 @@ let testing_cfg workers = { Cfg.testing with max_threads = workers + 1 }
 let buckets = 256
 
 (* A Montage-backed server on port 0 with a fast poll tick.  Returns
-   the region/esys so tests can crash and recover the image. *)
-let start_montage ?(workers = 4) ?nb ?(config_mod = fun c -> c) () =
+   the region/esys so tests can crash and recover the image.  [poller]
+   pins the readiness backend; omitted, the env default rules. *)
+let start_montage ?(workers = 4) ?nb ?poller ?(config_mod = fun c -> c) () =
   let ecfg = testing_cfg workers in
   (* [nb] pins the epoch-advance arm; omitted, the env default rules
      (the CI matrix covers both via MONTAGE_NB_ADVANCE) *)
@@ -28,7 +29,7 @@ let start_montage ?(workers = 4) ?nb ?(config_mod = fun c -> c) () =
   let map = Pstructs.Mhashmap.create ~buckets esys in
   let store = Kvstore.Store.create (Kvstore.Store.of_mhashmap map) in
   let config =
-    config_mod { Netserve.default_config with port = 0; workers; tick_s = 0.01 }
+    config_mod { Netserve.default_config with port = 0; workers; tick_s = 0.01; poller }
   in
   let t =
     Netserve.start ~config
@@ -220,10 +221,128 @@ let test_loadgen_throughput () =
   E.stop_background esys;
   ignore region
 
+(* ---- readiness backends: select vs epoll ---- *)
+
+let kinds =
+  (Netserve.Poller.Select, "select")
+  :: (if Netserve.Poller.epoll_available then [ (Netserve.Poller.Epoll, "epoll") ] else [])
+
+(* The same pipelined session, dribbled one byte at a time, must
+   produce byte-identical replies whichever backend drives the loop:
+   dispatch, value framing, multi-get, delete, the error path, version
+   and quit are poller-independent, and so is read-boundary placement. *)
+let parity_session kind =
+  let region, esys, t = start_montage ~workers:2 ~poller:kind () in
+  Alcotest.(check bool) "requested poller in effect" true (Netserve.poller_kind t = kind);
+  let fd = connect (Netserve.port t) in
+  let script =
+    "set pk1 0 0 5\r\nhello\r\nset pk2 0 0 3\r\nxyz\r\nget pk1 pk2\r\ndelete pk2\r\n\
+     get pk2\r\nbogus\r\nversion\r\nquit\r\n"
+  in
+  String.iter (fun c -> send fd (String.make 1 c)) script;
+  (* quit closes the connection after the last reply flushes: read to EOF *)
+  let acc = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  (try
+     let rec loop () =
+       let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+       if k > 0 then begin
+         Buffer.add_subbytes acc chunk 0 k;
+         loop ()
+       end
+     in
+     loop ()
+   with Unix.Unix_error _ -> ());
+  (try Unix.close fd with _ -> ());
+  let d = Netserve.shutdown t in
+  Alcotest.(check int) (Netserve.Poller.kind_name kind ^ " drained") 0 d.Netserve.forced_closes;
+  E.stop_background esys;
+  ignore region;
+  Buffer.contents acc
+
+let test_backend_parity () =
+  match List.map (fun (k, name) -> (name, parity_session k)) kinds with
+  | [] -> ()
+  | (_, first) :: rest ->
+      Alcotest.(check bool) "acks present" true (contains first "STORED");
+      Alcotest.(check bool) "values present" true (contains first "VALUE pk1 0 5");
+      Alcotest.(check bool) "delete acked" true (contains first "DELETED");
+      Alcotest.(check bool) "error path present" true (contains first "ERROR");
+      Alcotest.(check bool) "version answered" true (contains first "VERSION");
+      List.iter
+        (fun (name, r) ->
+          Alcotest.(check string) (name ^ " replies byte-identical to select") first r)
+        rest
+
+(* idle connections are reaped by the periodic sweep, not per tick *)
+let test_idle_reap kind () =
+  let region, esys, t =
+    start_montage ~workers:2 ~poller:kind
+      ~config_mod:(fun c -> { c with Netserve.idle_timeout_s = 0.2 }) ()
+  in
+  let fd = connect (Netserve.port t) in
+  send fd "set ir 0 0 1\r\nx\r\n";
+  Alcotest.(check string) "stored" "STORED\r\n" (recv_exact fd 8);
+  (* no further traffic: the sweep must close the connection from the
+     server side, surfacing as EOF here *)
+  Unix.setsockopt_float fd SO_RCVTIMEO 5.0;
+  let eof = try Unix.read fd (Bytes.create 1) 0 1 = 0 with Unix.Unix_error _ -> false in
+  Alcotest.(check bool) "idle connection reaped (EOF)" true eof;
+  (try Unix.close fd with _ -> ());
+  ignore (Netserve.shutdown t);
+  E.stop_background esys;
+  ignore region
+
+(* a burst of pipelined replies far past out_hwm must pause reads, not
+   drop or reorder output: every reply arrives byte-exact *)
+let test_out_hwm_backpressure kind () =
+  let region, esys, t =
+    start_montage ~workers:1 ~poller:kind
+      ~config_mod:(fun c -> { c with Netserve.out_hwm = 2048 }) ()
+  in
+  let fd = connect (Netserve.port t) in
+  let v = String.make 512 'b' in
+  send fd (Printf.sprintf "set bp 0 0 %d\r\n%s\r\n" (String.length v) v);
+  Alcotest.(check string) "stored" "STORED\r\n" (recv_exact fd 8);
+  let n = 400 in
+  let out = Buffer.create (n * 8) in
+  for _ = 1 to n do
+    Buffer.add_string out "get bp\r\n"
+  done;
+  (* ~215 KB of replies against a 2 KB high-water mark *)
+  send fd (Buffer.contents out);
+  let one = Printf.sprintf "VALUE bp 0 %d\r\n%s\r\nEND\r\n" (String.length v) v in
+  let want = String.concat "" (List.init n (fun _ -> one)) in
+  let got = recv_exact fd (String.length want) in
+  Alcotest.(check bool) "all replies byte-exact under backpressure" true (got = want);
+  quit_close fd;
+  let d = Netserve.shutdown t in
+  Alcotest.(check int) "drained" 0 d.Netserve.forced_closes;
+  E.stop_background esys;
+  ignore region
+
+(* a shutdown with a connection still open keeps serving it until the
+   client quits, and the drain reports no forced closes *)
+let test_drain_serves_inflight kind () =
+  let region, esys, t = start_montage ~workers:2 ~poller:kind () in
+  let fd = connect (Netserve.port t) in
+  send fd "set dk 0 0 2\r\nok\r\n";
+  Alcotest.(check string) "stored" "STORED\r\n" (recv_exact fd 8);
+  let dom = Domain.spawn (fun () -> Netserve.shutdown t) in
+  Unix.sleepf 0.1;
+  send fd "get dk\r\nquit\r\n";
+  let expect = "VALUE dk 0 2\r\nok\r\nEND\r\n" in
+  Alcotest.(check string) "served during drain" expect (recv_exact fd (String.length expect));
+  (try Unix.close fd with _ -> ());
+  let d = Domain.join dom in
+  Alcotest.(check int) "graceful: no forced closes" 0 d.Netserve.forced_closes;
+  E.stop_background esys;
+  ignore region
+
 (* ---- acked STORED keys survive shutdown + crash ---- *)
 
-let test_acked_keys_survive_crash ~nb () =
-  let region, esys, t = start_montage ~nb () in
+let test_acked_keys_survive_crash ~nb ?poller () =
+  let region, esys, t = start_montage ~nb ?poller () in
   let port = Netserve.port t in
   let clients = 4 and keys_per_client = 25 in
   let run_client cid =
@@ -296,12 +415,33 @@ let () =
           Alcotest.test_case "size caps over the wire" `Quick test_caps_over_wire;
           Alcotest.test_case "loadgen closed loop (4 workers)" `Quick test_loadgen_throughput;
         ] );
+      ( "backends",
+        Alcotest.test_case "reply parity across pollers (byte-dribbled pipeline)" `Quick
+          test_backend_parity
+        :: List.concat_map
+             (fun (k, name) ->
+               [
+                 Alcotest.test_case (name ^ ": idle connections reaped") `Quick
+                   (test_idle_reap k);
+                 Alcotest.test_case (name ^ ": out_hwm backpressure keeps replies exact") `Quick
+                   (test_out_hwm_backpressure k);
+                 Alcotest.test_case (name ^ ": drain serves in-flight connections") `Quick
+                   (test_drain_serves_inflight k);
+               ])
+             kinds );
       ( "durability",
-        [
-          Alcotest.test_case "acked keys survive shutdown + crash (nb advance)" `Quick
-            (test_acked_keys_survive_crash ~nb:true);
-          Alcotest.test_case "acked keys survive shutdown + crash (blocking advance)" `Quick
-            (test_acked_keys_survive_crash ~nb:false);
-          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
-        ] );
+        List.map
+          (fun (k, name) ->
+            Alcotest.test_case
+              (Printf.sprintf "acked keys survive shutdown + crash (%s poller)" name)
+              `Quick
+              (test_acked_keys_survive_crash ~nb:true ~poller:k))
+          kinds
+        @ [
+            Alcotest.test_case "acked keys survive shutdown + crash (nb advance)" `Quick
+              (test_acked_keys_survive_crash ~nb:true);
+            Alcotest.test_case "acked keys survive shutdown + crash (blocking advance)" `Quick
+              (test_acked_keys_survive_crash ~nb:false);
+            Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          ] );
     ]
