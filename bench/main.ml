@@ -20,6 +20,7 @@ let () =
       ("fig8b", Figures.fig8b);
       ("fig9", Figures.fig9);
       ("fig10", Figures.fig10);
+      ("snapshot", Figures.snapshot_scan);
       ("fig11", Figures.fig11);
       ("fig12", Figures.fig12);
       ("recovery", Figures.recovery_table);

@@ -249,6 +249,71 @@ let montage_t_map ~capacity ~threads ~buckets () =
   montage_map ~name:"Montage (T)" ~cfg_mod:(fun c -> { c with persist = false; auto_advance = false })
     ~capacity ~threads ~buckets ()
 
+(* MHAMT: the snapshot-capable persistent HAMT behind the same closure
+   interface, so the YCSB figure can row it next to the hashmap. *)
+let mhamt_map ?(name = "MHAMT") ~capacity ~threads () =
+  let r = region ~capacity ~threads in
+  let esys = E.create ~config:{ Cfg.default with max_threads = threads + 1 } r in
+  let m = Pstructs.Mhamt.create esys in
+  {
+    mname = name;
+    mget = (fun ~tid k -> Pstructs.Mhamt.get m ~tid k);
+    mput = (fun ~tid k v -> ignore (Pstructs.Mhamt.put m ~tid k v));
+    mrem = (fun ~tid k -> ignore (Pstructs.Mhamt.remove m ~tid k));
+    msync = (fun ~tid -> E.sync esys ~tid);
+    mstop =
+      guarded_stop (fun () ->
+          E.stop_background esys;
+          note_mirror_stats esys r;
+          note_region_stats r);
+  }
+
+(* Scan-while-writing instances: [zscan] performs one consistent full
+   scan of the structure and returns the number of bindings it saw.
+   MHAMT pins an O(1) snapshot and folds it; the hashmap's consistent
+   listing is [to_alist], its closest equivalent. *)
+type scan_inst = {
+  zname : string;
+  zput : tid:int -> string -> string -> unit;
+  zscan : tid:int -> int;
+  zstop : unit -> unit;
+}
+
+let mhamt_scan ~capacity ~threads () =
+  let r = region ~capacity ~threads in
+  let esys = E.create ~config:{ Cfg.default with max_threads = threads + 1 } r in
+  let m = Pstructs.Mhamt.create esys in
+  {
+    zname = "MHAMT";
+    zput = (fun ~tid k v -> ignore (Pstructs.Mhamt.put m ~tid k v));
+    zscan =
+      (fun ~tid ->
+        let v = Pstructs.Mhamt.snapshot m in
+        let n = Pstructs.Mhamt.View.fold v ~tid (fun acc _ _ -> acc + 1) 0 in
+        Pstructs.Mhamt.release m v ~tid;
+        n);
+    zstop =
+      guarded_stop (fun () ->
+          E.stop_background esys;
+          note_mirror_stats esys r;
+          note_region_stats r);
+  }
+
+let mhashmap_scan ~capacity ~threads ~buckets () =
+  let r = region ~capacity ~threads in
+  let esys = E.create ~config:{ Cfg.default with max_threads = threads + 1 } r in
+  let m = Pstructs.Mhashmap.create ~buckets esys in
+  {
+    zname = "Mhashmap";
+    zput = (fun ~tid k v -> ignore (Pstructs.Mhashmap.put m ~tid k v));
+    zscan = (fun ~tid -> List.length (Pstructs.Mhashmap.to_alist m ~tid));
+    zstop =
+      guarded_stop (fun () ->
+          E.stop_background esys;
+          note_mirror_stats esys r;
+          note_region_stats r);
+  }
+
 let dram_map ~buckets () =
   let m = Baselines.Transient_map.create ~buckets Baselines.Transient_map.Dram in
   {

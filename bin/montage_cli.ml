@@ -230,6 +230,10 @@ let stallbench stall_ms warmup_ops =
 
 (* ---- serve ---- *)
 
+(* MONTAGE_BACKEND picks the default store so CI legs can swap backends
+   without touching the command line. *)
+let default_backend = Option.value (Sys.getenv_opt "MONTAGE_BACKEND") ~default:"montage"
+
 (* Build the store for the requested backend.  The Montage build sizes
    the epoch system for [workers] server tids plus the advancer slot,
    and hands netserve the sync/frontier hooks its shutdown drain uses
@@ -241,6 +245,11 @@ let make_backend backend workers capacity_mib =
       let esys = E.create ~config:{ Cfg.default with max_threads = workers + 1 } region in
       let map = Pstructs.Mhashmap.create esys in
       Some (Kvstore.Store.create (Kvstore.Store.of_mhashmap map), Some esys)
+  | "mhamt" ->
+      let region = Nvm.Region.create ~max_threads:(workers + 4) ~capacity:(capacity_mib * mib) () in
+      let esys = E.create ~config:{ Cfg.default with max_threads = workers + 1 } region in
+      let map = Pstructs.Mhamt.create esys in
+      Some (Kvstore.Store.create (Kvstore.Store.of_mhamt map), Some esys)
   | "transient" ->
       let m = Baselines.Transient_map.create Baselines.Transient_map.Dram in
       Some (Kvstore.Store.create (Kvstore.Store.of_transient_map m), None)
@@ -270,7 +279,7 @@ let serve backend host port workers seconds capacity_mib poller_s =
   if workers < 1 then `Error (false, "workers must be >= 1")
   else
     match make_backend backend workers capacity_mib with
-    | None -> `Error (false, "backend must be montage|transient")
+    | None -> `Error (false, "backend must be montage|mhamt|transient")
     | Some (store, esys) ->
         let config = { Netserve.default_config with host; port; workers; poller } in
         let t = start_server ~config store esys in
@@ -378,7 +387,7 @@ let c10k backend conns workers seconds active value_size capacity_mib poller_s t
             | Some b -> Some (Some b)
         in
         match be with
-        | None -> `Error (false, "backend must be montage|transient")
+        | None -> `Error (false, "backend must be montage|mhamt|transient")
         | Some be ->
             let fds_per_conn = if be = None then 1 else 2 in
             let soft =
@@ -568,7 +577,9 @@ let c10k backend conns workers seconds active value_size capacity_mib poller_s t
    ephemeral port, run a byte-exact pipelined session and a seeded
    loadgen burst, read stats, shut down gracefully, crash the region,
    and verify every acked STORED key survives recovery.  CI runs this
-   in every matrix leg. *)
+   in every matrix leg; MONTAGE_BACKEND=mhamt swaps the persistent map
+   for the snapshot-capable HAMT so the same byte-exact script drives
+   both structures. *)
 let netsmoke () =
   let failures = ref [] in
   let check name ok =
@@ -576,13 +587,19 @@ let netsmoke () =
     if not ok then failures := name :: !failures
   in
   let workers = 4 in
+  let smoke_backend = if default_backend = "mhamt" then `Mhamt else `Mhashmap in
   let region = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:(workers + 4) ~capacity:(64 * mib) () in
   let esys = E.create ~config:{ Cfg.default with max_threads = workers + 1 } region in
-  let map = Pstructs.Mhashmap.create esys in
-  let store = Kvstore.Store.create (Kvstore.Store.of_mhashmap map) in
+  let store =
+    match smoke_backend with
+    | `Mhamt -> Kvstore.Store.create (Kvstore.Store.of_mhamt (Pstructs.Mhamt.create esys))
+    | `Mhashmap -> Kvstore.Store.create (Kvstore.Store.of_mhashmap (Pstructs.Mhashmap.create esys))
+  in
   let config = { Netserve.default_config with host = "127.0.0.1"; port = 0; workers } in
   let t = start_server ~config store (Some esys) in
-  Printf.printf "netsmoke: %s poller\n%!" (Netserve.Poller.kind_name (Netserve.poller_kind t));
+  Printf.printf "netsmoke: %s backend, %s poller\n%!"
+    (match smoke_backend with `Mhamt -> "mhamt" | `Mhashmap -> "montage")
+    (Netserve.Poller.kind_name (Netserve.poller_kind t));
   let port = Netserve.port t in
   let connect () =
     let fd = Unix.socket PF_INET SOCK_STREAM 0 in
@@ -684,8 +701,12 @@ let netsmoke () =
   E.stop_background esys;
   Nvm.Region.crash region;
   let esys2, payloads = E.recover ~config:{ Cfg.default with max_threads = workers + 1 } region in
-  let map2 = Pstructs.Mhashmap.recover esys2 payloads in
-  let store2 = Kvstore.Store.create (Kvstore.Store.of_mhashmap map2) in
+  let store2 =
+    match smoke_backend with
+    | `Mhamt -> Kvstore.Store.create (Kvstore.Store.of_mhamt (Pstructs.Mhamt.recover esys2 payloads))
+    | `Mhashmap ->
+        Kvstore.Store.create (Kvstore.Store.of_mhashmap (Pstructs.Mhashmap.recover esys2 payloads))
+  in
   let missing = ref 0 in
   for i = 0 to dur - 1 do
     match Kvstore.Store.get store2 ~tid:0 (Printf.sprintf "dur%02d" i) with
@@ -732,7 +753,7 @@ let poller_arg =
 
 let serve_cmd =
   let backend =
-    Arg.(value & pos 0 string "montage" & info [] ~docv:"BACKEND" ~doc:"montage|transient")
+    Arg.(value & pos 0 string default_backend & info [] ~docv:"BACKEND" ~doc:"montage|mhamt|transient")
   in
   let port = Arg.(value & opt int 11211 & info [ "port"; "p" ] ~doc:"TCP port (0 = ephemeral).") in
   let workers = Arg.(value & opt int 2 & info [ "workers"; "w" ] ~doc:"Event-loop domains.") in
@@ -777,7 +798,7 @@ let loadgen_cmd =
 
 let c10k_cmd =
   let backend =
-    Arg.(value & pos 0 string "montage" & info [] ~docv:"BACKEND" ~doc:"montage|transient")
+    Arg.(value & pos 0 string default_backend & info [] ~docv:"BACKEND" ~doc:"montage|mhamt|transient")
   in
   let conns = Arg.(value & opt int 10_000 & info [ "conns"; "c" ] ~doc:"Idle connection census size.") in
   let workers = Arg.(value & opt int 2 & info [ "workers"; "w" ] ~doc:"Event-loop domains.") in

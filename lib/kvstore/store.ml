@@ -270,6 +270,14 @@ let of_mhashmap (m : Pstructs.Mhashmap.t) =
     update = (fun ~tid k f -> Pstructs.Mhashmap.update m ~tid k f);
   }
 
+let of_mhamt (m : Pstructs.Mhamt.t) =
+  {
+    get = (fun ~tid k -> Pstructs.Mhamt.get m ~tid k);
+    put = (fun ~tid k v -> Pstructs.Mhamt.put m ~tid k v);
+    remove = (fun ~tid k -> Pstructs.Mhamt.remove m ~tid k);
+    update = (fun ~tid k f -> Pstructs.Mhamt.update m ~tid k f);
+  }
+
 let of_transient_map (m : Baselines.Transient_map.t) =
   {
     get = (fun ~tid k -> Baselines.Transient_map.get m ~tid k);

@@ -88,4 +88,5 @@ val set_clock : t -> (unit -> float) -> unit
 (** {1 Ready-made backends} *)
 
 val of_mhashmap : Pstructs.Mhashmap.t -> backend
+val of_mhamt : Pstructs.Mhamt.t -> backend
 val of_transient_map : Baselines.Transient_map.t -> backend

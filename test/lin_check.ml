@@ -150,6 +150,41 @@ let vector_spec : (string list, vector_op, vector_res) spec =
             else (VOk false, st));
   }
 
+(* Map-with-snapshot model mirroring Mhamt's semantics: the state is
+   the current association plus every snapshot ever taken (id -> the
+   association at that instant).  [Msnapshot id] must linearize at one
+   point — every later [Mview_find (id, _)] reads that frozen map, so a
+   view that mixed values from two versions (a torn read across a path
+   copy) has no legal linearization.  Associations stay sorted so equal
+   abstract states memoize to equal keys.  Snapshot ops answer [None]
+   by convention; a find against an id the model never saw answers a
+   sentinel no real execution produces, making it unsatisfiable. *)
+type map_op =
+  | Mput of string * string
+  | Mremove of string
+  | Mget of string
+  | Msnapshot of int
+  | Mview_find of int * string
+
+type map_state = { cur : (string * string) list; views : (int * (string * string) list) list }
+
+let map_snap_spec : (map_state, map_op, string option) spec =
+  let sorted_replace l k v = List.sort compare ((k, v) :: List.remove_assoc k l) in
+  {
+    initial = { cur = []; views = [] };
+    apply =
+      (fun st op ->
+        match op with
+        | Mput (k, v) -> (List.assoc_opt k st.cur, { st with cur = sorted_replace st.cur k v })
+        | Mremove k -> (List.assoc_opt k st.cur, { st with cur = List.remove_assoc k st.cur })
+        | Mget k -> (List.assoc_opt k st.cur, st)
+        | Msnapshot id -> (None, { st with views = List.sort compare ((id, st.cur) :: st.views) })
+        | Mview_find (id, k) -> (
+            match List.assoc_opt id st.views with
+            | Some frozen -> (List.assoc_opt k frozen, st)
+            | None -> (Some "\000unregistered-view", st)));
+  }
+
 (* Undirected-graph model mirroring Mgraph's semantics: vertex adds
    reject duplicates, edge adds reject self-loops / missing endpoints /
    duplicates, vertex removal drops incident edges.  Both components

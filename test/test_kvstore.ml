@@ -14,9 +14,31 @@ let make_montage_store () =
   let store = Store.create (Store.of_mhashmap map) in
   (region, esys, map, store)
 
+let make_mhamt_store () =
+  let region = Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:8 ~capacity:(1 lsl 24) () in
+  let esys = E.create ~config:testing_cfg region in
+  let map = Pstructs.Mhamt.create esys in
+  let store = Store.create (Store.of_mhamt map) in
+  (region, esys, map, store)
+
 let make_dram_store () =
   let map = Baselines.Transient_map.create ~buckets:256 Baselines.Transient_map.Dram in
   Store.create (Store.of_transient_map map)
+
+(* every Store backend, for suites whose semantics must not depend on
+   the map underneath *)
+let backends =
+  [
+    ("transient", fun () -> make_dram_store ());
+    ( "mhashmap",
+      fun () ->
+        let _, _, _, store = make_montage_store () in
+        store );
+    ( "mhamt",
+      fun () ->
+        let _, _, _, store = make_mhamt_store () in
+        store );
+  ]
 
 (* ---- memcached semantics ---- *)
 
@@ -218,6 +240,58 @@ let test_ycsb_load_and_execute () =
   let hits, misses, _, _, _ = Store.stats store in
   Alcotest.(check bool) "reads hit the preloaded records" true (hits > 0 && misses = 0)
 
+(* ---- flush_all watermark semantics, identical across backends ----
+
+   flush_all is O(1): it publishes a cas-id watermark instead of
+   deleting keys, so the contract — pre-flush items die (lazily),
+   items stored during a delay window survive the deadline, repeated
+   flushes move the watermark — must hold for every backend. *)
+
+let flush_all_tests (name, mk) =
+  let case label f = Alcotest.test_case (name ^ ": " ^ label) `Quick f in
+  [
+    case "immediate wipe" (fun () ->
+        let store = mk () in
+        Store.set store ~tid:0 "a" "A";
+        Store.set store ~tid:0 "b" "B";
+        Store.flush_all store ();
+        Alcotest.(check (option string)) "a gone" None (Store.get store ~tid:0 "a");
+        Alcotest.(check (option string)) "b gone" None (Store.get store ~tid:0 "b");
+        Store.set store ~tid:0 "c" "C";
+        Alcotest.(check (option string)) "later set lands" (Some "C") (Store.get store ~tid:0 "c");
+        Alcotest.(check bool) "conditional ops see the wipe" true (Store.add store ~tid:0 "a" "X");
+        Alcotest.(check bool) "replace sees the wipe" false (Store.replace store ~tid:0 "b" "X"));
+    case "delay watermark" (fun () ->
+        let store = mk () in
+        let now = ref 1000.0 in
+        Store.set_clock store (fun () -> !now);
+        Store.set store ~tid:0 "old" "o";
+        Store.flush_all store ~delay_s:30.0 ();
+        Store.set store ~tid:0 "during" "d";
+        Alcotest.(check (option string)) "old visible before deadline" (Some "o")
+          (Store.get store ~tid:0 "old");
+        now := 1031.0;
+        Alcotest.(check (option string)) "old dies at the deadline" None
+          (Store.get store ~tid:0 "old");
+        Alcotest.(check (option string)) "stored-during-window survives (above watermark)"
+          (Some "d")
+          (Store.get store ~tid:0 "during"));
+    case "repeated flush moves the watermark" (fun () ->
+        let store = mk () in
+        let now = ref 1000.0 in
+        Store.set_clock store (fun () -> !now);
+        Store.set store ~tid:0 "a" "A";
+        Store.flush_all store ();
+        Alcotest.(check (option string)) "first flush took a" None (Store.get store ~tid:0 "a");
+        Store.set store ~tid:0 "b" "B";
+        Store.flush_all store ~delay_s:10.0 ();
+        Store.set store ~tid:0 "c" "C";
+        now := 1011.0;
+        Alcotest.(check (option string)) "second flush took b" None (Store.get store ~tid:0 "b");
+        Alcotest.(check (option string)) "c above the new watermark" (Some "C")
+          (Store.get store ~tid:0 "c"));
+  ]
+
 let () =
   Alcotest.run "kvstore"
     [
@@ -234,6 +308,7 @@ let () =
           Alcotest.test_case "cas" `Quick test_cas;
           Alcotest.test_case "rmw no lost updates" `Quick test_concurrent_rmw_no_lost_updates;
         ] );
+      ("flush_all watermark", List.concat_map flush_all_tests backends);
       ( "ycsb",
         [
           Alcotest.test_case "workload A mix" `Quick test_ycsb_mix_a;

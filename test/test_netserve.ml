@@ -391,6 +391,118 @@ let test_acked_keys_survive_crash ~nb ?poller () =
   Alcotest.(check (list string)) "every acked key recovered with its value" [] !missing;
   E.stop_background esys2
 
+(* ---- mhamt backend: snapshot isolation through the socket path ---- *)
+
+(* The acceptance criterion, end to end: phase A lands over real
+   sockets (two connections, every set acked), a snapshot is taken,
+   then two client domains overwrite every key through the server
+   while the test thread folds the view over and over — every fold
+   must see exactly the phase-A state.  After the writers drain, the
+   shutdown syncs, the region crashes, and the recovered mhamt must
+   serve the last acked values back over a fresh server. *)
+let test_mhamt_snapshot_through_sockets () =
+  let workers = 2 in
+  let ecfg = testing_cfg workers in
+  let region =
+    Nvm.Region.create ~latency:Nvm.Latency.zero ~max_threads:(workers + 4) ~capacity:(1 lsl 25) ()
+  in
+  let esys = E.create ~config:ecfg region in
+  let map = Pstructs.Mhamt.create esys in
+  let store = Kvstore.Store.create (Kvstore.Store.of_mhamt map) in
+  let config = { Netserve.default_config with port = 0; workers; tick_s = 0.01; poller = None } in
+  let t =
+    Netserve.start ~config
+      ~sync:(fun ~tid -> E.sync esys ~tid)
+      ~persisted_epoch:(fun () -> E.persisted_epoch esys)
+      store
+  in
+  let port = Netserve.port t in
+  let keys = 32 in
+  let key i = Printf.sprintf "key%03d" i in
+  let phase_a d =
+    let fd = connect port in
+    let ok = ref true in
+    for i = 0 to (keys / 2) - 1 do
+      let k = (d * keys / 2) + i in
+      let v = "A" ^ string_of_int k in
+      send fd (Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" (key k) (String.length v) v);
+      if recv_exact fd 8 <> "STORED\r\n" then ok := false
+    done;
+    quit_close fd;
+    !ok
+  in
+  let a_doms = Array.init 2 (fun d -> Domain.spawn (fun () -> phase_a d)) in
+  let a_ok = Array.for_all Fun.id (Array.map Domain.join a_doms) in
+  Alcotest.(check bool) "phase A fully acked" true a_ok;
+  let v = Pstructs.Mhamt.snapshot map in
+  let writers_done = Atomic.make 0 in
+  let phase_b d =
+    let fd = connect port in
+    let ok = ref true in
+    for round = 0 to 9 do
+      for i = 0 to keys - 1 do
+        let value = Printf.sprintf "B%d:%d:%d" d round i in
+        send fd (Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" (key i) (String.length value) value);
+        if recv_exact fd 8 <> "STORED\r\n" then ok := false
+      done
+    done;
+    quit_close fd;
+    Atomic.incr writers_done;
+    !ok
+  in
+  let b_doms = Array.init 2 (fun d -> Domain.spawn (fun () -> phase_b d)) in
+  (* fold the frozen view while both writers hammer the same keys
+     through the server *)
+  let view_tid = workers in
+  (* map values carry the store's item header (flags/expiry/cas); the
+     client data is the tail *)
+  let data_is (k, value) =
+    let expect = "A" ^ string_of_int (int_of_string (String.sub k 3 3)) in
+    let n = String.length expect in
+    String.length value >= n && String.sub value (String.length value - n) n = expect
+  in
+  let folds = ref 0 and clean = ref true in
+  while Atomic.get writers_done < 2 || !folds = 0 do
+    let seen = Pstructs.Mhamt.View.fold v ~tid:view_tid (fun acc k value -> (k, value) :: acc) [] in
+    if List.length seen <> keys || not (List.for_all data_is seen) then clean := false;
+    incr folds
+  done;
+  let b_ok = Array.for_all Fun.id (Array.map Domain.join b_doms) in
+  Alcotest.(check bool) "phase B fully acked" true b_ok;
+  Alcotest.(check bool) "view folds ran during the writes" true (!folds > 0);
+  Alcotest.(check bool) "every fold saw exactly the pre-snapshot state" true !clean;
+  Pstructs.Mhamt.release map v ~tid:view_tid;
+  (* current state moved on: read one key back over the wire *)
+  let fd = connect port in
+  send fd (Printf.sprintf "get %s\r\n" (key 0));
+  let reply = recv_until fd "END\r\n" in
+  quit_close fd;
+  Alcotest.(check bool) "current value is a phase-B write" true (contains reply "B");
+  let d = Netserve.shutdown t in
+  Alcotest.(check int) "graceful drain" 0 d.Netserve.forced_closes;
+  E.stop_background esys;
+  (* power failure; the recovered map serves acked values over a fresh
+     server *)
+  Nvm.Region.crash region;
+  let esys2, payloads = E.recover ~config:ecfg region in
+  let map2 = Pstructs.Mhamt.recover esys2 payloads in
+  Alcotest.(check int) "all keys recovered" keys (Pstructs.Mhamt.size map2);
+  let store2 = Kvstore.Store.create (Kvstore.Store.of_mhamt map2) in
+  let t2 =
+    Netserve.start
+      ~config:{ Netserve.default_config with port = 0; workers; tick_s = 0.01; poller = None }
+      ~sync:(fun ~tid -> E.sync esys2 ~tid)
+      ~persisted_epoch:(fun () -> E.persisted_epoch esys2)
+      store2
+  in
+  let fd = connect (Netserve.port t2) in
+  send fd (Printf.sprintf "get %s\r\n" (key 5));
+  let reply = recv_until fd "END\r\n" in
+  quit_close fd;
+  Alcotest.(check bool) "recovered value served over the wire" true (contains reply "B");
+  ignore (Netserve.shutdown t2);
+  E.stop_background esys2
+
 (* ---- shutdown is idempotent and syncs once ---- *)
 
 let test_shutdown_idempotent () =
@@ -444,4 +556,9 @@ let () =
               (test_acked_keys_survive_crash ~nb:false);
             Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
           ] );
+      ( "mhamt backend",
+        [
+          Alcotest.test_case "snapshot isolation through the socket path" `Quick
+            test_mhamt_snapshot_through_sockets;
+        ] );
     ]

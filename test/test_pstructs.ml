@@ -37,12 +37,12 @@ let test_map_size_and_collisions () =
   (* 4 buckets: guaranteed collisions exercise chain order *)
   let m = Pstructs.Mhashmap.create ~buckets:4 esys in
   for i = 0 to 99 do
-    ignore (Pstructs.Mhashmap.put m ~tid:0 (Printf.sprintf "key%03d" i) (string_of_int i))
+    ignore (Pstructs.Mhashmap.put m ~tid:0 (Pstruct_gen.key3 i) (string_of_int i))
   done;
   Alcotest.(check int) "size" 100 (Pstructs.Mhashmap.size m);
   let ok = ref true in
   for i = 0 to 99 do
-    if Pstructs.Mhashmap.get m ~tid:0 (Printf.sprintf "key%03d" i) <> Some (string_of_int i) then
+    if Pstructs.Mhashmap.get m ~tid:0 (Pstruct_gen.key3 i) <> Some (string_of_int i) then
       ok := false
   done;
   Alcotest.(check bool) "all retrievable" true !ok
@@ -55,7 +55,7 @@ let test_map_concurrent_disjoint_keys () =
     Array.init 4 (fun tid ->
         Domain.spawn (fun () ->
             for i = 0 to per - 1 do
-              ignore (Pstructs.Mhashmap.put m ~tid (Printf.sprintf "t%d-%d" tid i) "x")
+              ignore (Pstructs.Mhashmap.put m ~tid (Pstruct_gen.tid_key tid i) "x")
             done))
   in
   Array.iter Domain.join domains;
@@ -79,7 +79,7 @@ let test_map_crash_recovery_preserves_synced () =
   let region, esys = make_esys () in
   let m = Pstructs.Mhashmap.create ~buckets:64 esys in
   for i = 0 to 49 do
-    ignore (Pstructs.Mhashmap.put m ~tid:0 (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i))
+    ignore (Pstructs.Mhashmap.put m ~tid:0 (Pstruct_gen.k i) (Pstruct_gen.v i))
   done;
   E.sync esys ~tid:0;
   (* post-sync writes are lost by the crash *)
@@ -97,7 +97,7 @@ let test_map_parallel_recovery_matches () =
   let region, esys = make_esys () in
   let m = Pstructs.Mhashmap.create ~buckets:64 esys in
   for i = 0 to 199 do
-    ignore (Pstructs.Mhashmap.put m ~tid:0 (Printf.sprintf "k%03d" i) (string_of_int (i * i)))
+    ignore (Pstructs.Mhashmap.put m ~tid:0 (Pstruct_gen.k3 i) (string_of_int (i * i)))
   done;
   E.sync esys ~tid:0;
   Nvm.Region.crash region;
@@ -105,20 +105,20 @@ let test_map_parallel_recovery_matches () =
   let m2 = Pstructs.Mhashmap.recover ~buckets:64 ~threads:4 esys2 payloads in
   Alcotest.(check int) "all pairs" 200 (Pstructs.Mhashmap.size m2);
   let sorted = List.sort compare (Pstructs.Mhashmap.to_alist m2 ~tid:0) in
-  let expected = List.init 200 (fun i -> (Printf.sprintf "k%03d" i, string_of_int (i * i))) in
+  let expected = List.init 200 (fun i -> (Pstruct_gen.k3 i, string_of_int (i * i))) in
   Alcotest.(check bool) "contents identical" true (sorted = expected)
 
 (* model-based property: the map behaves like a sequential assoc map *)
 let qcheck_map_vs_model =
   QCheck.Test.make ~name:"hashmap matches model under random ops" ~count:30
-    QCheck.(list (pair (int_range 0 20) small_string))
+    Pstruct_gen.script_arb
     (fun script ->
       let _, esys = make_esys ~capacity:(1 lsl 22) () in
       let m = Pstructs.Mhashmap.create ~buckets:8 esys in
       let model = Hashtbl.create 16 in
       List.for_all
         (fun (k, v) ->
-          let key = "key" ^ string_of_int k in
+          let key = Pstruct_gen.num_key k in
           if String.length v mod 3 = 0 then begin
             (* remove *)
             let expected = Hashtbl.find_opt model key in
@@ -443,7 +443,7 @@ let qcheck_map_recovery_under_injection =
       let rng = Util.Xoshiro.create seed in
       let model = Hashtbl.create 16 in
       for i = 1 to ops do
-        let k = Printf.sprintf "k%02d" (Util.Xoshiro.int rng 30) in
+        let k = Pstruct_gen.rand_k2 rng in
         if Util.Xoshiro.bool rng then begin
           let v = Printf.sprintf "v%d" i in
           ignore (Pstructs.Mhashmap.put m ~tid:0 k v);
