@@ -1537,3 +1537,321 @@ let readpath () =
         ~claim:"charged media read lines drop >=10x with mirrors on"
         (reads_off >= 10 * max 1 reads_on)
   | _ -> Benchlib.Report.check ~figure:"readpath" ~claim:"both Montage runs completed" false
+
+(* ---- Cluster: consistent-hashing router over shard processes ---- *)
+
+(* The cluster subsystem end to end, over real processes: N shard
+   children (fresh execs of the montage CLI, each an unmodified
+   netserve over its own region and epoch clock) behind the in-process
+   consistent-hashing router.  Two panels: closed-loop throughput at
+   the router vs shard count — cross-process scaling of the whole
+   stack — and an availability timeline around a shard kill: one probe
+   per shard per tick through the router, the victim SIGTERMed mid-run
+   and supervised back.  Survivors must answer every tick, and the
+   victim's keyspace must serve its preloaded value again — i.e. the
+   restarted process recovered the heap image — after the rejoin.
+   Skipped when the CLI binary is not next to this bench executable
+   (e.g. a partial build). *)
+
+let cluster_exe () =
+  let root = Filename.dirname (Filename.dirname Sys.executable_name) in
+  let exe = Filename.concat (Filename.concat root "bin") "montage_cli.exe" in
+  if Sys.file_exists exe then Some exe else None
+
+let cluster_free_port () =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port = match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> -1 in
+  Unix.close fd;
+  port
+
+let cluster_shard_argv ~exe ~port ~heap_file =
+  [|
+    exe; "shard"; "montage";
+    "--host"; "127.0.0.1";
+    "--port"; string_of_int port;
+    "--workers"; "2";
+    "--capacity-mib"; "64";
+    "--heap-file"; heap_file;
+    "--poller"; "auto";
+    "--drain-timeout"; "0.5";
+  |]
+
+(* Spawn [shards] children and a router, wait for ring convergence
+   (ticking the supervisor so a child that dies on startup is
+   respawned), run [f], tear everything down. *)
+let with_cluster ~exe ~shards ~heap_dir f =
+  let ports = Array.init shards (fun _ -> cluster_free_port ()) in
+  let sup = Cluster.Supervisor.create () in
+  let children =
+    Array.init shards (fun i ->
+        let heap_file =
+          if heap_dir = "" then ""
+          else Filename.concat heap_dir (Printf.sprintf "shard-%d.heap" i)
+        in
+        Cluster.Supervisor.add sup
+          ~name:(Printf.sprintf "shard-%d" i)
+          ~argv:(cluster_shard_argv ~exe ~port:ports.(i) ~heap_file))
+  in
+  let addrs =
+    List.init shards (fun i ->
+        { Cluster.Router.sid = i; shost = "127.0.0.1"; sport = ports.(i) })
+  in
+  let rconfig =
+    { Cluster.Router.default_config with port = 0; tick_s = 0.01; probe_interval_s = 0.05 }
+  in
+  let r = Cluster.Router.start ~config:rconfig addrs in
+  let tick_sup () = ignore (Cluster.Supervisor.tick sup) in
+  let deadline = Netserve.Poller.mono_s () +. 30.0 in
+  let rec converge () =
+    tick_sup ();
+    if Cluster.Router.wait_up r ~timeout_s:0.25 then true
+    else if Netserve.Poller.mono_s () > deadline then false
+    else converge ()
+  in
+  let up = converge () in
+  Fun.protect
+    ~finally:(fun () ->
+      Cluster.Router.stop r;
+      Cluster.Supervisor.shutdown sup)
+    (fun () ->
+      f ~up ~router:r ~tick_sup ~children ~vnodes:rconfig.Cluster.Router.vnodes)
+
+let cluster_throughput_point ~exe ~shards =
+  with_cluster ~exe ~shards ~heap_dir:"" (fun ~up ~router ~tick_sup:_ ~children:_ ~vnodes:_ ->
+      if not up then None
+      else begin
+        let lg =
+          {
+            Netserve.Loadgen.default_config with
+            port = Cluster.Router.port router;
+            conns = max 8 (4 * shards);
+            domains = 2;
+            duration_s = Env.duration_s;
+            pipeline = 8;
+            value_size = 64;
+            keyspace = 2000;
+            get_frac = 0.9;
+            key_prefix = "cl";
+          }
+        in
+        Netserve.Loadgen.preload ~config:lg ();
+        Some (Netserve.Loadgen.run ~config:lg ())
+      end)
+
+type cluster_avail = {
+  ca_timeline : bool array array;  (* [shard].(tick): probe served the value *)
+  ca_stats : Cluster.Router.stats;
+  ca_restarted : bool;
+  ca_victim : int;
+}
+
+let cluster_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let cluster_availability ~exe =
+  let shards = 3 and victim = 1 in
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench-cluster-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir tmp 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      for i = 0 to shards - 1 do
+        try Sys.remove (Filename.concat tmp (Printf.sprintf "shard-%d.heap" i))
+        with Sys_error _ -> ()
+      done;
+      try Unix.rmdir tmp with Unix.Unix_error _ -> ())
+    (fun () ->
+      with_cluster ~exe ~shards ~heap_dir:tmp
+        (fun ~up ~router ~tick_sup ~children ~vnodes ->
+          if not up then None
+          else begin
+            let rport = Cluster.Router.port router in
+            let ring = Cluster.Ring.create ~vnodes (List.init shards Fun.id) in
+            (* one probe key per shard *)
+            let probe_key sid =
+              let rec go i =
+                let k = Printf.sprintf "avail-%d" i in
+                if Cluster.Ring.lookup ring k = sid then k else go (i + 1)
+              in
+              go 0
+            in
+            let keys = Array.init shards probe_key in
+            let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+            Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, rport));
+            Unix.setsockopt_float fd SO_RCVTIMEO 10.0;
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let send s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+                (* a get reply ends with END; a down shard's keyspace
+                   answers a single SERVER_ERROR line *)
+                let recv_until fin =
+                  let acc = Buffer.create 256 and chunk = Bytes.create 4096 in
+                  (try
+                     while not (fin (Buffer.contents acc)) do
+                       let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+                       if k = 0 then raise Exit;
+                       Buffer.add_subbytes acc chunk 0 k
+                     done
+                   with
+                  | Exit
+                  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                  -> ());
+                  Buffer.contents acc
+                in
+                Array.iter
+                  (fun k ->
+                    let v = "durable-" ^ k in
+                    send (Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" k (String.length v) v);
+                    ignore (recv_until (fun s -> cluster_contains s "\r\n")))
+                  keys;
+                let probe sid =
+                  send (Printf.sprintf "get %s\r\n" keys.(sid));
+                  let rep =
+                    recv_until (fun s ->
+                        cluster_contains s "END\r\n" || cluster_contains s "SERVER_ERROR")
+                  in
+                  cluster_contains rep ("durable-" ^ keys.(sid))
+                  && cluster_contains rep "END\r\n"
+                in
+                let ticks = Array.init shards (fun _ -> ref []) in
+                let tick_all () =
+                  for sid = 0 to shards - 1 do
+                    ticks.(sid) := probe sid :: !(ticks.(sid))
+                  done
+                in
+                let sleep_tick () =
+                  try
+                    Unix.sleepf 0.03
+                    [@montage.allow
+                      "R5: bench driver pacing availability probes over the \
+                       kill window; client tooling, not server code"]
+                  with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                in
+                for _ = 1 to 10 do
+                  tick_all ();
+                  tick_sup ();
+                  sleep_tick ()
+                done;
+                Cluster.Supervisor.signal children.(victim);
+                (* the victim keeps serving through its shutdown drain,
+                   so first probe until it actually goes dark, then
+                   until the restarted process serves its recovered
+                   value again; both waits bounded *)
+                let last_victim () =
+                  match !(ticks.(victim)) with ok :: _ -> ok | [] -> true
+                in
+                let deadline = Netserve.Poller.mono_s () +. 30.0 in
+                while last_victim () && Netserve.Poller.mono_s () < deadline do
+                  tick_all ();
+                  tick_sup ();
+                  sleep_tick ()
+                done;
+                while (not (last_victim ())) && Netserve.Poller.mono_s () < deadline do
+                  tick_all ();
+                  tick_sup ();
+                  sleep_tick ()
+                done;
+                for _ = 1 to 5 do
+                  tick_all ();
+                  tick_sup ();
+                  sleep_tick ()
+                done;
+                Some
+                  {
+                    ca_timeline =
+                      Array.map (fun l -> Array.of_list (List.rev !l)) ticks;
+                    ca_stats = Cluster.Router.stats router;
+                    ca_restarted = Cluster.Supervisor.restarts children.(victim) >= 1;
+                    ca_victim = victim;
+                  })
+          end))
+
+(* Resample a tick row to at most 60 columns: '#' = every probe in the
+   bucket served, '.' = at least one answered shard-down. *)
+let cluster_render_row row =
+  let n = Array.length row in
+  if n = 0 then ""
+  else begin
+    let cols = min n 60 in
+    String.init cols (fun c ->
+        let lo = c * n / cols in
+        let hi = max (lo + 1) ((c + 1) * n / cols) in
+        let all_up = ref true in
+        for i = lo to hi - 1 do
+          if not row.(i) then all_up := false
+        done;
+        if !all_up then '#' else '.')
+  end
+
+let cluster () =
+  Benchlib.Report.heading
+    "Cluster: consistent-hashing router over independent shard processes";
+  match cluster_exe () with
+  | None ->
+      Printf.printf "  (montage_cli.exe not found next to the bench binary; skipping)\n%!"
+  | Some exe -> (
+      let counts = [ 1; 2; 4 ] in
+      let safe n =
+        try cluster_throughput_point ~exe ~shards:n
+        with e ->
+          Printf.eprintf "[bench] cluster %d shard(s) failed: %s\n%!" n (Printexc.to_string e);
+          None
+      in
+      let pts = List.map (fun n -> (n, safe n)) counts in
+      let tput = function None -> nan | Some r -> r.Netserve.Loadgen.ops_per_sec in
+      Benchlib.Report.table
+        ~columns:(List.map (fun n -> Printf.sprintf "%dsh" n) counts)
+        ~rows:[ ("Montage cluster", List.map (fun (_, p) -> tput p) pts) ]
+        ~unit_label:"ops/s at the router, closed loop (90% get, 64 B)" ();
+      Benchlib.Report.check ~figure:"cluster"
+        ~claim:"the router sustains error-free closed-loop throughput at every shard count"
+        (List.for_all
+           (fun (_, p) ->
+             match p with
+             | Some r -> r.Netserve.Loadgen.ops > 0 && r.Netserve.Loadgen.errors = 0
+             | None -> false)
+           pts);
+      match
+        (try cluster_availability ~exe
+         with e ->
+           Printf.eprintf "[bench] cluster availability failed: %s\n%!" (Printexc.to_string e);
+           None)
+      with
+      | None ->
+          Benchlib.Report.check ~figure:"cluster" ~claim:"availability scenario completed" false
+      | Some a ->
+          Printf.printf "  availability around a SIGTERM of shard %d ('#' up, '.' down):\n" a.ca_victim;
+          Array.iteri
+            (fun sid row ->
+              Printf.printf "    shard %d %s %s\n" sid
+                (if sid = a.ca_victim then "[victim]" else "        ")
+                (cluster_render_row row))
+            a.ca_timeline;
+          Printf.printf "    router: %d request(s), %d shard-down error(s), %d down(s), %d rejoin(s)\n%!"
+            a.ca_stats.Cluster.Router.requests a.ca_stats.Cluster.Router.shard_down_errors
+            a.ca_stats.Cluster.Router.downs a.ca_stats.Cluster.Router.rejoins;
+          let survivors_clean = ref true in
+          Array.iteri
+            (fun sid row ->
+              if sid <> a.ca_victim then
+                Array.iter (fun ok -> if not ok then survivors_clean := false) row)
+            a.ca_timeline;
+          Benchlib.Report.check ~figure:"cluster"
+            ~claim:"survivor shards answer every probe through the kill window" !survivors_clean;
+          let vrow = a.ca_timeline.(a.ca_victim) in
+          let went_down = Array.exists not vrow in
+          let back_up = Array.length vrow > 0 && vrow.(Array.length vrow - 1) in
+          Benchlib.Report.check ~figure:"cluster"
+            ~claim:"the victim goes down, is restarted, and serves its recovered value"
+            (went_down && back_up && a.ca_restarted);
+          Benchlib.Report.check ~figure:"cluster"
+            ~claim:"the router observed the down and the rejoin"
+            (a.ca_stats.Cluster.Router.downs >= 1
+            && a.ca_stats.Cluster.Router.rejoins >= 4))

@@ -29,6 +29,7 @@ let () =
       ("readpath", Figures.readpath);
       ("netserve", Figures.netserve);
       ("c10k", Figures.c10k);
+      ("cluster", Figures.cluster);
       ("bechamel", Bechamel_suite.run);
     ]
   in

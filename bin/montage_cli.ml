@@ -14,6 +14,13 @@
                sync latency past a worker parked in its drain window,
                blocking vs nonblocking advance
      netsmoke  in-process server smoke test (used by CI)
+     shard     one cluster shard: netserve over its own region, heap
+               file for durability across restarts
+     cluster   consistent-hashing router fronting N supervised shard
+               processes
+     clustersmoke
+               kill/recover/rejoin scenario under open-loop load
+               (used by CI)
 
    This is a developer tool; the benchmark suite is bench/main.exe. *)
 
@@ -312,8 +319,27 @@ let serve backend host port workers seconds capacity_mib poller_s =
 
 (* ---- loadgen ---- *)
 
+(* "host:port,host:port,..." -> endpoint list; a bare "port" keeps the
+   default host *)
+let parse_endpoints host s =
+  let ep tok =
+    match String.rindex_opt tok ':' with
+    | Some i ->
+        let h = String.sub tok 0 i in
+        let p = String.sub tok (i + 1) (String.length tok - i - 1) in
+        (match int_of_string_opt p with Some p -> Some (h, p) | None -> None)
+    | None -> ( match int_of_string_opt tok with Some p -> Some (host, p) | None -> None)
+  in
+  let toks = String.split_on_char ',' s |> List.filter (( <> ) "") in
+  let eps = List.filter_map ep toks in
+  if List.length eps = List.length toks then Ok eps
+  else Error (Printf.sprintf "bad endpoint list %S (want host:port,host:port,...)" s)
+
 let loadgen host port conns domains seconds pipeline value_size keyspace get_frac seed no_preload
-    rate arrival_s grace_s =
+    rate arrival_s grace_s endpoints_s =
+  match (if endpoints_s = "" then Ok [] else parse_endpoints host endpoints_s) with
+  | Error e -> `Error (false, e)
+  | Ok endpoints ->
   let config =
     {
       Netserve.Loadgen.default_config with
@@ -327,9 +353,15 @@ let loadgen host port conns domains seconds pipeline value_size keyspace get_fra
       keyspace;
       get_frac;
       seed;
+      endpoints;
     }
   in
-  let label = Printf.sprintf "%s:%d" host port in
+  let label =
+    if endpoints = [] then Printf.sprintf "%s:%d" host port
+    else
+      String.concat ","
+        (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) endpoints)
+  in
   if rate > 0.0 then
     (* open loop: fixed arrival schedule, latency charged from it *)
     match Netserve.Loadgen.arrival_of_string arrival_s with
@@ -721,6 +753,372 @@ let netsmoke () =
       `Ok ()
   | fs -> `Error (false, Printf.sprintf "netsmoke failed: %s" (String.concat "; " (List.rev fs)))
 
+(* ---- shard ---- *)
+
+let backend_name = function
+  | Cluster.Shard.Bk_montage -> "montage"
+  | Cluster.Shard.Bk_mhamt -> "mhamt"
+  | Cluster.Shard.Bk_transient -> "transient"
+
+let shard backend host port workers capacity_mib heap_file poller_s seconds drain_timeout_s =
+  match parse_poller poller_s with
+  | Error e -> `Error (false, e)
+  | Ok poller -> (
+      match Cluster.Shard.backend_of_string backend with
+      | None -> `Error (false, "backend must be montage|mhamt|transient")
+      | Some backend -> (
+          let cfg =
+            {
+              Cluster.Shard.backend;
+              host;
+              port;
+              workers;
+              capacity_mib;
+              heap_file;
+              poller;
+              seconds;
+              drain_timeout_s;
+            }
+          in
+          match
+            Cluster.Shard.run
+              ~on_ready:(fun ~port ->
+                Printf.printf "shard: %s backend on %s:%d (heap %s)\n%!" (backend_name backend)
+                  host port
+                  (if heap_file = "" then "none" else heap_file))
+              cfg
+          with
+          | Ok () -> `Ok ()
+          | Error e -> `Error (false, e)))
+
+(* ---- cluster ---- *)
+
+(* Shard children are fresh execs of this binary: OCaml 5 cannot fork
+   once domains exist, and a separate process is what gives each shard
+   its own region, epoch clock and crash domain anyway. *)
+let shard_argv ~exe ~backend ~host ~port ~workers ~capacity_mib ~heap_file ~poller_s
+    ~drain_timeout_s =
+  [|
+    exe; "shard"; backend;
+    "--host"; host;
+    "--port"; string_of_int port;
+    "--workers"; string_of_int workers;
+    "--capacity-mib"; string_of_int capacity_mib;
+    "--heap-file"; heap_file;
+    "--poller"; poller_s;
+    "--drain-timeout"; string_of_float drain_timeout_s;
+  |]
+
+let status_name = function
+  | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stop %d" n
+
+let cluster backend host port shards shard_port_base workers capacity_mib heap_dir poller_s
+    seconds =
+  match parse_poller poller_s with
+  | Error e -> `Error (false, e)
+  | Ok poller ->
+      if shards < 1 then `Error (false, "shards must be >= 1")
+      else if Cluster.Shard.backend_of_string backend = None then
+        `Error (false, "backend must be montage|mhamt|transient")
+      else begin
+        (try Unix.mkdir heap_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let exe = Sys.executable_name in
+        let sup = Cluster.Supervisor.create () in
+        let addrs =
+          List.init shards (fun i ->
+              let sport = shard_port_base + i in
+              let heap_file = Filename.concat heap_dir (Printf.sprintf "shard-%d.heap" i) in
+              ignore
+                (Cluster.Supervisor.add sup
+                   ~name:(Printf.sprintf "shard-%d" i)
+                   ~argv:
+                     (shard_argv ~exe ~backend ~host ~port:sport ~workers ~capacity_mib
+                        ~heap_file ~poller_s ~drain_timeout_s:1.0));
+              { Cluster.Router.sid = i; shost = host; sport })
+        in
+        let rconfig = { Cluster.Router.default_config with host; port; poller } in
+        let r = Cluster.Router.start ~config:rconfig addrs in
+        Printf.printf "cluster: router on %s:%d fronting %d shard(s) on ports %d-%d (%s poller)\n%!"
+          host (Cluster.Router.port r) shards shard_port_base
+          (shard_port_base + shards - 1)
+          (Netserve.Poller.kind_name (Cluster.Router.poller_kind r));
+        if Cluster.Router.wait_up r ~timeout_s:30.0 then
+          Printf.printf "cluster: all %d shard(s) up\n%!" shards
+        else
+          Printf.printf "cluster: WARNING: not all shards up after 30s: %s\n%!"
+            (String.concat ", "
+               (List.map
+                  (fun (sid, up) -> Printf.sprintf "%d:%s" sid (if up then "up" else "down"))
+                  (Cluster.Router.shard_states r)));
+        let stop = Atomic.make false in
+        let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+        Sys.set_signal Sys.sigint handler;
+        Sys.set_signal Sys.sigterm handler;
+        let deadline = if seconds <= 0.0 then infinity else Unix.gettimeofday () +. seconds in
+        while (not (Atomic.get stop)) && Unix.gettimeofday () < deadline do
+          ignore
+            (Cluster.Supervisor.tick sup ~on_exit:(fun name st ->
+                 Printf.printf "cluster: %s exited (%s), restarting\n%!" name (status_name st)));
+          try
+            Unix.sleepf 0.2
+            [@montage.allow
+              "R5: EINTR-tolerant wait loop on the CLI driver thread \
+               pacing supervision ticks; not server or structure code"]
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        let s = Cluster.Router.stats r in
+        Cluster.Router.stop r;
+        Cluster.Supervisor.shutdown sup;
+        Printf.printf
+          "cluster: %d client(s), %d request(s), %d shard-down error(s), %d down(s), %d \
+           rejoin(s)\n"
+          s.clients_accepted s.requests s.shard_down_errors s.downs s.rejoins;
+        `Ok ()
+      end
+
+(* ---- clustersmoke ---- *)
+
+(* Kill/recover/rejoin scenario, end to end over real processes:
+   3 supervised montage shards with heap files + an in-process router;
+   open-loop load at the router; SIGTERM one shard mid-run; assert
+   (a) the load generator never loses a request — every send is
+   answered, the only errors are [SERVER_ERROR shard down] for the
+   victim's keyspace while it is away — and (b) every key acked by the
+   victim before the kill is served again after its restart recovers
+   the heap image and the ring reconverges to 3/3 Up. *)
+let clustersmoke poller_s seconds rate =
+  match parse_poller poller_s with
+  | Error e -> `Error (false, e)
+  | Ok poller ->
+      let failures = ref [] in
+      let check name ok =
+        Printf.printf "  [%s] %s\n%!" (if ok then "ok" else "FAIL") name;
+        if not ok then failures := name :: !failures
+      in
+      let shards = 3 in
+      let exe = Sys.executable_name in
+      let tmp =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "clustersmoke-%d" (Unix.getpid ()))
+      in
+      (try Unix.mkdir tmp 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let free_port () =
+        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+        Unix.setsockopt fd SO_REUSEADDR true;
+        Unix.bind fd (ADDR_INET (Unix.inet_addr_loopback, 0));
+        let port =
+          match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> -1
+        in
+        Unix.close fd;
+        port
+      in
+      let ports = Array.init shards (fun _ -> free_port ()) in
+      let sup = Cluster.Supervisor.create () in
+      let children =
+        Array.init shards (fun i ->
+            Cluster.Supervisor.add sup
+              ~name:(Printf.sprintf "shard-%d" i)
+              ~argv:
+                (shard_argv ~exe ~backend:"montage" ~host:"127.0.0.1" ~port:ports.(i)
+                   ~workers:2 ~capacity_mib:64
+                   ~heap_file:(Filename.concat tmp (Printf.sprintf "shard-%d.heap" i))
+                   ~poller_s ~drain_timeout_s:0.5))
+      in
+      let addrs =
+        List.init shards (fun i ->
+            { Cluster.Router.sid = i; shost = "127.0.0.1"; sport = ports.(i) })
+      in
+      let rconfig =
+        {
+          Cluster.Router.default_config with
+          host = "127.0.0.1";
+          port = 0;
+          tick_s = 0.01;
+          probe_interval_s = 0.05;
+          poller;
+        }
+      in
+      let r = Cluster.Router.start ~config:rconfig addrs in
+      let tick_sup () =
+        ignore
+          (Cluster.Supervisor.tick sup ~on_exit:(fun name st ->
+               Printf.printf "clustersmoke: %s exited (%s), restarting\n%!" name
+                 (status_name st)))
+      in
+      (* wait_up while still ticking the supervisor, so a shard that
+         dies on startup gets respawned rather than stranding the wait *)
+      let wait_up_ticking ~timeout_s =
+        let deadline = Netserve.Poller.mono_s () +. timeout_s in
+        let rec go () =
+          tick_sup ();
+          if Cluster.Router.wait_up r ~timeout_s:0.25 then true
+          else if Netserve.Poller.mono_s () > deadline then false
+          else go ()
+        in
+        go ()
+      in
+      check "initial ring convergence (3/3 up)" (wait_up_ticking ~timeout_s:30.0);
+      let rport = Cluster.Router.port r in
+      Printf.printf "clustersmoke: router on :%d, shards on %s (%s poller)\n%!" rport
+        (String.concat ", " (Array.to_list (Array.map string_of_int ports)))
+        (Netserve.Poller.kind_name (Cluster.Router.poller_kind r));
+      (* --- phase 1: ack a batch of keys owned by the victim shard --- *)
+      let ring = Cluster.Ring.create ~vnodes:rconfig.vnodes (List.init shards Fun.id) in
+      let victim = 1 in
+      let victim_keys =
+        let acc = ref [] and i = ref 0 in
+        while List.length !acc < 40 do
+          let k = Printf.sprintf "acked-%d" !i in
+          if Cluster.Ring.lookup ring k = victim then acc := k :: !acc;
+          incr i
+        done;
+        List.rev !acc
+      in
+      let connect_router () =
+        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+        Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, rport));
+        Unix.setsockopt_float fd SO_RCVTIMEO 10.0;
+        fd
+      in
+      let send fd s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+      let recv_exact fd n =
+        let buf = Bytes.create n in
+        let off = ref 0 in
+        (try
+           while !off < n do
+             let k = Unix.read fd buf !off (n - !off) in
+             if k = 0 then raise Exit;
+             off := !off + k
+           done
+         with Exit | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+        Bytes.sub_string buf 0 !off
+      in
+      let recv_until fd suffix =
+        let acc = Buffer.create 256 in
+        let chunk = Bytes.create 4096 in
+        let ends_with () =
+          let s = Buffer.contents acc in
+          String.length s >= String.length suffix
+          && String.sub s (String.length s - String.length suffix) (String.length suffix)
+             = suffix
+        in
+        (try
+           while not (ends_with ()) do
+             let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+             if k = 0 then raise Exit;
+             Buffer.add_subbytes acc chunk 0 k
+           done
+         with Exit | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+        Buffer.contents acc
+      in
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      let fd = connect_router () in
+      let out = Buffer.create 4096 in
+      List.iter
+        (fun k ->
+          let v = "durable-" ^ k in
+          Buffer.add_string out (Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" k (String.length v) v))
+        victim_keys;
+      send fd (Buffer.contents out);
+      let acks = recv_exact fd (8 * List.length victim_keys) in
+      check "victim-owned keys acked before the kill"
+        (acks = String.concat "" (List.map (fun _ -> "STORED\r\n") victim_keys));
+      (* --- phase 2: open-loop load; SIGTERM the victim mid-run --- *)
+      let lg =
+        {
+          Netserve.Loadgen.default_config with
+          port = rport;
+          conns = 12;
+          domains = 2;
+          duration_s = seconds;
+          value_size = 64;
+          keyspace = 3000;
+          get_frac = 0.8;
+          key_prefix = "cs";
+        }
+      in
+      Netserve.Loadgen.preload ~config:lg ();
+      let lg_done = Atomic.make false in
+      let lg_dom =
+        Domain.spawn (fun () ->
+            let rep = Netserve.Loadgen.run_open ~config:lg ~grace_s:5.0 ~rate () in
+            Atomic.set lg_done true;
+            rep)
+      in
+      let kill_at = Netserve.Poller.mono_s () +. (seconds *. 0.25) in
+      let killed = ref false in
+      while not (Atomic.get lg_done) do
+        tick_sup ();
+        if (not !killed) && Netserve.Poller.mono_s () >= kill_at then begin
+          Printf.printf "clustersmoke: SIGTERM shard-%d (graceful drain + heap image)\n%!" victim;
+          Cluster.Supervisor.signal children.(victim);
+          killed := true
+        end;
+        (Unix.sleepf 0.02
+        [@montage.allow
+          "R5: smoke-test driver thread pacing supervision ticks around \
+           the kill; client tooling, not server or structure code"])
+      done;
+      let rep = Domain.join lg_dom in
+      Netserve.Loadgen.print_open_report ~label:"clustersmoke" rep;
+      (* the availability contract: every request answered; the only
+         errors are shard-down for the victim's keyspace *)
+      check "no request abandoned during the outage" (rep.abandoned = 0);
+      check "no loadgen disconnect (router stayed up)" (rep.o_disconnects = []);
+      check "no errors beyond SERVER_ERROR shard down" (rep.o_errors = 0);
+      check "load made progress" (rep.completed > 0);
+      check "victim was killed mid-run" !killed;
+      (* --- phase 3: restart recovers, ring reconverges, keys live --- *)
+      (* the victim's graceful exit (drain + sync + image write) may
+         outlast the load window; keep ticking until it is reaped *)
+      let restart_deadline = Netserve.Poller.mono_s () +. 30.0 in
+      while
+        Cluster.Supervisor.restarts children.(victim) < 1
+        && Netserve.Poller.mono_s () < restart_deadline
+      do
+        tick_sup ();
+        (Unix.sleepf 0.02
+        [@montage.allow
+          "R5: smoke-test driver thread pacing supervision ticks while \
+           waiting for the victim's graceful exit; client tooling"])
+      done;
+      check "supervisor restarted the victim" (Cluster.Supervisor.restarts children.(victim) >= 1);
+      check "ring reconverged (3/3 up)" (wait_up_ticking ~timeout_s:30.0);
+      let s = Cluster.Router.stats r in
+      check "router observed the down" (s.downs >= 1);
+      check "router observed the rejoin" (s.rejoins >= shards + 1);
+      let recovered =
+        List.for_all
+          (fun k ->
+            send fd (Printf.sprintf "get %s\r\n" k);
+            let reply = recv_until fd "END\r\n" in
+            contains reply (Printf.sprintf "VALUE %s 0 " k) && contains reply ("durable-" ^ k))
+          victim_keys
+      in
+      check "every acked key recovered after the restart" recovered;
+      send fd "quit\r\n";
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Cluster.Router.stop r;
+      Cluster.Supervisor.shutdown sup;
+      Array.iteri
+        (fun i _ ->
+          try Unix.unlink (Filename.concat tmp (Printf.sprintf "shard-%d.heap" i))
+          with Unix.Unix_error _ -> ())
+        ports;
+      (try Unix.rmdir tmp with Unix.Unix_error _ -> ());
+      (match !failures with
+      | [] ->
+          Printf.printf "clustersmoke: all checks passed\n";
+          `Ok ()
+      | fs ->
+          `Error (false, Printf.sprintf "clustersmoke failed: %s" (String.concat "; " (List.rev fs))))
+
 (* ---- command wiring ---- *)
 
 let demo_cmd =
@@ -790,11 +1188,20 @@ let loadgen_cmd =
       value & opt float 1.0
       & info [ "grace" ] ~doc:"Open-loop drain grace period in seconds after the schedule ends.")
   in
+  let endpoints =
+    Arg.(
+      value & opt string ""
+      & info [ "endpoints" ]
+          ~doc:
+            "Comma-separated host:port list to spread connections over \
+             (e.g. shard addresses), overriding --host/--port; the report \
+             breaks ops/errors/abandons down per endpoint.")
+  in
   Cmd.v (Cmd.info "loadgen" ~doc:"Memcached load generator (closed loop, or open loop with --rate).")
     Term.(
       ret
         (const loadgen $ host_arg $ port $ conns $ domains $ seconds $ pipeline $ value_size
-       $ keyspace $ get_frac $ seed $ no_preload $ rate $ arrival $ grace))
+       $ keyspace $ get_frac $ seed $ no_preload $ rate $ arrival $ grace $ endpoints))
 
 let c10k_cmd =
   let backend =
@@ -838,6 +1245,83 @@ let netsmoke_cmd =
   Cmd.v (Cmd.info "netsmoke" ~doc:"In-process server smoke test (CI).")
     Term.(ret (const netsmoke $ const ()))
 
+let shard_cmd =
+  let backend =
+    Arg.(value & pos 0 string default_backend & info [] ~docv:"BACKEND" ~doc:"montage|mhamt|transient")
+  in
+  let port = Arg.(value & opt int 11411 & info [ "port"; "p" ] ~doc:"TCP port (0 = ephemeral).") in
+  let workers = Arg.(value & opt int 2 & info [ "workers"; "w" ] ~doc:"Event-loop domains.") in
+  let capacity = Arg.(value & opt int 256 & info [ "capacity-mib" ] ~doc:"NVM region size (MiB).") in
+  let heap_file =
+    Arg.(
+      value & opt string ""
+      & info [ "heap-file" ]
+          ~doc:
+            "Heap image path: loaded (and recovered from) at startup if present, written \
+             atomically at graceful shutdown.  Empty = no durability across restarts.")
+  in
+  let seconds =
+    Arg.(value & opt float 0.0 & info [ "seconds"; "d" ] ~doc:"Run time; 0 = until SIGINT/SIGTERM.")
+  in
+  let drain_timeout =
+    Arg.(
+      value & opt float 1.0
+      & info [ "drain-timeout" ]
+          ~doc:
+            "Shutdown drain bound in seconds.  A router's upstream connection never disconnects \
+             on its own, so a shard's drain always runs to this deadline; in-flight requests \
+             are answered first.")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:"One cluster shard: netserve over its own Montage region, with a heap file for \
+             durability across restarts.")
+    Term.(
+      ret
+        (const shard $ backend $ host_arg $ port $ workers $ capacity $ heap_file $ poller_arg
+       $ seconds $ drain_timeout))
+
+let cluster_cmd =
+  let backend =
+    Arg.(value & pos 0 string default_backend & info [] ~docv:"BACKEND" ~doc:"montage|mhamt|transient")
+  in
+  let port = Arg.(value & opt int 11311 & info [ "port"; "p" ] ~doc:"Router TCP port.") in
+  let shards = Arg.(value & opt int 3 & info [ "shards"; "n" ] ~doc:"Number of shard processes.") in
+  let base =
+    Arg.(value & opt int 11411 & info [ "shard-port-base" ] ~doc:"Shard i listens on base + i.")
+  in
+  let workers = Arg.(value & opt int 2 & info [ "workers"; "w" ] ~doc:"Event-loop domains per shard.") in
+  let capacity =
+    Arg.(value & opt int 256 & info [ "capacity-mib" ] ~doc:"NVM region size per shard (MiB).")
+  in
+  let heap_dir =
+    Arg.(
+      value & opt string "cluster-data"
+      & info [ "heap-dir" ] ~doc:"Directory for per-shard heap images (created if missing).")
+  in
+  let seconds =
+    Arg.(value & opt float 0.0 & info [ "seconds"; "d" ] ~doc:"Run time; 0 = until SIGINT/SIGTERM.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run a consistent-hashing router fronting N supervised shard processes \
+             (restart-on-exit).")
+    Term.(
+      ret
+        (const cluster $ backend $ host_arg $ port $ shards $ base $ workers $ capacity
+       $ heap_dir $ poller_arg $ seconds))
+
+let clustersmoke_cmd =
+  let seconds =
+    Arg.(value & opt float 4.0 & info [ "seconds"; "d" ] ~doc:"Open-loop schedule length.")
+  in
+  let rate = Arg.(value & opt float 2000.0 & info [ "rate" ] ~doc:"Open-loop offered load (ops/s).") in
+  Cmd.v
+    (Cmd.info "clustersmoke"
+       ~doc:"Kill/recover/rejoin scenario: 3 shards under open-loop load, SIGTERM one \
+             mid-run, assert availability and durability (CI).")
+    Term.(ret (const clustersmoke $ poller_arg $ seconds $ rate))
+
 let () =
   let doc = "Montage buffered-persistence playground" in
   exit
@@ -853,4 +1337,7 @@ let () =
             c10k_cmd;
             stallbench_cmd;
             netsmoke_cmd;
+            shard_cmd;
+            cluster_cmd;
+            clustersmoke_cmd;
           ]))

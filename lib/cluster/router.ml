@@ -1,0 +1,1095 @@
+(* The cluster router: one event-loop domain bridging memcached-text
+   clients to N shard upstreams through a consistent-hash ring.
+
+   Shape of the data path: a client request is parsed just enough to
+   learn its verb, key(s) and data-block length, then the raw bytes
+   are forwarded to the owning shard's pipelined upstream connection.
+   Reply bookkeeping is two nested FIFOs:
+
+   - per client, a queue of reply slots, one per request that expects
+     a reply, released strictly in request order;
+   - per upstream, a queue of (slot, part) expectations matched
+     against decoded reply units ({!Kvstore.Protocol.Client}) in send
+     order.
+
+   A slot completes when all its parts have (for a single-shard
+   request, one; for a split multi-get or a stats/flush_all
+   broadcast, one per shard involved).  Slots completing out of order
+   just wait at their queue position, so per-client ordering is
+   preserved no matter how shards interleave.
+
+   Down/rejoin: any connect or I/O failure closes the upstream, fails
+   its in-flight parts, and marks the shard Down — its keyspace
+   answers [SERVER_ERROR shard down] (ownership never moves; the data
+   exists only in that shard's region).  A Down shard is re-probed on
+   a timer with a nonblocking connect + [version] round trip; the
+   shard process recovers its region before it listens, so probe
+   success implies recovery is complete and the shard is marked Up. *)
+
+module Poller = Netserve.Poller
+module C = Kvstore.Protocol.Client
+
+type shard_addr = { sid : int; shost : string; sport : int }
+
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  max_conns : int;
+  read_chunk : int;
+  out_hwm : int;
+  max_line : int;
+  max_value : int;
+  idle_timeout_s : float;
+  tick_s : float;
+  vnodes : int;
+  probe_interval_s : float;
+  connect_timeout_s : float;
+  poller : Poller.kind option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 11311;
+    backlog = 512;
+    max_conns = 16384;
+    read_chunk = 16384;
+    out_hwm = 1 lsl 20;
+    max_line = 8192;
+    max_value = 1 lsl 20;
+    idle_timeout_s = 60.0;
+    tick_s = 0.05;
+    vnodes = 128;
+    probe_interval_s = 0.2;
+    connect_timeout_s = 2.0;
+    poller = None;
+  }
+
+let shard_down_reply = "SERVER_ERROR shard down\r\n"
+
+(* ---- shared counters (router domain writes; readers poll) ---- *)
+
+type counters = {
+  accepted : int Atomic.t;
+  c_bytes_in : int Atomic.t;
+  c_bytes_out : int Atomic.t;
+  c_requests : int Atomic.t;
+  c_down_errors : int Atomic.t;
+  c_downs : int Atomic.t;
+  c_rejoins : int Atomic.t;
+}
+
+type stats = {
+  clients_accepted : int;
+  bytes_in : int;
+  bytes_out : int;
+  requests : int;
+  shard_down_errors : int;
+  downs : int;
+  rejoins : int;
+}
+
+type t = {
+  cfg : config;
+  pkind : Poller.kind;
+  ring : Ring.t;
+  addrs : shard_addr array;  (* ring order (sorted by sid) *)
+  up_flags : bool Atomic.t array;  (* ring order, published by the loop *)
+  lfd : Unix.file_descr;
+  actual_port : int;
+  stopping : bool Atomic.t;
+  ctr : counters;
+  mutable domain : unit Domain.t option
+      [@montage.guarded_by "control thread (start/stop caller)"];
+}
+
+let port t = t.actual_port
+let poller_kind t = t.pkind
+
+let shard_states t =
+  Array.to_list (Array.mapi (fun i a -> (a.sid, Atomic.get t.up_flags.(i))) t.addrs)
+
+let stats t =
+  {
+    clients_accepted = Atomic.get t.ctr.accepted;
+    bytes_in = Atomic.get t.ctr.c_bytes_in;
+    bytes_out = Atomic.get t.ctr.c_bytes_out;
+    requests = Atomic.get t.ctr.c_requests;
+    shard_down_errors = Atomic.get t.ctr.c_down_errors;
+    downs = Atomic.get t.ctr.c_downs;
+    rejoins = Atomic.get t.ctr.c_rejoins;
+  }
+
+let wait_up ?n t ~timeout_s =
+  let want = match n with Some n -> n | None -> Array.length t.addrs in
+  let deadline = Poller.mono_s () +. timeout_s in
+  let up () = Array.fold_left (fun a f -> if Atomic.get f then a + 1 else a) 0 t.up_flags in
+  let rec go () =
+    if up () >= want then true
+    else if Poller.mono_s () > deadline then false
+    else begin
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* ---- connection-local state (all owned by the router domain) ---- *)
+
+type slot_kind = Verbatim | Multiget | Stats_merge | Flushall
+
+type client = {
+  cfd : Unix.file_descr;
+  mutable ibuf : Bytes.t;
+  mutable cipos : int;  (* consumed frontier *)
+  mutable cilen : int;
+  mutable ciscan : int;  (* newline-scan frontier, never behind cipos *)
+  mutable need : int;  (* >0: storage request, total bytes awaited from cipos *)
+  mutable discard : int;  (* oversized data block bytes left to drop *)
+  mutable discard_reply : string option;
+  pending : slot Queue.t;
+  mutable obuf : Bytes.t;
+  mutable copos : int;
+  mutable colen : int;
+  mutable last_active : float;
+  mutable want_r : bool;
+  mutable want_w : bool;
+  mutable cdirty : bool;
+  mutable calive : bool;
+  mutable closing : bool;  (* saw quit: answer what's pending, then close *)
+}
+
+and slot = {
+  s_client : client;
+  s_kind : slot_kind;
+  s_parts : string array;
+  mutable s_left : int;
+  mutable s_failed : bool;
+}
+
+type up_state = Down | Connecting | Probing | Up
+
+type pending_reply = Part of slot * int | Probe
+
+type upstream = {
+  u_idx : int;  (* ring-order index *)
+  u_id : int;
+  u_sockaddr : Unix.sockaddr;
+  mutable u_state : up_state;
+  mutable u_fd : Unix.file_descr option;
+  mutable u_started : float;  (* connect/probe deadline base *)
+  mutable u_last_attempt : float;
+  u_dec : C.decoder;
+  mutable u_ibuf : Bytes.t;
+  mutable u_ipos : int;  (* start of the unit being decoded *)
+  mutable u_ilen : int;
+  u_inflight : pending_reply Queue.t;
+  mutable u_obuf : Bytes.t;
+  mutable u_opos : int;
+  mutable u_olen : int;
+  mutable u_want_r : bool;
+  mutable u_want_w : bool;
+  mutable u_dirty : bool;
+}
+
+type entry = Cl of client | Sh of upstream
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* growable [pos, len) output staging, netserve's idiom *)
+let buf_room buf pos len n =
+  if len + n <= Bytes.length buf then (buf, pos, len)
+  else begin
+    let live = len - pos in
+    if live + n <= Bytes.length buf then begin
+      Bytes.blit buf pos buf 0 live;
+      (buf, 0, live)
+    end
+    else begin
+      let cap = ref (max 1024 (Bytes.length buf)) in
+      while live + n > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit buf pos nb 0 live;
+      (nb, 0, live)
+    end
+  end
+
+(* ---- the router event loop ---- *)
+
+let run t =
+  let cfg = t.cfg in
+  let poller = Poller.create ~hint:(min cfg.max_conns 65536) t.pkind in
+  let fds : (Unix.file_descr, entry) Hashtbl.t = Hashtbl.create 256 in
+  let rbuf = Bytes.create cfg.read_chunk in
+  let dirty_cl = ref [] in
+  let dirty_up = ref [] in
+  let lfd_armed = ref false in
+  let lfd_deaf = ref false in
+  let nclients = ref 0 in
+  let ups =
+    Array.mapi
+      (fun i a ->
+        let addr =
+          let ip =
+            try Unix.inet_addr_of_string a.shost
+            with Failure _ -> (
+              try (Unix.gethostbyname a.shost).Unix.h_addr_list.(0)
+              with Not_found -> Unix.inet_addr_loopback)
+          in
+          Unix.ADDR_INET (ip, a.sport)
+        in
+        {
+          u_idx = i;
+          u_id = a.sid;
+          u_sockaddr = addr;
+          u_state = Down;
+          u_fd = None;
+          u_started = 0.0;
+          u_last_attempt = neg_infinity;
+          u_dec = C.decoder ();
+          u_ibuf = Bytes.create 4096;
+          u_ipos = 0;
+          u_ilen = 0;
+          u_inflight = Queue.create ();
+          u_obuf = Bytes.create 4096;
+          u_opos = 0;
+          u_olen = 0;
+          u_want_r = false;
+          u_want_w = false;
+          u_dirty = false;
+        })
+      t.addrs
+  in
+  let up_by_id = Hashtbl.create 8 in
+  Array.iter (fun u -> Hashtbl.replace up_by_id u.u_id u) ups;
+  let up_count () =
+    Array.fold_left (fun n u -> if u.u_state = Up then n + 1 else n) 0 ups
+  in
+
+  (* -- client output -- *)
+  let cl_out_pending cl = cl.colen - cl.copos in
+  let cl_out_add cl s =
+    let n = String.length s in
+    let buf, pos, len = buf_room cl.obuf cl.copos cl.colen n in
+    cl.obuf <- buf;
+    cl.copos <- pos;
+    cl.colen <- len;
+    Bytes.blit_string s 0 cl.obuf cl.colen n;
+    cl.colen <- cl.colen + n
+  in
+  let mark_dirty_cl cl =
+    if not cl.cdirty then begin
+      cl.cdirty <- true;
+      dirty_cl := cl :: !dirty_cl
+    end
+  in
+  let update_interest_cl cl =
+    let r =
+      cl_out_pending cl <= cfg.out_hwm && (not cl.closing) && cl.discard_reply = None
+    in
+    let r = r || cl.discard > 0 in
+    let w = cl_out_pending cl > 0 in
+    if r <> cl.want_r || w <> cl.want_w then begin
+      cl.want_r <- r;
+      cl.want_w <- w;
+      Poller.set poller cl.cfd ~read:r ~write:w
+    end
+  in
+  let close_client cl =
+    if cl.calive then begin
+      cl.calive <- false;
+      Hashtbl.remove fds cl.cfd;
+      Poller.remove poller cl.cfd;
+      decr nclients;
+      close_quietly cl.cfd
+    end
+  in
+
+  (* -- slot assembly and release -- *)
+  let merge_stats parts =
+    let order = ref [] in
+    let tbl : (string, string) Hashtbl.t = Hashtbl.create 64 in
+    Array.iter
+      (fun part ->
+        String.split_on_char '\n' part
+        |> List.iter (fun line ->
+               let line =
+                 let n = String.length line in
+                 if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+               in
+               if String.length line > 5 && String.sub line 0 5 = "STAT " then begin
+                 let rest = String.sub line 5 (String.length line - 5) in
+                 let key, value =
+                   match String.index_opt rest ' ' with
+                   | Some i ->
+                       (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+                   | None -> (rest, "")
+                 in
+                 match Hashtbl.find_opt tbl key with
+                 | None ->
+                     order := key :: !order;
+                     Hashtbl.replace tbl key value
+                 | Some prev -> (
+                     (* numeric stats sum across shards; text ones keep
+                        the first shard's value *)
+                     match (int_of_string_opt prev, int_of_string_opt value) with
+                     | Some a, Some b -> Hashtbl.replace tbl key (string_of_int (a + b))
+                     | _ -> ())
+               end))
+      parts;
+    let b = Buffer.create 1024 in
+    Buffer.add_string b (Printf.sprintf "STAT cluster_shards %d\r\n" (Array.length ups));
+    Buffer.add_string b (Printf.sprintf "STAT cluster_up %d\r\n" (up_count ()));
+    Buffer.add_string b
+      (Printf.sprintf "STAT cluster_downs %d\r\n" (Atomic.get t.ctr.c_downs));
+    Buffer.add_string b
+      (Printf.sprintf "STAT cluster_rejoins %d\r\n" (Atomic.get t.ctr.c_rejoins));
+    Array.iter
+      (fun u ->
+        Buffer.add_string b
+          (Printf.sprintf "STAT shard%d_state %s\r\n" u.u_id
+             (if u.u_state = Up then "up" else "down")))
+      ups;
+    List.iter
+      (fun k -> Buffer.add_string b (Printf.sprintf "STAT %s %s\r\n" k (Hashtbl.find tbl k)))
+      (List.rev !order);
+    Buffer.add_string b "END\r\n";
+    Buffer.contents b
+  in
+  let assemble s =
+    match s.s_kind with
+    | Verbatim ->
+        if s.s_failed then begin
+          Atomic.incr t.ctr.c_down_errors;
+          shard_down_reply
+        end
+        else s.s_parts.(0)
+    | Multiget ->
+        if s.s_failed then begin
+          Atomic.incr t.ctr.c_down_errors;
+          shard_down_reply
+        end
+        else begin
+          let b = Buffer.create 256 in
+          Array.iter
+            (fun p ->
+              (* each part is a complete get reply; drop its END line *)
+              let n = String.length p in
+              if n >= 5 then Buffer.add_substring b p 0 (n - 5))
+            s.s_parts;
+          Buffer.add_string b "END\r\n";
+          Buffer.contents b
+        end
+    | Stats_merge -> merge_stats s.s_parts
+    | Flushall ->
+        if s.s_failed then begin
+          Atomic.incr t.ctr.c_down_errors;
+          shard_down_reply
+        end
+        else "OK\r\n"
+  in
+  let release_ready cl =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      match Queue.peek_opt cl.pending with
+      | Some s when s.s_left = 0 ->
+          ignore (Queue.pop cl.pending);
+          cl_out_add cl (assemble s);
+          mark_dirty_cl cl;
+          progress := true
+      | _ -> ()
+    done
+  in
+  let part_done s =
+    s.s_left <- s.s_left - 1;
+    if s.s_left = 0 then release_ready s.s_client
+  in
+  let fail_part s idx =
+    s.s_failed <- true;
+    s.s_parts.(idx) <- "";
+    part_done s
+  in
+  let local_reply cl reply =
+    let s =
+      { s_client = cl; s_kind = Verbatim; s_parts = [| reply |]; s_left = 0; s_failed = false }
+    in
+    Queue.push s cl.pending;
+    release_ready cl
+  in
+
+  (* -- upstream output / state -- *)
+  let up_out_pending u = u.u_olen - u.u_opos in
+  let up_out_add u s =
+    let n = String.length s in
+    let buf, pos, len = buf_room u.u_obuf u.u_opos u.u_olen n in
+    u.u_obuf <- buf;
+    u.u_opos <- pos;
+    u.u_olen <- len;
+    Bytes.blit_string s 0 u.u_obuf u.u_olen n;
+    u.u_olen <- u.u_olen + n
+  in
+  let mark_dirty_up u =
+    if not u.u_dirty then begin
+      u.u_dirty <- true;
+      dirty_up := u :: !dirty_up
+    end
+  in
+  let update_interest_up u =
+    match u.u_fd with
+    | None -> ()
+    | Some fd ->
+        let r, w =
+          match u.u_state with
+          | Connecting -> (false, true)
+          | Up | Probing -> (true, up_out_pending u > 0)
+          | Down -> (false, false)
+        in
+        if r <> u.u_want_r || w <> u.u_want_w then begin
+          u.u_want_r <- r;
+          u.u_want_w <- w;
+          Poller.set poller fd ~read:r ~write:w
+        end
+  in
+  let mark_down u reason =
+    let was_up = u.u_state = Up in
+    (match u.u_fd with
+    | Some fd ->
+        Hashtbl.remove fds fd;
+        Poller.remove poller fd;
+        close_quietly fd
+    | None -> ());
+    u.u_fd <- None;
+    u.u_state <- Down;
+    u.u_last_attempt <- Poller.mono_s ();
+    u.u_want_r <- false;
+    u.u_want_w <- false;
+    u.u_opos <- 0;
+    u.u_olen <- 0;
+    u.u_ipos <- 0;
+    u.u_ilen <- 0;
+    C.reset u.u_dec;
+    Atomic.set t.up_flags.(u.u_idx) false;
+    if was_up then begin
+      Atomic.incr t.ctr.c_downs;
+      Printf.eprintf "[cluster] shard %d down (%s)\n%!" u.u_id reason
+    end;
+    (* every reply still owed by this shard fails now *)
+    Queue.iter
+      (function Part (s, idx) -> fail_part s idx | Probe -> ())
+      u.u_inflight;
+    Queue.clear u.u_inflight
+  in
+  let probe_send u fd =
+    u.u_state <- Probing;
+    let b = Buffer.create 16 in
+    C.encode_version b;
+    up_out_add u (Buffer.contents b);
+    Queue.push Probe u.u_inflight;
+    (match Poller.set poller fd ~read:true ~write:true with
+    | () ->
+        u.u_want_r <- true;
+        u.u_want_w <- true
+    | exception Unix.Unix_error (Unix.EINVAL, _, _) -> mark_down u "poller cannot track fd")
+  in
+  let start_connect u =
+    u.u_last_attempt <- Poller.mono_s ();
+    u.u_started <- u.u_last_attempt;
+    match Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd -> (
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        u.u_fd <- Some fd;
+        u.u_want_r <- false;
+        u.u_want_w <- false;
+        Hashtbl.replace fds fd (Sh u);
+        match Unix.connect fd u.u_sockaddr with
+        | () -> probe_send u fd
+        | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+            u.u_state <- Connecting;
+            match Poller.set poller fd ~read:false ~write:true with
+            | () -> u.u_want_w <- true
+            | exception Unix.Unix_error (Unix.EINVAL, _, _) ->
+                mark_down u "poller cannot track fd")
+        | exception Unix.Unix_error _ -> mark_down u "connect refused")
+  in
+  let finish_connect u fd =
+    match Unix.getsockopt_error fd with
+    | None -> probe_send u fd
+    | Some _ -> mark_down u "connect failed"
+  in
+  let mark_up u =
+    u.u_state <- Up;
+    Atomic.set t.up_flags.(u.u_idx) true;
+    Atomic.incr t.ctr.c_rejoins;
+    Printf.eprintf "[cluster] shard %d up\n%!" u.u_id
+  in
+
+  (* -- upstream reply decoding -- *)
+  let on_unit u unit_bytes (r : C.unit_result) =
+    match Queue.take_opt u.u_inflight with
+    | None -> mark_down u "unsolicited reply"
+    | Some Probe -> if u.u_state = Probing then mark_up u
+    | Some (Part (s, idx)) -> (
+        match s.s_kind with
+        | Verbatim ->
+            (* the shard's own reply — errors included — passes through *)
+            s.s_parts.(idx) <- unit_bytes;
+            part_done s
+        | Multiget ->
+            if r.C.cls = C.U_ok then begin
+              s.s_parts.(idx) <- unit_bytes;
+              part_done s
+            end
+            else fail_part s idx
+        | Stats_merge | Flushall ->
+            if r.C.cls = C.U_ok then begin
+              s.s_parts.(idx) <- unit_bytes;
+              part_done s
+            end
+            else fail_part s idx)
+  in
+  let decode_up u =
+    let progress = ref true in
+    while !progress && u.u_fd <> None do
+      match C.next_unit u.u_dec u.u_ibuf ~pos:u.u_ipos ~len:(u.u_ilen - u.u_ipos) with
+      | Some (endp, r) ->
+          let unit_bytes = Bytes.sub_string u.u_ibuf u.u_ipos (endp - u.u_ipos) in
+          u.u_ipos <- endp;
+          on_unit u unit_bytes r
+      | None -> progress := false
+    done;
+    if u.u_ipos = u.u_ilen then begin
+      u.u_ipos <- 0;
+      u.u_ilen <- 0
+    end
+  in
+  let read_up u fd =
+    let keep = ref true and again = ref true in
+    while !again do
+      match Unix.read fd rbuf 0 cfg.read_chunk with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          again := false
+      | exception Unix.Unix_error _ ->
+          keep := false;
+          again := false
+      | 0 ->
+          keep := false;
+          again := false
+      | n ->
+          (* append, compacting/growing around the in-progress unit:
+             the decoder's offsets are relative to u_ipos, so sliding
+             the unit to the buffer head is safe mid-unit *)
+          if u.u_ilen + n > Bytes.length u.u_ibuf then begin
+            let live = u.u_ilen - u.u_ipos in
+            if u.u_ipos > 0 then Bytes.blit u.u_ibuf u.u_ipos u.u_ibuf 0 live;
+            u.u_ipos <- 0;
+            u.u_ilen <- live;
+            if live + n > Bytes.length u.u_ibuf then begin
+              let cap = ref (Bytes.length u.u_ibuf) in
+              while live + n > !cap do
+                cap := !cap * 2
+              done;
+              let nb = Bytes.create !cap in
+              Bytes.blit u.u_ibuf 0 nb 0 live;
+              u.u_ibuf <- nb
+            end
+          end;
+          Bytes.blit rbuf 0 u.u_ibuf u.u_ilen n;
+          u.u_ilen <- u.u_ilen + n;
+          decode_up u
+    done;
+    !keep
+  in
+  let flush_up u fd =
+    if up_out_pending u > 0 then begin
+      match Unix.write fd u.u_obuf u.u_opos (up_out_pending u) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> true
+      | exception Unix.Unix_error _ -> false
+      | n ->
+          u.u_opos <- u.u_opos + n;
+          if up_out_pending u = 0 then begin
+            u.u_opos <- 0;
+            u.u_olen <- 0
+          end;
+          true
+    end
+    else true
+  in
+
+  (* -- request dispatch -- *)
+  let send_part u raw expect =
+    match u.u_state with
+    | Up ->
+        up_out_add u raw;
+        (match expect with
+        | Some (s, idx) -> Queue.push (Part (s, idx)) u.u_inflight
+        | None -> ());
+        mark_dirty_up u
+    | Down | Connecting | Probing -> (
+        match expect with Some (s, idx) -> fail_part s idx | None -> ())
+  in
+  let owner key = Hashtbl.find up_by_id (Ring.lookup t.ring key) in
+  let route_single cl key raw ~noreply =
+    let u = owner key in
+    if noreply then send_part u raw None
+    else begin
+      let s =
+        { s_client = cl; s_kind = Verbatim; s_parts = [| "" |]; s_left = 1; s_failed = false }
+      in
+      Queue.push s cl.pending;
+      send_part u raw (Some (s, 0))
+    end
+  in
+  let route_get cl verb keys =
+    (* group keys by owning shard, preserving first-appearance order *)
+    let groups = ref [] in
+    List.iter
+      (fun k ->
+        let u = owner k in
+        match List.assq_opt u !groups with
+        | Some l -> l := k :: !l
+        | None -> groups := (u, ref [ k ]) :: !groups)
+      keys;
+    let groups = List.rev_map (fun (u, l) -> (u, List.rev !l)) !groups in
+    match groups with
+    | [] -> local_reply cl "END\r\n"
+    | [ (u, _) ] ->
+        (* single owner: forward whole request, reply passes verbatim *)
+        let b = Buffer.create 64 in
+        (if verb = "gets" then C.encode_gets else C.encode_get) b keys;
+        let s =
+          { s_client = cl; s_kind = Verbatim; s_parts = [| "" |]; s_left = 1; s_failed = false }
+        in
+        Queue.push s cl.pending;
+        send_part u (Buffer.contents b) (Some (s, 0))
+    | _ ->
+        let n = List.length groups in
+        let s =
+          {
+            s_client = cl;
+            s_kind = Multiget;
+            s_parts = Array.make n "";
+            s_left = n;
+            s_failed = false;
+          }
+        in
+        Queue.push s cl.pending;
+        List.iteri
+          (fun i (u, ks) ->
+            let b = Buffer.create 64 in
+            (if verb = "gets" then C.encode_gets else C.encode_get) b ks;
+            send_part u (Buffer.contents b) (Some (s, i)))
+          groups
+  in
+  let route_broadcast cl raw kind ~noreply =
+    let targets = Array.to_list ups |> List.filter (fun u -> u.u_state = Up) in
+    if noreply then List.iter (fun u -> send_part u raw None) targets
+    else begin
+      let n = List.length targets in
+      let s =
+        { s_client = cl; s_kind = kind; s_parts = Array.make n ""; s_left = n; s_failed = false }
+      in
+      Queue.push s cl.pending;
+      if n = 0 then release_ready cl
+      else List.iteri (fun i u -> send_part u raw (Some (s, i))) targets
+    end
+  in
+  let is_noreply tokens =
+    match List.rev tokens with last :: _ -> last = "noreply" | [] -> false
+  in
+  let dispatch_line cl line raw =
+    Atomic.incr t.ctr.c_requests;
+    let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+    match tokens with
+    | [] -> local_reply cl "ERROR\r\n"
+    | verb :: rest -> (
+        let noreply = is_noreply tokens in
+        match verb with
+        | "get" | "gets" ->
+            if rest = [] then local_reply cl "ERROR\r\n" else route_get cl verb rest
+        | "delete" | "incr" | "decr" | "touch" -> (
+            match rest with
+            | key :: _ -> route_single cl key raw ~noreply
+            | [] -> local_reply cl "ERROR\r\n")
+        | "stats" -> route_broadcast cl raw Stats_merge ~noreply:false
+        | "flush_all" -> route_broadcast cl raw Flushall ~noreply
+        | "version" -> local_reply cl "VERSION montage-cluster\r\n"
+        | "verbosity" -> if not noreply then local_reply cl "OK\r\n"
+        | "quit" -> cl.closing <- true
+        | _ -> local_reply cl "ERROR\r\n")
+  in
+  let dispatch_storage cl raw =
+    Atomic.incr t.ctr.c_requests;
+    let line_end = match String.index_opt raw '\n' with Some i -> i | None -> 0 in
+    let line =
+      if line_end > 0 && raw.[line_end - 1] = '\r' then String.sub raw 0 (line_end - 1)
+      else String.sub raw 0 line_end
+    in
+    let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+    match tokens with
+    | _ :: key :: _ -> route_single cl key raw ~noreply:(is_noreply tokens)
+    | _ -> local_reply cl "ERROR\r\n"
+  in
+  let storage_verbs = [ "set"; "add"; "replace"; "append"; "prepend"; "cas" ] in
+  let data_bytes_of tokens =
+    (* set/add/replace/append/prepend: <verb> <key> <flags> <exptime> <bytes>
+       cas: ... <bytes> <casunique>; bytes is index 4 in both *)
+    match tokens with
+    | _ :: _ :: _ :: _ :: b :: _ -> int_of_string_opt b
+    | _ -> None
+  in
+  let process_input cl =
+    let progress = ref true in
+    while !progress && cl.calive && not cl.closing do
+      progress := false;
+      if cl.discard > 0 then begin
+        let avail = cl.cilen - cl.cipos in
+        let take = min cl.discard avail in
+        cl.cipos <- cl.cipos + take;
+        cl.ciscan <- max cl.ciscan cl.cipos;
+        cl.discard <- cl.discard - take;
+        if cl.discard = 0 then begin
+          (match cl.discard_reply with Some r -> local_reply cl r | None -> ());
+          cl.discard_reply <- None;
+          progress := true
+        end
+      end
+      else if cl.need > 0 then begin
+        if cl.cilen - cl.cipos >= cl.need then begin
+          let raw = Bytes.sub_string cl.ibuf cl.cipos cl.need in
+          cl.cipos <- cl.cipos + cl.need;
+          cl.ciscan <- cl.cipos;
+          cl.need <- 0;
+          dispatch_storage cl raw;
+          progress := true
+        end
+      end
+      else begin
+        if cl.ciscan < cl.cipos then cl.ciscan <- cl.cipos;
+        let i = ref cl.ciscan in
+        while !i < cl.cilen && Bytes.get cl.ibuf !i <> '\n' do
+          incr i
+        done;
+        if !i >= cl.cilen then begin
+          cl.ciscan <- !i;
+          if cl.cilen - cl.cipos > cfg.max_line then begin
+            (* oversized command line: answer and hang up rather than
+               buffer without bound *)
+            cl.cipos <- cl.cilen;
+            cl.ciscan <- cl.cilen;
+            local_reply cl "CLIENT_ERROR line too long\r\n";
+            cl.closing <- true
+          end
+        end
+        else begin
+          let nl = !i in
+          let raw_line_len = nl + 1 - cl.cipos in
+          let line_len =
+            let l = nl - cl.cipos in
+            if l > 0 && Bytes.get cl.ibuf (nl - 1) = '\r' then l - 1 else l
+          in
+          let line = Bytes.sub_string cl.ibuf cl.cipos line_len in
+          let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+          let verb = match tokens with v :: _ -> v | [] -> "" in
+          if List.mem verb storage_verbs then begin
+            match data_bytes_of tokens with
+            | Some b when b >= 0 && b <= cfg.max_value ->
+                cl.need <- raw_line_len + b + 2;
+                cl.ciscan <- nl + 1;
+                progress := true
+            | Some b when b > cfg.max_value ->
+                (* consume the line now, swallow the block, then error *)
+                cl.cipos <- nl + 1;
+                cl.ciscan <- cl.cipos;
+                cl.discard <- b + 2;
+                cl.discard_reply <-
+                  (if is_noreply tokens then None
+                   else Some "SERVER_ERROR object too large for cache\r\n");
+                progress := true
+            | _ ->
+                cl.cipos <- nl + 1;
+                cl.ciscan <- cl.cipos;
+                local_reply cl "CLIENT_ERROR bad command line format\r\n";
+                progress := true
+          end
+          else begin
+            cl.cipos <- nl + 1;
+            cl.ciscan <- cl.cipos;
+            dispatch_line cl line (Bytes.sub_string cl.ibuf (nl + 1 - raw_line_len) raw_line_len);
+            progress := true
+          end
+        end
+      end
+    done;
+    if cl.cipos = cl.cilen && cl.need = 0 then begin
+      cl.cipos <- 0;
+      cl.cilen <- 0;
+      cl.ciscan <- 0
+    end
+  in
+
+  (* -- client I/O -- *)
+  let read_client cl now =
+    let keep = ref true and again = ref true in
+    while !again do
+      match Unix.read cl.cfd rbuf 0 cfg.read_chunk with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          again := false
+      | exception Unix.Unix_error _ ->
+          keep := false;
+          again := false
+      | 0 ->
+          keep := false;
+          again := false
+      | n ->
+          Atomic.fetch_and_add t.ctr.c_bytes_in n |> ignore;
+          cl.last_active <- now;
+          if cl.cilen + n > Bytes.length cl.ibuf then begin
+            let live = cl.cilen - cl.cipos in
+            if cl.cipos > 0 then begin
+              Bytes.blit cl.ibuf cl.cipos cl.ibuf 0 live;
+              cl.ciscan <- cl.ciscan - cl.cipos;
+              cl.cipos <- 0;
+              cl.cilen <- live
+            end;
+            if cl.cilen + n > Bytes.length cl.ibuf then begin
+              let cap = ref (Bytes.length cl.ibuf) in
+              while cl.cilen + n > !cap do
+                cap := !cap * 2
+              done;
+              let nb = Bytes.create !cap in
+              Bytes.blit cl.ibuf 0 nb 0 cl.cilen;
+              cl.ibuf <- nb
+            end
+          end;
+          Bytes.blit rbuf 0 cl.ibuf cl.cilen n;
+          cl.cilen <- cl.cilen + n;
+          process_input cl;
+          if cl_out_pending cl > cfg.out_hwm then again := false
+    done;
+    !keep
+  in
+  let flush_client cl now =
+    if cl_out_pending cl > 0 then begin
+      match Unix.write cl.cfd cl.obuf cl.copos (cl_out_pending cl) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> true
+      | exception Unix.Unix_error _ -> false
+      | n ->
+          Atomic.fetch_and_add t.ctr.c_bytes_out n |> ignore;
+          cl.copos <- cl.copos + n;
+          cl.last_active <- now;
+          if cl_out_pending cl = 0 then begin
+            cl.copos <- 0;
+            cl.colen <- 0
+          end;
+          true
+    end
+    else true
+  in
+  let settle_client cl now =
+    if not (flush_client cl now) then close_client cl
+    else if cl.closing && Queue.is_empty cl.pending && cl_out_pending cl = 0 then close_client cl
+    else update_interest_cl cl
+  in
+  let accept_new () =
+    let again = ref true in
+    while !again && !nclients < cfg.max_conns do
+      match Unix.accept ~cloexec:true t.lfd with
+      | exception
+          Unix.Unix_error
+            ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED | Unix.EINTR | Unix.EMFILE
+              | Unix.ENFILE ),
+              _, _ ) ->
+          again := false
+      | fd, _ -> (
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+          match Poller.set poller fd ~read:true ~write:false with
+          | exception Unix.Unix_error (Unix.EINVAL, _, _) -> close_quietly fd
+          | () ->
+              Atomic.incr t.ctr.accepted;
+              incr nclients;
+              Hashtbl.replace fds fd
+                (Cl
+                   {
+                     cfd = fd;
+                     ibuf = Bytes.create 4096;
+                     cipos = 0;
+                     cilen = 0;
+                     ciscan = 0;
+                     need = 0;
+                     discard = 0;
+                     discard_reply = None;
+                     pending = Queue.create ();
+                     obuf = Bytes.create 1024;
+                     copos = 0;
+                     colen = 0;
+                     last_active = Poller.mono_s ();
+                     want_r = true;
+                     want_w = false;
+                     cdirty = false;
+                     calive = true;
+                     closing = false;
+                   }))
+    done
+  in
+
+  (* -- probe timer -- *)
+  let tick_probes now =
+    Array.iter
+      (fun u ->
+        match u.u_state with
+        | Down -> if now -. u.u_last_attempt >= cfg.probe_interval_s then start_connect u
+        | Connecting | Probing ->
+            if now -. u.u_started > cfg.connect_timeout_s then mark_down u "probe timeout"
+        | Up -> ())
+      ups
+  in
+
+  (* -- main loop -- *)
+  let sweep_period =
+    if cfg.idle_timeout_s > 0.0 then Float.min 1.0 (cfg.idle_timeout_s /. 4.0) else 1.0
+  in
+  let next_sweep = ref (Poller.mono_s () +. sweep_period) in
+  while not (Atomic.get t.stopping) do
+    let want_accept = (not !lfd_deaf) && !nclients < cfg.max_conns in
+    if want_accept <> !lfd_armed then begin
+      match Poller.set poller t.lfd ~read:want_accept ~write:false with
+      | () -> lfd_armed := want_accept
+      | exception Unix.Unix_error (Unix.EINVAL, _, _) ->
+          lfd_deaf := true;
+          Printf.eprintf "[cluster] listener fd beyond poller reach; not accepting\n%!"
+    end;
+    ignore
+      (Poller.wait poller ~timeout_s:cfg.tick_s (fun fd ~readable ~writable ->
+           if fd = t.lfd then begin
+             if readable then accept_new ()
+           end
+           else
+             match Hashtbl.find_opt fds fd with
+             | None -> ()
+             | Some (Cl cl) ->
+                 let now = Poller.mono_s () in
+                 let ok =
+                   ((not writable) || flush_client cl now)
+                   && ((not readable) || read_client cl now)
+                 in
+                 if not ok then close_client cl else settle_client cl now
+             | Some (Sh u) ->
+                 if u.u_state = Connecting then begin
+                   if writable || readable then finish_connect u fd;
+                   update_interest_up u
+                 end
+                 else begin
+                   let ok =
+                     ((not writable) || flush_up u fd) && ((not readable) || read_up u fd)
+                   in
+                   if not ok then mark_down u "io error" else update_interest_up u
+                 end));
+    (* upstream sends first (unblocks shard replies), then client flushes *)
+    if !dirty_up <> [] then begin
+      List.iter
+        (fun u ->
+          u.u_dirty <- false;
+          match u.u_fd with
+          | Some fd when u.u_state = Up || u.u_state = Probing ->
+              if not (flush_up u fd) then mark_down u "io error" else update_interest_up u
+          | _ -> ())
+        !dirty_up;
+      dirty_up := []
+    end;
+    if !dirty_cl <> [] then begin
+      let now = Poller.mono_s () in
+      List.iter
+        (fun cl ->
+          cl.cdirty <- false;
+          if cl.calive then settle_client cl now)
+        !dirty_cl;
+      dirty_cl := []
+    end;
+    let now = Poller.mono_s () in
+    tick_probes now;
+    if now >= !next_sweep then begin
+      next_sweep := now +. sweep_period;
+      let reap = ref [] in
+      Hashtbl.iter
+        (fun _ e ->
+          match e with
+          | Cl cl ->
+              if cl.closing && Queue.is_empty cl.pending && cl_out_pending cl = 0 then
+                reap := cl :: !reap
+              else if cfg.idle_timeout_s > 0.0 && now -. cl.last_active > cfg.idle_timeout_s
+              then reap := cl :: !reap
+          | Sh _ -> ())
+        fds;
+      List.iter close_client !reap
+    end
+  done;
+  (* teardown: close everything this loop owns *)
+  Hashtbl.iter
+    (fun fd _ ->
+      Poller.remove poller fd;
+      close_quietly fd)
+    fds;
+  Hashtbl.reset fds;
+  Poller.close poller
+
+(* ---- control surface ---- *)
+
+let start ?(config = default_config) shard_addrs =
+  if shard_addrs = [] then invalid_arg "Router.start: no shards";
+  let pkind = match config.poller with Some k -> k | None -> Poller.kind_of_env () in
+  let ring = Ring.create ~vnodes:config.vnodes (List.map (fun a -> a.sid) shard_addrs) in
+  let addrs =
+    (* ring order: sorted by shard id, matching Ring.shards *)
+    List.map
+      (fun id -> List.find (fun a -> a.sid = id) shard_addrs)
+      (Ring.shards ring)
+    |> Array.of_list
+  in
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+  Unix.listen lfd config.backlog;
+  Unix.set_nonblock lfd;
+  let actual_port =
+    match Unix.getsockname lfd with Unix.ADDR_INET (_, p) -> p | _ -> config.port
+  in
+  let t =
+    {
+      cfg = config;
+      pkind;
+      ring;
+      addrs;
+      up_flags = Array.map (fun _ -> Atomic.make false) addrs;
+      lfd;
+      actual_port;
+      stopping = Atomic.make false;
+      ctr =
+        {
+          accepted = Atomic.make 0;
+          c_bytes_in = Atomic.make 0;
+          c_bytes_out = Atomic.make 0;
+          c_requests = Atomic.make 0;
+          c_down_errors = Atomic.make 0;
+          c_downs = Atomic.make 0;
+          c_rejoins = Atomic.make 0;
+        };
+      domain = None;
+    }
+  in
+  t.domain <- Some (Domain.spawn (fun () -> run t));
+  t
+
+let stop t =
+  if not (Atomic.get t.stopping) then begin
+    Atomic.set t.stopping true;
+    (match t.domain with Some d -> Domain.join d | None -> ());
+    t.domain <- None;
+    close_quietly t.lfd
+  end

@@ -1,0 +1,93 @@
+(* create_process-based supervision (no fork: OCaml 5 domains make
+   fork unsafe, and a fresh exec is what gives each shard its own
+   region anyway). *)
+
+type child = {
+  c_name : string;
+  c_argv : string array;
+  mutable c_pid : int;  (* -1 = not running *)
+  mutable c_restart : bool;
+  mutable c_restarts : int;
+}
+
+type t = { mutable children : child list }
+
+let create () = { children = [] }
+
+let spawn_child c =
+  c.c_pid <- Unix.create_process c.c_argv.(0) c.c_argv Unix.stdin Unix.stdout Unix.stderr
+
+let add t ~name ~argv =
+  let c = { c_name = name; c_argv = argv; c_pid = -1; c_restart = true; c_restarts = 0 } in
+  spawn_child c;
+  t.children <- t.children @ [ c ];
+  c
+
+let name c = c.c_name
+let pid c = c.c_pid
+let set_restart c b = c.c_restart <- b
+let restarts c = c.c_restarts
+
+let tick ?(on_exit = fun _ _ -> ()) t =
+  let restarted = ref 0 in
+  List.iter
+    (fun c ->
+      if c.c_pid > 0 then
+        match Unix.waitpid [ Unix.WNOHANG ] c.c_pid with
+        | 0, _ -> ()
+        | _, status ->
+            c.c_pid <- -1;
+            on_exit c.c_name status;
+            if c.c_restart then begin
+              spawn_child c;
+              c.c_restarts <- c.c_restarts + 1;
+              incr restarted
+            end
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> c.c_pid <- -1)
+    t.children;
+  !restarted
+
+let signal ?(signal = Sys.sigterm) c =
+  if c.c_pid > 0 then try Unix.kill c.c_pid signal with Unix.Unix_error _ -> ()
+
+let wait_exit c ~timeout_s =
+  if c.c_pid <= 0 then true
+  else begin
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec go () =
+      match Unix.waitpid [ Unix.WNOHANG ] c.c_pid with
+      | 0, _ ->
+          if Unix.gettimeofday () > deadline then false
+          else begin
+            (try
+               Unix.sleepf 0.01
+               [@montage.allow
+                 "R5: supervision control thread pacing a child-exit \
+                  wait; no server or structure code runs here"]
+             with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            go ()
+          end
+      | _, _ ->
+          c.c_pid <- -1;
+          true
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+          c.c_pid <- -1;
+          true
+    in
+    go ()
+  end
+
+let shutdown ?(timeout_s = 10.0) t =
+  List.iter
+    (fun c ->
+      c.c_restart <- false;
+      signal c)
+    t.children;
+  List.iter
+    (fun c ->
+      if not (wait_exit c ~timeout_s) then begin
+        signal ~signal:Sys.sigkill c;
+        ignore (wait_exit c ~timeout_s:5.0)
+      end)
+    t.children;
+  t.children <- []

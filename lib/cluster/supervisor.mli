@@ -1,0 +1,43 @@
+(** Child-process supervision for cluster mode: spawn shard (and
+    router) processes with [Unix.create_process], reap exits, restart.
+
+    OCaml 5 never forks after domains exist — children are fresh
+    execs of the CLI binary ([Sys.executable_name] from the caller),
+    so each shard gets its own runtime, domains and Montage region.
+    Restart is what makes the rejoin story real: a killed shard comes
+    back with the same argv, reloads its heap file, recovers, listens
+    on its fixed port, and the router's next probe finds it. *)
+
+type child
+
+type t
+
+val create : unit -> t
+
+(** Spawn [argv] (argv.(0) = program path) as a supervised child.
+    stdin/stdout/stderr are inherited. *)
+val add : t -> name:string -> argv:string array -> child
+
+val name : child -> string
+val pid : child -> int
+
+(** Stop restarting this child (e.g. before a deliberate stop). *)
+val set_restart : child -> bool -> unit
+
+(** Reap any exited children (nonblocking); restart those still marked
+    for restart, after calling [on_exit name status].  Returns the
+    number of restarts performed. *)
+val tick : ?on_exit:(string -> Unix.process_status -> unit) -> t -> int
+
+(** Send [signal] (default SIGTERM) to a running child. *)
+val signal : ?signal:int -> child -> unit
+
+(** Wait until the child's current pid exits (reaping it), up to
+    [timeout_s]; [false] on timeout.  Does not restart. *)
+val wait_exit : child -> timeout_s:float -> bool
+
+val restarts : child -> int
+
+(** SIGTERM every child, wait for each up to [timeout_s] (then
+    SIGKILL), reap.  The supervisor is unusable afterwards. *)
+val shutdown : ?timeout_s:float -> t -> unit

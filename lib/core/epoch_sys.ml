@@ -578,6 +578,15 @@ let reclaim_block ?coal t ~tid ~charged off =
    blocks whose two-epoch quarantine had elapsed when it was computed.
    Returns the number of blocks reclaimed (callers skip their fence
    when nothing happened). *)
+(* Test-only stall injection for the reclamation scrub window: invoked
+   after the ripe plain victims' scrubs have been issued (still
+   volatile) but before the fence and the anti-payload scrubs.  A
+   reclaimer parked here holds superseded old versions in exactly the
+   state the anti-scrub barrier below exists for; the Dsched scrub
+   suite crashes in this window and checks recovery never resurrects a
+   masked victim.  Never set outside tests. *)
+let test_stall_in_reclaim : (unit -> unit) ref = ref (fun () -> ())
+
 let reclaim_ripe ?coal ?(charged = false) t ~tid ~owner ~upto =
   Util.Sched.yield "esys.reclaim";
   let cell = t.to_free.(owner) in
@@ -602,6 +611,7 @@ let reclaim_ripe ?coal ?(charged = false) t ~tid ~owner ~upto =
          could persist the anti's line and drop the victim's. *)
       let antis, plains = List.partition (fun (_, _, anti) -> anti) ripe in
       List.iter (fun (_, off, _) -> reclaim_block ?coal t ~tid ~charged off) plains;
+      !test_stall_in_reclaim ();
       if antis <> [] then begin
         (if plains <> [] then
            match coal with

@@ -228,6 +228,13 @@ val sync : t -> tid:int -> unit
     a thread here; production code never sets it. *)
 val test_stall_in_drain : (unit -> unit) ref
 
+(** Test-only stall injection in the reclamation scrub window: after
+    the ripe plain victims' scrubs are issued (volatile) but before
+    the fence and the anti-payload scrubs.  The Dsched scrub suite
+    parks a reclaimer here and crashes; production code never sets
+    it. *)
+val test_stall_in_reclaim : (unit -> unit) ref
+
 (** The durable frontier: a crash right now loses nothing from epochs
     [<= persisted_epoch t] (= current epoch - 2).  Transports use this
     to report how far the persisted prefix reaches after a

@@ -375,3 +375,155 @@ let feed c input =
     end;
     List.rev_map (fun r -> r ^ crlf) !replies
   end
+
+(* ---- client side: request encoders + reply-unit decoder ----
+
+   The other half of the wire: what a *client* of this protocol needs.
+   Every in-tree client (the loadgen's closed and open loops, the
+   cluster router's shard upstreams) used to hand-roll its own reply
+   parser; this is the one shared implementation.
+
+   A reply "unit" is the complete answer to one command: a single
+   terminal line (STORED, DELETED, OK, a decimal, VERSION ..., any
+   ERROR flavor), or a get/stats reply — any number of VALUE blocks
+   (header line + <bytes>+2 of binary-safe data) or STAT lines,
+   terminated by END.  Counting units against commands issued keeps a
+   pipelined client in lockstep without knowing each verb's reply
+   shape. *)
+
+module Client = struct
+  type unit_class = U_ok | U_error | U_server_error
+
+  type unit_result = { cls : unit_class; hits : int }
+
+  (* Decoder state for the unit that starts at the caller's [pos]:
+     [parsed] bytes of it are already consumed, the line being scanned
+     (if any) starts at unit-relative offset [line_start], and [skip]
+     counts VALUE data bytes (+2 for the trailing CRLF) still to
+     discard.  The unit's bytes must stay in place (at [pos]) until the
+     unit completes — the scanner re-reads only the current line, never
+     earlier bytes, so callers may compact consumed units away. *)
+  type decoder = {
+    mutable parsed : int;
+    mutable line_start : int;
+    mutable skip : int;
+    mutable d_hits : int;
+  }
+
+  let decoder () = { parsed = 0; line_start = 0; skip = 0; d_hits = 0 }
+
+  let reset d =
+    d.parsed <- 0;
+    d.line_start <- 0;
+    d.skip <- 0;
+    d.d_hits <- 0
+
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+  (* VALUE <key> <flags> <bytes> [cas] *)
+  let value_bytes line =
+    match String.split_on_char ' ' line with
+    | _ :: _ :: _ :: b :: _ -> ( match int_of_string_opt b with Some n when n >= 0 -> n | _ -> 0)
+    | _ -> 0
+
+  (* Resume scanning the unit starting at [pos]; [pos + len) bounds the
+     bytes available.  Returns [Some (end_pos, result)] when the unit
+     completes — it occupies [pos, end_pos) — or [None] when more bytes
+     are needed (state is kept; append bytes and call again). *)
+  let next_unit d buf ~pos ~len =
+    let limit = pos + len in
+    let result = ref None in
+    let continue = ref true in
+    while !continue && !result = None do
+      if d.skip > 0 then begin
+        let take = min d.skip (limit - (pos + d.parsed)) in
+        d.skip <- d.skip - take;
+        d.parsed <- d.parsed + take;
+        if d.skip > 0 then continue := false else d.line_start <- d.parsed
+      end
+      else begin
+        (* scan for the next newline from the parse frontier *)
+        let i = ref (pos + d.parsed) in
+        while !i < limit && Bytes.get buf !i <> '\n' do
+          incr i
+        done;
+        if !i >= limit then begin
+          d.parsed <- !i - pos;
+          continue := false
+        end
+        else begin
+          let line_len = !i - (pos + d.line_start) in
+          let line_len =
+            if line_len > 0 && Bytes.get buf (!i - 1) = '\r' then line_len - 1 else line_len
+          in
+          let line = Bytes.sub_string buf (pos + d.line_start) line_len in
+          d.parsed <- !i - pos + 1;
+          d.line_start <- d.parsed;
+          if has_prefix "VALUE " line then begin
+            d.d_hits <- d.d_hits + 1;
+            d.skip <- value_bytes line + 2
+          end
+          else if has_prefix "STAT " line then ()  (* stats body: continue to END *)
+          else begin
+            let cls =
+              if line = "END" then U_ok
+              else if has_prefix "SERVER_ERROR" line then U_server_error
+              else if has_prefix "ERROR" line || has_prefix "CLIENT_ERROR" line then U_error
+              else U_ok
+            in
+            let r = { cls; hits = d.d_hits } in
+            let e = d.parsed in
+            reset d;
+            result := Some (pos + e, r)
+          end
+        end
+      end
+    done;
+    !result
+
+  let is_err r = r.cls <> U_ok
+
+  (* -- request encoders (append to [Buffer.t], CRLF included) -- *)
+
+  let encode_get out keys =
+    Buffer.add_string out "get";
+    List.iter
+      (fun k ->
+        Buffer.add_char out ' ';
+        Buffer.add_string out k)
+      keys;
+    Buffer.add_string out crlf
+
+  let encode_gets out keys =
+    Buffer.add_string out "gets";
+    List.iter
+      (fun k ->
+        Buffer.add_char out ' ';
+        Buffer.add_string out k)
+      keys;
+    Buffer.add_string out crlf
+
+  let encode_set out ?(flags = 0) ?(exptime = 0) ?(noreply = false) ~key value =
+    Buffer.add_string out
+      (Printf.sprintf "set %s %d %d %d%s%s" key flags exptime (String.length value)
+         (if noreply then " noreply" else "")
+         crlf);
+    Buffer.add_string out value;
+    Buffer.add_string out crlf
+
+  let encode_delete out ?(noreply = false) key =
+    Buffer.add_string out
+      (Printf.sprintf "delete %s%s%s" key (if noreply then " noreply" else "") crlf)
+
+  let encode_incr out key delta = Buffer.add_string out (Printf.sprintf "incr %s %d%s" key delta crlf)
+  let encode_decr out key delta = Buffer.add_string out (Printf.sprintf "decr %s %d%s" key delta crlf)
+  let encode_version out = Buffer.add_string out ("version" ^ crlf)
+  let encode_stats out = Buffer.add_string out ("stats" ^ crlf)
+  let encode_quit out = Buffer.add_string out ("quit" ^ crlf)
+
+  let encode_flush_all out ?delay () =
+    match delay with
+    | None -> Buffer.add_string out ("flush_all" ^ crlf)
+    | Some d -> Buffer.add_string out (Printf.sprintf "flush_all %d%s" d crlf)
+end

@@ -40,3 +40,61 @@ val is_closed : conn -> bool
     terminated with [\r\n].  Incomplete commands and data blocks stay
     buffered for the next feed. *)
 val feed : conn -> string -> string list
+
+(** Client half of the protocol: request encoders and an incremental
+    reply-unit decoder, shared by the load generator and the cluster
+    router's upstream shard connections.
+
+    A reply {e unit} is the complete answer to one pipelined command:
+    either a single terminal line ([STORED], [DELETED], [OK], a
+    decimal, [VERSION ...], any error line) or a get/stats reply — any
+    number of [VALUE] blocks (binary-safe) or [STAT] lines terminated
+    by [END].  Counting completed units against commands issued keeps
+    a pipelined client in lockstep without per-verb reply knowledge. *)
+module Client : sig
+  type unit_class =
+    | U_ok  (** normal reply, including misses ([END] with no hits) *)
+    | U_error  (** [ERROR] / [CLIENT_ERROR] — the request was rejected *)
+    | U_server_error
+        (** [SERVER_ERROR] — the server (or, through the router, the
+            owning shard) could not serve it *)
+
+  type unit_result = {
+    cls : unit_class;
+    hits : int;  (** number of [VALUE] blocks in the unit *)
+  }
+
+  type decoder
+
+  val decoder : unit -> decoder
+  val reset : decoder -> unit
+
+  (** [next_unit d buf ~pos ~len] resumes scanning the reply unit that
+      begins at [buf.[pos]], with [len] bytes available from [pos].
+      Returns [Some (end_pos, r)] when the unit completes (it occupies
+      [pos, end_pos)), or [None] if more bytes are needed — decoder
+      state persists, so append bytes and call again with the same
+      [pos].  The unit's bytes must remain in place until it completes
+      (consumed units may be compacted away); bytes already scanned are
+      never re-scanned. *)
+  val next_unit : decoder -> Bytes.t -> pos:int -> len:int -> (int * unit_result) option
+
+  val is_err : unit_result -> bool
+
+  (** Encoders append one complete request (CRLF-terminated, data block
+      included) to the buffer. *)
+
+  val encode_get : Buffer.t -> string list -> unit
+  val encode_gets : Buffer.t -> string list -> unit
+
+  val encode_set :
+    Buffer.t -> ?flags:int -> ?exptime:int -> ?noreply:bool -> key:string -> string -> unit
+
+  val encode_delete : Buffer.t -> ?noreply:bool -> string -> unit
+  val encode_incr : Buffer.t -> string -> int -> unit
+  val encode_decr : Buffer.t -> string -> int -> unit
+  val encode_version : Buffer.t -> unit
+  val encode_stats : Buffer.t -> unit
+  val encode_quit : Buffer.t -> unit
+  val encode_flush_all : Buffer.t -> ?delay:int -> unit -> unit
+end

@@ -20,15 +20,24 @@
    population grows and the tail explodes, which is exactly the signal
    a closed loop cannot produce.
 
-   Reply framing (both modes): a reply "unit" is one line, except
-   [VALUE] headers which are followed by <bytes>+2 of data and are
-   terminated (with any other VALUE blocks of the same get) by [END].
-   Counting units against commands issued keeps the reader in lockstep
-   without parsing every verb's reply shape. *)
+   Reply framing (both modes) is {!Kvstore.Protocol.Client}'s
+   reply-unit decoder — the same framer the cluster router's upstream
+   connections use.  Counting units against commands issued keeps the
+   reader in lockstep without parsing every verb's reply shape.
+
+   Endpoints: [endpoints] spreads connections round-robin over a list
+   of addresses (one router, several routers, or raw shards), with
+   per-endpoint completion/error/abandon accounting so a cluster
+   scenario can tell a refused or dropped connection (the endpoint
+   itself failing) from a [SERVER_ERROR shard down] reply (the
+   endpoint up, a shard behind it down). *)
+
+module C = Kvstore.Protocol.Client
 
 type config = {
   host : string;
   port : int;
+  endpoints : (string * int) list;  (* [] = [(host, port)] *)
   conns : int;
   domains : int;
   duration_s : float;
@@ -44,6 +53,7 @@ let default_config =
   {
     host = "127.0.0.1";
     port = 11211;
+    endpoints = [];
     conns = 8;
     domains = 2;
     duration_s = 2.0;
@@ -55,9 +65,23 @@ let default_config =
     key_prefix = "lg";
   }
 
+let resolved_endpoints cfg =
+  match cfg.endpoints with [] -> [ (cfg.host, cfg.port) ] | l -> l
+
+type endpoint_stats = {
+  ep_host : string;
+  ep_port : int;
+  ep_ops : int;  (* completed reply units *)
+  ep_errors : int;  (* error replies other than shard-down *)
+  ep_shard_down : int;  (* SERVER_ERROR shard down replies *)
+  ep_abandoned : int;  (* open loop: sent, never answered *)
+  ep_disconnects : int;
+}
+
 type report = {
   ops : int;
   errors : int;
+  shard_down_errors : int;
   hits : int;
   seconds : float;
   ops_per_sec : float;
@@ -66,6 +90,7 @@ type report = {
   p95_us : float;
   p99_us : float;
   disconnects : string list;
+  by_endpoint : endpoint_stats list;
 }
 
 exception Connection_lost of string
@@ -84,80 +109,72 @@ let write_all fd buf len =
     off := !off + n
   done
 
-(* Buffered reader: enough to split reply lines and skip data blocks.
+(* Buffered reader over the shared {!Kvstore.Protocol.Client} decoder.
    The reader is owned by the one generator domain driving its
-   connection. *)
+   connection; the in-progress reply unit stays contiguous at [upos]
+   (the decoder's offsets are unit-relative, so compaction mid-unit is
+   fine). *)
 type reader = {
   fd : Unix.file_descr;
-  buf : Bytes.t;
-  mutable pos : int [@montage.thread_local];
+  mutable buf : Bytes.t [@montage.thread_local];
+  mutable upos : int [@montage.thread_local];  (* current unit's start *)
   mutable len : int [@montage.thread_local];
+  dec : C.decoder;
 }
 
-let reader fd = { fd; buf = Bytes.create 65536; pos = 0; len = 0 }
+let reader fd = { fd; buf = Bytes.create 65536; upos = 0; len = 0; dec = C.decoder () }
 
 let refill r =
-  if r.pos = r.len then begin
-    r.pos <- 0;
-    r.len <-
-      (try Unix.read r.fd r.buf 0 (Bytes.length r.buf)
-       with Unix.Unix_error (e, _, _) ->
-         raise (Connection_lost (Unix.error_message e)));
-    if r.len = 0 then raise (Connection_lost "server closed connection")
-  end
+  if r.len = Bytes.length r.buf then
+    if r.upos > 0 then begin
+      let live = r.len - r.upos in
+      Bytes.blit r.buf r.upos r.buf 0 live;
+      r.upos <- 0;
+      r.len <- live
+    end
+    else begin
+      let nb = Bytes.create (2 * Bytes.length r.buf) in
+      Bytes.blit r.buf 0 nb 0 r.len;
+      r.buf <- nb
+    end;
+  let n =
+    try Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len)
+    with Unix.Unix_error (e, _, _) -> raise (Connection_lost (Unix.error_message e))
+  in
+  if n = 0 then raise (Connection_lost "server closed connection");
+  r.len <- r.len + n
 
-(* One CRLF-terminated line, CRLF stripped.  Lines longer than the
-   buffer would be a server bug; grow-free because server replies are
-   short (VALUE data is skipped separately). *)
-let read_line r =
-  let acc = Buffer.create 64 in
+(* does [buf[pos, stop)] contain "shard down"?  (router's Down marker;
+   cheap because it only runs on SERVER_ERROR units) *)
+let unit_is_shard_down buf pos stop =
+  let needle = "shard down" in
+  let nn = String.length needle in
+  let rec scan i =
+    if i + nn > stop then false
+    else if Bytes.sub_string buf i nn = needle then true
+    else scan (i + 1)
+  in
+  scan pos
+
+(* Read one reply unit; returns (result, was_shard_down). *)
+let read_unit r =
   let rec go () =
-    refill r;
-    match Bytes.index_from_opt r.buf r.pos '\n' with
-    | Some i when i < r.len ->
-        Buffer.add_subbytes acc r.buf r.pos (i - r.pos);
-        r.pos <- i + 1;
-        let s = Buffer.contents acc in
-        let n = String.length s in
-        if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
-    | _ ->
-        Buffer.add_subbytes acc r.buf r.pos (r.len - r.pos);
-        r.pos <- r.len;
+    match C.next_unit r.dec r.buf ~pos:r.upos ~len:(r.len - r.upos) with
+    | Some (endp, res) ->
+        let sd =
+          res.C.cls = C.U_server_error && unit_is_shard_down r.buf r.upos endp
+        in
+        r.upos <- endp;
+        if r.upos = r.len then begin
+          r.upos <- 0;
+          r.len <- 0
+        end;
+        (res, sd)
+    | None ->
+        refill r;
         go ()
   in
   go ()
-
-let skip r n =
-  let left = ref n in
-  while !left > 0 do
-    refill r;
-    let take = min !left (r.len - r.pos) in
-    r.pos <- r.pos + take;
-    left := !left - take
-  done
-
-let starts_with p s =
-  String.length s >= String.length p && String.sub s 0 (String.length p) = p
-
-let is_error_line line =
-  starts_with "ERROR" line || starts_with "CLIENT_ERROR" line
-  || starts_with "SERVER_ERROR" line
-
-(* Read one reply unit; returns (was_error, hits). *)
-let read_unit r =
-  let rec values hits =
-    let line = read_line r in
-    if starts_with "VALUE " line then begin
-      (* VALUE <key> <flags> <bytes> [cas] *)
-      let parts = String.split_on_char ' ' line in
-      let bytes = match parts with _ :: _ :: _ :: b :: _ -> int_of_string b | _ -> 0 in
-      skip r (bytes + 2);
-      values (hits + 1)
-    end
-    else if line = "END" then (false, hits)
-    else (is_error_line line, hits)
-  in
-  values 0
 
 (* ---------- connecting (shared by both modes) ---------- *)
 
@@ -169,9 +186,9 @@ let ignore_sigpipe () =
   | "Unix" -> ( try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
   | _ -> ()
 
-let connect ?(retries = 60) cfg =
+let connect ?(retries = 60) (host, port) =
   ignore_sigpipe ();
-  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   let rec go attempt backoff =
     let fd = Unix.socket PF_INET SOCK_STREAM 0 in
     (try Unix.setsockopt fd TCP_NODELAY true with _ -> ());
@@ -201,26 +218,43 @@ let connect ?(retries = 60) cfg =
 type domain_result = {
   d_ops : int;
   d_errors : int;
+  d_shard_down : int;
   d_hits : int;
   d_hist : Util.Histogram.t;
   d_disconnect : string option;
+  (* per-endpoint, indexed like [resolved_endpoints cfg] *)
+  d_ep_ops : int array;
+  d_ep_errors : int array;
+  d_ep_shard_down : int array;
+  d_ep_disconnects : int array;
 }
 
 let run_domain cfg did stop =
+  let eps = Array.of_list (resolved_endpoints cfg) in
+  let neps = Array.length eps in
   let nconns = max 1 (cfg.conns / max 1 cfg.domains) in
-  let fds = Array.init nconns (fun _ -> connect cfg) in
+  (* global round-robin so each endpoint gets its share even when a
+     domain owns fewer connections than there are endpoints *)
+  let ep_of = Array.init nconns (fun i -> ((did * nconns) + i) mod neps) in
+  let fds = Array.init nconns (fun i -> connect eps.(ep_of.(i))) in
   let readers = Array.map reader fds in
   let rng = Util.Xoshiro.create (cfg.seed + (did * 7919) + 1) in
   let value = String.make cfg.value_size 'v' in
   let hist = Util.Histogram.create () in
   let out = Buffer.create 4096 in
-  let ops = ref 0 and errors = ref 0 and hits = ref 0 in
+  let ops = ref 0 and errors = ref 0 and shard_down = ref 0 and hits = ref 0 in
+  let ep_ops = Array.make neps 0
+  and ep_errors = Array.make neps 0
+  and ep_shard_down = Array.make neps 0
+  and ep_disconnects = Array.make neps 0 in
   let key () = Printf.sprintf "%s%06d" cfg.key_prefix (Util.Xoshiro.int rng cfg.keyspace) in
   let disconnect = ref None in
+  let cur_ep = ref 0 in
   (try
      while not (Atomic.get stop) do
        Array.iteri
          (fun i fd ->
+           cur_ep := ep_of.(i);
            Buffer.clear out;
            for _ = 1 to cfg.pipeline do
              if Util.Xoshiro.float rng < cfg.get_frac then
@@ -232,9 +266,16 @@ let run_domain cfg did stop =
            let t0 = Poller.mono_s () in
            write_all fd (Buffer.to_bytes out) (Buffer.length out);
            for _ = 1 to cfg.pipeline do
-             let err, h = read_unit readers.(i) in
-             if err then incr errors;
-             hits := !hits + h
+             let res, sd = read_unit readers.(i) in
+             if sd then begin
+               incr shard_down;
+               ep_shard_down.(!cur_ep) <- ep_shard_down.(!cur_ep) + 1
+             end
+             else if C.is_err res then begin
+               incr errors;
+               ep_errors.(!cur_ep) <- ep_errors.(!cur_ep) + 1
+             end;
+             hits := !hits + res.C.hits
            done;
            let per_op_ns =
              (Poller.mono_s () -. t0) *. 1e9 /. float_of_int cfg.pipeline
@@ -242,10 +283,13 @@ let run_domain cfg did stop =
            for _ = 1 to cfg.pipeline do
              Util.Histogram.record hist (int_of_float per_op_ns)
            done;
-           ops := !ops + cfg.pipeline)
+           ops := !ops + cfg.pipeline;
+           ep_ops.(!cur_ep) <- ep_ops.(!cur_ep) + cfg.pipeline)
          fds
      done
-   with Connection_lost why -> disconnect := Some why);
+   with Connection_lost why ->
+     disconnect := Some why;
+     ep_disconnects.(!cur_ep) <- ep_disconnects.(!cur_ep) + 1);
   Array.iter
     (fun fd ->
       (try write_all fd (Bytes.of_string "quit\r\n") 6 with Connection_lost _ -> ());
@@ -254,14 +298,45 @@ let run_domain cfg did stop =
   {
     d_ops = !ops;
     d_errors = !errors;
+    d_shard_down = !shard_down;
     d_hits = !hits;
     d_hist = hist;
     d_disconnect = !disconnect;
+    d_ep_ops = ep_ops;
+    d_ep_errors = ep_errors;
+    d_ep_shard_down = ep_shard_down;
+    d_ep_disconnects = ep_disconnects;
   }
 
 (* ---------- closed-loop driver ---------- *)
 
 let us hist q = float_of_int (Util.Histogram.quantile_ns hist q) /. 1e3
+
+(* Sum per-domain per-endpoint arrays and zip with the address list. *)
+let endpoint_rollup eps ~results ~ops ~errors ~shard_down ~abandoned ~disconnects =
+  let neps = List.length eps in
+  let sum_arr f =
+    let acc = Array.make neps 0 in
+    Array.iter (fun r -> Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) (f r)) results;
+    acc
+  in
+  let a_ops = sum_arr ops
+  and a_err = sum_arr errors
+  and a_sd = sum_arr shard_down
+  and a_ab = sum_arr abandoned
+  and a_dc = sum_arr disconnects in
+  List.mapi
+    (fun i (h, p) ->
+      {
+        ep_host = h;
+        ep_port = p;
+        ep_ops = a_ops.(i);
+        ep_errors = a_err.(i);
+        ep_shard_down = a_sd.(i);
+        ep_abandoned = a_ab.(i);
+        ep_disconnects = a_dc.(i);
+      })
+    eps
 
 let run ?(config = default_config) () =
   let cfg = config in
@@ -282,13 +357,24 @@ let run ?(config = default_config) () =
   Array.iter (fun r -> Util.Histogram.merge_into ~dst:hist r.d_hist) results;
   let ops = Array.fold_left (fun a r -> a + r.d_ops) 0 results in
   let errors = Array.fold_left (fun a r -> a + r.d_errors) 0 results in
+  let shard_down_errors = Array.fold_left (fun a r -> a + r.d_shard_down) 0 results in
   let hits = Array.fold_left (fun a r -> a + r.d_hits) 0 results in
   let disconnects =
     Array.to_list results |> List.filter_map (fun r -> r.d_disconnect)
   in
+  let neps = List.length (resolved_endpoints cfg) in
+  let zeros _ = Array.make neps 0 in
+  let by_endpoint =
+    endpoint_rollup (resolved_endpoints cfg) ~results ~ops:(fun r -> r.d_ep_ops)
+      ~errors:(fun r -> r.d_ep_errors)
+      ~shard_down:(fun r -> r.d_ep_shard_down)
+      ~abandoned:zeros
+      ~disconnects:(fun r -> r.d_ep_disconnects)
+  in
   {
     ops;
     errors;
+    shard_down_errors;
     hits;
     seconds;
     ops_per_sec = float_of_int ops /. seconds;
@@ -297,13 +383,16 @@ let run ?(config = default_config) () =
     p95_us = us hist 0.95;
     p99_us = us hist 0.99;
     disconnects;
+    by_endpoint;
   }
 
 (* Pre-populate the keyspace so a read-heavy run measures hits, not
    misses.  One blocking connection, pipelined in chunks. *)
 let preload ?(config = default_config) () =
   let cfg = config in
-  let fd = connect cfg in
+  (* first endpoint is enough: a router fans the keys out by ownership,
+     and a single server IS the first endpoint *)
+  let fd = connect (List.hd (resolved_endpoints cfg)) in
   let r = reader fd in
   let value = String.make cfg.value_size 'v' in
   let chunk = 256 in
@@ -326,10 +415,29 @@ let preload ?(config = default_config) () =
   (try write_all fd (Bytes.of_string "quit\r\n") 6 with _ -> ());
   (try Unix.close fd with _ -> ())
 
+let print_endpoint_stats by_endpoint =
+  if List.length by_endpoint > 1 then
+    Benchlib.Report.table
+      ~columns:[ "ops"; "errors"; "shard_down"; "abandoned"; "disconnects" ]
+      ~rows:
+        (List.map
+           (fun e ->
+             ( Printf.sprintf "%s:%d" e.ep_host e.ep_port,
+               [
+                 float_of_int e.ep_ops;
+                 float_of_int e.ep_errors;
+                 float_of_int e.ep_shard_down;
+                 float_of_int e.ep_abandoned;
+                 float_of_int e.ep_disconnects;
+               ] ))
+           by_endpoint)
+      ~unit_label:"per-endpoint" ()
+
 let print_report ~label r =
   Benchlib.Report.heading (Printf.sprintf "loadgen: %s" label);
   Benchlib.Report.table
-    ~columns:[ "ops"; "ops/s"; "errors"; "hits"; "mean_us"; "p50_us"; "p95_us"; "p99_us" ]
+    ~columns:
+      [ "ops"; "ops/s"; "errors"; "shard_down"; "hits"; "mean_us"; "p50_us"; "p95_us"; "p99_us" ]
     ~rows:
       [
         ( label,
@@ -337,6 +445,7 @@ let print_report ~label r =
             float_of_int r.ops;
             r.ops_per_sec;
             float_of_int r.errors;
+            float_of_int r.shard_down_errors;
             float_of_int r.hits;
             r.mean_us;
             r.p50_us;
@@ -345,6 +454,7 @@ let print_report ~label r =
           ] );
       ]
     ~unit_label:"closed-loop" ();
+  print_endpoint_stats r.by_endpoint;
   List.iter
     (fun why ->
       Printf.printf "loadgen: %s: generator domain lost its connection: %s\n"
@@ -362,6 +472,7 @@ type open_report = {
   completed : int;
   abandoned : int;  (** sent but unanswered when the grace period expired *)
   o_errors : int;
+  o_shard_down_errors : int;
   o_hits : int;
   o_seconds : float;  (** wall time including the drain grace period *)
   o_mean_us : float;
@@ -369,19 +480,23 @@ type open_report = {
   o_p95_us : float;
   o_p99_us : float;
   o_disconnects : string list;
+  o_by_endpoint : endpoint_stats list;
 }
 
 (* One nonblocking open-loop connection.  Owned by the one generator
-   domain driving it; the parser is incremental because replies arrive
-   whenever the poller says so, not in lockstep with sends. *)
+   domain driving it; the reply framer is incremental because replies
+   arrive whenever the poller says so, not in lockstep with sends. *)
 type oconn = {
   ofd : Unix.file_descr;
+  ep : int;  (* index into the resolved endpoint list *)
   inflight : float Queue.t;  (* scheduled arrival times, FIFO per conn *)
-  line : Buffer.t;  (* partial reply line across reads *)
+  dec : C.decoder;
+  mutable ib : Bytes.t [@montage.thread_local];  (* replies; current unit at [iupos, ilen) *)
+  mutable iupos : int [@montage.thread_local];
+  mutable ilen : int [@montage.thread_local];
   mutable ob : Bytes.t [@montage.thread_local];  (* unsent commands in [opos, olen) *)
   mutable opos : int [@montage.thread_local];
   mutable olen : int [@montage.thread_local];
-  mutable skip : int [@montage.thread_local];  (* VALUE data bytes still to discard *)
   mutable want_w : bool [@montage.thread_local];
   mutable oalive : bool [@montage.thread_local];
 }
@@ -408,72 +523,62 @@ let oconn_add c s =
   Bytes.blit_string s 0 c.ob c.olen n;
   c.olen <- c.olen + n
 
-(* Feed [len] bytes into the incremental reply parser.  [on_unit] fires
-   once per completed reply unit; [on_hit] once per VALUE block. *)
-let oconn_feed c bytes len ~on_unit ~on_hit =
-  let pos = ref 0 in
-  while !pos < len do
-    if c.skip > 0 then begin
-      let take = min c.skip (len - !pos) in
-      c.skip <- c.skip - take;
-      pos := !pos + take
-    end
-    else begin
-      (* bounded newline scan: bytes beyond [len] are stale *)
-      let nl = ref (-1) in
-      let i = ref !pos in
-      while !nl < 0 && !i < len do
-        if Bytes.get bytes !i = '\n' then nl := !i;
-        incr i
-      done;
-      if !nl < 0 then begin
-        Buffer.add_subbytes c.line bytes !pos (len - !pos);
-        pos := len
-      end
-      else begin
-        Buffer.add_subbytes c.line bytes !pos (!nl - !pos);
-        pos := !nl + 1;
-        let s = Buffer.contents c.line in
-        Buffer.clear c.line;
-        let n = String.length s in
-        let s = if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s in
-        if starts_with "VALUE " s then begin
-          let parts = String.split_on_char ' ' s in
-          let bytes' =
-            match parts with _ :: _ :: _ :: b :: _ -> (try int_of_string b with _ -> 0) | _ -> 0
-          in
-          c.skip <- bytes' + 2;
-          on_hit ()
-        end
-        else if s = "END" then on_unit ~err:false
-        else on_unit ~err:(is_error_line s)
-      end
-    end
+(* Drain every complete reply unit buffered on [c].  [on_unit] fires
+   once per unit with its class and hit count; consumed units are
+   compacted away, a partial unit stays in place for the next read
+   (the decoder's offsets are unit-relative, so that is safe). *)
+let oconn_drain c ~on_unit =
+  let continue = ref true in
+  while !continue do
+    match C.next_unit c.dec c.ib ~pos:c.iupos ~len:(c.ilen - c.iupos) with
+    | Some (endp, res) ->
+        let sd =
+          res.C.cls = C.U_server_error && unit_is_shard_down c.ib c.iupos endp
+        in
+        c.iupos <- endp;
+        if c.iupos = c.ilen then begin
+          c.iupos <- 0;
+          c.ilen <- 0
+        end;
+        on_unit res ~shard_down:sd
+    | None -> continue := false
   done
 
 type open_domain_result = {
   od_sent : int;
   od_completed : int;
   od_errors : int;
+  od_shard_down : int;
   od_hits : int;
   od_hist : Util.Histogram.t;
   od_disconnects : string list;
+  od_ep_ops : int array;
+  od_ep_errors : int array;
+  od_ep_shard_down : int array;
+  od_ep_abandoned : int array;
+  od_ep_disconnects : int array;
 }
 
 let run_open_domain cfg ~rate_d ~arrival ~grace_s did =
+  let eps = Array.of_list (resolved_endpoints cfg) in
+  let neps = Array.length eps in
   let nconns = max 1 (cfg.conns / max 1 cfg.domains) in
   let conns =
-    Array.init nconns (fun _ ->
-        let fd = connect cfg in
+    Array.init nconns (fun i ->
+        let ep = ((did * nconns) + i) mod neps in
+        let fd = connect eps.(ep) in
         Unix.set_nonblock fd;
         {
           ofd = fd;
+          ep;
           inflight = Queue.create ();
-          line = Buffer.create 64;
+          dec = C.decoder ();
+          ib = Bytes.create 65536;
+          iupos = 0;
+          ilen = 0;
           ob = Bytes.create 4096;
           opos = 0;
           olen = 0;
-          skip = 0;
           want_w = false;
           oalive = true;
         })
@@ -485,8 +590,13 @@ let run_open_domain cfg ~rate_d ~arrival ~grace_s did =
   let rng = Util.Xoshiro.create (cfg.seed + (did * 7919) + 1) in
   let value = String.make cfg.value_size 'v' in
   let hist = Util.Histogram.create () in
-  let rbuf = Bytes.create 65536 in
   let sent = ref 0 and completed = ref 0 and errors = ref 0 and hits = ref 0 in
+  let shard_down = ref 0 in
+  let ep_ops = Array.make neps 0
+  and ep_errors = Array.make neps 0
+  and ep_shard_down = Array.make neps 0
+  and ep_abandoned = Array.make neps 0
+  and ep_disconnects = Array.make neps 0 in
   let disconnects = ref [] in
   let key () = Printf.sprintf "%s%06d" cfg.key_prefix (Util.Xoshiro.int rng cfg.keyspace) in
   let interarrival () =
@@ -500,6 +610,10 @@ let run_open_domain cfg ~rate_d ~arrival ~grace_s did =
       Poller.remove poller c.ofd;
       Hashtbl.remove by_fd c.ofd;
       (try Unix.close c.ofd with Unix.Unix_error _ -> ());
+      (* whatever was still awaiting an answer is lost with the socket *)
+      ep_abandoned.(c.ep) <- ep_abandoned.(c.ep) + Queue.length c.inflight;
+      Queue.clear c.inflight;
+      ep_disconnects.(c.ep) <- ep_disconnects.(c.ep) + 1;
       disconnects := why :: !disconnects
     end
   in
@@ -534,22 +648,46 @@ let run_open_domain cfg ~rate_d ~arrival ~grace_s did =
     if !ok then update_interest c;
     !ok
   in
-  let settle_units c now =
-    ( (fun ~err ->
-        (* latency from the scheduled arrival, not the socket write:
-           queueing delay is part of the request's experience *)
-        (match Queue.take_opt c.inflight with
-        | Some t_sched ->
-            incr completed;
-            Util.Histogram.record hist (int_of_float ((now -. t_sched) *. 1e9))
-        | None -> ());
-        if err then incr errors),
-      fun () -> incr hits )
+  let settle c now res ~shard_down:sd =
+    (* latency from the scheduled arrival, not the socket write:
+       queueing delay is part of the request's experience *)
+    (match Queue.take_opt c.inflight with
+    | Some t_sched ->
+        incr completed;
+        ep_ops.(c.ep) <- ep_ops.(c.ep) + 1;
+        Util.Histogram.record hist (int_of_float ((now -. t_sched) *. 1e9))
+    | None -> ());
+    if sd then begin
+      incr shard_down;
+      ep_shard_down.(c.ep) <- ep_shard_down.(c.ep) + 1
+    end
+    else if C.is_err res then begin
+      incr errors;
+      ep_errors.(c.ep) <- ep_errors.(c.ep) + 1
+    end;
+    hits := !hits + res.C.hits
+  in
+  (* make room to read: compact consumed units first, double only when
+     a single reply unit outgrows the buffer *)
+  let ib_room c =
+    if c.ilen = Bytes.length c.ib then
+      if c.iupos > 0 then begin
+        let live = c.ilen - c.iupos in
+        Bytes.blit c.ib c.iupos c.ib 0 live;
+        c.iupos <- 0;
+        c.ilen <- live
+      end
+      else begin
+        let nb = Bytes.create (2 * Bytes.length c.ib) in
+        Bytes.blit c.ib 0 nb 0 c.ilen;
+        c.ib <- nb
+      end
   in
   let read_conn c =
     let again = ref true in
     while !again && c.oalive do
-      match Unix.read c.ofd rbuf 0 (Bytes.length rbuf) with
+      ib_room c;
+      match Unix.read c.ofd c.ib c.ilen (Bytes.length c.ib - c.ilen) with
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
           again := false
       | exception Unix.Unix_error (e, _, _) ->
@@ -559,9 +697,9 @@ let run_open_domain cfg ~rate_d ~arrival ~grace_s did =
           again := false;
           close_conn c "server closed connection"
       | n ->
+          c.ilen <- c.ilen + n;
           let now = Poller.mono_s () in
-          let on_unit, on_hit = settle_units c now in
-          oconn_feed c rbuf n ~on_unit ~on_hit
+          oconn_drain c ~on_unit:(settle c now)
     done
   in
   let t_start = Poller.mono_s () in
@@ -622,7 +760,9 @@ let run_open_domain cfg ~rate_d ~arrival ~grace_s did =
     (fun c ->
       if c.oalive then begin
         Poller.remove poller c.ofd;
-        (try Unix.close c.ofd with Unix.Unix_error _ -> ())
+        (try Unix.close c.ofd with Unix.Unix_error _ -> ());
+        (* drain grace expired with these still unanswered *)
+        ep_abandoned.(c.ep) <- ep_abandoned.(c.ep) + Queue.length c.inflight
       end)
     conns;
   Poller.close poller;
@@ -630,9 +770,15 @@ let run_open_domain cfg ~rate_d ~arrival ~grace_s did =
     od_sent = !sent;
     od_completed = !completed;
     od_errors = !errors;
+    od_shard_down = !shard_down;
     od_hits = !hits;
     od_hist = hist;
     od_disconnects = !disconnects;
+    od_ep_ops = ep_ops;
+    od_ep_errors = ep_errors;
+    od_ep_shard_down = ep_shard_down;
+    od_ep_abandoned = ep_abandoned;
+    od_ep_disconnects = ep_disconnects;
   }
 
 let run_open ?(config = default_config) ?(arrival = Poisson) ?(grace_s = 1.0) ~rate () =
@@ -652,6 +798,14 @@ let run_open ?(config = default_config) ?(arrival = Poisson) ?(grace_s = 1.0) ~r
   let sum f = Array.fold_left (fun a r -> a + f r) 0 results in
   let sent = sum (fun r -> r.od_sent) in
   let completed = sum (fun r -> r.od_completed) in
+  let o_by_endpoint =
+    endpoint_rollup (resolved_endpoints cfg) ~results
+      ~ops:(fun r -> r.od_ep_ops)
+      ~errors:(fun r -> r.od_ep_errors)
+      ~shard_down:(fun r -> r.od_ep_shard_down)
+      ~abandoned:(fun r -> r.od_ep_abandoned)
+      ~disconnects:(fun r -> r.od_ep_disconnects)
+  in
   {
     offered_rate = rate;
     achieved_rate = float_of_int completed /. cfg.duration_s;
@@ -659,6 +813,7 @@ let run_open ?(config = default_config) ?(arrival = Poisson) ?(grace_s = 1.0) ~r
     completed;
     abandoned = sent - completed;
     o_errors = sum (fun r -> r.od_errors);
+    o_shard_down_errors = sum (fun r -> r.od_shard_down);
     o_hits = sum (fun r -> r.od_hits);
     o_seconds = seconds;
     o_mean_us = Util.Histogram.mean_ns hist /. 1e3;
@@ -666,6 +821,7 @@ let run_open ?(config = default_config) ?(arrival = Poisson) ?(grace_s = 1.0) ~r
     o_p95_us = us hist 0.95;
     o_p99_us = us hist 0.99;
     o_disconnects = List.concat_map (fun r -> r.od_disconnects) (Array.to_list results);
+    o_by_endpoint;
   }
 
 let arrival_name = function Poisson -> "poisson" | Uniform -> "uniform"
@@ -680,8 +836,8 @@ let print_open_report ~label r =
   Benchlib.Report.table
     ~columns:
       [
-        "offered/s"; "achieved/s"; "sent"; "done"; "abandoned"; "errors"; "mean_us"; "p50_us";
-        "p95_us"; "p99_us";
+        "offered/s"; "achieved/s"; "sent"; "done"; "abandoned"; "errors"; "shard_down";
+        "mean_us"; "p50_us"; "p95_us"; "p99_us";
       ]
     ~rows:
       [
@@ -693,6 +849,7 @@ let print_open_report ~label r =
             float_of_int r.completed;
             float_of_int r.abandoned;
             float_of_int r.o_errors;
+            float_of_int r.o_shard_down_errors;
             r.o_mean_us;
             r.o_p50_us;
             r.o_p95_us;
@@ -700,6 +857,7 @@ let print_open_report ~label r =
           ] );
       ]
     ~unit_label:"open-loop" ();
+  print_endpoint_stats r.o_by_endpoint;
   List.iter
     (fun why ->
       Printf.printf "loadgen: %s: open-loop connection lost: %s\n" label why)

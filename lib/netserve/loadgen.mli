@@ -15,11 +15,21 @@
     of server speed, over nonblocking connections driven by a
     {!Poller}.  Latency is charged from the {e scheduled} arrival
     time, so server-imposed queueing delay lands in the tail — the
-    coordinated-omission fix a closed loop cannot provide. *)
+    coordinated-omission fix a closed loop cannot provide.
+
+    Both modes frame replies with {!Kvstore.Protocol.Client} — the same
+    reply-unit decoder the cluster router uses on its upstream
+    connections — and can spread connections over several [endpoints]
+    (routers or shards) with per-endpoint accounting that separates
+    endpoint failures (disconnects, abandons) from [SERVER_ERROR shard
+    down] replies relayed by a healthy router. *)
 
 type config = {
   host : string;
   port : int;
+  endpoints : (string * int) list;
+      (** addresses to spread connections over, round-robin; [[]] means
+          [[(host, port)]] *)
   conns : int;
   domains : int;
   duration_s : float;
@@ -45,9 +55,24 @@ val default_config : config
     backlog overflow during a connection ramp does not kill the run. *)
 exception Connection_lost of string
 
+(** Per-endpoint accounting, in the order of {!config.endpoints} (or
+    the single [(host, port)] when that list is empty). *)
+type endpoint_stats = {
+  ep_host : string;
+  ep_port : int;
+  ep_ops : int;  (** completed reply units *)
+  ep_errors : int;  (** error replies other than shard-down *)
+  ep_shard_down : int;  (** [SERVER_ERROR shard down] replies *)
+  ep_abandoned : int;  (** open loop: sent, never answered *)
+  ep_disconnects : int;
+}
+
 type report = {
   ops : int;
-  errors : int;  (** ERROR/CLIENT_ERROR/SERVER_ERROR replies *)
+  errors : int;  (** ERROR/CLIENT_ERROR/SERVER_ERROR replies, minus shard-down *)
+  shard_down_errors : int;
+      (** [SERVER_ERROR shard down] replies — the endpoint answered,
+          but the owning shard behind it was down *)
   hits : int;  (** VALUE blocks returned *)
   seconds : float;
   ops_per_sec : float;
@@ -58,6 +83,7 @@ type report = {
   disconnects : string list;
       (** one entry per generator domain that lost its connection
           mid-run, with the reason; empty on a clean run *)
+  by_endpoint : endpoint_stats list;
 }
 
 (** Populate every key in [keyspace] with one pipelined connection, so
@@ -88,6 +114,7 @@ type open_report = {
   completed : int;
   abandoned : int;  (** sent but unanswered when the grace period expired *)
   o_errors : int;
+  o_shard_down_errors : int;  (** [SERVER_ERROR shard down] replies *)
   o_hits : int;
   o_seconds : float;  (** wall time including the drain grace period *)
   o_mean_us : float;
@@ -95,6 +122,7 @@ type open_report = {
   o_p95_us : float;
   o_p99_us : float;
   o_disconnects : string list;
+  o_by_endpoint : endpoint_stats list;
 }
 
 (** Offer [rate] ops/s for [duration_s] on the fixed schedule, then

@@ -1,0 +1,380 @@
+(* Cluster-mode tests: the consistent-hash ring's stability and skew
+   properties (qcheck), and the router end-to-end against in-process
+   Netserve shards on ephemeral ports — routing parity, split
+   multi-get reassembly, stats merge, shard-down error surface, and
+   down → probe → rejoin. *)
+
+module Ring = Cluster.Ring
+module Router = Cluster.Router
+
+(* ---- ring properties ---- *)
+
+let key_gen = QCheck.Gen.(map (Printf.sprintf "key-%d") (int_bound 1_000_000))
+
+let ids_gen =
+  (* 3..8 distinct small shard ids *)
+  QCheck.Gen.(
+    int_range 3 8 >>= fun n ->
+    map
+      (fun salt -> List.init n (fun i -> (i * 7) + (salt mod 5)))
+      (int_bound 1000))
+
+let prop_removal_stability =
+  QCheck.Test.make ~count:200 ~name:"ring: removal only moves the dead shard's keys"
+    QCheck.(
+      make
+        Gen.(
+          pair ids_gen (list_size (int_range 1 100) key_gen) >>= fun (ids, keys) ->
+          map (fun pick -> (ids, keys, List.nth ids (pick mod List.length ids))) (int_bound 100)))
+    (fun (ids, keys, dead) ->
+      let r = Ring.create ids in
+      let r' = Ring.remove r dead in
+      List.for_all
+        (fun k ->
+          let before = Ring.lookup r k in
+          if before = dead then
+            (* must move, and to a surviving shard *)
+            Ring.lookup r' k <> dead
+          else Ring.lookup r' k = before)
+        keys)
+
+let prop_add_remove_inverse =
+  QCheck.Test.make ~count:100 ~name:"ring: add undoes remove"
+    QCheck.(
+      make
+        Gen.(
+          pair ids_gen (list_size (int_range 1 50) key_gen) >>= fun (ids, keys) ->
+          map (fun pick -> (ids, keys, List.nth ids (pick mod List.length ids))) (int_bound 100)))
+    (fun (ids, keys, dead) ->
+      let r = Ring.create ids in
+      let r' = Ring.add (Ring.remove r dead) dead in
+      List.for_all (fun k -> Ring.lookup r k = Ring.lookup r' k) keys)
+
+(* Distribution skew at the default vnode count: with 128 points per
+   shard the per-shard share of a large uniform keyspace stays well
+   inside [0.4x, 2x] of ideal.  Deterministic keys, so no flake. *)
+let test_skew_bound () =
+  let shards = 8 in
+  let keys = 20_000 in
+  let r = Ring.create (List.init shards (fun i -> i)) in
+  let counts = Array.make shards 0 in
+  for i = 0 to keys - 1 do
+    let s = Ring.lookup r (Printf.sprintf "user:%d:profile" i) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  let ideal = float_of_int keys /. float_of_int shards in
+  Array.iteri
+    (fun s c ->
+      let share = float_of_int c /. ideal in
+      if share > 2.0 || share < 0.4 then
+        Alcotest.failf "shard %d share %.2fx ideal (counts %s)" s share
+          (String.concat "," (Array.to_list (Array.map string_of_int counts))))
+    counts
+
+let test_lookup_deterministic () =
+  let r = Ring.create [ 0; 1; 2 ] in
+  let r2 = Ring.create [ 2; 0; 1 ] in
+  for i = 0 to 99 do
+    let k = Printf.sprintf "k%d" i in
+    Alcotest.(check int) "id-order independent" (Ring.lookup r k) (Ring.lookup r2 k)
+  done;
+  Alcotest.(check (list int)) "shards sorted" [ 0; 1; 2 ] (Ring.shards r2)
+
+(* ---- router end-to-end over in-process shards ---- *)
+
+let make_shard_store () =
+  let m = Baselines.Transient_map.create ~buckets:64 Baselines.Transient_map.Dram in
+  Kvstore.Store.create (Kvstore.Store.of_transient_map m)
+
+let start_shard ?(port = 0) () =
+  Netserve.start
+    ~config:{ Netserve.default_config with port; workers = 1; tick_s = 0.01 }
+    (make_shard_store ())
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  fd
+
+let send fd s =
+  let off = ref 0 in
+  let n = String.length s in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let recv_exact fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  (try
+     while !off < n do
+       let k = Unix.read fd buf !off (n - !off) in
+       if k = 0 then raise Exit;
+       off := !off + k
+     done
+   with Exit -> ());
+  Bytes.sub_string buf 0 !off
+
+let recv_until fd suffix =
+  let acc = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let ends_with () =
+    let s = Buffer.contents acc in
+    String.length s >= String.length suffix
+    && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
+  in
+  (try
+     while not (ends_with ()) do
+       let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+       if k = 0 then raise Exit;
+       Buffer.add_subbytes acc chunk 0 k
+     done
+   with Exit -> ());
+  Buffer.contents acc
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+let router_config =
+  {
+    Router.default_config with
+    port = 0;
+    tick_s = 0.01;
+    probe_interval_s = 0.05;
+    connect_timeout_s = 2.0;
+  }
+
+(* 3 shards + router; hand the body the router, its ring, and the shard
+   handles (so tests can kill/restart them); always torn down. *)
+let with_cluster body =
+  let shards = Array.init 3 (fun _ -> start_shard ()) in
+  let addrs =
+    Array.to_list
+      (Array.mapi
+         (fun i t -> { Router.sid = i; shost = "127.0.0.1"; sport = Netserve.port t })
+         shards)
+  in
+  let r = Router.start ~config:router_config addrs in
+  let ring = Ring.create ~vnodes:router_config.vnodes [ 0; 1; 2 ] in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.stop r;
+      Array.iter (fun t -> try ignore (Netserve.shutdown t) with _ -> ()) shards)
+    (fun () ->
+      Alcotest.(check bool) "all shards join" true (Router.wait_up r ~timeout_s:10.0);
+      body r ring shards)
+
+(* some keys owned by each shard, under the router's own ring *)
+let keys_on ring sid n =
+  let rec go acc i =
+    if List.length acc = n then List.rev acc
+    else
+      let k = Printf.sprintf "k-%d" i in
+      go (if Ring.lookup ring k = sid then k :: acc else acc) (i + 1)
+  in
+  go [] 0
+
+let test_route_parity () =
+  with_cluster (fun r _ring _shards ->
+      let fd = connect (Router.port r) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          (* storage, retrieval, delete, arithmetic through the router *)
+          send fd "set alpha 7 0 5\r\nhello\r\n";
+          Alcotest.(check string) "set" "STORED\r\n" (recv_exact fd 8);
+          send fd "get alpha\r\n";
+          Alcotest.(check string) "get" "VALUE alpha 7 5\r\nhello\r\nEND\r\n"
+            (recv_exact fd 29);
+          send fd "set ctr 0 0 1\r\n5\r\n";
+          ignore (recv_exact fd 8);
+          send fd "incr ctr 3\r\n";
+          Alcotest.(check string) "incr" "8\r\n" (recv_exact fd 3);
+          send fd "decr ctr 10\r\n";
+          Alcotest.(check string) "decr floors" "0\r\n" (recv_exact fd 3);
+          send fd "delete alpha\r\n";
+          Alcotest.(check string) "delete" "DELETED\r\n" (recv_exact fd 9);
+          send fd "get alpha\r\n";
+          Alcotest.(check string) "deleted" "END\r\n" (recv_exact fd 5);
+          send fd "add alpha 0 0 1\r\nx\r\n";
+          Alcotest.(check string) "add" "STORED\r\n" (recv_exact fd 8);
+          send fd "add alpha 0 0 1\r\ny\r\n";
+          Alcotest.(check string) "add existing" "NOT_STORED\r\n" (recv_exact fd 12);
+          send fd "version\r\n";
+          Alcotest.(check bool) "router version" true
+            (contains (recv_until fd "\r\n") "VERSION")))
+
+let test_pipelined_keys_across_shards () =
+  with_cluster (fun r ring _shards ->
+      (* make sure the keyspace really spans all three shards *)
+      let keys = List.init 30 (fun i -> Printf.sprintf "k-%d" (i * 7)) in
+      let owners =
+        List.sort_uniq compare
+          (List.map (Ring.lookup ring) (List.init 300 (Printf.sprintf "k-%d")))
+      in
+      Alcotest.(check (list int)) "keyspace spans all shards" [ 0; 1; 2 ] owners;
+      let fd = connect (Router.port r) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          (* pipeline all the sets in one write; replies come back in order *)
+          let b = Buffer.create 1024 in
+          List.iter
+            (fun k -> Buffer.add_string b (Printf.sprintf "set %s 0 0 2\r\nv%c\r\n" k k.[2]))
+            keys;
+          send fd (Buffer.contents b);
+          let want = String.concat "" (List.map (fun _ -> "STORED\r\n") keys) in
+          Alcotest.(check string) "30 pipelined STOREDs" want
+            (recv_exact fd (String.length want));
+          (* read each back individually *)
+          List.iter
+            (fun k ->
+              send fd (Printf.sprintf "get %s\r\n" k);
+              let got = recv_until fd "END\r\n" in
+              Alcotest.(check bool) (k ^ " served") true (contains got ("VALUE " ^ k)))
+            keys))
+
+let test_multiget_reassembly () =
+  with_cluster (fun r ring _shards ->
+      let keys = List.init 20 (Printf.sprintf "k-%d") in
+      let fd = connect (Router.port r) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          List.iter
+            (fun k ->
+              send fd (Printf.sprintf "set %s 0 0 3\r\nval\r\n" k);
+              ignore (recv_exact fd 8))
+            keys;
+          (* one multi-get spanning all shards: exactly one END, every
+             key present exactly once *)
+          send fd (Printf.sprintf "get %s missing-key\r\n" (String.concat " " keys));
+          let got = recv_until fd "END\r\n" in
+          List.iter
+            (fun k ->
+              Alcotest.(check bool) (k ^ " in multiget") true
+                (contains got (Printf.sprintf "VALUE %s 0 3\r\nval\r\n" k)))
+            keys;
+          Alcotest.(check bool) "miss omitted" false (contains got "missing-key");
+          let ends =
+            List.length
+              (List.filter
+                 (fun l -> l = "END")
+                 (String.split_on_char '\r' (String.concat "" (String.split_on_char '\n' got))))
+          in
+          Alcotest.(check int) "single END" 1 ends;
+          ignore ring))
+
+let test_stats_merge () =
+  with_cluster (fun r _ring _shards ->
+      let fd = connect (Router.port r) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          send fd "set s1 0 0 1\r\nx\r\n";
+          ignore (recv_exact fd 8);
+          send fd "stats\r\n";
+          let got = recv_until fd "END\r\n" in
+          Alcotest.(check bool) "cluster_shards" true (contains got "STAT cluster_shards 3");
+          Alcotest.(check bool) "cluster_up" true (contains got "STAT cluster_up 3");
+          Alcotest.(check bool) "per-shard state" true (contains got "STAT shard0_state up");
+          (* threads sums across the three 1-worker shards *)
+          Alcotest.(check bool) "numeric sum" true (contains got "STAT threads 3")))
+
+let test_shard_down_and_rejoin () =
+  with_cluster (fun r ring shards ->
+      let victim = 1 in
+      let vkeys = keys_on ring victim 3 in
+      let skeys = keys_on ring 0 3 @ keys_on ring 2 3 in
+      let fd = connect (Router.port r) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          List.iter
+            (fun k ->
+              send fd (Printf.sprintf "set %s 0 0 1\r\nv\r\n" k);
+              Alcotest.(check string) (k ^ " stored") "STORED\r\n" (recv_exact fd 8))
+            (vkeys @ skeys);
+          (* take the victim down (graceful here; SIGKILL in clustersmoke) *)
+          let vport = Netserve.port shards.(victim) in
+          ignore (Netserve.shutdown shards.(victim));
+          (* the victim's keyspace errors; survivors keep serving.  The
+             router may need one failed request to notice the close. *)
+          let saw_down = ref false in
+          let attempts = ref 0 in
+          while (not !saw_down) && !attempts < 100 do
+            incr attempts;
+            send fd (Printf.sprintf "get %s\r\n" (List.hd vkeys));
+            let got = recv_until fd "\r\n" in
+            if contains got "SERVER_ERROR shard down" then saw_down := true
+            else Unix.sleepf 0.02
+          done;
+          Alcotest.(check bool) "victim keyspace answers shard down" true !saw_down;
+          List.iter
+            (fun k ->
+              send fd (Printf.sprintf "get %s\r\n" k);
+              let got = recv_until fd "END\r\n" in
+              Alcotest.(check bool) (k ^ " survives") true (contains got ("VALUE " ^ k)))
+            skeys;
+          (* stats reflect the outage *)
+          send fd "stats\r\n";
+          let got = recv_until fd "END\r\n" in
+          Alcotest.(check bool) "cluster_up 2" true (contains got "STAT cluster_up 2");
+          Alcotest.(check bool) "victim marked down" true
+            (contains got (Printf.sprintf "STAT shard%d_state down" victim));
+          (* restart on the same port; the probe rejoins it *)
+          shards.(victim) <- start_shard ~port:vport ();
+          Alcotest.(check bool) "rejoin converges 3/3" true (Router.wait_up r ~timeout_s:10.0);
+          (* its keyspace serves again (fresh store here — durability
+             across the restart is clustersmoke's heap-file assertion) *)
+          send fd (Printf.sprintf "set %s 0 0 1\r\nw\r\n" (List.hd vkeys));
+          Alcotest.(check string) "victim keyspace writable again" "STORED\r\n"
+            (recv_exact fd 8);
+          let st = Router.stats r in
+          Alcotest.(check bool) "down transition counted" true (st.Router.downs >= 1);
+          Alcotest.(check bool) "rejoin counted" true (st.Router.rejoins >= 4)))
+
+let test_down_before_start () =
+  (* router started against ports nobody listens on: every request for
+     any keyspace answers shard down, and the router survives *)
+  let dead = [ { Router.sid = 0; shost = "127.0.0.1"; sport = 1 } ] in
+  let r = Router.start ~config:router_config dead in
+  Fun.protect
+    ~finally:(fun () -> Router.stop r)
+    (fun () ->
+      let fd = connect (Router.port r) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          send fd "get anything\r\n";
+          Alcotest.(check bool) "shard down" true
+            (contains (recv_until fd "\r\n") "SERVER_ERROR shard down");
+          send fd "set k 0 0 1\r\nv\r\n";
+          Alcotest.(check bool) "storage shard down" true
+            (contains (recv_until fd "\r\n") "SERVER_ERROR shard down")))
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "ring",
+        [
+          QCheck_alcotest.to_alcotest prop_removal_stability;
+          QCheck_alcotest.to_alcotest prop_add_remove_inverse;
+          Alcotest.test_case "skew bound at default vnodes" `Quick test_skew_bound;
+          Alcotest.test_case "lookup deterministic" `Quick test_lookup_deterministic;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "route parity" `Quick test_route_parity;
+          Alcotest.test_case "pipelined keys across shards" `Quick
+            test_pipelined_keys_across_shards;
+          Alcotest.test_case "multiget reassembly" `Quick test_multiget_reassembly;
+          Alcotest.test_case "stats merge" `Quick test_stats_merge;
+          Alcotest.test_case "shard down and rejoin" `Quick test_shard_down_and_rejoin;
+          Alcotest.test_case "all shards down from birth" `Quick test_down_before_start;
+        ] );
+    ]

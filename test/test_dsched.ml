@@ -665,6 +665,155 @@ let test_blocking_sync_stalls_on_stalled_end_op () =
             (String.length f.D.reason >= 8 && String.sub f.D.reason 0 8 = "deadlock")
       | None -> Alcotest.fail "blocking sync did not stall on the parked END_OP drain")
 
+(* ---- Workers-mode reclamation: the scrub-window stall ---- *)
+
+(* +LocalFree reclamation runs inside BEGIN_OP, and its hazard is the
+   scrub barrier in [reclaim_ripe]: the ripe plain victims' scrubs have
+   been issued but not fenced, and the anti-payloads masking deleted
+   victims are not yet scrubbed.  A reclaimer parked in that window
+   (via [E.test_stall_in_reclaim]) models a stalled worker; a crash
+   there must never resurrect a superseded version ("a" -> "1") or an
+   anti-masked victim ("b" -> "2") once the overwrite/delete is
+   durable.  Thread 0 builds ripe garbage of both kinds — a pset
+   supersession and a pdelete anti — then its next op's local reclaim
+   parks under the hook; thread 1 advances the clock once over the
+   parked reclaimer and releases it.  Crash branched at every
+   scheduling point, every recovered map checked against the
+   sequential model. *)
+
+type mop = Mput of string * string | Mdel of string
+
+let mspec =
+  {
+    Dlin.initial = [];
+    apply =
+      (fun st op ->
+        match op with
+        | Mput (k, v) -> (List.assoc_opt k st, (k, v) :: List.remove_assoc k st)
+        | Mdel k -> (List.assoc_opt k st, List.remove_assoc k st));
+  }
+
+type mstate = {
+  mregion : R.t;
+  mesys : E.t;
+  map : Pstructs.Mhashmap.t;
+  mhist : (mop * string option * int) list ref;
+  minflight : mop option ref;
+}
+
+let workers_cfg = { sched_cfg with Cfg.reclaim = Cfg.Workers }
+
+let scrub_window_scenario ~armed ~stalled ~released () =
+  (* result recorded with the clock after completion, as in
+     [queue_scenario]; the op call is an argument, so it completes
+     before [record] reads the clock *)
+  let record st op res =
+    st.mhist := (op, res, E.current_epoch st.mesys) :: !(st.mhist);
+    st.minflight := None
+  in
+  let put st k v =
+    st.minflight := Some (Mput (k, v));
+    record st (Mput (k, v)) (Pstructs.Mhashmap.put st.map ~tid:0 k v)
+  in
+  let del st k =
+    st.minflight := Some (Mdel k);
+    record st (Mdel k) (Pstructs.Mhashmap.remove st.map ~tid:0 k)
+  in
+  {
+    D.init =
+      (fun () ->
+        armed := false;
+        stalled := false;
+        released := false;
+        let region = R.create ~latency:Nvm.Latency.zero ~max_threads:4 ~capacity:(1 lsl 18) () in
+        let esys = E.create ~config:workers_cfg region in
+        {
+          mregion = region;
+          mesys = esys;
+          map = Pstructs.Mhashmap.create esys;
+          mhist = ref [];
+          minflight = ref None;
+        });
+    threads =
+      [|
+        (fun st ->
+          put st "a" "1";
+          put st "b" "2";
+          E.advance_epoch st.mesys ~tid:0;
+          put st "a" "3";
+          (* supersession: the old "a" version is deferred plain garbage *)
+          del st "b";
+          (* pdelete: anti-payload published, victim + anti deferred *)
+          E.advance_epoch st.mesys ~tid:0;
+          E.advance_epoch st.mesys ~tid:0;
+          (* the epoch-tagged garbage is now ripe; this op's BEGIN_OP
+             reclaim parks in the scrub window *)
+          armed := true;
+          put st "c" "4");
+        (fun st ->
+          Util.Sched.await "helper.sees-stall" (fun () -> !stalled);
+          E.advance_epoch st.mesys ~tid:1;
+          released := true);
+      |];
+    check_crash =
+      Some
+        (fun st ->
+          R.crash st.mregion;
+          match E.recover ~config:workers_cfg st.mregion with
+          | exception _ -> false
+          | esys2, payloads ->
+              let recovered =
+                List.sort compare
+                  (Pstructs.Mhashmap.to_alist (Pstructs.Mhashmap.recover esys2 payloads) ~tid:0)
+              in
+              let cutoff = E.current_epoch esys2 - 2 in
+              let obs =
+                [|
+                  {
+                    Dlin.completed =
+                      List.rev_map (fun (op, res, e) -> (op, res, e <= cutoff)) !(st.mhist);
+                    in_flight = !(st.minflight);
+                  };
+                |]
+              in
+              Dlin.durably_linearizable mspec obs ~accept:(fun m ->
+                  List.sort compare m = recovered));
+    check_done =
+      Some
+        (fun st ->
+          let final = List.sort compare (Pstructs.Mhashmap.to_alist st.map ~tid:0) in
+          let hist = [| List.rev_map (fun (op, res, _) -> (op, res)) !(st.mhist) |] in
+          final = [ ("a", "3"); ("c", "4") ]
+          && Dlin.linearizable mspec hist ~accept:(fun m -> List.sort compare m = final));
+  }
+
+let test_workers_scrub_window_stall () =
+  let armed = ref false and stalled = ref false and released = ref false in
+  E.test_stall_in_reclaim :=
+    (fun () ->
+      if !armed then begin
+        armed := false;
+        stalled := true;
+        Util.Sched.await "test.reclaim-stall" (fun () -> !released)
+      end);
+  Fun.protect
+    ~finally:(fun () -> E.test_stall_in_reclaim := (fun () -> ()))
+    (fun () ->
+      let r =
+        D.explore
+          (exhaustive ~preemptions:1 ~max_attempts:200_000 ())
+          (scrub_window_scenario ~armed ~stalled ~released ())
+      in
+      (match r.D.failure with
+      | Some f -> Alcotest.fail ("scrub window: " ^ D.failure_to_string f)
+      | None -> ());
+      Printf.eprintf "scrub-window: schedules=%d crash_branches=%d max_points=%d\n%!" r.D.schedules
+        r.D.crash_branches r.D.max_points;
+      Alcotest.(check bool) "schedules explored" true (r.D.schedules > 0);
+      Alcotest.(check bool) "crash injected at every point" true
+        (r.D.crash_branches >= r.D.max_points);
+      Alcotest.(check bool) "exhausted, not truncated" false r.D.truncated)
+
 (* The CI leg: MONTAGE_SCHED=random MONTAGE_SCHED_RUNS=500 runs this
    suite with a seeded PCT sweep over both queues; without the env the
    default is a modest always-on PCT pass. *)
@@ -740,5 +889,10 @@ let () =
             test_nb_sync_wait_free_past_stalled_end_op;
           Alcotest.test_case "blocking sync stalls on stalled END_OP" `Quick
             test_blocking_sync_stalls_on_stalled_end_op;
+        ] );
+      ( "workers-reclaim",
+        [
+          Alcotest.test_case "scrub-window stall + crash at every point" `Quick
+            test_workers_scrub_window_stall;
         ] );
     ]

@@ -342,6 +342,188 @@ let prop_random_chunking =
       in
       run_stream chunks = run_stream [ s ])
 
+(* ---- client-side reply-unit decoder (Protocol.Client) ----
+
+   The decoder is the router's and loadgen's shared reply framer; the
+   property that matters is chunking-independence: however the byte
+   stream is split, the sequence of (unit bytes, class, hits) is
+   identical, and the units concatenate back to the stream. *)
+
+module C = P.Client
+
+(* Drive the decoder the way a real client does: append each chunk to
+   a compacting buffer, drain complete units.  Compaction mid-unit is
+   part of the contract (decoder offsets are unit-relative). *)
+let decode_stream chunks =
+  let d = C.decoder () in
+  let buf = ref (Bytes.create 32) in
+  let pos = ref 0 and len = ref 0 in
+  let out = ref [] in
+  List.iter
+    (fun chunk ->
+      let n = String.length chunk in
+      if !len + n > Bytes.length !buf then begin
+        let live = !len - !pos in
+        Bytes.blit !buf !pos !buf 0 live;
+        len := live;
+        pos := 0;
+        if !len + n > Bytes.length !buf then begin
+          let cap = ref (Bytes.length !buf) in
+          while !len + n > !cap do
+            cap := !cap * 2
+          done;
+          let nb = Bytes.create !cap in
+          Bytes.blit !buf 0 nb 0 !len;
+          buf := nb
+        end
+      end;
+      Bytes.blit_string chunk 0 !buf !len n;
+      len := !len + n;
+      let progress = ref true in
+      while !progress do
+        match C.next_unit d !buf ~pos:!pos ~len:(!len - !pos) with
+        | Some (endp, r) ->
+            out := (Bytes.sub_string !buf !pos (endp - !pos), r) :: !out;
+            pos := endp
+        | None -> progress := false
+      done)
+    chunks;
+  List.rev !out
+
+(* one unit of each shape, with \r\n-bearing data and a data block
+   that spells "END" (the binary-safety trap) *)
+let client_units =
+  [
+    ("STORED\r\n", C.U_ok, 0);
+    ("VALUE a 0 5\r\nhe\r\no\r\nEND\r\n", C.U_ok, 1);
+    ("END\r\n", C.U_ok, 0);
+    ("STAT pid 1\r\nSTAT version montage x\r\nSTAT zero 0\r\nEND\r\n", C.U_ok, 0);
+    ("SERVER_ERROR shard down\r\n", C.U_server_error, 0);
+    ("8\r\n", C.U_ok, 0);
+    ("CLIENT_ERROR bad data chunk\r\n", C.U_error, 0);
+    ("VALUE k 1 0\r\n\r\nVALUE kk 0 5\r\nEND\r\n\r\nEND\r\n", C.U_ok, 2);
+    ("VERSION 1.2.3\r\n", C.U_ok, 0);
+    ("DELETED\r\n", C.U_ok, 0);
+    ("ERROR\r\n", C.U_error, 0);
+    ("NOT_STORED\r\n", C.U_ok, 0);
+  ]
+
+let client_stream = String.concat "" (List.map (fun (u, _, _) -> u) client_units)
+
+let check_units label got =
+  let want = List.map (fun (u, c, h) -> (u, c, h)) client_units in
+  let got = List.map (fun (u, (r : C.unit_result)) -> (u, r.C.cls, r.C.hits)) got in
+  if got <> want then
+    Alcotest.failf "%s: decoded %d unit(s), want %d; first divergence %s" label
+      (List.length got) (List.length want)
+      (match List.find_opt (fun (a, b) -> a <> b) (List.combine got want) with
+      | Some ((gu, _, _), (wu, _, _)) -> Printf.sprintf "got %S want %S" gu wu
+      | None -> "(length mismatch)")
+
+let test_client_decoder_whole () = check_units "single feed" (decode_stream [ client_stream ])
+
+let test_client_decoder_every_boundary () =
+  let n = String.length client_stream in
+  for i = 0 to n do
+    let chunks = [ String.sub client_stream 0 i; String.sub client_stream i (n - i) ] in
+    check_units (Printf.sprintf "split at %d" i) (decode_stream chunks)
+  done
+
+let test_client_decoder_byte_drip () =
+  check_units "one byte at a time"
+    (decode_stream (List.init (String.length client_stream) (fun i -> String.make 1 client_stream.[i])))
+
+(* Encoders and server codec agree end to end: encode requests, run
+   them through a live Protocol.conn, decode the reply stream, and the
+   unit count matches the request count (the lockstep invariant the
+   pipelined clients rely on). *)
+let test_client_encoders_roundtrip () =
+  let conn = make_conn () in
+  let b = Buffer.create 256 in
+  C.encode_set b ~key:"alpha" "hello";
+  C.encode_set b ~flags:7 ~exptime:0 ~key:"beta" "wo\r\nrld";
+  C.encode_get b [ "alpha"; "beta"; "missing" ];
+  C.encode_gets b [ "alpha" ];
+  C.encode_incr b "ctr" 5;
+  C.encode_delete b "alpha";
+  C.encode_stats b;
+  C.encode_version b;
+  C.encode_flush_all b ();
+  let expected_units = 9 in
+  let replies = feed_all conn (Buffer.contents b) in
+  let units = decode_stream [ replies ] in
+  Alcotest.(check int) "one reply unit per request" expected_units (List.length units);
+  (match units with
+  | (u1, r1) :: _ ->
+      Alcotest.(check string) "set acked" "STORED\r\n" u1;
+      Alcotest.(check bool) "ok class" true (r1.C.cls = C.U_ok)
+  | [] -> Alcotest.fail "no units");
+  let get_unit, get_r = List.nth units 2 in
+  Alcotest.(check int) "get hits" 2 get_r.C.hits;
+  Alcotest.(check bool) "binary-safe value" true (contains get_unit "wo\r\nrld");
+  (* noreply requests produce no unit: the encoder and codec agree *)
+  let b2 = Buffer.create 64 in
+  C.encode_set b2 ~noreply:true ~key:"quiet" "x";
+  C.encode_delete b2 ~noreply:true "quiet";
+  C.encode_version b2;
+  let units2 = decode_stream [ feed_all conn (Buffer.contents b2) ] in
+  Alcotest.(check int) "noreply suppressed" 1 (List.length units2)
+
+let prop_client_random_chunking =
+  let open QCheck in
+  let unit_gen =
+    Gen.(
+      oneof
+        [
+          oneofl
+            [
+              "STORED\r\n";
+              "NOT_FOUND\r\n";
+              "END\r\n";
+              "ERROR\r\n";
+              "SERVER_ERROR shard down\r\n";
+              "TOUCHED\r\n";
+              "17\r\n";
+            ];
+          (let* k = oneofl [ "a"; "bb"; "c3" ]
+           and* v = string_size ~gen:(oneofl [ '\r'; '\n'; 'E'; 'N'; 'D'; ' '; 'x' ]) (int_range 0 9)
+           in
+           return (Printf.sprintf "VALUE %s 0 %d\r\n%s\r\nEND\r\n" k (String.length v) v));
+          (let* n = int_range 0 4 in
+           let* vs =
+             flatten_l
+               (List.init n (fun i ->
+                    let* v = int_range 0 99 in
+                    return (Printf.sprintf "STAT s%d %d\r\n" i v)))
+           in
+           return (String.concat "" vs ^ "END\r\n"));
+        ])
+  in
+  let arb =
+    make
+      Gen.(
+        let* units = list_size (int_range 1 12) unit_gen in
+        let s = String.concat "" units in
+        let* cuts = list_size (int_range 0 12) (int_bound (max 1 (String.length s - 1))) in
+        return (units, s, List.sort_uniq compare cuts))
+      ~print:(fun (_, s, cuts) ->
+        Printf.sprintf "stream=%S cuts=[%s]" s (String.concat ";" (List.map string_of_int cuts)))
+  in
+  QCheck.Test.make ~count:300 ~name:"client decoder: chunking-independent unit boundaries" arb
+    (fun (units, s, cuts) ->
+      let n = String.length s in
+      let cuts = List.filter (fun c -> c > 0 && c < n) cuts in
+      let chunks =
+        let rec slice prev = function
+          | [] -> [ String.sub s prev (n - prev) ]
+          | c :: rest -> String.sub s prev (c - prev) :: slice c rest
+        in
+        slice 0 cuts
+      in
+      let got = decode_stream chunks in
+      List.map fst got = units
+      && List.map fst (decode_stream [ s ]) = units)
+
 let () =
   Alcotest.run "protocol"
     [
@@ -383,6 +565,16 @@ let () =
           Alcotest.test_case "every boundary of the canonical stream" `Quick
             test_split_every_boundary;
           QCheck_alcotest.to_alcotest prop_random_chunking;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "decoder, single feed" `Quick test_client_decoder_whole;
+          Alcotest.test_case "decoder, every boundary" `Quick
+            test_client_decoder_every_boundary;
+          Alcotest.test_case "decoder, byte drip" `Quick test_client_decoder_byte_drip;
+          Alcotest.test_case "encoders round-trip the codec" `Quick
+            test_client_encoders_roundtrip;
+          QCheck_alcotest.to_alcotest prop_client_random_chunking;
         ] );
       ( "persistence",
         [ Alcotest.test_case "session across crash" `Quick test_protocol_over_montage_with_crash ] );
